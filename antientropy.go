@@ -1,0 +1,297 @@
+// Package antientropy is a Go implementation of the robust, proactive
+// gossip aggregation protocols of Montresor, Jelasity & Babaoglu,
+// "Robust Aggregation Protocols for Large-Scale Overlay Networks"
+// (DSN 2004) — push-pull anti-entropy averaging with epochs, automatic
+// restart, the multi-leader COUNT protocol, derived aggregates (SUM,
+// PRODUCT, VARIANCE, network size), NEWSCAST membership, and the
+// multi-instance robustness scheme.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Simulation: Simulate runs the cycle-driven engine used to reproduce
+//     every figure of the paper (see Experiments / RunExperiment).
+//   - Deployment: NewNode runs a live node — active/passive goroutine
+//     pair, real timeouts, epochs, joins — over an in-memory network
+//     (NewMemNetwork) or UDP (ListenUDP).
+//
+// # Quick start (simulation)
+//
+//	engine, err := antientropy.Simulate(antientropy.SimConfig{
+//	    N:       1000,
+//	    Cycles:  30,
+//	    Seed:    1,
+//	    Fn:      antientropy.Average,
+//	    Init:    func(node int) float64 { return float64(node) },
+//	    Overlay: antientropy.NewscastOverlay(30),
+//	})
+//	m := engine.ParticipantMoments()
+//	fmt.Println(m.Mean(), m.Variance()) // ≈ 499.5, ≈ 0
+//
+// # Quick start (live nodes)
+//
+//	net := antientropy.NewMemNetwork(antientropy.MemNetworkConfig{})
+//	node, err := antientropy.NewNode(antientropy.NodeConfig{
+//	    Endpoint: net.Endpoint(),
+//	    Schedule: antientropy.Schedule{Start: anchor, Delta: 30 * time.Second,
+//	        CycleLen: time.Second, Gamma: 30},
+//	    Value:    readLocalLoad,
+//	})
+//	err = node.Start(ctx)
+//	...
+//	estimate, ok := node.Estimate()
+package antientropy
+
+import (
+	"antientropy/internal/agent"
+	"antientropy/internal/core"
+	"antientropy/internal/experiments"
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+	"antientropy/internal/topology"
+	"antientropy/internal/transport"
+)
+
+// Aggregation functions (paper §3, §5).
+type (
+	// Function is a scalar aggregate: an elementary symmetric exchange
+	// rule plus metadata.
+	Function = core.Function
+	// UpdateFunc is the elementary exchange step UPDATE(a, b).
+	UpdateFunc = core.UpdateFunc
+	// MapState is the COUNT protocol's leader → estimate map.
+	MapState = core.MapState
+	// LeaderID identifies a COUNT instance.
+	LeaderID = core.LeaderID
+)
+
+// The scalar aggregates shipped with the library.
+var (
+	// Average computes the arithmetic mean (paper §3).
+	Average = core.Average
+	// Min propagates the global minimum (paper §5).
+	Min = core.Min
+	// Max propagates the global maximum (paper §5).
+	Max = core.Max
+	// GeometricMean converges to the geometric mean (paper §5).
+	GeometricMean = core.GeometricMean
+)
+
+// FunctionByName resolves a scalar aggregate ("average", "min", "max",
+// "geometric-mean").
+func FunctionByName(name string) (Function, error) { return core.FunctionByName(name) }
+
+// Derived aggregates (paper §5).
+var (
+	// SizeFromAverage converts a COUNT estimate into a network size.
+	SizeFromAverage = core.SizeFromAverage
+	// SumFromAverage composes SUM = average × size.
+	SumFromAverage = core.SumFromAverage
+	// VarianceFromMoments composes VARIANCE = E[x²] − E[x]².
+	VarianceFromMoments = core.VarianceFromMoments
+	// ProductFromGeometricMean composes PRODUCT = gm^N.
+	ProductFromGeometricMean = core.ProductFromGeometricMean
+	// Combine is the §7.3 multi-instance trimmed-mean combiner.
+	Combine = core.Combine
+)
+
+// Simulation API (the paper's PeerSim-equivalent substrate).
+type (
+	// SimConfig configures one simulated epoch.
+	SimConfig = sim.Config
+	// SimEngine is a running/finished simulation.
+	SimEngine = sim.Engine
+	// OverlayBuilder constructs the overlay for a simulation run.
+	OverlayBuilder = sim.OverlayBuilder
+	// FailureModel injects crashes/churn at cycle starts.
+	FailureModel = sim.FailureModel
+	// Moments is a streaming mean/variance/min/max accumulator.
+	Moments = stats.Moments
+	// RNG is the deterministic generator used throughout.
+	RNG = stats.RNG
+)
+
+// Failure models of §6/§7.
+type (
+	// CrashFraction crashes a proportion P_f of live nodes per cycle.
+	CrashFraction = sim.CrashFraction
+	// SuddenDeath crashes a fraction of the network at one cycle.
+	SuddenDeath = sim.SuddenDeath
+	// Churn substitutes a fixed number of nodes per cycle.
+	Churn = sim.Churn
+	// CrashCount crashes a fixed number of nodes per cycle.
+	CrashCount = sim.CrashCount
+)
+
+// Simulate validates cfg and runs all configured cycles.
+func Simulate(cfg SimConfig) (*SimEngine, error) { return sim.Run(cfg) }
+
+// Derived aggregates composed from concurrent protocol instances (§5).
+type (
+	// DerivedConfig parameterizes a composed aggregate simulation.
+	DerivedConfig = sim.DerivedConfig
+	// DerivedResult carries per-node combined estimates.
+	DerivedResult = sim.DerivedResult
+)
+
+// SimulateSum estimates Σ values = average × network size (§5).
+func SimulateSum(cfg DerivedConfig) (*DerivedResult, error) { return sim.RunSum(cfg) }
+
+// SimulateVariance estimates Var(values) = E[x²] − E[x]² (§5).
+func SimulateVariance(cfg DerivedConfig) (*DerivedResult, error) { return sim.RunVariance(cfg) }
+
+// SimulateProduct estimates Π values = geometric-mean^N (§5).
+func SimulateProduct(cfg DerivedConfig) (*DerivedResult, error) { return sim.RunProduct(cfg) }
+
+// Multi-epoch simulation (§4.1 automatic restart, §5 COUNT lifecycle).
+type (
+	// EpochChainConfig drives consecutive AVERAGE epochs over changing
+	// values.
+	EpochChainConfig = sim.EpochChainConfig
+	// EpochResult is one epoch's outcome.
+	EpochResult = sim.EpochResult
+	// CountChainConfig drives the COUNT lifecycle: P_lead = C/N̂ leader
+	// election fed by the previous epoch's estimate.
+	CountChainConfig = sim.CountChainConfig
+	// CountEpochResult is one COUNT epoch's outcome.
+	CountEpochResult = sim.CountEpochResult
+)
+
+// SimulateEpochs runs consecutive restarting epochs of AVERAGE (§4.1).
+func SimulateEpochs(cfg EpochChainConfig) ([]EpochResult, error) {
+	return sim.RunEpochChain(cfg)
+}
+
+// SimulateCountEpochs runs the full COUNT lifecycle across epochs (§5).
+func SimulateCountEpochs(cfg CountChainConfig) ([]CountEpochResult, error) {
+	return sim.RunCountEpochChain(cfg)
+}
+
+// NewSimulation builds an engine without running it, for step-by-step
+// control (Engine.Step).
+func NewSimulation(cfg SimConfig) (*SimEngine, error) { return sim.New(cfg) }
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// Overlay builders.
+
+// NewscastOverlay runs the NEWSCAST membership protocol with cache size c
+// inside the simulation (paper §4.4).
+func NewscastOverlay(c int) OverlayBuilder { return sim.Newscast(c) }
+
+// RandomOverlay is a random graph where each node knows `degree` peers.
+func RandomOverlay(degree int) OverlayBuilder { return experiments.RandomOverlay(degree) }
+
+// CompleteOverlay is the static fully connected overlay.
+func CompleteOverlay() OverlayBuilder { return experiments.CompleteOverlay() }
+
+// CompleteLiveOverlay is fully connected over the *live* membership
+// (crashed nodes vanish from everyone's neighbor sets).
+func CompleteLiveOverlay() OverlayBuilder { return sim.CompleteLive() }
+
+// WattsStrogatzOverlay is a small-world overlay with rewiring probability
+// beta and even lattice degree k.
+func WattsStrogatzOverlay(k int, beta float64) OverlayBuilder {
+	return sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
+		return topology.NewWattsStrogatz(n, k, beta, rng)
+	})
+}
+
+// ScaleFreeOverlay is a Barabási–Albert preferential-attachment overlay
+// with m edges per new node.
+func ScaleFreeOverlay(m int) OverlayBuilder {
+	return sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
+		return topology.NewBarabasiAlbert(n, m, rng)
+	})
+}
+
+// RegularOverlay is a random simple k-regular undirected overlay — the
+// strictest reading of the paper's "regular degree of 20".
+func RegularOverlay(k int) OverlayBuilder {
+	return sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
+		return topology.NewKRegular(n, k, rng)
+	})
+}
+
+// Init helpers for SimConfig.Init.
+var (
+	// PeakInit gives one node `total` and everyone else 0 (paper §3).
+	PeakInit = sim.PeakInit
+	// ConstInit gives every node the same value.
+	ConstInit = sim.ConstInit
+	// UniformInit draws values uniformly from [lo, hi).
+	UniformInit = sim.UniformInit
+	// LinearInit assigns node i the value i.
+	LinearInit = sim.LinearInit
+)
+
+// Live deployment API (paper §4 practical protocol).
+type (
+	// NodeConfig configures a live aggregation node.
+	NodeConfig = agent.Config
+	// Node is a running aggregation participant.
+	Node = agent.Node
+	// NodeMetrics counts a live node's protocol events.
+	NodeMetrics = agent.Metrics
+	// EpochOutput is one completed epoch's result.
+	EpochOutput = agent.Output
+	// Schedule fixes δ, Δ and γ (paper §4.1).
+	Schedule = core.Schedule
+	// Mode selects scalar aggregation or COUNT.
+	Mode = agent.Mode
+)
+
+// Node modes.
+const (
+	// ModeScalar runs one scalar aggregate per epoch.
+	ModeScalar = agent.ModeScalar
+	// ModeCount estimates the network size (paper §5).
+	ModeCount = agent.ModeCount
+)
+
+// NewNode validates cfg and builds a live node (start with Node.Start).
+func NewNode(cfg NodeConfig) (*Node, error) { return agent.New(cfg) }
+
+// Transports.
+type (
+	// Endpoint is a node's transport attachment.
+	Endpoint = transport.Endpoint
+	// MemNetwork is an in-memory datagram network with loss/latency/
+	// partition injection.
+	MemNetwork = transport.MemNetwork
+	// MemNetworkConfig tunes the simulated network conditions.
+	MemNetworkConfig = transport.MemNetworkConfig
+	// UDPEndpoint is a real-network UDP endpoint.
+	UDPEndpoint = transport.UDPEndpoint
+)
+
+// NewMemNetwork creates an in-memory network.
+func NewMemNetwork(cfg MemNetworkConfig) *MemNetwork { return transport.NewMemNetwork(cfg) }
+
+// ListenUDP opens a UDP endpoint ("host:port"; ":0" picks a free port).
+func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {
+	return transport.ListenUDP(listen, queueLen)
+}
+
+// Experiment harness (reproduces every figure of the paper).
+type (
+	// Experiment is a registered paper figure or ablation.
+	Experiment = experiments.Runner
+	// ExperimentOptions scale an experiment (N, repetitions, seed).
+	ExperimentOptions = experiments.Options
+	// ExperimentResult is a regenerated figure.
+	ExperimentResult = experiments.Result
+)
+
+// Experiments lists every registered experiment (fig2 … fig8b plus
+// ablations), sorted by id.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment regenerates one figure by id.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
+	r, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(opts)
+}

@@ -1,0 +1,194 @@
+package antientropy_test
+
+import (
+	"context"
+	"log/slog"
+	"math"
+	"testing"
+	"time"
+
+	"antientropy"
+)
+
+func TestFacadeSimulationQuickstart(t *testing.T) {
+	engine, err := antientropy.Simulate(antientropy.SimConfig{
+		N:       1000,
+		Cycles:  30,
+		Seed:    1,
+		Fn:      antientropy.Average,
+		Init:    func(node int) float64 { return float64(node) },
+		Overlay: antientropy.NewscastOverlay(30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := engine.ParticipantMoments()
+	if math.Abs(m.Mean()-499.5) > 1e-6 {
+		t.Fatalf("mean = %g", m.Mean())
+	}
+	if m.Variance() > 1e-9 {
+		t.Fatalf("variance = %g", m.Variance())
+	}
+}
+
+func TestFacadeOverlays(t *testing.T) {
+	overlays := map[string]antientropy.OverlayBuilder{
+		"newscast":      antientropy.NewscastOverlay(20),
+		"random":        antientropy.RandomOverlay(10),
+		"complete":      antientropy.CompleteOverlay(),
+		"complete-live": antientropy.CompleteLiveOverlay(),
+		"watts-strogatz": antientropy.WattsStrogatzOverlay(
+			10, 0.5),
+		"scale-free": antientropy.ScaleFreeOverlay(5),
+		"regular":    antientropy.RegularOverlay(10),
+	}
+	for name, ov := range overlays {
+		t.Run(name, func(t *testing.T) {
+			engine, err := antientropy.Simulate(antientropy.SimConfig{
+				N: 300, Cycles: 25, Seed: 2,
+				Fn:      antientropy.Average,
+				Init:    antientropy.ConstInit(5),
+				Overlay: ov,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := engine.ParticipantMoments()
+			if math.Abs(m.Mean()-5) > 1e-9 {
+				t.Fatalf("%s: mean %g", name, m.Mean())
+			}
+		})
+	}
+}
+
+func TestFacadeFailureModels(t *testing.T) {
+	engine, err := antientropy.Simulate(antientropy.SimConfig{
+		N: 500, Cycles: 10, Seed: 3,
+		Fn:      antientropy.Average,
+		Init:    antientropy.ConstInit(1),
+		Overlay: antientropy.NewscastOverlay(20),
+		Failures: []antientropy.FailureModel{
+			antientropy.Churn{PerCycle: 5},
+			antientropy.CrashCount{PerCycle: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.AliveCount() != 500-20 {
+		t.Fatalf("alive = %d", engine.AliveCount())
+	}
+}
+
+func TestFacadeDerivedAggregates(t *testing.T) {
+	if got := antientropy.SumFromAverage(2, 10); got != 20 {
+		t.Fatalf("SumFromAverage = %g", got)
+	}
+	if got := antientropy.SizeFromAverage(0.001); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("SizeFromAverage = %g", got)
+	}
+	combined, err := antientropy.Combine([]float64{90, 100, 110})
+	if err != nil || combined != 100 {
+		t.Fatalf("Combine = %g, %v", combined, err)
+	}
+	if _, err := antientropy.FunctionByName("average"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCountExperimentViaVectorMode(t *testing.T) {
+	engine, err := antientropy.Simulate(antientropy.SimConfig{
+		N: 800, Cycles: 30, Seed: 4,
+		Dim:     1,
+		Leaders: []int{0},
+		Overlay: antientropy.NewscastOverlay(30),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := engine.SizeMoments()
+	if math.Abs(sizes.Mean()-800) > 1 {
+		t.Fatalf("size estimate = %g", sizes.Mean())
+	}
+}
+
+func TestFacadeLiveCluster(t *testing.T) {
+	net := antientropy.NewMemNetwork(antientropy.MemNetworkConfig{Seed: 5})
+	defer net.Close()
+	sched := antientropy.Schedule{
+		Start:    time.Now().Truncate(time.Second),
+		Delta:    300 * time.Millisecond,
+		CycleLen: 10 * time.Millisecond,
+		Gamma:    30,
+	}
+	logger := slog.New(slog.NewTextHandler(nopWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
+	const n = 6
+	endpoints := make([]antientropy.Endpoint, n)
+	addrs := make([]string, n)
+	for i := range endpoints {
+		ep := net.Endpoint()
+		endpoints[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	nodes := make([]*antientropy.Node, n)
+	for i := range nodes {
+		v := float64(i * 3)
+		node, err := antientropy.NewNode(antientropy.NodeConfig{
+			Endpoint:  endpoints[i],
+			Schedule:  sched,
+			Function:  antientropy.Average,
+			Value:     func() float64 { return v },
+			Bootstrap: addrs,
+			Seed:      uint64(i + 1),
+			Logger:    logger,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, node := range nodes {
+			_ = node.Stop()
+		}
+	}()
+	want := 7.5 // mean of 0,3,6,9,12,15
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		done := 0
+		for _, node := range nodes {
+			if v, ok := node.Estimate(); ok && math.Abs(v-want) < 0.05 {
+				done++
+			}
+		}
+		if done == n {
+			return
+		}
+	}
+	t.Fatal("live cluster did not converge through the facade")
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := antientropy.Experiments()
+	if len(exps) < 12 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	res, err := antientropy.RunExperiment("fig2", antientropy.ExperimentOptions{N: 500, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "fig2" || len(res.Series) != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if _, err := antientropy.RunExperiment("figXX", antientropy.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

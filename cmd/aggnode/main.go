@@ -1,0 +1,187 @@
+// Command aggnode runs one live aggregation node over UDP: the paper's
+// practical protocol (§4) on a real network.
+//
+// Start a first node (founding member):
+//
+//	aggnode -listen 127.0.0.1:7000 -value 10
+//
+// Add more founding members (they all know each other up front):
+//
+//	aggnode -listen 127.0.0.1:7001 -value 20 -bootstrap 127.0.0.1:7000
+//
+// Join a running deployment later (waits for the next epoch, §4.2):
+//
+//	aggnode -listen 127.0.0.1:7002 -value 30 -join 127.0.0.1:7000
+//
+// Estimate the network size instead of averaging:
+//
+//	aggnode -listen 127.0.0.1:7003 -mode count -join 127.0.0.1:7000
+//
+// All nodes of one deployment must share -delta, -cycle, -gamma and
+// -anchor (the epoch schedule); the default anchor is the Unix epoch so
+// machines with synchronized clocks agree without coordination.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"antientropy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		value     = flag.Float64("value", 1, "this node's local value (scalar modes)")
+		stdinVals = flag.Bool("stdin", false, "read value updates (one float per line) from stdin; each epoch restart picks up the latest")
+		function  = flag.String("function", "average", "aggregate: average, min, max, geometric-mean")
+		mode      = flag.String("mode", "scalar", "scalar or count (network-size estimation)")
+		bootstrap = flag.String("bootstrap", "", "comma-separated founding-member addresses")
+		join      = flag.String("join", "", "comma-separated seed addresses of a running deployment")
+		delta     = flag.Duration("delta", 30*time.Second, "epoch length Δ")
+		cycle     = flag.Duration("cycle", time.Second, "cycle length δ")
+		gamma     = flag.Int("gamma", 30, "cycles per epoch γ")
+		anchor    = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
+		cache     = flag.Int("cache", 30, "NEWSCAST cache size c")
+		conc      = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
+	)
+	flag.Parse()
+
+	endpoint, err := antientropy.ListenUDP(*listen, 0)
+	if err != nil {
+		return err
+	}
+	cfg := antientropy.NodeConfig{
+		Endpoint: endpoint,
+		Schedule: antientropy.Schedule{
+			Start:    time.Unix(*anchor, 0),
+			Delta:    *delta,
+			CycleLen: *cycle,
+			Gamma:    *gamma,
+		},
+		CacheSize:   *cache,
+		Concurrency: *conc,
+	}
+	switch *mode {
+	case "scalar":
+		fn, err := antientropy.FunctionByName(*function)
+		if err != nil {
+			return err
+		}
+		cfg.Mode = antientropy.ModeScalar
+		cfg.Function = fn
+		var live atomicFloat
+		live.store(*value)
+		if *stdinVals {
+			go readValues(os.Stdin, &live)
+		}
+		cfg.Value = live.load
+	case "count":
+		cfg.Mode = antientropy.ModeCount
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *bootstrap != "" {
+		cfg.Bootstrap = splitAddrs(*bootstrap)
+	}
+	if *join != "" {
+		cfg.Seeds = splitAddrs(*join)
+	}
+
+	node, err := antientropy.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := node.Start(ctx); err != nil {
+		return err
+	}
+	defer func() {
+		if err := node.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "aggnode: stop:", err)
+		}
+	}()
+	fmt.Printf("node %s up: mode=%s function=%s epoch=%d\n",
+		node.Addr(), *mode, *function, node.Epoch())
+
+	ticker := time.NewTicker(*cycle * 5)
+	defer ticker.Stop()
+	var lastReported uint64
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			est, ok := node.Estimate()
+			status := "converging"
+			if !ok {
+				status = "waiting for epoch"
+			}
+			fmt.Printf("[epoch %d] estimate %12.4f (%s, %d peers)\n",
+				node.Epoch(), est, status, node.PeerCount())
+			if out, ok := node.LastOutput(); ok && out.Epoch != lastReported {
+				lastReported = out.Epoch
+				fmt.Printf("== epoch %d output: %.6f (ok=%v)\n", out.Epoch, out.Value, out.OK)
+			}
+		}
+	}
+}
+
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// atomicFloat stores a float64 behind an atomic uint64, letting the
+// stdin reader update the local value while the protocol samples it at
+// every epoch restart (§4.1 adaptivity in a live deployment).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// readValues feeds stdin lines into the live value.
+func readValues(r io.Reader, dst *atomicFloat) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aggnode: ignoring %q: %v\n", line, err)
+			continue
+		}
+		dst.store(v)
+		fmt.Printf(">> local value set to %g (takes effect next epoch)\n", v)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitAddrs(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a:1", []string{"a:1"}},
+		{"a:1,b:2", []string{"a:1", "b:2"}},
+		{" a:1 , b:2 ", []string{"a:1", "b:2"}},
+		{"a:1,,b:2,", []string{"a:1", "b:2"}},
+		{"", nil},
+		{" , ", nil},
+	}
+	for _, tc := range tests {
+		got := splitAddrs(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitAddrs(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestAtomicFloat(t *testing.T) {
+	var f atomicFloat
+	if f.load() != 0 {
+		t.Fatalf("zero value = %g", f.load())
+	}
+	f.store(3.25)
+	if f.load() != 3.25 {
+		t.Fatalf("load = %g", f.load())
+	}
+	f.store(-1e300)
+	if f.load() != -1e300 {
+		t.Fatalf("load = %g", f.load())
+	}
+}
+
+func TestReadValues(t *testing.T) {
+	var f atomicFloat
+	input := "10.5\n\nnot-a-number\n  42 \n"
+	readValues(strings.NewReader(input), &f)
+	if f.load() != 42 {
+		t.Fatalf("final value = %g, want 42 (last valid line)", f.load())
+	}
+}

@@ -1,0 +1,60 @@
+// Network-size monitoring: the COUNT protocol (paper §5) estimates how
+// many nodes a P2P system has, while nodes continuously crash and join
+// (Figure 6b scenario). Multiple concurrent instances plus the §7.3
+// trimmed-mean combiner keep the estimate robust.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"antientropy"
+)
+
+func main() {
+	const (
+		n         = 20000
+		cycles    = 30
+		churn     = n / 100 // 1% of the network replaced every cycle
+		instances = 20
+	)
+
+	fmt.Println("COUNT: decentralized network-size estimation under churn")
+	fmt.Printf("%d nodes, %d substituted per cycle, %d concurrent instances\n\n", n, churn, instances)
+
+	// Each instance is led by one node; here the leaders are spread
+	// deterministically (a deployment uses the P_lead coin flip).
+	leaders := make([]int, instances)
+	for d := range leaders {
+		leaders[d] = d * (n / instances)
+	}
+
+	engine, err := antientropy.Simulate(antientropy.SimConfig{
+		N:       n,
+		Cycles:  cycles,
+		Seed:    7,
+		Dim:     instances,
+		Leaders: leaders,
+		Overlay: antientropy.NewscastOverlay(30),
+		Failures: []antientropy.FailureModel{
+			antientropy.Churn{PerCycle: churn},
+		},
+		Observe: func(cycle int, e *antientropy.SimEngine) {
+			if cycle%5 != 0 || cycle == 0 {
+				return
+			}
+			sizes := e.SizeMoments()
+			fmt.Printf("cycle %2d: size estimate mean %9.1f  [min %9.1f, max %9.1f] over %d participants\n",
+				cycle, sizes.Mean(), sizes.Min(), sizes.Max(), sizes.N())
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := engine.SizeMoments()
+	fmt.Printf("\ntrue size: %d (constant under churn)\n", n)
+	fmt.Printf("estimated: %.1f (relative error %.2f%%)\n",
+		sizes.Mean(), 100*(sizes.Mean()-n)/float64(n))
+	fmt.Printf("%d of the original participants survived the epoch\n", sizes.N())
+}

@@ -1,0 +1,443 @@
+// Package agent is the live, asynchronous implementation of the paper's
+// practical aggregation protocol (§4): every node runs the active/passive
+// thread pair of Figure 1 on goroutines over a datagram transport, with
+// real δ-cycle timers, exchange timeouts, epoch restarts (§4.1), join
+// handling (§4.2), epidemic epoch synchronization (§4.3) and a NEWSCAST
+// membership service (§4.4) piggybacked on every exchange.
+//
+// Concurrency note. The paper treats an exchange as atomic; over a real
+// network the initiator's state could drift between sending its estimate
+// and receiving the reply, which would break mass conservation. This
+// implementation therefore marks a node busy while it has an exchange
+// outstanding and lets a busy node refuse incoming exchange requests.
+// A refusal behaves exactly like the paper's link failure — §6.2 proves
+// that only slows convergence and introduces no error. A reply that
+// arrives after the timeout is dropped, which reproduces the paper's
+// "lost response" case (§7.2).
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"sync"
+	"time"
+
+	"antientropy/internal/core"
+	"antientropy/internal/newscast"
+	"antientropy/internal/stats"
+	"antientropy/internal/transport"
+	"antientropy/internal/wire"
+)
+
+// Mode selects the aggregate a node computes.
+type Mode int
+
+// Available modes.
+const (
+	// ModeScalar runs one scalar aggregate (AVERAGE, MIN, MAX,
+	// GEOMETRIC-MEAN) per epoch.
+	ModeScalar Mode = iota + 1
+	// ModeCount runs the multi-leader COUNT protocol (§5): the node's
+	// state is a leader-id → estimate map and the epoch output is a
+	// network-size estimate.
+	ModeCount
+)
+
+// Config describes one live node.
+type Config struct {
+	// Endpoint is the node's transport attachment. The node takes
+	// ownership: Stop closes it.
+	Endpoint transport.Endpoint
+	// Schedule fixes δ, Δ and γ; all nodes of a deployment share it
+	// (epoch synchronization absorbs clock drift, §4.3).
+	Schedule core.Schedule
+	// Mode selects scalar aggregation (default) or COUNT.
+	Mode Mode
+	// Function is the scalar aggregate (ModeScalar; default AVERAGE).
+	Function core.Function
+	// Value supplies the node's current local value, sampled at every
+	// epoch start (ModeScalar). Required in ModeScalar.
+	Value func() float64
+	// CacheSize is the NEWSCAST cache capacity c (default 30).
+	CacheSize int
+	// Seeds are bootstrap contact addresses. A node with seeds performs
+	// the §4.2 join: it asks a seed for the next epoch and refrains from
+	// participating until that epoch starts.
+	Seeds []string
+	// Bootstrap pre-populates the NEWSCAST cache without the join wait.
+	// Use it only when founding a deployment, where every node starts in
+	// the same (first) epoch anyway; later arrivals must use Seeds.
+	Bootstrap []string
+	// RequestTimeout bounds the wait for an exchange reply (default:
+	// half the cycle length).
+	RequestTimeout time.Duration
+	// Concurrency is the desired number of concurrent COUNT instances C
+	// (ModeCount; default 8).
+	Concurrency float64
+	// InitialSizeGuess seeds P_lead = C/N̂ before the first epoch output
+	// exists (ModeCount; default 16).
+	InitialSizeGuess float64
+	// Seed drives the node's randomness (0 derives one from the address
+	// and the clock).
+	Seed uint64
+	// Logger receives debug events (default: slog.Default with the node
+	// address attached).
+	Logger *slog.Logger
+	// MaxOutputs bounds the retained epoch outputs (default 16).
+	MaxOutputs int
+}
+
+// Output is one completed epoch's aggregation result.
+type Output struct {
+	// Epoch identifier.
+	Epoch uint64
+	// Value is the estimate when the epoch ended (for ModeCount, the
+	// combined network-size estimate).
+	Value float64
+	// OK reports whether the node held a usable estimate (a COUNT node
+	// that never received mass has none).
+	OK bool
+	// At is when the epoch was left.
+	At time.Time
+}
+
+// Metrics counts protocol events on a live node.
+type Metrics struct {
+	// ExchangesInitiated counts active-thread attempts.
+	ExchangesInitiated int64
+	// ExchangesCompleted counts replies applied.
+	ExchangesCompleted int64
+	// ExchangesServed counts passive-thread replies sent.
+	ExchangesServed int64
+	// Timeouts counts replies that never arrived in time.
+	Timeouts int64
+	// RefusedBusy counts requests dropped while an exchange was
+	// outstanding.
+	RefusedBusy int64
+	// PeerDeclined counts own requests NACKed by a busy or joining peer.
+	PeerDeclined int64
+	// RefusedJoining counts requests dropped while waiting for our first
+	// epoch (§4.2/§7.1).
+	RefusedJoining int64
+	// StaleDropped counts messages from older epochs.
+	StaleDropped int64
+	// EpochJumps counts §4.3 jump-forward synchronizations.
+	EpochJumps int64
+	// DecodeErrors counts undecodable datagrams.
+	DecodeErrors int64
+}
+
+// Node is a live aggregation participant. Create with New, run with
+// Start, stop with Stop.
+type Node struct {
+	cfg    Config
+	log    *slog.Logger
+	funcID uint8
+
+	mu            sync.Mutex
+	epoch         uint64
+	joinEpoch     uint64 // first epoch we may participate in
+	participating bool
+	scalar        float64
+	mapState      core.MapState
+	leaderID      core.LeaderID
+	cache         *newscast.Cache[string]
+	pending       map[uint64]chan wire.Payload
+	busy          bool
+	seq           uint64
+	rng           *stats.RNG
+	outputs       []Output
+	metrics       Metrics
+	started       bool
+	stopped       bool
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	subs []chan Output
+}
+
+// New validates cfg and builds a node (not yet started).
+func New(cfg Config) (*Node, error) {
+	if cfg.Endpoint == nil {
+		return nil, errors.New("agent: endpoint is required")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeScalar
+	}
+	switch cfg.Mode {
+	case ModeScalar:
+		if cfg.Function.Update == nil {
+			cfg.Function = core.Average
+		}
+		if cfg.Value == nil {
+			return nil, errors.New("agent: scalar mode requires a Value supplier")
+		}
+	case ModeCount:
+		if cfg.Concurrency <= 0 {
+			cfg.Concurrency = 8
+		}
+		if cfg.InitialSizeGuess < 1 {
+			cfg.InitialSizeGuess = 16
+		}
+	default:
+		return nil, fmt.Errorf("agent: unknown mode %d", cfg.Mode)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = newscast.DefaultCacheSize
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = cfg.Schedule.CycleLen / 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		return nil, errors.New("agent: request timeout must be positive")
+	}
+	if cfg.MaxOutputs <= 0 {
+		cfg.MaxOutputs = 16
+	}
+	addr := cfg.Endpoint.Addr()
+	if cfg.Seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(addr))
+		cfg.Seed = h.Sum64() ^ uint64(time.Now().UnixNano())
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	logger = logger.With("node", addr)
+	cache, err := newscast.NewCache(addr, cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	funcID := wire.FuncCount
+	if cfg.Mode == ModeScalar {
+		funcID, err = wire.FuncIDFor(cfg.Function.Name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := &Node{
+		cfg:     cfg,
+		log:     logger,
+		funcID:  funcID,
+		cache:   cache,
+		pending: make(map[uint64]chan wire.Payload),
+		rng:     stats.NewRNG(cfg.Seed),
+	}
+	n.leaderID = leaderIDFor(addr)
+	return n, nil
+}
+
+// leaderIDFor derives the COUNT instance id from the node address, as the
+// paper suggests ("e.g., the address of the leader").
+func leaderIDFor(addr string) core.LeaderID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return core.LeaderID(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.cfg.Endpoint.Addr() }
+
+// Start launches the node's goroutines: the passive thread (receive
+// dispatch) and the active thread (δ ticker). It returns immediately.
+func (n *Node) Start(ctx context.Context) error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return errors.New("agent: already started")
+	}
+	n.started = true
+	now := time.Now()
+	n.epoch = n.cfg.Schedule.EpochAt(now)
+	if len(n.cfg.Seeds) > 0 {
+		// §4.2: joiners sit out the epoch in progress. The local guess is
+		// refined by the seed's JoinReply.
+		n.joinEpoch = n.epoch + 1
+		n.participating = false
+		seeds := make([]newscast.Entry[string], 0, len(n.cfg.Seeds))
+		for _, s := range n.cfg.Seeds {
+			if s != n.Addr() {
+				seeds = append(seeds, newscast.Entry[string]{Key: s, Stamp: now.UnixMicro()})
+			}
+		}
+		n.cache.Seed(seeds)
+	} else {
+		n.participating = true
+		if len(n.cfg.Bootstrap) > 0 {
+			contacts := make([]newscast.Entry[string], 0, len(n.cfg.Bootstrap))
+			for _, b := range n.cfg.Bootstrap {
+				if b != n.Addr() {
+					contacts = append(contacts, newscast.Entry[string]{Key: b, Stamp: now.UnixMicro()})
+				}
+			}
+			n.cache.Seed(contacts)
+		}
+		n.resetStateLocked()
+	}
+	n.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	n.cancel = cancel
+	n.wg.Add(2)
+	go n.recvLoop(ctx)
+	go n.tickLoop(ctx)
+	if len(n.cfg.Seeds) > 0 {
+		n.sendJoinRequest()
+	}
+	return nil
+}
+
+// Stop terminates the node, closes its endpoint and waits for all
+// goroutines. Safe to call more than once.
+func (n *Node) Stop() error {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return nil
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	n.cancel()
+	err := n.cfg.Endpoint.Close()
+	n.wg.Wait()
+	n.mu.Lock()
+	n.closeSubsLocked()
+	n.mu.Unlock()
+	return err
+}
+
+// Estimate returns the node's current (converging) estimate. In
+// ModeCount it is the combined network-size estimate; ok is false while
+// the node holds no usable estimate.
+func (n *Node) Estimate() (value float64, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.estimateLocked()
+}
+
+func (n *Node) estimateLocked() (float64, bool) {
+	if !n.participating {
+		return 0, false
+	}
+	if n.cfg.Mode == ModeScalar {
+		return n.scalar, true
+	}
+	v, err := n.mapState.CombinedSize()
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Epoch returns the node's current epoch identifier.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Participating reports whether the node takes part in the current epoch.
+func (n *Node) Participating() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.participating
+}
+
+// Outputs returns the retained completed-epoch outputs, oldest first.
+func (n *Node) Outputs() []Output {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Output(nil), n.outputs...)
+}
+
+// LastOutput returns the most recent epoch output.
+func (n *Node) LastOutput() (Output, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.outputs) == 0 {
+		return Output{}, false
+	}
+	return n.outputs[len(n.outputs)-1], true
+}
+
+// Metrics returns a snapshot of the node's protocol counters.
+func (n *Node) Metrics() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metrics
+}
+
+// Subscribe returns a channel that receives every completed epoch's
+// output — the paper's motivating monitoring pattern ("some aggregate
+// reaching a specific value may trigger the execution of certain
+// operations", §1). The channel is buffered; if the subscriber falls
+// behind, the oldest unread outputs are dropped rather than blocking the
+// protocol. The channel is closed when the node stops.
+func (n *Node) Subscribe(buffer int) <-chan Output {
+	if buffer < 1 {
+		buffer = 8
+	}
+	ch := make(chan Output, buffer)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		close(ch)
+		return ch
+	}
+	n.subs = append(n.subs, ch)
+	return ch
+}
+
+// publishLocked delivers an epoch output to all subscribers without ever
+// blocking: a full buffer drops its oldest entry first.
+func (n *Node) publishLocked(out Output) {
+	for _, ch := range n.subs {
+		for {
+			select {
+			case ch <- out:
+			default:
+				select {
+				case <-ch: // evict the oldest
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+}
+
+// closeSubsLocked closes all subscriber channels (at Stop).
+func (n *Node) closeSubsLocked() {
+	for _, ch := range n.subs {
+		close(ch)
+	}
+	n.subs = nil
+}
+
+// PeerCount returns the NEWSCAST cache occupancy.
+func (n *Node) PeerCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cache.Len()
+}
+
+// Peers returns the current NEWSCAST view (addresses only).
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entries := n.cache.Entries()
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Key)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"antientropy/internal/core"
+	"antientropy/internal/transport"
+)
+
+// TestEpochSpreadStaysBounded exercises the §4.3 claim at cluster scale:
+// when a subset of nodes lags several epochs behind (clock drift), the
+// first contact with a fresher node pulls it forward, and the epidemic
+// propagation of the larger epoch id re-synchronizes the whole cluster
+// within a small number of cycles — T_j stays bounded.
+func TestEpochSpreadStaysBounded(t *testing.T) {
+	const n = 16
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 80})
+	defer net.Close()
+	fresh := core.Schedule{
+		Start:    time.Now().Add(-10 * 300 * time.Millisecond), // ~epoch 10
+		Delta:    300 * time.Millisecond,
+		CycleLen: 10 * time.Millisecond,
+		Gamma:    30,
+	}
+	lagging := fresh
+	lagging.Start = time.Now().Add(time.Hour) // stuck believing epoch 0
+
+	eps := make([]*transport.MemEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		eps[i] = net.Endpoint()
+		addrs[i] = eps[i].Addr()
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		sched := fresh
+		if i%2 == 1 {
+			sched = lagging // half the cluster drifts
+		}
+		node, err := New(Config{
+			Endpoint:  eps[i],
+			Schedule:  sched,
+			Value:     func() float64 { return 1 },
+			Bootstrap: addrs,
+			Seed:      uint64(i + 1),
+			Logger:    quietLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, node := range nodes {
+			_ = node.Stop()
+		}
+	}()
+
+	// Within roughly one epoch of wall time, every node must sit within
+	// one epoch of the cluster maximum (laggards are dragged forward
+	// epidemically; the fresh half keeps advancing on its clock).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		lo, hi := nodes[0].Epoch(), nodes[0].Epoch()
+		for _, node := range nodes[1:] {
+			e := node.Epoch()
+			if e < lo {
+				lo = e
+			}
+			if e > hi {
+				hi = e
+			}
+		}
+		if hi-lo <= 1 && hi >= 9 {
+			// Also require that laggards actually jumped (not just their
+			// own clocks).
+			jumps := int64(0)
+			for i := 1; i < n; i += 2 {
+				jumps += nodes[i].Metrics().EpochJumps
+			}
+			if jumps == 0 {
+				t.Fatal("cluster synchronized without any epoch jumps — drift model broken")
+			}
+			return
+		}
+	}
+	for i, node := range nodes {
+		t.Logf("node %d: epoch %d jumps %d", i, node.Epoch(), node.Metrics().EpochJumps)
+	}
+	t.Fatal("epoch spread never collapsed")
+}

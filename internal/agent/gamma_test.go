@@ -1,0 +1,63 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"antientropy/internal/core"
+	"antientropy/internal/transport"
+)
+
+func TestProtocolIdlesAfterGammaCycles(t *testing.T) {
+	// §4.1: the instance terminates after γ cycles. With γ = 5 and a long
+	// Δ, aggregation exchanges must stop after ~5 cycles while membership
+	// gossip continues.
+	// Anchor at "now" so the epoch's cycle counter starts at 0 (a
+	// truncated anchor could already be past γ cycles into the epoch).
+	sched := core.Schedule{
+		Start:    time.Now(),
+		Delta:    time.Hour,
+		CycleLen: 10 * time.Millisecond,
+		Gamma:    5,
+	}
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 70})
+	defer net.Close()
+	epA, epB := net.Endpoint(), net.Endpoint()
+	mk := func(ep *transport.MemEndpoint, peer string, seed uint64) *Node {
+		node, err := New(Config{
+			Endpoint: ep, Schedule: sched,
+			Value:     func() float64 { return 1 },
+			Bootstrap: []string{peer},
+			Seed:      seed, Logger: quietLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	a := mk(epA, epB.Addr(), 1)
+	b := mk(epB, epA.Addr(), 2)
+	for _, node := range []*Node{a, b} {
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer a.Stop()
+	defer b.Stop()
+
+	// Run well past γ cycles.
+	time.Sleep(300 * time.Millisecond)
+	initiatedAtCheck := a.Metrics().ExchangesInitiated
+	if initiatedAtCheck == 0 {
+		t.Fatal("no exchanges at all")
+	}
+	if initiatedAtCheck > 8 {
+		t.Fatalf("%d exchanges initiated with gamma=5", initiatedAtCheck)
+	}
+	// And the count must not grow any further.
+	time.Sleep(300 * time.Millisecond)
+	if after := a.Metrics().ExchangesInitiated; after != initiatedAtCheck {
+		t.Fatalf("exchanges continued after gamma: %d -> %d", initiatedAtCheck, after)
+	}
+}

@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"antientropy/internal/transport"
+	"antientropy/internal/wire"
+)
+
+func TestNodeSurvivesGarbageDatagrams(t *testing.T) {
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 60})
+	defer net.Close()
+	nodeEP := net.Endpoint()
+	attacker := net.Endpoint()
+	node, err := New(Config{
+		Endpoint:  nodeEP,
+		Schedule:  testSchedule(),
+		Value:     func() float64 { return 5 },
+		Bootstrap: []string{attacker.Addr()},
+		Seed:      1,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	garbage := [][]byte{
+		{},
+		{0x00},
+		[]byte("not a protocol message at all"),
+		[]byte("AE04"),                       // magic only
+		[]byte("AE04\x01"),                   // missing type
+		[]byte("AE04\x63\x01"),               // wrong version
+		[]byte("AE04\x01\xFF"),               // unknown type
+		append([]byte("AE04\x01\x01"), 0xFF), // truncated exchange request
+	}
+	for _, g := range garbage {
+		if err := attacker.Send(nodeEP.Addr(), g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		if node.Metrics().DecodeErrors >= int64(len(garbage)-0) {
+			break
+		}
+	}
+	m := node.Metrics()
+	if m.DecodeErrors < 5 {
+		t.Fatalf("only %d decode errors recorded", m.DecodeErrors)
+	}
+	// The node keeps functioning.
+	if v, ok := node.Estimate(); !ok || v != 5 {
+		t.Fatalf("estimate corrupted after garbage: %v %v", v, ok)
+	}
+}
+
+func TestNodeIgnoresForgedReplies(t *testing.T) {
+	// A reply with an unknown sequence number (never requested) must be
+	// discarded without touching the state.
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 61})
+	defer net.Close()
+	nodeEP := net.Endpoint()
+	attacker := net.Endpoint()
+	node, err := New(Config{
+		Endpoint:  nodeEP,
+		Schedule:  testSchedule(),
+		Value:     func() float64 { return 5 },
+		Bootstrap: []string{attacker.Addr()},
+		Seed:      1,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	forged := &wire.ExchangeReply{From: attacker.Addr(), Payload: wire.Payload{
+		Seq: 999999, Epoch: node.Epoch(), FuncID: wire.FuncAverage, Scalar: 1e12,
+	}}
+	data, err := wire.Encode(forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := attacker.Send(nodeEP.Addr(), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	// The estimate may have drifted through legitimate (timed-out)
+	// exchanges with the silent attacker, but must not have absorbed the
+	// forged 1e12.
+	if v, ok := node.Estimate(); ok && v > 1e6 {
+		t.Fatalf("forged reply was applied: estimate %g", v)
+	}
+}
+
+func TestStaleEpochRequestDropped(t *testing.T) {
+	// A request tagged with an older epoch must be ignored (§4.3
+	// DropStale), not merged.
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 62})
+	defer net.Close()
+	nodeEP := net.Endpoint()
+	sender := net.Endpoint()
+	sched := testSchedule()
+	sched.Start = sched.Start.Add(-100 * sched.Delta) // node deep in epoch ~100
+	node, err := New(Config{
+		Endpoint:  nodeEP,
+		Schedule:  sched,
+		Value:     func() float64 { return 5 },
+		Bootstrap: []string{sender.Addr()},
+		Seed:      1,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	stale := &wire.ExchangeRequest{From: sender.Addr(), Payload: wire.Payload{
+		Seq: 1, Epoch: 1, FuncID: wire.FuncAverage, Scalar: 1e12,
+	}}
+	data, err := wire.Encode(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(nodeEP.Addr(), data); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		if node.Metrics().StaleDropped > 0 {
+			break
+		}
+	}
+	if node.Metrics().StaleDropped == 0 {
+		t.Fatal("stale request not recorded as dropped")
+	}
+	if v, _ := node.Estimate(); v > 1e6 {
+		t.Fatalf("stale request was merged: estimate %g", v)
+	}
+}
+
+func TestConcurrentStopIsSafe(t *testing.T) {
+	nodes, _ := launchCluster(t, 4, testSchedule(), func(i int) float64 { return 1 })
+	done := make(chan error, len(nodes)*2)
+	for _, node := range nodes {
+		node := node
+		go func() { done <- node.Stop() }()
+		go func() { done <- node.Stop() }()
+	}
+	for i := 0; i < len(nodes)*2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

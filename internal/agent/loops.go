@@ -1,0 +1,288 @@
+package agent
+
+import (
+	"context"
+	"time"
+
+	"antientropy/internal/core"
+	"antientropy/internal/newscast"
+	"antientropy/internal/wire"
+)
+
+// tickLoop is the active thread of Figure 1: every δ it advances the
+// epoch if the schedule says so and initiates one exchange (aggregation
+// when participating, membership-only while waiting to join).
+//
+// Each node's cycle is offset by a random phase within δ. Without the
+// stagger, nodes started together initiate simultaneously, find each
+// other busy and refuse each other's exchanges every single cycle —
+// the classic synchronized-gossip livelock.
+func (n *Node) tickLoop(ctx context.Context) {
+	defer n.wg.Done()
+	n.mu.Lock()
+	phase := time.Duration(n.rng.Intn(int(n.cfg.Schedule.CycleLen)))
+	n.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return
+	case <-time.After(phase):
+	}
+	ticker := time.NewTicker(n.cfg.Schedule.CycleLen)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			n.advanceEpoch(now)
+			n.initiate(ctx, now)
+		}
+	}
+}
+
+// advanceEpoch applies the schedule: when wall-clock time has entered a
+// later epoch, finish the current instance (recording its output) and
+// restart from fresh local values (§4.1). Joiners whose wait has elapsed
+// begin participating.
+func (n *Node) advanceEpoch(now time.Time) {
+	scheduled := n.cfg.Schedule.EpochAt(now)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if scheduled <= n.epoch {
+		return
+	}
+	n.finishEpochLocked(now)
+	n.epoch = scheduled
+	n.startEpochLocked()
+}
+
+// finishEpochLocked records the ending epoch's output.
+func (n *Node) finishEpochLocked(now time.Time) {
+	if !n.participating {
+		return
+	}
+	v, ok := n.estimateLocked()
+	out := Output{Epoch: n.epoch, Value: v, OK: ok, At: now}
+	n.outputs = append(n.outputs, out)
+	if len(n.outputs) > n.cfg.MaxOutputs {
+		n.outputs = n.outputs[len(n.outputs)-n.cfg.MaxOutputs:]
+	}
+	n.publishLocked(out)
+}
+
+// startEpochLocked re-initializes the protocol instance for n.epoch.
+func (n *Node) startEpochLocked() {
+	if !n.participating && n.epoch >= n.joinEpoch {
+		n.participating = true
+	}
+	if n.participating {
+		n.resetStateLocked()
+	}
+}
+
+// resetStateLocked loads fresh initial values (§4.1 restart).
+func (n *Node) resetStateLocked() {
+	if n.cfg.Mode == ModeScalar {
+		n.scalar = n.cfg.Value()
+		return
+	}
+	// ModeCount: flip the P_lead coin using the previous epoch's size
+	// estimate (§5).
+	sizeGuess := n.cfg.InitialSizeGuess
+	for i := len(n.outputs) - 1; i >= 0; i-- {
+		if n.outputs[i].OK {
+			sizeGuess = n.outputs[i].Value
+			break
+		}
+	}
+	pLead := core.LeaderProbability(n.cfg.Concurrency, sizeGuess)
+	if n.rng.Bool(pLead) {
+		n.mapState = core.NewLeaderState(n.leaderID)
+	} else {
+		n.mapState = core.MapState{}
+	}
+}
+
+// initiate performs the active-thread step: select a peer and run one
+// push-pull exchange, or a membership exchange while not participating.
+func (n *Node) initiate(ctx context.Context, now time.Time) {
+	n.mu.Lock()
+	if n.busy {
+		// The previous exchange is still outstanding; §6.2 says skipping
+		// is harmless.
+		n.mu.Unlock()
+		return
+	}
+	peer, ok := n.cache.Peer(n.rng)
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	seq := n.nextSeqLocked()
+	if !n.participating {
+		// Joiners integrate into the overlay while they wait (§4.2).
+		msg := &wire.Membership{From: n.Addr(), Seq: seq, Entries: n.gossipLocked(now)}
+		n.mu.Unlock()
+		n.send(peer, msg)
+		return
+	}
+	if n.cfg.Schedule.CycleWithin(now) >= n.cfg.Schedule.Gamma {
+		// §4.1: the protocol is terminated after γ cycles; the converged
+		// estimate is this epoch's output and the node idles until the
+		// next epoch (it still answers peers that are behind, and keeps
+		// the overlay fresh with membership gossip).
+		msg := &wire.Membership{From: n.Addr(), Seq: seq, Entries: n.gossipLocked(now)}
+		n.mu.Unlock()
+		n.send(peer, msg)
+		return
+	}
+	n.busy = true
+	ch := make(chan wire.Payload, 1)
+	n.pending[seq] = ch
+	payload := n.payloadLocked(seq, now)
+	epoch := n.epoch
+	n.metrics.ExchangesInitiated++
+	n.mu.Unlock()
+
+	n.send(peer, &wire.ExchangeRequest{From: n.Addr(), Payload: payload})
+	n.wg.Add(1)
+	go n.awaitReply(ctx, seq, epoch, payload, ch)
+}
+
+// awaitReply waits for the push-pull response and applies it (active
+// thread's sp ← UPDATE(sp, sq)).
+func (n *Node) awaitReply(ctx context.Context, seq, epoch uint64, sent wire.Payload, ch <-chan wire.Payload) {
+	defer n.wg.Done()
+	timer := time.NewTimer(n.cfg.RequestTimeout)
+	defer timer.Stop()
+	var reply wire.Payload
+	ok := false
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	case reply = <-ch:
+		ok = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.pending, seq)
+	n.busy = false
+	if !ok {
+		n.metrics.Timeouts++
+		return
+	}
+	if reply.Flags&wire.FlagRefused != 0 {
+		// The peer declined (busy or joining): the exchange is skipped,
+		// exactly as if the link had failed (§6.2).
+		n.metrics.PeerDeclined++
+		return
+	}
+	// A reply from a different epoch must not be merged: the local
+	// instance it belonged to is gone (its effect equals a lost reply).
+	if reply.Epoch != n.epoch || epoch != n.epoch {
+		n.metrics.StaleDropped++
+		return
+	}
+	n.applyLocked(reply)
+	n.metrics.ExchangesCompleted++
+	_ = sent
+}
+
+// applyLocked merges a remote state into ours.
+func (n *Node) applyLocked(remote wire.Payload) {
+	if n.cfg.Mode == ModeScalar {
+		next, _ := n.cfg.Function.Update(n.scalar, remote.Scalar)
+		n.scalar = next
+		return
+	}
+	theirs := make(core.MapState, len(remote.Entries))
+	for _, e := range remote.Entries {
+		theirs[core.LeaderID(e.Leader)] = e.Value
+	}
+	n.mapState = core.Merge(n.mapState, theirs)
+}
+
+// payloadLocked snapshots the node's state for the wire.
+func (n *Node) payloadLocked(seq uint64, now time.Time) wire.Payload {
+	p := wire.Payload{
+		Seq:    seq,
+		Epoch:  n.epoch,
+		FuncID: n.funcID,
+		Gossip: n.gossipLocked(now),
+	}
+	if n.cfg.Mode == ModeScalar {
+		p.Scalar = n.scalar
+		return p
+	}
+	entries := make([]wire.MapEntry, 0, len(n.mapState))
+	for l, v := range n.mapState {
+		if len(entries) == wire.MaxMapEntries {
+			break
+		}
+		entries = append(entries, wire.MapEntry{Leader: int64(l), Value: v})
+	}
+	p.Entries = entries
+	return p
+}
+
+// gossipLocked builds the piggybacked NEWSCAST view: cache content plus a
+// fresh self-descriptor, truncated to the wire limit.
+func (n *Node) gossipLocked(now time.Time) []wire.Descriptor {
+	view := n.cache.View(now.UnixMicro())
+	if len(view) > wire.MaxDescriptors {
+		view = view[:wire.MaxDescriptors]
+	}
+	out := make([]wire.Descriptor, 0, len(view))
+	for _, e := range view {
+		out = append(out, wire.Descriptor{Addr: e.Key, Stamp: e.Stamp})
+	}
+	return out
+}
+
+// absorbGossipLocked merges received descriptors into the cache.
+func (n *Node) absorbGossipLocked(ds []wire.Descriptor) {
+	if len(ds) == 0 {
+		return
+	}
+	entries := make([]newscast.Entry[string], 0, len(ds))
+	for _, d := range ds {
+		if d.Addr == "" {
+			continue
+		}
+		entries = append(entries, newscast.Entry[string]{Key: d.Addr, Stamp: d.Stamp})
+	}
+	n.cache.Absorb(entries)
+}
+
+func (n *Node) nextSeqLocked() uint64 {
+	n.seq++
+	return n.seq
+}
+
+// send encodes and transmits a message; transport errors are logged and
+// otherwise treated as loss, per the system model.
+func (n *Node) send(to string, msg wire.Message) {
+	data, err := wire.Encode(msg)
+	if err != nil {
+		n.log.Error("encode failed", "type", msg.Type().String(), "err", err)
+		return
+	}
+	if err := n.cfg.Endpoint.Send(to, data); err != nil {
+		n.log.Debug("send failed", "to", to, "type", msg.Type().String(), "err", err)
+	}
+}
+
+// sendJoinRequest asks one seed for epoch timing and contacts (§4.2).
+func (n *Node) sendJoinRequest() {
+	n.mu.Lock()
+	seq := n.nextSeqLocked()
+	var seed string
+	if len(n.cfg.Seeds) > 0 {
+		seed = n.cfg.Seeds[n.rng.Intn(len(n.cfg.Seeds))]
+	}
+	n.mu.Unlock()
+	if seed == "" || seed == n.Addr() {
+		return
+	}
+	n.send(seed, &wire.JoinRequest{From: n.Addr(), Seq: seq})
+}

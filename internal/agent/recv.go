@@ -1,0 +1,192 @@
+package agent
+
+import (
+	"context"
+	"time"
+
+	"antientropy/internal/core"
+	"antientropy/internal/newscast"
+	"antientropy/internal/wire"
+)
+
+// recvLoop is the passive thread of Figure 1: it serves exchange
+// requests, answers joins and membership gossip, and reacts to epoch
+// identifiers (§4.3).
+func (n *Node) recvLoop(ctx context.Context) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			// Drain until the endpoint closes its channel.
+			for range n.cfg.Endpoint.Recv() {
+				// Discard: we are shutting down.
+			}
+			return
+		case pkt, ok := <-n.cfg.Endpoint.Recv():
+			if !ok {
+				return
+			}
+			n.handle(pkt.From, pkt.Data)
+		}
+	}
+}
+
+// handle decodes and dispatches one datagram.
+func (n *Node) handle(from string, data []byte) {
+	msg, err := wire.Decode(data)
+	if err != nil {
+		n.mu.Lock()
+		n.metrics.DecodeErrors++
+		n.mu.Unlock()
+		n.log.Debug("undecodable datagram", "from", from, "err", err)
+		return
+	}
+	now := time.Now()
+	switch m := msg.(type) {
+	case *wire.ExchangeRequest:
+		n.handleExchangeRequest(m, now)
+	case *wire.ExchangeReply:
+		n.handleExchangeReply(m)
+	case *wire.JoinRequest:
+		n.handleJoinRequest(m, now)
+	case *wire.JoinReply:
+		n.handleJoinReply(m, now)
+	case *wire.Membership:
+		n.handleMembership(m, now)
+	case *wire.MembershipReply:
+		n.handleMembershipReply(m)
+	}
+}
+
+// handleExchangeRequest is the passive thread's core: reply with the
+// local state, then install the merged state (Figure 1b), subject to the
+// epoch rules of §4.2/§4.3 and the busy rule documented on the package.
+func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time) {
+	n.mu.Lock()
+	n.absorbGossipLocked(m.Gossip)
+	switch core.Synchronize(n.epoch, m.Epoch) {
+	case core.DropStale:
+		n.metrics.StaleDropped++
+		n.mu.Unlock()
+		return
+	case core.JumpForward:
+		if n.participating || m.Epoch >= n.joinEpoch {
+			// §4.3: adopt the newer epoch immediately, restarting from
+			// fresh local values; then serve the request in that epoch.
+			n.finishEpochLocked(now)
+			n.epoch = m.Epoch
+			n.metrics.EpochJumps++
+			n.startEpochLocked()
+		}
+	case core.KeepEpoch:
+		// Proceed.
+	}
+	if !n.participating {
+		// §7.1: nodes that joined mid-epoch refuse connections belonging
+		// to the running epoch. The explicit NACK has the same effect as
+		// the paper's timeout — the exchange is skipped — but frees the
+		// initiator immediately.
+		n.metrics.RefusedJoining++
+		n.mu.Unlock()
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		return
+	}
+	if n.busy {
+		// Serving now could break mass conservation with our outstanding
+		// exchange; refusing behaves like a failed link (§6.2).
+		n.metrics.RefusedBusy++
+		n.mu.Unlock()
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		return
+	}
+	if n.epoch != m.Epoch {
+		// Jump was vetoed (we are a joiner for an even later epoch).
+		n.metrics.StaleDropped++
+		n.mu.Unlock()
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		return
+	}
+	// Reply with the pre-merge state, then update (Figure 1b).
+	reply := &wire.ExchangeReply{From: n.Addr(), Payload: n.payloadLocked(m.Seq, now)}
+	n.applyLocked(m.Payload)
+	n.metrics.ExchangesServed++
+	n.mu.Unlock()
+	n.send(m.From, reply)
+}
+
+// refusal builds the decline NACK for an exchange request.
+func refusal(from string, seq, epoch uint64) *wire.ExchangeReply {
+	return &wire.ExchangeReply{From: from, Payload: wire.Payload{
+		Seq: seq, Epoch: epoch, Flags: wire.FlagRefused,
+	}}
+}
+
+// handleExchangeReply routes the response to the waiting active thread.
+func (n *Node) handleExchangeReply(m *wire.ExchangeReply) {
+	n.mu.Lock()
+	n.absorbGossipLocked(m.Gossip)
+	ch, ok := n.pending[m.Seq]
+	n.mu.Unlock()
+	if !ok {
+		// Late reply: the request already timed out. The responder
+		// updated, we did not — the paper's "lost response" (§7.2).
+		return
+	}
+	select {
+	case ch <- m.Payload:
+	default:
+		// Duplicate reply; first one wins.
+	}
+}
+
+// handleJoinRequest serves §4.2: hand out the next epoch identifier, the
+// time until it starts, and bootstrap contacts.
+func (n *Node) handleJoinRequest(m *wire.JoinRequest, now time.Time) {
+	info := n.cfg.Schedule.JoinAt(now)
+	n.mu.Lock()
+	seeds := n.gossipLocked(now)
+	n.mu.Unlock()
+	n.send(m.From, &wire.JoinReply{
+		Seq:        m.Seq,
+		NextEpoch:  info.NextEpoch,
+		WaitMicros: info.WaitFor.Microseconds(),
+		Seeds:      seeds,
+	})
+}
+
+// handleJoinReply installs the join information from a seed.
+func (n *Node) handleJoinReply(m *wire.JoinReply, now time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.participating {
+		return // already integrated
+	}
+	if m.NextEpoch > n.joinEpoch {
+		n.joinEpoch = m.NextEpoch
+	}
+	entries := make([]newscast.Entry[string], 0, len(m.Seeds))
+	for _, d := range m.Seeds {
+		if d.Addr == "" || d.Addr == n.Addr() {
+			continue
+		}
+		entries = append(entries, newscast.Entry[string]{Key: d.Addr, Stamp: d.Stamp})
+	}
+	n.cache.Absorb(entries)
+	_ = now
+}
+
+// handleMembership serves a standalone NEWSCAST exchange.
+func (n *Node) handleMembership(m *wire.Membership, now time.Time) {
+	n.mu.Lock()
+	reply := &wire.MembershipReply{From: n.Addr(), Seq: m.Seq, Entries: n.gossipLocked(now)}
+	n.absorbGossipLocked(m.Entries)
+	n.mu.Unlock()
+	n.send(m.From, reply)
+}
+
+// handleMembershipReply absorbs the second half of a membership exchange.
+func (n *Node) handleMembershipReply(m *wire.MembershipReply) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.absorbGossipLocked(m.Entries)
+}

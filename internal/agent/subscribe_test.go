@@ -1,0 +1,83 @@
+package agent
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubscribeReceivesEpochOutputs(t *testing.T) {
+	nodes, _ := launchCluster(t, 4, testSchedule(), func(i int) float64 { return 6 })
+	sub := nodes[0].Subscribe(16)
+	var got []Output
+	deadline := time.After(3 * time.Second)
+	for len(got) < 3 {
+		select {
+		case out, ok := <-sub:
+			if !ok {
+				t.Fatal("subscription closed early")
+			}
+			got = append(got, out)
+		case <-deadline:
+			t.Fatalf("only %d outputs received", len(got))
+		}
+	}
+	for i, out := range got {
+		if !out.OK {
+			t.Errorf("output %d unusable: %+v", i, out)
+		}
+		if out.Value < 5.9 || out.Value > 6.1 {
+			t.Errorf("output %d value %g, want ≈ 6", i, out.Value)
+		}
+		if i > 0 && got[i].Epoch <= got[i-1].Epoch {
+			t.Errorf("outputs out of order: %+v", got)
+		}
+	}
+}
+
+func TestSubscribeSlowConsumerDropsOldest(t *testing.T) {
+	nodes, _ := launchCluster(t, 3, testSchedule(), func(i int) float64 { return 1 })
+	sub := nodes[0].Subscribe(1) // tiny buffer, never read until the end
+	time.Sleep(1200 * time.Millisecond)
+	// The buffer holds the most recent output; the node never blocked.
+	select {
+	case out := <-sub:
+		if out.Epoch == 0 {
+			t.Error("kept output looks like the very first epoch — eviction broken")
+		}
+	default:
+		t.Fatal("no output buffered at all")
+	}
+	if _, ok := nodes[0].Estimate(); !ok {
+		t.Fatal("node damaged by slow subscriber")
+	}
+}
+
+func TestSubscribeClosedOnStop(t *testing.T) {
+	nodes, _ := launchCluster(t, 3, testSchedule(), func(i int) float64 { return 1 })
+	sub := nodes[0].Subscribe(4)
+	if err := nodes[0].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-sub:
+			if !ok {
+				return // closed as promised
+			}
+		case <-deadline:
+			t.Fatal("subscription never closed after Stop")
+		}
+	}
+}
+
+func TestSubscribeAfterStopReturnsClosed(t *testing.T) {
+	nodes, _ := launchCluster(t, 3, testSchedule(), func(i int) float64 { return 1 })
+	if err := nodes[0].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	sub := nodes[0].Subscribe(4)
+	if _, ok := <-sub; ok {
+		t.Fatal("subscription on stopped node delivered an output")
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements the primary contribution of the DSN'04 paper:
+// anti-entropy, push-pull epidemic aggregation. It provides
+//
+//   - the elementary UPDATE functions of §3 and §5 (AVERAGE, MIN, MAX,
+//     GEOMETRIC-MEAN) as symmetric exchange rules with conservation
+//     guarantees,
+//   - the multi-leader map state and merge rule of the COUNT protocol
+//     (§5), together with leader election (P_lead = C/N̂),
+//   - the epoch schedule, automatic restart and epoch-synchronization
+//     rules of the practical protocol (§4.1–4.3),
+//   - the multi-instance trimmed-mean combiner of §7.3, and
+//   - the derived aggregates SUM, PRODUCT, VARIANCE and network size.
+//
+// The package is purely computational: the cycle-driven simulator
+// (internal/sim) and the asynchronous runtime (internal/agent) both build
+// on it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// UpdateFunc is the elementary variance-reduction step of the protocol
+// (method UPDATE in Figure 1 of the paper): given the two estimates
+// exchanged by the initiator and the responder it returns their new
+// estimates. All functions shipped with this package are symmetric — both
+// peers install the same value — which is what makes the push-pull scheme
+// mass-conserving.
+type UpdateFunc func(a, b float64) (newA, newB float64)
+
+// Function couples an update rule with its name and the properties the
+// engine and tests rely on.
+type Function struct {
+	// Name identifies the aggregate ("average", "min", ...).
+	Name string
+	// Update is the elementary exchange step.
+	Update UpdateFunc
+	// Conserves describes the invariant preserved by Update, used by
+	// property tests ("sum", "product", "set-max", "set-min", "none").
+	Conserves string
+}
+
+// String returns the function name.
+func (f Function) String() string { return f.Name }
+
+// Average computes the global arithmetic mean: UPDATE(a, b) = ((a+b)/2,
+// (a+b)/2). Every exchange preserves the sum of the two estimates, hence
+// the global average, while strictly decreasing their spread (paper §3).
+var Average = Function{
+	Name:      "average",
+	Conserves: "sum",
+	Update: func(a, b float64) (float64, float64) {
+		m := (a + b) / 2
+		return m, m
+	},
+}
+
+// Min propagates the global minimum: UPDATE(a, b) = (min, min). The
+// minimum spreads like an epidemic broadcast (paper §5).
+var Min = Function{
+	Name:      "min",
+	Conserves: "set-min",
+	Update: func(a, b float64) (float64, float64) {
+		m := math.Min(a, b)
+		return m, m
+	},
+}
+
+// Max propagates the global maximum (paper §5).
+var Max = Function{
+	Name:      "max",
+	Conserves: "set-max",
+	Update: func(a, b float64) (float64, float64) {
+		m := math.Max(a, b)
+		return m, m
+	},
+}
+
+// GeometricMean converges to the global geometric mean: UPDATE(a, b) =
+// (√(ab), √(ab)). Every exchange preserves the product of the two
+// estimates (paper §5). Estimates must be non-negative; the protocol is
+// typically run on positive measurements.
+var GeometricMean = Function{
+	Name:      "geometric-mean",
+	Conserves: "product",
+	Update: func(a, b float64) (float64, float64) {
+		m := math.Sqrt(a * b)
+		return m, m
+	},
+}
+
+// Functions lists every scalar aggregate shipped with the package.
+func Functions() []Function {
+	return []Function{Average, Min, Max, GeometricMean}
+}
+
+// FunctionByName resolves a scalar aggregate by its name.
+func FunctionByName(name string) (Function, error) {
+	for _, f := range Functions() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Function{}, fmt.Errorf("core: unknown aggregation function %q", name)
+}
+
+// ErrNoEstimate is returned when an estimate is requested from a node
+// that has not accumulated any mass for the requested instance.
+var ErrNoEstimate = errors.New("core: no estimate available")
+
+// SizeFromAverage converts a converged COUNT estimate into a network-size
+// estimate: with the peak initialization (one leader holds 1, everyone
+// else 0) the true average is 1/N, so N = 1/estimate (paper §5). A zero
+// or negative estimate means the node has seen no mass from the leader —
+// the paper notes the estimate "can even become infinite" if every node
+// holding mass crashes; we report +Inf in that case.
+func SizeFromAverage(avg float64) float64 {
+	if avg <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / avg
+}
+
+// SumFromAverage composes SUM from the two concurrent protocols the paper
+// prescribes (§5): the average of the values and the network size.
+func SumFromAverage(avg, size float64) float64 { return avg * size }
+
+// VarianceFromMoments composes VARIANCE from two concurrent averaging
+// runs (§5): a = average of values, a2 = average of squared values;
+// the variance estimate is a2 − a². Numerical cancellation can produce a
+// tiny negative result, which is clamped to 0.
+func VarianceFromMoments(avg, avgSq float64) float64 {
+	v := avgSq - avg*avg
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ProductFromGeometricMean composes PRODUCT from the geometric mean and
+// the network size (§5): Π = gm^N.
+func ProductFromGeometricMean(gm, size float64) float64 {
+	return math.Pow(gm, size)
+}

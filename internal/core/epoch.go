@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Schedule fixes the timing structure of the practical protocol
+// (§4.1–4.3): execution is divided into consecutive epochs of length
+// Delta; within an epoch the protocol runs Gamma cycles of length
+// CycleLen (δ) and is then terminated, its estimate becoming the epoch's
+// output; a fresh instance restarts from the current local values.
+type Schedule struct {
+	// Start anchors epoch 0.
+	Start time.Time
+	// Delta is the epoch length Δ.
+	Delta time.Duration
+	// CycleLen is the cycle length δ.
+	CycleLen time.Duration
+	// Gamma is the number of cycles γ executed per epoch. Gamma·CycleLen
+	// may be smaller than Delta (idle tail) or larger (epochs overlap, in
+	// which case messages must be tagged — which this implementation
+	// always does).
+	Gamma int
+}
+
+// Validate reports a configuration error, if any.
+func (s Schedule) Validate() error {
+	switch {
+	case s.Delta <= 0:
+		return errors.New("core: schedule Delta must be positive")
+	case s.CycleLen <= 0:
+		return errors.New("core: schedule CycleLen must be positive")
+	case s.Gamma < 1:
+		return errors.New("core: schedule Gamma must be at least 1")
+	default:
+		return nil
+	}
+}
+
+// EpochAt returns the epoch identifier active at time t. Times before
+// Start belong to epoch 0.
+func (s Schedule) EpochAt(t time.Time) uint64 {
+	if !t.After(s.Start) {
+		return 0
+	}
+	return uint64(t.Sub(s.Start) / s.Delta)
+}
+
+// StartOf returns the wall-clock start of the given epoch.
+func (s Schedule) StartOf(epoch uint64) time.Time {
+	return s.Start.Add(time.Duration(epoch) * s.Delta)
+}
+
+// CycleWithin returns the cycle index within the epoch at time t, capped
+// at Gamma (the protocol idles once its γ cycles are done).
+func (s Schedule) CycleWithin(t time.Time) int {
+	e := s.EpochAt(t)
+	off := t.Sub(s.StartOf(e))
+	if off < 0 {
+		return 0
+	}
+	c := int(off / s.CycleLen)
+	if c > s.Gamma {
+		c = s.Gamma
+	}
+	return c
+}
+
+// SyncAction is the decision taken on receiving a message tagged with a
+// remote epoch identifier (§4.3).
+type SyncAction int
+
+const (
+	// KeepEpoch: the message belongs to the current epoch; process it.
+	KeepEpoch SyncAction = iota + 1
+	// DropStale: the message belongs to an earlier epoch; ignore it.
+	DropStale
+	// JumpForward: the message carries a later epoch id — stop the
+	// current instance, restart from local values, and adopt the remote
+	// epoch (epidemic epoch propagation).
+	JumpForward
+)
+
+// String returns a human-readable action name.
+func (a SyncAction) String() string {
+	switch a {
+	case KeepEpoch:
+		return "keep"
+	case DropStale:
+		return "drop-stale"
+	case JumpForward:
+		return "jump-forward"
+	default:
+		return "unknown"
+	}
+}
+
+// Synchronize implements the paper's epoch-synchronization rule: a node
+// participating in epoch cur that receives a message tagged j decides
+// whether to process it, drop it, or jump to the newer epoch.
+func Synchronize(cur, incoming uint64) SyncAction {
+	switch {
+	case incoming == cur:
+		return KeepEpoch
+	case incoming < cur:
+		return DropStale
+	default:
+		return JumpForward
+	}
+}
+
+// JoinInfo is what an existing node hands a joining node (§4.2): joiners
+// may not participate in the current epoch, only in the next one, so that
+// each epoch converges to the average that existed at its start.
+type JoinInfo struct {
+	// NextEpoch is the identifier of the first epoch the joiner may take
+	// part in.
+	NextEpoch uint64
+	// WaitFor is the time remaining until that epoch starts.
+	WaitFor time.Duration
+}
+
+// JoinAt computes the join information handed out at time t under
+// schedule s.
+func (s Schedule) JoinAt(t time.Time) JoinInfo {
+	cur := s.EpochAt(t)
+	next := cur + 1
+	wait := s.StartOf(next).Sub(t)
+	if wait < 0 {
+		wait = 0
+	}
+	return JoinInfo{NextEpoch: next, WaitFor: wait}
+}

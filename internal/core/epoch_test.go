@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"antientropy/internal/stats"
+)
+
+func validSchedule() Schedule {
+	return Schedule{
+		Start:    time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		Delta:    30 * time.Second,
+		CycleLen: time.Second,
+		Gamma:    30,
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := validSchedule().Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := validSchedule()
+	bad.Delta = 0
+	if bad.Validate() == nil {
+		t.Error("zero Delta accepted")
+	}
+	bad = validSchedule()
+	bad.CycleLen = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative CycleLen accepted")
+	}
+	bad = validSchedule()
+	bad.Gamma = 0
+	if bad.Validate() == nil {
+		t.Error("zero Gamma accepted")
+	}
+}
+
+func TestEpochAt(t *testing.T) {
+	s := validSchedule()
+	tests := []struct {
+		offset time.Duration
+		want   uint64
+	}{
+		{0, 0},
+		{29 * time.Second, 0},
+		{30 * time.Second, 1},
+		{59 * time.Second, 1},
+		{5 * time.Minute, 10},
+		{-time.Hour, 0}, // before Start clamps to epoch 0
+	}
+	for _, tc := range tests {
+		if got := s.EpochAt(s.Start.Add(tc.offset)); got != tc.want {
+			t.Errorf("EpochAt(+%v) = %d, want %d", tc.offset, got, tc.want)
+		}
+	}
+}
+
+func TestStartOfRoundTrips(t *testing.T) {
+	s := validSchedule()
+	for e := uint64(0); e < 5; e++ {
+		if got := s.EpochAt(s.StartOf(e)); got != e {
+			t.Errorf("EpochAt(StartOf(%d)) = %d", e, got)
+		}
+	}
+}
+
+func TestCycleWithin(t *testing.T) {
+	s := validSchedule()
+	if got := s.CycleWithin(s.Start.Add(500 * time.Millisecond)); got != 0 {
+		t.Errorf("cycle at +0.5s = %d", got)
+	}
+	if got := s.CycleWithin(s.Start.Add(5 * time.Second)); got != 5 {
+		t.Errorf("cycle at +5s = %d", got)
+	}
+	// Capped at Gamma even if Delta allows more time.
+	long := validSchedule()
+	long.Delta = time.Minute
+	if got := long.CycleWithin(long.Start.Add(45 * time.Second)); got != 30 {
+		t.Errorf("cycle beyond gamma = %d, want 30 (capped)", got)
+	}
+}
+
+func TestSynchronize(t *testing.T) {
+	tests := []struct {
+		cur, in uint64
+		want    SyncAction
+	}{
+		{5, 5, KeepEpoch},
+		{5, 4, DropStale},
+		{5, 0, DropStale},
+		{5, 6, JumpForward},
+		{0, 100, JumpForward},
+	}
+	for _, tc := range tests {
+		if got := Synchronize(tc.cur, tc.in); got != tc.want {
+			t.Errorf("Synchronize(%d, %d) = %v, want %v", tc.cur, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSyncActionString(t *testing.T) {
+	if KeepEpoch.String() != "keep" || DropStale.String() != "drop-stale" ||
+		JumpForward.String() != "jump-forward" || SyncAction(0).String() != "unknown" {
+		t.Error("SyncAction strings wrong")
+	}
+}
+
+func TestJoinAt(t *testing.T) {
+	s := validSchedule()
+	// Joining 10 s into epoch 2: next epoch 3 starts 20 s later.
+	at := s.Start.Add(70 * time.Second)
+	info := s.JoinAt(at)
+	if info.NextEpoch != 3 {
+		t.Fatalf("NextEpoch = %d, want 3", info.NextEpoch)
+	}
+	if info.WaitFor != 20*time.Second {
+		t.Fatalf("WaitFor = %v, want 20s", info.WaitFor)
+	}
+}
+
+func TestJoinAtBoundary(t *testing.T) {
+	s := validSchedule()
+	info := s.JoinAt(s.StartOf(4))
+	if info.NextEpoch != 5 || info.WaitFor != s.Delta {
+		t.Fatalf("boundary join = %+v", info)
+	}
+}
+
+func TestCombine(t *testing.T) {
+	// 6 instances sorted {1,2,90,100,110,95000}: drop the 2 lowest and 2
+	// highest, leaving mean(90, 100) = 95.
+	got, err := Combine([]float64{1, 90, 100, 110, 95000, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 95, 1e-9) {
+		t.Fatalf("Combine = %g, want 95", got)
+	}
+}
+
+func TestCombinePlainDiffersUnderOutliers(t *testing.T) {
+	xs := []float64{100, 100, 100, 1e9, 100, 100}
+	trimmed, err := Combine(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := CombinePlain(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(trimmed, 100, 1e-6) {
+		t.Fatalf("trimmed = %g", trimmed)
+	}
+	if plain < 1e8 {
+		t.Fatalf("plain mean should be dominated by the outlier, got %g", plain)
+	}
+}
+
+func TestLeaderProbability(t *testing.T) {
+	if got := LeaderProbability(10, 1000); !almostEqual(got, 0.01, 1e-12) {
+		t.Fatalf("P_lead = %g, want 0.01", got)
+	}
+	if got := LeaderProbability(10, 5); got != 1 {
+		t.Fatalf("P_lead should clamp to 1, got %g", got)
+	}
+	if got := LeaderProbability(0, 100); got != 0 {
+		t.Fatalf("zero concurrency should give 0, got %g", got)
+	}
+	if got := LeaderProbability(2, 0.5); got != 1 {
+		t.Fatalf("tiny estimated size should clamp, got %g", got)
+	}
+}
+
+func TestElectLeadersPoissonCount(t *testing.T) {
+	// With P_lead = C/N the number of leaders is ≈ Poisson(C).
+	rng := stats.NewRNG(77)
+	const n, c, trials = 2000, 8.0, 300
+	var m stats.Moments
+	for i := 0; i < trials; i++ {
+		leaders := ElectLeaders(n, LeaderProbability(c, n), rng)
+		for _, l := range leaders {
+			if l < 0 || l >= n {
+				t.Fatalf("leader index out of range: %d", l)
+			}
+		}
+		m.Add(float64(len(leaders)))
+	}
+	if m.Mean() < c*0.85 || m.Mean() > c*1.15 {
+		t.Fatalf("mean leader count %.2f, want ≈ %g", m.Mean(), c)
+	}
+	// Poisson: variance ≈ mean.
+	if m.Variance() < c*0.6 || m.Variance() > c*1.5 {
+		t.Fatalf("leader count variance %.2f, want ≈ %g", m.Variance(), c)
+	}
+}
+
+func TestElectLeadersDegenerate(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if got := ElectLeaders(100, 0, rng); len(got) != 0 {
+		t.Fatal("P=0 elected leaders")
+	}
+	if got := ElectLeaders(100, 1, rng); len(got) != 100 {
+		t.Fatal("P=1 must elect everyone")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"antientropy/internal/stats"
+)
+
+// TrimDivisor is the k of the paper's §7.3 combiner: with t concurrent
+// instances the ⌊t/k⌋ lowest and ⌊t/k⌋ highest estimates are discarded
+// before averaging. The paper uses k = 3.
+const TrimDivisor = 3
+
+// Combine reduces the estimates produced by t concurrent instances of the
+// aggregation protocol into a single robust output, exactly as §7.3
+// prescribes: order the estimates, discard the ⌊t/3⌋ lowest and ⌊t/3⌋
+// highest, and return the mean of the rest.
+func Combine(estimates []float64) (float64, error) {
+	return stats.TrimmedMean(estimates, TrimDivisor)
+}
+
+// CombinePlain is the ablation baseline: the plain mean with no trimming.
+// Benchmark AblationCombiner contrasts it with Combine under message
+// loss.
+func CombinePlain(estimates []float64) (float64, error) {
+	return stats.Mean(estimates)
+}
+
+// LeaderProbability returns P_lead = C/N̂, the probability with which each
+// node should start a COUNT instance at the beginning of an epoch so that
+// the number of concurrent instances is approximately Poisson with mean
+// c (paper §5). estimatedSize is the size estimate N̂ obtained in the
+// previous epoch; values below 1 are clamped so the probability stays in
+// (0, 1].
+func LeaderProbability(concurrent float64, estimatedSize float64) float64 {
+	if concurrent <= 0 {
+		return 0
+	}
+	if estimatedSize < 1 {
+		estimatedSize = 1
+	}
+	p := concurrent / estimatedSize
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ElectLeaders flips the P_lead coin for every node in [0, n) and returns
+// the indices that become leaders of a COUNT instance this epoch. The
+// returned slice may be empty: the paper accepts occasional leaderless
+// epochs as part of the Poisson model.
+func ElectLeaders(n int, pLead float64, rng *stats.RNG) []int {
+	var leaders []int
+	for i := 0; i < n; i++ {
+		if rng.Bool(pLead) {
+			leaders = append(leaders, i)
+		}
+	}
+	return leaders
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func ablationTestConfig() AblationConfig {
+	return AblationConfig{N: 1500, Cycles: 25, Reps: 3, Seed: 31}
+}
+
+func TestAblationPushPull(t *testing.T) {
+	res, err := RunAblationPushPull(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := res.SeriesByLabel("push-pull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := res.SeriesByLabel("push-sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := res.SeriesByLabel("push-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss-free: push-pull and push-sum are exact (error ~ 0); push-only
+	// drifts.
+	if pp.Points[0].Mean > 1e-9 {
+		t.Errorf("loss-free push-pull error %g", pp.Points[0].Mean)
+	}
+	// Push-sum diffuses more slowly, so after the same number of rounds a
+	// small residual spread remains.
+	if ps.Points[0].Mean > 1e-4 {
+		t.Errorf("loss-free push-sum error %g", ps.Points[0].Mean)
+	}
+	if po.Points[0].Mean < 1e-9 {
+		t.Errorf("loss-free push-only error suspiciously zero")
+	}
+	// Under 30% loss every protocol degrades (error > loss-free case).
+	last := len(pp.Points) - 1
+	if pp.Points[last].Mean <= pp.Points[0].Mean {
+		t.Errorf("push-pull error did not grow under loss")
+	}
+}
+
+func TestAblationCombiner(t *testing.T) {
+	res, err := RunAblationCombiner(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := res.SeriesByLabel("trimmed mean (paper)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := res.SeriesByLabel("plain mean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaged over the sweep, trimming should never be much worse and
+	// usually better. Assert it wins or ties (within noise) at the
+	// largest t.
+	last := len(trimmed.Points) - 1
+	if trimmed.Points[last].Mean > plain.Points[last].Mean*1.6+0.01 {
+		t.Errorf("trimmed error %.4f much worse than plain %.4f",
+			trimmed.Points[last].Mean, plain.Points[last].Mean)
+	}
+}
+
+func TestAblationPeerSelection(t *testing.T) {
+	res, err := RunAblationPeerSelection(ablationTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := func(label string) float64 {
+		s, err := res.SeriesByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Points[0].Mean
+	}
+	uniform := rho("uniform random (ideal)")
+	fresh := rho("newscast c=30 (fresh)")
+	// Fresh NEWSCAST must track the uniform ideal closely.
+	if fresh > uniform+0.05 {
+		t.Errorf("fresh newscast rho %.3f far above uniform %.3f", fresh, uniform)
+	}
+	// A tiny cache is measurably worse than the ideal.
+	if small := rho("newscast c=5 (fresh)"); small <= uniform+0.01 {
+		t.Errorf("c=5 rho %.3f not worse than uniform %.3f", small, uniform)
+	}
+}

@@ -1,0 +1,494 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"antientropy/internal/theory"
+)
+
+// Test scale: big enough for statistical shape, small enough for CI.
+const (
+	testN    = 2000
+	testReps = 3
+)
+
+func TestFig2Shape(t *testing.T) {
+	cfg := DefaultFig2()
+	cfg.N, cfg.Reps = testN, testReps
+	res, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minS, err := res.SeriesByLabel("Minimum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, err := res.SeriesByLabel("Maximum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minS.Points) != cfg.Cycles+1 || len(maxS.Points) != cfg.Cycles+1 {
+		t.Fatalf("series lengths %d/%d, want %d", len(minS.Points), len(maxS.Points), cfg.Cycles+1)
+	}
+	// Cycle 0: min 0, max N (the peak).
+	if minS.Points[0].Mean != 0 {
+		t.Errorf("initial min = %g", minS.Points[0].Mean)
+	}
+	if maxS.Points[0].Mean != float64(cfg.N) {
+		t.Errorf("initial max = %g", maxS.Points[0].Mean)
+	}
+	// Final cycle: both envelopes at the true average 1 within 1%.
+	last := cfg.Cycles
+	if math.Abs(minS.Points[last].Mean-1) > 0.01 || math.Abs(maxS.Points[last].Mean-1) > 0.01 {
+		t.Errorf("envelopes did not converge to 1: min %g max %g",
+			minS.Points[last].Mean, maxS.Points[last].Mean)
+	}
+	// Max must be non-increasing and min non-decreasing (monotone closing
+	// envelopes).
+	for c := 1; c <= last; c++ {
+		if maxS.Points[c].Mean > maxS.Points[c-1].Mean*(1+1e-9) {
+			t.Fatalf("max envelope grew at cycle %d", c)
+		}
+		if minS.Points[c].Mean < minS.Points[c-1].Mean-1e-9 {
+			t.Fatalf("min envelope shrank at cycle %d", c)
+		}
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	cfg := DefaultFig3a()
+	cfg.MinN, cfg.MaxN, cfg.Reps, cfg.Cycles = 100, 1000, testReps, 15
+	res, err := RunFig3a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 8 {
+		t.Fatalf("%d series, want 8 topologies", len(res.Series))
+	}
+	// Shape 1: random/complete/scale-free/newscast near the theory value
+	// at every size; W-S(0) way above.
+	for _, label := range []string{"Random", "Complete", "Newscast"} {
+		s, err := res.SeriesByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range s.Points {
+			if math.Abs(p.Mean-theory.RhoPushPull) > 0.06 {
+				t.Errorf("%s at n=%g: rho %.3f, want ≈ %.3f", label, p.X, p.Mean, theory.RhoPushPull)
+			}
+		}
+	}
+	ws0, err := res.SeriesByLabel("W-S (beta=0.00)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ws0.Points {
+		if p.Mean < 0.5 {
+			t.Errorf("W-S(0) at n=%g: rho %.3f suspiciously good", p.X, p.Mean)
+		}
+	}
+	// Shape 2: size independence — for the random topology the factor at
+	// the smallest and largest size differ by little.
+	rand, _ := res.SeriesByLabel("Random")
+	first, last := rand.Points[0].Mean, rand.Points[len(rand.Points)-1].Mean
+	if math.Abs(first-last) > 0.08 {
+		t.Errorf("convergence factor not size-independent: %.3f vs %.3f", first, last)
+	}
+	// Shape 3: more rewiring converges faster (ordering of W-S curves).
+	rhoAt := func(label string) float64 {
+		s, err := res.SeriesByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Points[len(s.Points)-1].Mean
+	}
+	if !(rhoAt("W-S (beta=0.00)") > rhoAt("W-S (beta=0.25)") &&
+		rhoAt("W-S (beta=0.25)") > rhoAt("W-S (beta=0.50)") &&
+		rhoAt("W-S (beta=0.50)") > rhoAt("W-S (beta=0.75)")) {
+		t.Errorf("W-S ordering violated: %.3f, %.3f, %.3f, %.3f",
+			rhoAt("W-S (beta=0.00)"), rhoAt("W-S (beta=0.25)"),
+			rhoAt("W-S (beta=0.50)"), rhoAt("W-S (beta=0.75)"))
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	cfg := DefaultFig3b()
+	cfg.N, cfg.Reps, cfg.Cycles = testN, testReps, 20
+	res, err := RunFig3b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized variance starts at 1 and decays monotonically (modulo
+	// tiny noise) for every topology; random reaches below 1e-8 by cycle
+	// 20 while W-S(0) stays orders of magnitude higher.
+	for _, s := range res.Series {
+		if math.Abs(s.Points[0].Mean-1) > 1e-9 {
+			t.Errorf("%s: initial normalized variance %g != 1", s.Label, s.Points[0].Mean)
+		}
+		if s.Points[len(s.Points)-1].Mean > s.Points[0].Mean {
+			t.Errorf("%s: variance grew", s.Label)
+		}
+	}
+	rand, err := res.SeriesByLabel("Random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := rand.Points[len(rand.Points)-1].Mean; final > 1e-8 {
+		t.Errorf("random topology reduction after 20 cycles = %g, want < 1e-8", final)
+	}
+	ws0, err := res.SeriesByLabel("W-S (beta=0.00)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := ws0.Points[len(ws0.Points)-1].Mean; final < 1e-6 {
+		t.Errorf("lattice reduced variance implausibly fast: %g", final)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	cfg := DefaultFig4a()
+	cfg.N, cfg.Reps, cfg.BetaSteps, cfg.Cycles = testN, testReps, 5, 15
+	res, err := RunFig4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Overall trend: rho at beta=0 clearly above rho at beta=1; no point
+	// below the theoretical floor.
+	if pts[0].Mean <= pts[len(pts)-1].Mean+0.1 {
+		t.Errorf("no improvement from rewiring: %.3f -> %.3f", pts[0].Mean, pts[len(pts)-1].Mean)
+	}
+	for _, p := range pts {
+		if p.Mean < theory.RhoPushPull-0.05 {
+			t.Errorf("beta=%g: rho %.3f below theoretical floor", p.X, p.Mean)
+		}
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	cfg := DefaultFig4b()
+	cfg.N, cfg.Reps, cfg.Cycles = testN, testReps, 15
+	cfg.CacheSizes = []int{2, 5, 30}
+	res, err := RunFig4b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	// c=2 clearly worse than c=30; c=30 near theory.
+	if pts[0].Mean <= pts[2].Mean+0.02 {
+		t.Errorf("c=2 (%.3f) not worse than c=30 (%.3f)", pts[0].Mean, pts[2].Mean)
+	}
+	if math.Abs(pts[2].Mean-theory.RhoPushPull) > 0.05 {
+		t.Errorf("c=30 rho = %.3f, want ≈ %.3f", pts[2].Mean, theory.RhoPushPull)
+	}
+}
+
+func TestFig5MatchesTheorem1(t *testing.T) {
+	cfg := DefaultFig5()
+	cfg.N, cfg.Reps, cfg.PfSteps = testN, 60, 4
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := res.SeriesByLabel("fully connected topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := res.SeriesByLabel("predicted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At Pf = 0 both are 0; at the largest Pf the empirical normalized
+	// variance must be within a factor ~3 of Theorem 1 (it is a variance
+	// estimate from 60 samples — generous band, still catches e.g. a
+	// missing (1-Pf)^i term, which would change it by orders of
+	// magnitude).
+	if emp.Points[0].Mean > 1e-12 {
+		t.Errorf("empirical variance at Pf=0 is %g", emp.Points[0].Mean)
+	}
+	lastE, lastP := emp.Points[len(emp.Points)-1], pred.Points[len(pred.Points)-1]
+	if lastP.Mean <= 0 {
+		t.Fatalf("prediction at max Pf = %g", lastP.Mean)
+	}
+	ratio := lastE.Mean / lastP.Mean
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("empirical/predicted = %.2f at Pf=%.2f (emp %.3g, pred %.3g)",
+			ratio, lastE.X, lastE.Mean, lastP.Mean)
+	}
+	// Variance grows with Pf.
+	if emp.Points[len(emp.Points)-1].Mean <= emp.Points[1].Mean {
+		t.Errorf("empirical variance not increasing with Pf")
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	cfg := DefaultFig6a()
+	cfg.N, cfg.Reps, cfg.MaxCycle = testN, testReps, 16
+	res, err := RunFig6a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	// Late sudden death (cycle 16 of 30): estimate ≈ N within a few
+	// percent.
+	last := pts[len(pts)-1]
+	if math.Abs(last.Mean-float64(cfg.N))/float64(cfg.N) > 0.05 {
+		t.Errorf("late death estimate %g, want ≈ %d", last.Mean, cfg.N)
+	}
+	// Early death must disturb the estimate far more than late death
+	// (often upward by a lot — mass holders die).
+	early := pts[1]
+	lateErr := math.Abs(last.Mean - float64(cfg.N))
+	earlyErr := math.Abs(early.Mean - float64(cfg.N))
+	if earlyErr <= lateErr {
+		t.Errorf("early death (err %g) not worse than late (err %g)", earlyErr, lateErr)
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	cfg := DefaultFig6b()
+	cfg.N, cfg.Reps, cfg.Steps = testN, testReps, 3
+	cfg.MaxSubstitution = testN / 40 // paper proportion: 2.5% per cycle
+	res, err := RunFig6b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	// No churn: estimate exact. Heavy churn: mean still within ~25% of N
+	// (paper: "most of the estimates are included in a reasonable
+	// range").
+	if math.Abs(pts[0].Mean-float64(cfg.N)) > 1 {
+		t.Errorf("churn-free estimate %g", pts[0].Mean)
+	}
+	heavy := pts[len(pts)-1]
+	if heavy.Reps == 0 {
+		t.Fatal("no finite estimates under churn")
+	}
+	if math.Abs(heavy.Mean-float64(cfg.N))/float64(cfg.N) > 0.25 {
+		t.Errorf("heavy churn estimate %g, want within 25%% of %d", heavy.Mean, cfg.N)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	cfg := DefaultFig7a()
+	cfg.N, cfg.Reps, cfg.PdSteps, cfg.MaxPd = testN, testReps, 4, 0.75
+	res, err := RunFig7a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := res.SeriesByLabel("Average Convergence Factor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.SeriesByLabel("Theoretical Upper Bound")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone degradation with Pd, always at or below the bound (small
+	// statistical slack).
+	for i := 1; i < len(meas.Points); i++ {
+		if meas.Points[i].Mean <= meas.Points[i-1].Mean-0.02 {
+			t.Errorf("factor not increasing at Pd=%g", meas.Points[i].X)
+		}
+	}
+	for i, p := range meas.Points {
+		if p.Mean > bound.Points[i].Mean+0.04 {
+			t.Errorf("Pd=%g: measured %.3f above bound %.3f", p.X, p.Mean, bound.Points[i].Mean)
+		}
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	cfg := DefaultFig7b()
+	cfg.N, cfg.Reps, cfg.LossSteps = testN, testReps, 3
+	res, err := RunFig7b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, err := res.SeriesByLabel("Max values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minS, err := res.SeriesByLabel("Min values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No loss: both envelopes ≈ N. Half the messages lost: spread over
+	// at least an order of magnitude (paper: "several orders").
+	if math.Abs(maxS.Points[0].Mean-float64(cfg.N))/float64(cfg.N) > 0.02 {
+		t.Errorf("loss-free max %g", maxS.Points[0].Mean)
+	}
+	lastMax, lastMin := maxS.Points[len(maxS.Points)-1], minS.Points[len(minS.Points)-1]
+	if lastMin.Reps > 0 && lastMax.Reps > 0 && lastMax.Mean/lastMin.Mean < 10 {
+		t.Errorf("at 50%% loss max/min = %.1f, want ≥ 10", lastMax.Mean/lastMin.Mean)
+	}
+}
+
+func TestFig8TightensWithInstances(t *testing.T) {
+	cfg := DefaultFig8b()
+	cfg.N, cfg.Reps = testN, testReps
+	cfg.Instances = []int{1, 20}
+	res, err := RunFig8b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, err := res.SeriesByLabel("Max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	minS, err := res.SeriesByLabel("Min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(i int) float64 {
+		if minS.Points[i].Mean <= 0 {
+			return math.Inf(1)
+		}
+		return maxS.Points[i].Mean / minS.Points[i].Mean
+	}
+	if spread(1) >= spread(0) {
+		t.Errorf("t=20 spread %.2f not tighter than t=1 spread %.2f", spread(1), spread(0))
+	}
+	// With 20 instances the envelopes should be within ~50% of N.
+	n := float64(cfg.N)
+	if maxS.Points[1].Mean > 1.5*n || minS.Points[1].Mean < 0.5*n {
+		t.Errorf("t=20 envelopes [%g, %g] too loose around %g",
+			minS.Points[1].Mean, maxS.Points[1].Mean, n)
+	}
+}
+
+func TestFig8aChurn(t *testing.T) {
+	cfg := DefaultFig8a()
+	cfg.N, cfg.Reps = testN, testReps
+	cfg.ChurnPerCycle = testN / 100
+	cfg.Instances = []int{10}
+	res, err := RunFig8a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, _ := res.SeriesByLabel("Max")
+	minS, _ := res.SeriesByLabel("Min")
+	n := float64(cfg.N)
+	if maxS.Points[0].Mean > 1.5*n || minS.Points[0].Mean < 0.6*n {
+		t.Errorf("churned t=10 envelopes [%g, %g] around %g",
+			minS.Points[0].Mean, maxS.Points[0].Mean, n)
+	}
+}
+
+func TestResultFormatting(t *testing.T) {
+	res := &Result{
+		ID: "figX", Title: "Test", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", Points: []Point{{X: 1, Mean: 2, Min: 1.5, Max: 2.5, Reps: 3}}}},
+	}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.Contains(csv, "figure,series,x,mean,min,max,reps") ||
+		!strings.Contains(csv, "figX,s,1,2,1.5,2.5,3") {
+		t.Errorf("CSV output wrong:\n%s", csv)
+	}
+	text := res.String()
+	if !strings.Contains(text, "figX") || !strings.Contains(text, "[s]") {
+		t.Errorf("text output wrong:\n%s", text)
+	}
+	if _, err := res.SeriesByLabel("missing"); err == nil {
+		t.Error("missing series lookup succeeded")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	wantIDs := []string{
+		"ablation-combiner", "ablation-peer-selection", "ablation-pushpull",
+		"extension-adaptivity", "extension-countchain", "extension-minmax",
+		"fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
+	}
+	if len(reg) != len(wantIDs) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if reg[i].ID != want {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, want)
+		}
+		if reg[i].Description == "" || reg[i].Run == nil {
+			t.Errorf("registry entry %s incomplete", reg[i].ID)
+		}
+	}
+	if _, err := Lookup("fig2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown lookup succeeded")
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	if _, err := RunFig2(Fig2Config{}); err == nil {
+		t.Error("empty fig2 config accepted")
+	}
+	if _, err := RunFig3a(Fig3aConfig{}); err == nil {
+		t.Error("empty fig3a config accepted")
+	}
+	if _, err := RunFig3b(Fig3bConfig{}); err == nil {
+		t.Error("empty fig3b config accepted")
+	}
+	if _, err := RunFig4a(Fig4aConfig{}); err == nil {
+		t.Error("empty fig4a config accepted")
+	}
+	if _, err := RunFig4b(Fig4bConfig{}); err == nil {
+		t.Error("empty fig4b config accepted")
+	}
+	if _, err := RunFig5(Fig5Config{}); err == nil {
+		t.Error("empty fig5 config accepted")
+	}
+	if _, err := RunFig6a(Fig6aConfig{}); err == nil {
+		t.Error("empty fig6a config accepted")
+	}
+	if _, err := RunFig6b(Fig6bConfig{}); err == nil {
+		t.Error("empty fig6b config accepted")
+	}
+	if _, err := RunFig7a(Fig7aConfig{}); err == nil {
+		t.Error("empty fig7a config accepted")
+	}
+	if _, err := RunFig7b(Fig7bConfig{}); err == nil {
+		t.Error("empty fig7b config accepted")
+	}
+	if _, err := RunFig8a(Fig8Config{}); err == nil {
+		t.Error("empty fig8 config accepted")
+	}
+	if _, err := RunAblationPushPull(AblationConfig{}); err == nil {
+		t.Error("empty ablation config accepted")
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	got := logGrid(100, 10000)
+	want := []int{100, 300, 1000, 3000, 10000}
+	if len(got) != len(want) {
+		t.Fatalf("logGrid = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logGrid = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeadersForDistinct(t *testing.T) {
+	leaders := leadersFor(100, 50, 7)
+	seen := map[int]bool{}
+	for _, l := range leaders {
+		if l < 0 || l >= 100 || seen[l] {
+			t.Fatalf("bad leader set %v", leaders)
+		}
+		seen[l] = true
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antientropy/internal/core"
+	"antientropy/internal/sim"
+)
+
+// mustFunction resolves a core function at package init; the names are
+// compile-time constants so failure is a programming error.
+func mustFunction(name string) core.Function {
+	f, err := core.FunctionByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Fig2Config parameterizes Figure 2: the trajectory of the minimum and
+// maximum AVERAGE estimates under the peak distribution on a random
+// overlay.
+type Fig2Config struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// Degree of the random overlay (paper: 20).
+	Degree int
+	// Cycles per epoch (paper: 30).
+	Cycles int
+	// Reps is the number of independent experiments (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig2 returns the paper's parameters.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{N: 100000, Degree: 20, Cycles: 30, Reps: 50, Seed: 2}
+}
+
+func (c Fig2Config) validate() error {
+	if c.N < 2 || c.Cycles < 1 || c.Reps < 1 || c.Degree < 1 {
+		return fmt.Errorf("experiments: invalid fig2 config %+v", c)
+	}
+	return nil
+}
+
+// RunFig2 regenerates Figure 2: two series ("Minimum", "Maximum") of the
+// extreme estimates per cycle, averaged over repetitions. Initially a
+// single node holds the value N while all others hold 0, so the true
+// average is 1.
+func RunFig2(cfg Fig2Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cycles := cfg.Cycles
+	mins := make([][]float64, cfg.Reps)
+	maxs := make([][]float64, cfg.Reps)
+	err := sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+		lo := make([]float64, 0, cycles+1)
+		hi := make([]float64, 0, cycles+1)
+		_, err := sim.Run(sim.Config{
+			N:       cfg.N,
+			Cycles:  cycles,
+			Seed:    seed,
+			Fn:      core.Average,
+			Init:    sim.PeakInit(float64(cfg.N), 0),
+			Overlay: RandomOverlay(cfg.Degree),
+			Observe: func(_ int, e *sim.Engine) {
+				m := e.ParticipantMoments()
+				lo = append(lo, m.Min())
+				hi = append(hi, m.Max())
+			},
+		})
+		if err != nil {
+			return err
+		}
+		mins[rep] = lo
+		maxs[rep] = hi
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	minSeries := Series{Label: "Minimum", Points: make([]Point, 0, cycles+1)}
+	maxSeries := Series{Label: "Maximum", Points: make([]Point, 0, cycles+1)}
+	perRep := make([]float64, cfg.Reps)
+	for c := 0; c <= cycles; c++ {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			perRep[rep] = mins[rep][c]
+		}
+		minSeries.Points = append(minSeries.Points, summarize(float64(c), perRep))
+		for rep := 0; rep < cfg.Reps; rep++ {
+			perRep[rep] = maxs[rep][c]
+		}
+		maxSeries.Points = append(maxSeries.Points, summarize(float64(c), perRep))
+	}
+	return &Result{
+		ID:     "fig2",
+		Title:  "Behavior of protocol AVERAGE (peak distribution)",
+		XLabel: "cycle",
+		YLabel: "estimated average (min/max over nodes)",
+		Series: []Series{minSeries, maxSeries},
+	}, nil
+}

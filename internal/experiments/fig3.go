@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antientropy/internal/core"
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+)
+
+// Fig3aConfig parameterizes Figure 3(a): average convergence factor over
+// 20 cycles as a function of network size, for eight topology families.
+type Fig3aConfig struct {
+	// MinN and MaxN bound the size sweep (paper: 10²…10⁶).
+	MinN int
+	MaxN int
+	// Degree of the static overlays (paper: 20).
+	Degree int
+	// NewscastC is the NEWSCAST cache size (paper: 30... the paper's
+	// figure uses the protocol's standard configuration).
+	NewscastC int
+	// Cycles over which the factor is averaged (paper: 20).
+	Cycles int
+	// Reps per (topology, size) point.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig3a returns the paper's parameters. Beware: the full sweep
+// touches 10⁶-node graphs; use cmd/aggsim for that scale.
+func DefaultFig3a() Fig3aConfig {
+	return Fig3aConfig{
+		MinN: 100, MaxN: 1000000,
+		Degree: 20, NewscastC: 30, Cycles: 20, Reps: 10, Seed: 3,
+	}
+}
+
+// RunFig3a regenerates Figure 3(a): one series per topology, x = network
+// size, y = average convergence factor. The paper's headline observation
+// — performance independent of size, strongly dependent on topology — is
+// asserted by the accompanying tests.
+func RunFig3a(cfg Fig3aConfig) (*Result, error) {
+	if cfg.MinN < 10 || cfg.MaxN < cfg.MinN || cfg.Cycles < 1 || cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig3a config %+v", cfg)
+	}
+	sizes := logGrid(cfg.MinN, cfg.MaxN)
+	specs := StandardTopologies(cfg.Degree, cfg.NewscastC)
+	result := &Result{
+		ID:     "fig3a",
+		Title:  "Average convergence factor over 20 cycles vs network size",
+		XLabel: "network size",
+		YLabel: "convergence factor",
+	}
+	for _, spec := range specs {
+		series := Series{Label: spec.Name, Points: make([]Point, 0, len(sizes))}
+		for si, n := range sizes {
+			// Fewer reps at the largest sizes keeps full-scale runs
+			// tractable; the factor's variance shrinks with N anyway.
+			reps := cfg.Reps
+			if n >= 300000 && reps > 3 {
+				reps = 3
+			}
+			seed := cfg.Seed ^ (uint64(si+1) << 8) ^ hashLabel(spec.Name)
+			vals, err := repValues(reps, seed, func(_ int, s uint64) (float64, error) {
+				return measureConvergenceFactor(n, cfg.Cycles, s, spec.Overlay, 0)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig3a %s n=%d: %w", spec.Name, n, err)
+			}
+			series.Points = append(series.Points, summarize(float64(n), vals))
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// Fig3bConfig parameterizes Figure 3(b): normalized variance reduction
+// per cycle at fixed network size for the same eight topologies.
+type Fig3bConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// Degree of the static overlays (paper: 20).
+	Degree int
+	// NewscastC is the NEWSCAST cache size.
+	NewscastC int
+	// Cycles to run (paper: 50).
+	Cycles int
+	// Reps per topology.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig3b returns the paper's parameters.
+func DefaultFig3b() Fig3bConfig {
+	return Fig3bConfig{N: 100000, Degree: 20, NewscastC: 30, Cycles: 50, Reps: 10, Seed: 4}
+}
+
+// RunFig3b regenerates Figure 3(b): per topology, the variance of the
+// estimates normalized by the initial variance, cycle by cycle (geometric
+// decay appears as a straight line on the paper's log plot).
+func RunFig3b(cfg Fig3bConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig3b config %+v", cfg)
+	}
+	specs := StandardTopologies(cfg.Degree, cfg.NewscastC)
+	result := &Result{
+		ID:     "fig3b",
+		Title:  "Variance reduction normalized by initial variance",
+		XLabel: "cycle",
+		YLabel: "sigma^2_i / sigma^2_0",
+	}
+	for _, spec := range specs {
+		reductions := make([][]float64, cfg.Reps)
+		seed := cfg.Seed ^ hashLabel(spec.Name)
+		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
+			var tracker stats.ConvergenceTracker
+			_, err := sim.Run(sim.Config{
+				N:       cfg.N,
+				Cycles:  cfg.Cycles,
+				Seed:    s,
+				Fn:      core.Average,
+				Init:    sim.UniformInit(0, 1, s^0x5eed),
+				Overlay: spec.Overlay,
+				Observe: func(_ int, e *sim.Engine) {
+					m := e.ParticipantMoments()
+					tracker.Record(m.Variance())
+				},
+			})
+			if err != nil {
+				return err
+			}
+			reductions[rep] = tracker.NormalizedReduction()
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig3b %s: %w", spec.Name, err)
+		}
+		series := Series{Label: spec.Name, Points: make([]Point, 0, cfg.Cycles+1)}
+		perRep := make([]float64, cfg.Reps)
+		for c := 0; c <= cfg.Cycles; c++ {
+			for rep := range reductions {
+				perRep[rep] = reductions[rep][c]
+			}
+			series.Points = append(series.Points, summarize(float64(c), perRep))
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+// hashLabel derives a seed perturbation from a series label so that each
+// topology family uses an independent random stream.
+func hashLabel(label string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return h
+}

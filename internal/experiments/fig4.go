@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+	"antientropy/internal/topology"
+)
+
+// Fig4aConfig parameterizes Figure 4(a): convergence factor of AVERAGE on
+// Watts–Strogatz graphs as a function of the rewiring probability β.
+type Fig4aConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// Degree of the lattice (paper: 20).
+	Degree int
+	// Cycles over which the factor is averaged (paper: 20).
+	Cycles int
+	// BetaSteps is the number of β grid points in [0, 1].
+	BetaSteps int
+	// Reps per β point.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig4a returns the paper's parameters.
+func DefaultFig4a() Fig4aConfig {
+	return Fig4aConfig{N: 100000, Degree: 20, Cycles: 20, BetaSteps: 21, Reps: 10, Seed: 5}
+}
+
+// RunFig4a regenerates Figure 4(a): β from complete order (0) to complete
+// disorder (1); increased randomness must improve (lower) the factor with
+// no sharp phase transition.
+func RunFig4a(cfg Fig4aConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.BetaSteps < 2 || cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig4a config %+v", cfg)
+	}
+	series := Series{Label: "W-S", Points: make([]Point, 0, cfg.BetaSteps)}
+	for step := 0; step < cfg.BetaSteps; step++ {
+		beta := float64(step) / float64(cfg.BetaSteps-1)
+		overlay := sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
+			return topology.NewWattsStrogatz(n, fitEvenDegree(cfg.Degree, n), beta, rng)
+		})
+		vals, err := repValues(cfg.Reps, cfg.Seed^(uint64(step+1)<<16), func(_ int, s uint64) (float64, error) {
+			return measureConvergenceFactor(cfg.N, cfg.Cycles, s, overlay, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4a beta=%g: %w", beta, err)
+		}
+		series.Points = append(series.Points, summarize(beta, vals))
+	}
+	return &Result{
+		ID:     "fig4a",
+		Title:  "Convergence factor for Watts-Strogatz graphs vs beta",
+		XLabel: "beta",
+		YLabel: "convergence factor",
+		Series: []Series{series},
+	}, nil
+}
+
+// Fig4bConfig parameterizes Figure 4(b): convergence factor on NEWSCAST
+// overlays as a function of the cache size c.
+type Fig4bConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// Cycles over which the factor is averaged.
+	Cycles int
+	// CacheSizes to sweep (paper: 2…50).
+	CacheSizes []int
+	// Reps per point.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig4b returns the paper's parameters.
+func DefaultFig4b() Fig4bConfig {
+	return Fig4bConfig{
+		N:          100000,
+		Cycles:     20,
+		CacheSizes: []int{2, 3, 4, 5, 7, 10, 15, 20, 25, 30, 35, 40, 45, 50},
+		Reps:       10,
+		Seed:       6,
+	}
+}
+
+// RunFig4b regenerates Figure 4(b): the factor must be poor at c = 2,
+// drop steeply, and plateau near the random-graph level by c ≈ 30 — the
+// basis for the paper's recommendation of c = 30.
+func RunFig4b(cfg Fig4bConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || len(cfg.CacheSizes) == 0 || cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid fig4b config %+v", cfg)
+	}
+	series := Series{Label: "Newscast", Points: make([]Point, 0, len(cfg.CacheSizes))}
+	for i, c := range cfg.CacheSizes {
+		if c < 1 {
+			return nil, fmt.Errorf("experiments: invalid cache size %d", c)
+		}
+		overlay := sim.Newscast(c)
+		vals, err := repValues(cfg.Reps, cfg.Seed^(uint64(i+1)<<16), func(_ int, s uint64) (float64, error) {
+			return measureConvergenceFactor(cfg.N, cfg.Cycles, s, overlay, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4b c=%d: %w", c, err)
+		}
+		series.Points = append(series.Points, summarize(float64(c), vals))
+	}
+	return &Result{
+		ID:     "fig4b",
+		Title:  "Convergence factor for NEWSCAST graphs vs cache size c",
+		XLabel: "cache size c",
+		YLabel: "convergence factor",
+		Series: []Series{series},
+	}, nil
+}

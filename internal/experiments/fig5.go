@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antientropy/internal/core"
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+	"antientropy/internal/theory"
+)
+
+// Fig5Config parameterizes Figure 5: the variance of the mean estimate
+// µ₂₀ under per-cycle proportional crashes, against Theorem 1.
+type Fig5Config struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// Degree of the static overlay used for the "fully connected"
+	// comparison point is irrelevant (complete graph); NewscastC
+	// configures the NEWSCAST series (paper: 30).
+	NewscastC int
+	// Cycle at which µ is measured (paper: 20).
+	Cycle int
+	// PfSteps grid points over [0, MaxPf].
+	PfSteps int
+	// MaxPf is the largest crash proportion (paper: 0.3).
+	MaxPf float64
+	// Reps per point (paper: 100).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig5 returns the paper's parameters.
+func DefaultFig5() Fig5Config {
+	return Fig5Config{
+		N: 100000, NewscastC: 30, Cycle: 20,
+		PfSteps: 7, MaxPf: 0.3, Reps: 100, Seed: 7,
+	}
+}
+
+// RunFig5 regenerates Figure 5: three series — empirical
+// Var(µ₂₀)/E(σ²₀) on the fully connected topology, on NEWSCAST, and the
+// Theorem 1 prediction with ρ = 1/(2√e). The initial distribution is the
+// paper's peak distribution.
+func RunFig5(cfg Fig5Config) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycle < 1 || cfg.PfSteps < 2 || cfg.Reps < 2 ||
+		cfg.MaxPf < 0 || cfg.MaxPf >= 1 {
+		return nil, fmt.Errorf("experiments: invalid fig5 config %+v", cfg)
+	}
+	// "Fully connected" means full knowledge of the *current* membership:
+	// crashed nodes are no longer anyone's neighbors. A static complete
+	// graph would keep timing out against the dead and stall convergence,
+	// which the paper's model excludes.
+	specs := []TopologySpec{
+		{Name: "fully connected topology", Overlay: sim.CompleteLive()},
+		{Name: "newscast", Overlay: sim.Newscast(cfg.NewscastC)},
+	}
+	result := &Result{
+		ID:     "fig5",
+		Title:  "Effects of node crashes on the variance of AVERAGE at cycle 20",
+		XLabel: "Pf",
+		YLabel: "Var(mu_20) / E(sigma^2_0)",
+	}
+	// σ²₀ of the peak distribution {N, 0, …, 0} is exactly N (unbiased).
+	sigma0 := float64(cfg.N)
+	for _, spec := range specs {
+		series := Series{Label: spec.Name, Points: make([]Point, 0, cfg.PfSteps)}
+		for step := 0; step < cfg.PfSteps; step++ {
+			pf := cfg.MaxPf * float64(step) / float64(cfg.PfSteps-1)
+			seed := cfg.Seed ^ hashLabel(spec.Name) ^ (uint64(step+1) << 24)
+			mus, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
+				var failures []sim.FailureModel
+				if pf > 0 {
+					failures = append(failures, sim.CrashFraction{P: pf})
+				}
+				e, err := sim.Run(sim.Config{
+					N:        cfg.N,
+					Cycles:   cfg.Cycle,
+					Seed:     s,
+					Fn:       core.Average,
+					Init:     sim.PeakInit(float64(cfg.N), 0),
+					Overlay:  spec.Overlay,
+					Failures: failures,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return e.ParticipantMoments().Mean(), nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig5 %s pf=%g: %w", spec.Name, pf, err)
+			}
+			muVar, err := stats.Variance(mus)
+			if err != nil {
+				return nil, err
+			}
+			p := summarize(pf, mus)
+			p.Mean = muVar / sigma0
+			p.Min, p.Max = p.Mean, p.Mean
+			series.Points = append(series.Points, p)
+		}
+		result.Series = append(result.Series, series)
+	}
+	// Theorem 1 prediction.
+	pred := Series{Label: "predicted", Points: make([]Point, 0, cfg.PfSteps)}
+	for step := 0; step < cfg.PfSteps; step++ {
+		pf := cfg.MaxPf * float64(step) / float64(cfg.PfSteps-1)
+		v, err := theory.CrashVariance(pf, cfg.N, sigma0, theory.RhoPushPull, cfg.Cycle)
+		if err != nil {
+			return nil, err
+		}
+		norm := v / sigma0
+		pred.Points = append(pred.Points, Point{X: pf, Mean: norm, Min: norm, Max: norm, Reps: 0})
+	}
+	result.Series = append(result.Series, pred)
+	return result, nil
+}

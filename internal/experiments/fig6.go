@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"antientropy/internal/sim"
+)
+
+// countEpoch runs one COUNT epoch (single leader, peak initialization)
+// under the given failure models and returns the average network-size
+// estimate over the nodes still participating at the end of the epoch —
+// exactly the quantity Figure 6 plots.
+func countEpoch(n, cycles int, seed uint64, overlay sim.OverlayBuilder,
+	failures []sim.FailureModel, loss float64) (float64, error) {
+	e, err := sim.Run(sim.Config{
+		N:           n,
+		Cycles:      cycles,
+		Seed:        seed,
+		Dim:         1,
+		Leaders:     []int{0},
+		Overlay:     overlay,
+		Failures:    failures,
+		MessageLoss: loss,
+	})
+	if err != nil {
+		return 0, err
+	}
+	m := e.SizeMoments()
+	if m.N() == 0 {
+		// Every node holding mass crashed: the estimate diverged (§7.1
+		// notes it "can even become infinite").
+		return math.Inf(1), nil
+	}
+	return m.Mean(), nil
+}
+
+// Fig6aConfig parameterizes Figure 6(a): COUNT under the "sudden death"
+// of half the network at varying cycles of the epoch.
+type Fig6aConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// NewscastC is the overlay cache size (paper: 30).
+	NewscastC int
+	// Cycles per epoch (paper: 30).
+	Cycles int
+	// DeathFraction of nodes crashing at once (paper: 0.5).
+	DeathFraction float64
+	// MaxCycle is the largest sudden-death cycle swept (paper: 20).
+	MaxCycle int
+	// Reps per point (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig6a returns the paper's parameters.
+func DefaultFig6a() Fig6aConfig {
+	return Fig6aConfig{
+		N: 100000, NewscastC: 30, Cycles: 30,
+		DeathFraction: 0.5, MaxCycle: 20, Reps: 50, Seed: 8,
+	}
+}
+
+// RunFig6a regenerates Figure 6(a): x = cycle of the sudden death, y =
+// estimated size at the end of the epoch. Early deaths can remove most of
+// the leader's mass and blow the estimate up by orders of magnitude;
+// after cycle ~10 the variance is so small that the damage is negligible.
+func RunFig6a(cfg Fig6aConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.MaxCycle < 0 || cfg.Reps < 1 ||
+		cfg.DeathFraction < 0 || cfg.DeathFraction >= 1 {
+		return nil, fmt.Errorf("experiments: invalid fig6a config %+v", cfg)
+	}
+	series := Series{Label: "Experiments", Points: make([]Point, 0, cfg.MaxCycle+1)}
+	for at := 0; at <= cfg.MaxCycle; at++ {
+		// Cycle 0 in the paper's x axis means "at the very start"; our
+		// failure hook runs at the start of cycle 1.
+		deathCycle := at
+		if deathCycle < 1 {
+			deathCycle = 1
+		}
+		seed := cfg.Seed ^ (uint64(at+1) << 20)
+		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
+			return countEpoch(cfg.N, cfg.Cycles, s, sim.Newscast(cfg.NewscastC),
+				[]sim.FailureModel{sim.SuddenDeath{AtCycle: deathCycle, Fraction: cfg.DeathFraction}}, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6a cycle=%d: %w", at, err)
+		}
+		series.Points = append(series.Points, summarize(float64(at), vals))
+	}
+	return &Result{
+		ID:     "fig6a",
+		Title:  "COUNT with 50% sudden death at cycle x",
+		XLabel: "cycle of sudden death",
+		YLabel: "estimated size",
+		Series: []Series{series},
+	}, nil
+}
+
+// Fig6bConfig parameterizes Figure 6(b): COUNT in a network of constant
+// size with continuous churn.
+type Fig6bConfig struct {
+	// N is the (constant) network size (paper: 10⁵).
+	N int
+	// NewscastC is the overlay cache size.
+	NewscastC int
+	// Cycles per epoch (paper: 30).
+	Cycles int
+	// MaxSubstitution is the largest per-cycle substitution count swept
+	// (paper: 2500 at N = 10⁵, i.e. up to 75% of nodes replaced per
+	// epoch).
+	MaxSubstitution int
+	// Steps over [0, MaxSubstitution].
+	Steps int
+	// Reps per point (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig6b returns the paper's parameters.
+func DefaultFig6b() Fig6bConfig {
+	return Fig6bConfig{
+		N: 100000, NewscastC: 30, Cycles: 30,
+		MaxSubstitution: 2500, Steps: 11, Reps: 50, Seed: 9,
+	}
+}
+
+// RunFig6b regenerates Figure 6(b): x = nodes substituted per cycle, y =
+// estimated size at the end of the epoch over the surviving participants.
+// The correct answer remains N (the epoch reports the size at its start).
+func RunFig6b(cfg Fig6bConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.Steps < 2 || cfg.Reps < 1 || cfg.MaxSubstitution < 0 {
+		return nil, fmt.Errorf("experiments: invalid fig6b config %+v", cfg)
+	}
+	series := Series{Label: "Experiments", Points: make([]Point, 0, cfg.Steps)}
+	for step := 0; step < cfg.Steps; step++ {
+		perCycle := cfg.MaxSubstitution * step / (cfg.Steps - 1)
+		var failures []sim.FailureModel
+		if perCycle > 0 {
+			failures = append(failures, sim.Churn{PerCycle: perCycle})
+		}
+		seed := cfg.Seed ^ (uint64(step+1) << 20)
+		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
+			return countEpoch(cfg.N, cfg.Cycles, s, sim.Newscast(cfg.NewscastC), failures, 0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6b churn=%d: %w", perCycle, err)
+		}
+		series.Points = append(series.Points, summarize(float64(perCycle), vals))
+	}
+	return &Result{
+		ID:     "fig6b",
+		Title:  "COUNT under continuous churn (constant network size)",
+		XLabel: "nodes substituted per cycle",
+		YLabel: "estimated size",
+		Series: []Series{series},
+	}, nil
+}

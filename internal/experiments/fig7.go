@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+	"antientropy/internal/theory"
+)
+
+// Fig7aConfig parameterizes Figure 7(a): the convergence factor of COUNT
+// as a function of the link-failure probability P_d, against the §6.2
+// theoretical upper bound ρ_d = e^(P_d − 1).
+type Fig7aConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// NewscastC is the overlay cache size.
+	NewscastC int
+	// Cycles over which the factor is averaged.
+	Cycles int
+	// PdSteps grid points over [0, MaxPd].
+	PdSteps int
+	// MaxPd is the largest link failure probability swept (paper: ~0.9;
+	// at 1.0 nothing ever converges).
+	MaxPd float64
+	// Reps per point (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig7a returns the paper's parameters.
+func DefaultFig7a() Fig7aConfig {
+	return Fig7aConfig{
+		N: 100000, NewscastC: 30, Cycles: 20,
+		PdSteps: 10, MaxPd: 0.9, Reps: 50, Seed: 10,
+	}
+}
+
+// RunFig7a regenerates Figure 7(a): measured factor per P_d plus the
+// theoretical bound series. Link failure only slows convergence.
+func RunFig7a(cfg Fig7aConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.PdSteps < 2 || cfg.Reps < 1 ||
+		cfg.MaxPd < 0 || cfg.MaxPd >= 1 {
+		return nil, fmt.Errorf("experiments: invalid fig7a config %+v", cfg)
+	}
+	measured := Series{Label: "Average Convergence Factor", Points: make([]Point, 0, cfg.PdSteps)}
+	bound := Series{Label: "Theoretical Upper Bound", Points: make([]Point, 0, cfg.PdSteps)}
+	for step := 0; step < cfg.PdSteps; step++ {
+		pd := cfg.MaxPd * float64(step) / float64(cfg.PdSteps-1)
+		seed := cfg.Seed ^ (uint64(step+1) << 18)
+		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
+			// COUNT is an averaging instance over the peak distribution;
+			// its convergence factor is measured on the underlying
+			// estimates exactly like AVERAGE's.
+			var tracker stats.ConvergenceTracker
+			_, err := sim.Run(sim.Config{
+				N:           cfg.N,
+				Cycles:      cfg.Cycles,
+				Seed:        s,
+				Dim:         1,
+				Leaders:     []int{0},
+				Overlay:     sim.Newscast(cfg.NewscastC),
+				LinkFailure: pd,
+				Observe: func(_ int, e *sim.Engine) {
+					var m stats.Moments
+					e.ForEachParticipantVec(func(_ int, vec []float64) {
+						m.Add(vec[0])
+					})
+					tracker.Record(m.Variance())
+				},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return tracker.AverageFactor(cfg.Cycles)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7a pd=%g: %w", pd, err)
+		}
+		measured.Points = append(measured.Points, summarize(pd, vals))
+		b := theory.LinkFailureBound(pd)
+		bound.Points = append(bound.Points, Point{X: pd, Mean: b, Min: b, Max: b})
+	}
+	return &Result{
+		ID:     "fig7a",
+		Title:  "COUNT convergence factor vs link failure probability",
+		XLabel: "Pd",
+		YLabel: "convergence factor",
+		Series: []Series{measured, bound},
+	}, nil
+}
+
+// Fig7bConfig parameterizes Figure 7(b): the spread of COUNT's size
+// estimates as a function of the fraction of messages lost.
+type Fig7bConfig struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// NewscastC is the overlay cache size.
+	NewscastC int
+	// Cycles per epoch (paper: 30).
+	Cycles int
+	// LossSteps grid points over [0, MaxLoss].
+	LossSteps int
+	// MaxLoss is the largest loss fraction swept (paper: 0.5).
+	MaxLoss float64
+	// Reps per point (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig7b returns the paper's parameters.
+func DefaultFig7b() Fig7bConfig {
+	return Fig7bConfig{
+		N: 100000, NewscastC: 30, Cycles: 30,
+		LossSteps: 11, MaxLoss: 0.5, Reps: 50, Seed: 11,
+	}
+}
+
+// RunFig7b regenerates Figure 7(b): per loss level, the minimum and the
+// maximum size estimate over the network (two series, as in the paper).
+// Small loss keeps estimates reasonable; heavy loss spreads them over
+// orders of magnitude.
+func RunFig7b(cfg Fig7bConfig) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || cfg.LossSteps < 2 || cfg.Reps < 1 ||
+		cfg.MaxLoss < 0 || cfg.MaxLoss > 1 {
+		return nil, fmt.Errorf("experiments: invalid fig7b config %+v", cfg)
+	}
+	minSeries := Series{Label: "Min values", Points: make([]Point, 0, cfg.LossSteps)}
+	maxSeries := Series{Label: "Max values", Points: make([]Point, 0, cfg.LossSteps)}
+	for step := 0; step < cfg.LossSteps; step++ {
+		loss := cfg.MaxLoss * float64(step) / float64(cfg.LossSteps-1)
+		seed := cfg.Seed ^ (uint64(step+1) << 18)
+		mins := make([]float64, cfg.Reps)
+		maxs := make([]float64, cfg.Reps)
+		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
+			e, err := sim.Run(sim.Config{
+				N:           cfg.N,
+				Cycles:      cfg.Cycles,
+				Seed:        s,
+				Dim:         1,
+				Leaders:     []int{0},
+				Overlay:     sim.Newscast(cfg.NewscastC),
+				MessageLoss: loss,
+			})
+			if err != nil {
+				return err
+			}
+			m := e.SizeMoments()
+			if m.N() == 0 {
+				mins[rep], maxs[rep] = math.Inf(1), math.Inf(1)
+				return nil
+			}
+			mins[rep], maxs[rep] = m.Min(), m.Max()
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7b loss=%g: %w", loss, err)
+		}
+		minSeries.Points = append(minSeries.Points, summarize(loss, mins))
+		maxSeries.Points = append(maxSeries.Points, summarize(loss, maxs))
+	}
+	return &Result{
+		ID:     "fig7b",
+		Title:  "COUNT size estimates vs fraction of messages lost",
+		XLabel: "fraction of messages lost",
+		YLabel: "estimated size",
+		Series: []Series{maxSeries, minSeries},
+	}, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"antientropy/internal/sim"
+)
+
+// Fig8Config parameterizes Figure 8: COUNT with t concurrent instances
+// combined by the §7.3 trimmed mean, under churn (8a) or message loss
+// (8b).
+type Fig8Config struct {
+	// N is the network size (paper: 10⁵).
+	N int
+	// NewscastC is the overlay cache size.
+	NewscastC int
+	// Cycles per epoch (paper: 30).
+	Cycles int
+	// Instances is the sweep of concurrent instance counts t (paper:
+	// 1…50).
+	Instances []int
+	// ChurnPerCycle substitutes this many nodes per cycle (Figure 8a:
+	// 1000 at N = 10⁵).
+	ChurnPerCycle int
+	// MessageLoss drops this fraction of messages (Figure 8b: 0.2).
+	MessageLoss float64
+	// Reps per point (paper: 50).
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultFig8a returns Figure 8(a)'s parameters: churn of 1000 nodes per
+// cycle, no message loss.
+func DefaultFig8a() Fig8Config {
+	return Fig8Config{
+		N: 100000, NewscastC: 30, Cycles: 30,
+		Instances:     []int{1, 2, 3, 5, 10, 20, 30, 40, 50},
+		ChurnPerCycle: 1000,
+		Reps:          50,
+		Seed:          12,
+	}
+}
+
+// DefaultFig8b returns Figure 8(b)'s parameters: 20% message loss, no
+// churn.
+func DefaultFig8b() Fig8Config {
+	cfg := DefaultFig8a()
+	cfg.ChurnPerCycle = 0
+	cfg.MessageLoss = 0.2
+	cfg.Seed = 13
+	return cfg
+}
+
+// RunFig8 regenerates Figure 8: per instance count t, the minimum and
+// maximum combined size estimate over all nodes (averaged across
+// repetitions). The multi-instance combiner must tighten the envelopes
+// dramatically as t grows.
+func RunFig8(id, title string, cfg Fig8Config) (*Result, error) {
+	if cfg.N < 10 || cfg.Cycles < 1 || len(cfg.Instances) == 0 || cfg.Reps < 1 ||
+		cfg.MessageLoss < 0 || cfg.MessageLoss > 1 || cfg.ChurnPerCycle < 0 {
+		return nil, fmt.Errorf("experiments: invalid fig8 config %+v", cfg)
+	}
+	minSeries := Series{Label: "Min", Points: make([]Point, 0, len(cfg.Instances))}
+	maxSeries := Series{Label: "Max", Points: make([]Point, 0, len(cfg.Instances))}
+	for ti, t := range cfg.Instances {
+		if t < 1 || t > cfg.N {
+			return nil, fmt.Errorf("experiments: invalid instance count %d", t)
+		}
+		var failures []sim.FailureModel
+		if cfg.ChurnPerCycle > 0 {
+			failures = append(failures, sim.Churn{PerCycle: cfg.ChurnPerCycle})
+		}
+		seed := cfg.Seed ^ (uint64(ti+1) << 18)
+		mins := make([]float64, cfg.Reps)
+		maxs := make([]float64, cfg.Reps)
+		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
+			// Each instance is led by a distinct random node, as if t
+			// nodes had won the P_lead coin flip this epoch.
+			leaders := leadersFor(cfg.N, t, s)
+			e, err := sim.Run(sim.Config{
+				N:           cfg.N,
+				Cycles:      cfg.Cycles,
+				Seed:        s,
+				Dim:         t,
+				Leaders:     leaders,
+				Overlay:     sim.Newscast(cfg.NewscastC),
+				Failures:    failures,
+				MessageLoss: cfg.MessageLoss,
+			})
+			if err != nil {
+				return err
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			found := false
+			e.ForEachParticipantVec(func(node int, _ []float64) {
+				est := e.SizeEstimateAt(node)
+				if math.IsInf(est, 0) {
+					return
+				}
+				found = true
+				if est < lo {
+					lo = est
+				}
+				if est > hi {
+					hi = est
+				}
+			})
+			if !found {
+				mins[rep], maxs[rep] = math.Inf(1), math.Inf(1)
+				return nil
+			}
+			mins[rep], maxs[rep] = lo, hi
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s t=%d: %w", id, t, err)
+		}
+		minSeries.Points = append(minSeries.Points, summarize(float64(t), mins))
+		maxSeries.Points = append(maxSeries.Points, summarize(float64(t), maxs))
+	}
+	return &Result{
+		ID:     id,
+		Title:  title,
+		XLabel: "number of aggregation instances t",
+		YLabel: "estimated size (min/max over nodes)",
+		Series: []Series{maxSeries, minSeries},
+	}, nil
+}
+
+// RunFig8a regenerates Figure 8(a).
+func RunFig8a(cfg Fig8Config) (*Result, error) {
+	return RunFig8("fig8a", "Multi-instance COUNT under churn", cfg)
+}
+
+// RunFig8b regenerates Figure 8(b).
+func RunFig8b(cfg Fig8Config) (*Result, error) {
+	return RunFig8("fig8b", "Multi-instance COUNT under message loss", cfg)
+}
+
+// leadersFor picks t distinct leader nodes deterministically from seed.
+func leadersFor(n, t int, seed uint64) []int {
+	rng := leaderRNG(seed)
+	leaders := make([]int, t)
+	rng.Sample(leaders, n, nil)
+	return leaders
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestResultPlotLinear(t *testing.T) {
+	res := &Result{
+		ID: "figX", Title: "Linear", XLabel: "x", YLabel: "y",
+		Series: []Series{{
+			Label: "s",
+			Points: []Point{
+				{X: 0, Mean: 1}, {X: 1, Mean: 2}, {X: 2, Mean: 3},
+			},
+		}},
+	}
+	out, err := res.Plot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "* s") {
+		t.Errorf("plot output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "log scale") {
+		t.Error("narrow range must use a linear axis")
+	}
+}
+
+func TestResultPlotAutoLogScale(t *testing.T) {
+	res := &Result{
+		ID: "figY", Title: "Wide", XLabel: "x", YLabel: "y",
+		Series: []Series{{
+			Label: "s",
+			Points: []Point{
+				{X: 0, Mean: 1}, {X: 1, Mean: 1e6},
+			},
+		}},
+	}
+	out, err := res.Plot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Errorf("wide range must switch to a log axis:\n%s", out)
+	}
+}
+
+func TestResultPlotSkipsInfinities(t *testing.T) {
+	res := &Result{
+		ID: "figZ", Title: "Inf", XLabel: "x", YLabel: "y",
+		Series: []Series{{
+			Label: "s",
+			Points: []Point{
+				{X: 0, Mean: math.Inf(1)}, {X: 1, Mean: 5}, {X: 2, Mean: 6},
+			},
+		}},
+	}
+	out, err := res.Plot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* s") {
+		t.Errorf("plot missing series:\n%s", out)
+	}
+}

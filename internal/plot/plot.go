@@ -1,0 +1,146 @@
+// Package plot renders experiment series as ASCII scatter plots so that
+// cmd/aggsim output can be eyeballed against the paper's figures without
+// any plotting dependency. Linear and log₁₀ scales are supported on both
+// axes (the paper plots most y axes logarithmically).
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled point set.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Config controls the rendering.
+type Config struct {
+	// Width and Height of the plot area in characters (defaults 72×20).
+	Width  int
+	Height int
+	// LogX / LogY select log₁₀ axes; non-positive values are dropped.
+	LogX bool
+	LogY bool
+	// Title is printed above the plot.
+	Title string
+}
+
+// markers distinguish up to eight overlaid series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a string. Points outside a degenerate
+// range are centered; NaN/Inf points are skipped.
+func Render(cfg Config, series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 72
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+	if cfg.Width < 16 || cfg.Height < 4 {
+		return "", fmt.Errorf("plot: area %dx%d too small", cfg.Width, cfg.Height)
+	}
+
+	// Transform and collect the usable points.
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x but %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if cfg.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, m: m})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		return "", errors.New("plot: no drawable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for _, p := range pts {
+		col := int(math.Round((p.x - minX) / (maxX - minX) * float64(cfg.Width-1)))
+		row := cfg.Height - 1 - int(math.Round((p.y-minY)/(maxY-minY)*float64(cfg.Height-1)))
+		grid[row][col] = p.m
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	topLabel, botLabel := axisLabel(maxY, cfg.LogY), axisLabel(minY, cfg.LogY)
+	labelWidth := len(topLabel)
+	if len(botLabel) > labelWidth {
+		labelWidth = len(botLabel)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, topLabel)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", cfg.Width))
+	left, right := axisLabel(minX, cfg.LogX), axisLabel(maxX, cfg.LogX)
+	pad := cfg.Width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), left, strings.Repeat(" ", pad), right)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String(), nil
+}
+
+// axisLabel formats an axis endpoint, undoing the log transform.
+func axisLabel(v float64, logScale bool) string {
+	if logScale {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

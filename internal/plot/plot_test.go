@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out, err := Render(Config{Title: "test", Width: 40, Height: 10},
+		Series{Label: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Error("legend missing")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("points missing:\n%s", out)
+	}
+	// Axis labels for the corners.
+	if !strings.Contains(out, "0") || !strings.Contains(out, "2") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	out, err := Render(Config{Width: 40, Height: 8},
+		Series{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Label: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("series markers wrong:\n%s", out)
+	}
+}
+
+func TestRenderLogScaleDropsNonPositive(t *testing.T) {
+	out, err := Render(Config{Width: 40, Height: 8, LogY: true},
+		Series{Label: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero point must be dropped; two points survive.
+	if strings.Count(out, "*") != 2+1 { // +1 for the legend marker
+		t.Errorf("expected 2 plotted points:\n%s", out)
+	}
+	if !strings.Contains(out, "1e+03") && !strings.Contains(out, "1000") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderSkipsNaNAndInf(t *testing.T) {
+	out, err := Render(Config{Width: 40, Height: 8},
+		Series{Label: "s", X: []float64{1, 2, 3, 4},
+			Y: []float64{1, math.NaN(), math.Inf(1), 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 2+1 {
+		t.Errorf("NaN/Inf not skipped:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := Render(Config{Width: 4, Height: 2},
+		Series{X: []float64{1}, Y: []float64{1}}); err == nil {
+		t.Error("tiny area accepted")
+	}
+	if _, err := Render(Config{},
+		Series{Label: "bad", X: []float64{1, 2}, Y: []float64{1}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Render(Config{LogY: true},
+		Series{Label: "allneg", X: []float64{1}, Y: []float64{-5}}); err == nil {
+		t.Error("no drawable points accepted")
+	}
+}
+
+func TestRenderDegenerateRange(t *testing.T) {
+	// All points identical: must not divide by zero.
+	out, err := Render(Config{Width: 40, Height: 8},
+		Series{Label: "s", X: []float64{5, 5}, Y: []float64{3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("point missing")
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	out, err := Render(Config{}, Series{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// 20 rows + frame + labels + legend.
+	if len(lines) < 22 {
+		t.Errorf("default size wrong: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"antientropy/internal/core"
+)
+
+// TestEngineMassConservationProperty checks the engine's core physical
+// invariant over arbitrary failure-free configurations: with AVERAGE and
+// no crashes or message loss, the sum of all estimates never changes, no
+// matter the topology, seed, size or link-failure rate.
+func TestEngineMassConservationProperty(t *testing.T) {
+	overlays := []OverlayBuilder{
+		randomOverlay(8),
+		completeOverlay(),
+		Newscast(8),
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(seedRaw uint32, nRaw uint8, overlayPick uint8, pdRaw uint8) bool {
+		n := 50 + int(nRaw)%200
+		pd := float64(pdRaw%90) / 100
+		e, err := Run(Config{
+			N:           n,
+			Cycles:      8,
+			Seed:        uint64(seedRaw) + 1,
+			Fn:          core.Average,
+			Init:        LinearInit(),
+			Overlay:     overlays[int(overlayPick)%len(overlays)],
+			LinkFailure: pd,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := float64(n*(n-1)) / 2
+		got := 0.0
+		e.ForEachParticipant(func(_ int, v float64) { got += v })
+		return math.Abs(got-want) < 1e-6*want
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineVectorMassConservationProperty is the same invariant for the
+// vector engine: each instance's unit mass is preserved.
+func TestEngineVectorMassConservationProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(func(seedRaw uint32, nRaw uint8, dimRaw uint8) bool {
+		n := 50 + int(nRaw)%150
+		dim := 1 + int(dimRaw)%8
+		leaders := make([]int, dim)
+		for d := range leaders {
+			leaders[d] = (d * 13) % n
+		}
+		e, err := Run(Config{
+			N:       n,
+			Cycles:  6,
+			Seed:    uint64(seedRaw) + 1,
+			Dim:     dim,
+			Leaders: leaders,
+			Overlay: randomOverlay(8),
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Duplicate leader slots stack their mass: compute expected mass
+		// per dimension (1 each).
+		for d := 0; d < dim; d++ {
+			total := 0.0
+			for i := 0; i < n; i++ {
+				total += e.Vector(i)[d]
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarianceNeverIncreasesWithoutFailures: each AVERAGE exchange can
+// only shrink the spread, so the per-cycle variance sequence must be
+// non-increasing in a failure-free run.
+func TestVarianceNeverIncreasesWithoutFailures(t *testing.T) {
+	var variances []float64
+	_, err := Run(Config{
+		N:       500,
+		Cycles:  25,
+		Seed:    9,
+		Fn:      core.Average,
+		Init:    UniformInit(0, 100, 10),
+		Overlay: Newscast(15),
+		Observe: func(_ int, e *Engine) {
+			m := e.ParticipantMoments()
+			variances = append(variances, m.Variance())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(variances); i++ {
+		if variances[i] > variances[i-1]*(1+1e-12) {
+			t.Fatalf("variance grew at cycle %d: %g -> %g", i, variances[i-1], variances[i])
+		}
+	}
+}

@@ -1,0 +1,476 @@
+// Package sim is the cycle-driven overlay simulator used to reproduce the
+// paper's evaluation — the Go equivalent of the authors' PeerSim setup
+// (§7). Time advances in cycles; in every cycle each live node initiates
+// one push-pull exchange with a neighbor drawn from the overlay, exactly
+// as in Figure 1 of the paper. Failure models inject node crashes, churn,
+// link failures and message omissions with the paper's §6/§7 semantics.
+//
+// The engine is deterministic: all randomness derives from Config.Seed.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"antientropy/internal/core"
+	"antientropy/internal/stats"
+)
+
+// Config describes one simulated epoch.
+type Config struct {
+	// N is the initial number of nodes.
+	N int
+	// Cycles is the number of cycles to run (γ in the paper; 30 for most
+	// experiments).
+	Cycles int
+	// Seed drives all randomness of the run.
+	Seed uint64
+
+	// Fn is the scalar aggregation function (scalar mode). Exactly one of
+	// Fn.Update or Dim must be set.
+	Fn core.Function
+	// Init yields node i's initial scalar estimate (scalar mode).
+	Init func(node int) float64
+
+	// Dim > 0 selects vector mode: the state is a Dim-dimensional vector
+	// averaged element-wise, the flattened equivalent of the COUNT
+	// protocol's map state (one dimension per concurrent instance; a
+	// missing map entry is a zero component — see core.Merge).
+	Dim int
+	// Leaders[d] is the node whose d-th component starts at 1 (the leader
+	// of instance d); all other components start at 0. Exactly one of
+	// Leaders and VecInit must be set in vector mode.
+	Leaders []int
+	// VecInit initializes component d of node i arbitrarily, enabling the
+	// §5 derived aggregates: e.g. dim 0 = values and dim 1 = a COUNT peak
+	// composes SUM; dim 0 = values and dim 1 = squared values composes
+	// VARIANCE.
+	VecInit func(node, dim int) float64
+
+	// Overlay builds the overlay for this run.
+	Overlay OverlayBuilder
+	// Failures are applied in order at the beginning of every cycle.
+	Failures []FailureModel
+
+	// LinkFailure is P_d: each exchange is dropped entirely with this
+	// probability (§6.2 — slows convergence, no approximation error).
+	LinkFailure float64
+	// MessageLoss is the per-message drop probability (§7.2): a lost
+	// request skips the exchange; a lost reply leaves the responder
+	// updated but not the initiator, changing the global sum.
+	MessageLoss float64
+
+	// TrackExchanges enables per-node exchange counting (§4.5 validation).
+	TrackExchanges bool
+
+	// Observe, when non-nil, is called after initialization (cycle 0) and
+	// after every completed cycle.
+	Observe func(cycle int, e *Engine)
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("sim: invalid node count %d", c.N)
+	}
+	if c.Cycles < 0 {
+		return fmt.Errorf("sim: invalid cycle count %d", c.Cycles)
+	}
+	scalar := c.Fn.Update != nil
+	vector := c.Dim > 0
+	if scalar == vector {
+		return errors.New("sim: exactly one of Fn (scalar mode) and Dim (vector mode) must be set")
+	}
+	if scalar && c.Init == nil {
+		return errors.New("sim: scalar mode requires Init")
+	}
+	if vector {
+		hasLeaders := len(c.Leaders) > 0
+		hasVecInit := c.VecInit != nil
+		if hasLeaders == hasVecInit {
+			return errors.New("sim: vector mode requires exactly one of Leaders and VecInit")
+		}
+		if hasLeaders {
+			if len(c.Leaders) != c.Dim {
+				return fmt.Errorf("sim: vector mode needs exactly Dim=%d leaders, got %d", c.Dim, len(c.Leaders))
+			}
+			for d, l := range c.Leaders {
+				if l < 0 || l >= c.N {
+					return fmt.Errorf("sim: leader %d of instance %d out of range", l, d)
+				}
+			}
+		}
+	}
+	if c.Overlay == nil {
+		return errors.New("sim: overlay builder is required")
+	}
+	if c.LinkFailure < 0 || c.LinkFailure > 1 {
+		return fmt.Errorf("sim: link failure probability %g not in [0,1]", c.LinkFailure)
+	}
+	if c.MessageLoss < 0 || c.MessageLoss > 1 {
+		return fmt.Errorf("sim: message loss probability %g not in [0,1]", c.MessageLoss)
+	}
+	return nil
+}
+
+// Metrics counts exchange outcomes over a run.
+type Metrics struct {
+	// Attempts counts initiated exchange attempts.
+	Attempts int64
+	// Completed counts fully successful push-pull exchanges.
+	Completed int64
+	// Timeouts counts attempts aimed at crashed peers.
+	Timeouts int64
+	// Refusals counts attempts aimed at nodes that joined mid-epoch and
+	// refuse connections for the current epoch (§7.1).
+	Refusals int64
+	// LinkDrops counts exchanges lost to link failure (P_d).
+	LinkDrops int64
+	// RequestLosses counts exchanges whose initiating message was lost.
+	RequestLosses int64
+	// ReplyLosses counts exchanges whose response was lost after the
+	// responder had already updated its state.
+	ReplyLosses int64
+}
+
+// Engine runs one epoch of the protocol over a simulated overlay.
+type Engine struct {
+	cfg     Config
+	rng     *stats.RNG
+	overlay Overlay
+
+	n     int
+	alive *indexSet
+	// participating marks nodes taking part in the current epoch; nodes
+	// that join mid-epoch wait for the next one (§4.2).
+	participating []bool
+
+	scalar []float64
+	vec    []float64 // flattened [node*dim+d], vector mode
+
+	cycle   int
+	perm    []int
+	metrics Metrics
+
+	// exchanges[i] counts node i's exchange participations in the current
+	// cycle (reset each cycle; valid when TrackExchanges).
+	exchanges []int
+}
+
+// New validates cfg, builds the overlay, initializes node states and
+// returns an engine positioned before cycle 1.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:           cfg,
+		rng:           stats.NewRNG(cfg.Seed),
+		n:             cfg.N,
+		alive:         newIndexSet(cfg.N, true),
+		participating: make([]bool, cfg.N),
+		perm:          make([]int, cfg.N),
+	}
+	for i := range e.participating {
+		e.participating[i] = true
+	}
+	if cfg.TrackExchanges {
+		e.exchanges = make([]int, cfg.N)
+	}
+	overlayRNG := e.rng.Split()
+	ov, err := cfg.Overlay(OverlayContext{
+		N:     cfg.N,
+		RNG:   overlayRNG,
+		Alive: func(i int) bool { return e.alive.contains(i) },
+		RandomAlive: func(rng *stats.RNG) int {
+			if e.alive.len() == 0 {
+				return -1
+			}
+			return e.alive.random(rng)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: building overlay: %w", err)
+	}
+	e.overlay = ov
+	if cfg.Dim > 0 {
+		e.vec = make([]float64, cfg.N*cfg.Dim)
+		if cfg.VecInit != nil {
+			for i := 0; i < cfg.N; i++ {
+				for d := 0; d < cfg.Dim; d++ {
+					e.vec[i*cfg.Dim+d] = cfg.VecInit(i, d)
+				}
+			}
+		} else {
+			for d, l := range cfg.Leaders {
+				e.vec[l*cfg.Dim+d] = 1
+			}
+		}
+	} else {
+		e.scalar = make([]float64, cfg.N)
+		for i := range e.scalar {
+			e.scalar[i] = cfg.Init(i)
+		}
+	}
+	return e, nil
+}
+
+// Run executes all configured cycles, invoking the observer after
+// initialization and after each cycle.
+func Run(cfg Config) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.observe()
+	for e.cycle < cfg.Cycles {
+		e.Step()
+		e.observe()
+	}
+	return e, nil
+}
+
+func (e *Engine) observe() {
+	if e.cfg.Observe != nil {
+		e.cfg.Observe(e.cycle, e)
+	}
+}
+
+// Cycle returns the number of completed cycles.
+func (e *Engine) Cycle() int { return e.cycle }
+
+// N returns the (constant) number of node slots.
+func (e *Engine) N() int { return e.n }
+
+// AliveCount returns the number of currently live nodes.
+func (e *Engine) AliveCount() int { return e.alive.len() }
+
+// Alive reports whether node is currently live.
+func (e *Engine) Alive(node int) bool { return e.alive.contains(node) }
+
+// Participating reports whether node is live and part of the current
+// epoch.
+func (e *Engine) Participating(node int) bool {
+	return e.alive.contains(node) && e.participating[node]
+}
+
+// Metrics returns the exchange counters accumulated so far.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Overlay returns the overlay driving this run.
+func (e *Engine) Overlay() Overlay { return e.overlay }
+
+// Step advances the simulation by one full cycle: failures are injected
+// first (the paper's worst case — variance is maximal at cycle start),
+// the overlay evolves, then every live participant initiates one
+// push-pull exchange in random order.
+func (e *Engine) Step() {
+	e.cycle++
+	for _, f := range e.cfg.Failures {
+		f.Apply(e.cycle, e)
+	}
+	e.overlay.Step(e.cycle)
+	if e.exchanges != nil {
+		for i := range e.exchanges {
+			e.exchanges[i] = 0
+		}
+	}
+	e.rng.Perm(e.perm)
+	for _, i := range e.perm {
+		if !e.alive.contains(i) || !e.participating[i] {
+			continue
+		}
+		e.initiateExchange(i)
+	}
+}
+
+// initiateExchange performs node i's active-thread step of Figure 1 with
+// the §6/§7 failure semantics.
+func (e *Engine) initiateExchange(i int) {
+	j := e.overlay.Neighbor(i, e.rng)
+	if j < 0 || j == i {
+		return
+	}
+	e.metrics.Attempts++
+	if !e.alive.contains(j) {
+		e.metrics.Timeouts++
+		return
+	}
+	if !e.participating[j] {
+		e.metrics.Refusals++
+		return
+	}
+	if e.rng.Bool(e.cfg.LinkFailure) {
+		e.metrics.LinkDrops++
+		return
+	}
+	if e.rng.Bool(e.cfg.MessageLoss) {
+		// The initiating message never arrived: nothing happened.
+		e.metrics.RequestLosses++
+		return
+	}
+	replyLost := e.rng.Bool(e.cfg.MessageLoss)
+	if e.cfg.Dim > 0 {
+		e.exchangeVector(i, j, replyLost)
+	} else {
+		e.exchangeScalar(i, j, replyLost)
+	}
+	if replyLost {
+		e.metrics.ReplyLosses++
+	} else {
+		e.metrics.Completed++
+	}
+	if e.exchanges != nil {
+		e.exchanges[i]++
+		e.exchanges[j]++
+	}
+}
+
+func (e *Engine) exchangeScalar(i, j int, replyLost bool) {
+	ni, nj := e.cfg.Fn.Update(e.scalar[i], e.scalar[j])
+	// The responder received the request and always updates; the
+	// initiator updates only if the reply arrives.
+	e.scalar[j] = nj
+	if !replyLost {
+		e.scalar[i] = ni
+	}
+}
+
+func (e *Engine) exchangeVector(i, j int, replyLost bool) {
+	dim := e.cfg.Dim
+	vi := e.vec[i*dim : (i+1)*dim]
+	vj := e.vec[j*dim : (j+1)*dim]
+	for d := range vj {
+		m := (vi[d] + vj[d]) / 2
+		vj[d] = m
+		if !replyLost {
+			vi[d] = m
+		}
+	}
+}
+
+// Value returns node's scalar estimate (scalar mode).
+func (e *Engine) Value(node int) float64 { return e.scalar[node] }
+
+// Vector returns a copy of node's state vector (vector mode).
+func (e *Engine) Vector(node int) []float64 {
+	dim := e.cfg.Dim
+	return append([]float64(nil), e.vec[node*dim:(node+1)*dim]...)
+}
+
+// ForEachParticipant calls fn for every live, participating node with its
+// scalar estimate.
+func (e *Engine) ForEachParticipant(fn func(node int, value float64)) {
+	for _, id := range e.alive.items {
+		i := int(id)
+		if e.participating[i] {
+			fn(i, e.scalar[i])
+		}
+	}
+}
+
+// ForEachParticipantVec calls fn for every live, participating node with
+// a read-only view of its state vector. The slice must not be retained or
+// modified.
+func (e *Engine) ForEachParticipantVec(fn func(node int, vec []float64)) {
+	dim := e.cfg.Dim
+	for _, id := range e.alive.items {
+		i := int(id)
+		if e.participating[i] {
+			fn(i, e.vec[i*dim:(i+1)*dim])
+		}
+	}
+}
+
+// ParticipantMoments returns streaming moments (count/mean/variance/
+// min/max) of the participants' scalar estimates.
+func (e *Engine) ParticipantMoments() stats.Moments {
+	var m stats.Moments
+	e.ForEachParticipant(func(_ int, v float64) { m.Add(v) })
+	return m
+}
+
+// ExchangeCount returns node's number of exchange participations in the
+// last completed cycle. It returns an error unless TrackExchanges is on.
+func (e *Engine) ExchangeCount(node int) (int, error) {
+	if e.exchanges == nil {
+		return 0, errors.New("sim: exchange tracking not enabled")
+	}
+	return e.exchanges[node], nil
+}
+
+// kill marks a node as crashed. Its state becomes unreachable, exactly as
+// a crash renders a node's local value inaccessible (§6.1).
+func (e *Engine) kill(node int) {
+	e.alive.remove(node)
+}
+
+// replace models churn: the slot is taken over by a brand-new node that
+// may not participate in the current epoch (§4.2) but immediately joins
+// the membership overlay.
+func (e *Engine) replace(node int) {
+	e.alive.add(node)
+	e.participating[node] = false
+	if e.cfg.Dim > 0 {
+		dim := e.cfg.Dim
+		for d := 0; d < dim; d++ {
+			e.vec[node*dim+d] = 0
+		}
+	} else {
+		e.scalar[node] = 0
+	}
+	e.overlay.OnJoin(node, e.cycle)
+}
+
+// RNG exposes the engine's generator to failure models so the whole run
+// stays deterministic under a single seed.
+func (e *Engine) RNG() *stats.RNG { return e.rng }
+
+// indexSet is a constant-time add/remove/sample set over [0, n).
+type indexSet struct {
+	items []int32
+	pos   []int32 // pos[id] = index into items, or -1
+}
+
+func newIndexSet(n int, full bool) *indexSet {
+	s := &indexSet{items: make([]int32, 0, n), pos: make([]int32, n)}
+	for i := range s.pos {
+		s.pos[i] = -1
+	}
+	if full {
+		for i := 0; i < n; i++ {
+			s.items = append(s.items, int32(i))
+			s.pos[i] = int32(i)
+		}
+	}
+	return s
+}
+
+func (s *indexSet) len() int { return len(s.items) }
+
+func (s *indexSet) contains(id int) bool { return s.pos[id] >= 0 }
+
+func (s *indexSet) add(id int) {
+	if s.pos[id] >= 0 {
+		return
+	}
+	s.pos[id] = int32(len(s.items))
+	s.items = append(s.items, int32(id))
+}
+
+func (s *indexSet) remove(id int) {
+	p := s.pos[id]
+	if p < 0 {
+		return
+	}
+	last := int32(len(s.items) - 1)
+	moved := s.items[last]
+	s.items[p] = moved
+	s.pos[moved] = p
+	s.items = s.items[:last]
+	s.pos[id] = -1
+}
+
+// random returns a uniformly random member; the set must be non-empty.
+func (s *indexSet) random(rng *stats.RNG) int {
+	return int(s.items[rng.Intn(len(s.items))])
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"antientropy/internal/core"
+	"antientropy/internal/stats"
+)
+
+// PeakInit returns the paper's peak distribution: node `at` starts with
+// `total`, every other node with zero. With total = N the global average
+// is 1; this is both the COUNT initialization and the paper's most
+// demanding robustness scenario (§3).
+func PeakInit(total float64, at int) func(node int) float64 {
+	return func(node int) float64 {
+		if node == at {
+			return total
+		}
+		return 0
+	}
+}
+
+// ConstInit starts every node with the same value v.
+func ConstInit(v float64) func(node int) float64 {
+	return func(int) float64 { return v }
+}
+
+// UniformInit draws each node's initial value uniformly from [lo, hi)
+// using a dedicated generator, independent of the engine's stream.
+func UniformInit(lo, hi float64, seed uint64) func(node int) float64 {
+	rng := stats.NewRNG(seed)
+	return func(int) float64 { return lo + (hi-lo)*rng.Float64() }
+}
+
+// LinearInit assigns node i the value i, handy for known-mean workloads.
+func LinearInit() func(node int) float64 {
+	return func(node int) float64 { return float64(node) }
+}
+
+// SizeEstimateAt converts node's vector-mode state into a network-size
+// estimate using the §7.3 combiner across the run's concurrent instances.
+// Instances from which the node holds no mass are excluded; if none carry
+// mass the estimate is +Inf (the paper notes estimates "can even become
+// infinite" when every mass holder crashes).
+func (e *Engine) SizeEstimateAt(node int) float64 {
+	dim := e.cfg.Dim
+	if dim == 0 {
+		return core.SizeFromAverage(e.scalar[node])
+	}
+	ests := make([]float64, 0, dim)
+	for d := 0; d < dim; d++ {
+		v := e.vec[node*dim+d]
+		if v > 0 {
+			ests = append(ests, core.SizeFromAverage(v))
+		}
+	}
+	if len(ests) == 0 {
+		return math.Inf(1)
+	}
+	combined, err := core.Combine(ests)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return combined
+}
+
+// SizeMoments aggregates the finite size estimates of all participants.
+func (e *Engine) SizeMoments() stats.Moments {
+	var m stats.Moments
+	dim := e.cfg.Dim
+	if dim == 0 {
+		e.ForEachParticipant(func(_ int, v float64) {
+			if s := core.SizeFromAverage(v); !math.IsInf(s, 1) {
+				m.Add(s)
+			}
+		})
+		return m
+	}
+	for _, id := range e.alive.items {
+		i := int(id)
+		if !e.participating[i] {
+			continue
+		}
+		if s := e.SizeEstimateAt(i); !math.IsInf(s, 1) {
+			m.Add(s)
+		}
+	}
+	return m
+}
+
+// ParallelReps runs reps independent experiment repetitions across the
+// available CPUs. Each repetition receives a seed derived from the master
+// seed so results are reproducible regardless of scheduling. The first
+// error (if any) is returned.
+func ParallelReps(reps int, seed uint64, run func(rep int, seed uint64) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				if err := run(rep, RepSeed(seed, rep)); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		jobs <- rep
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RepSeed derives the deterministic seed of repetition rep from the
+// master seed.
+func RepSeed(master uint64, rep int) uint64 {
+	// One splitmix64-style scramble keeps the per-rep streams decorrelated.
+	x := master ^ (0x9e3779b97f4a7c15 * (uint64(rep) + 1))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ConvergenceTracker records the empirical variance of the local estimates
+// at the end of each cycle and derives the per-cycle convergence factor
+// ρ_i = σ²_i / σ²_{i−1} (paper §3) and its average over a window of
+// cycles (used throughout the paper's Figures 3, 4 and 7).
+//
+// The zero value is ready to use; record the cycle-0 (initial) variance
+// first, then one variance per completed cycle.
+type ConvergenceTracker struct {
+	variances []float64
+}
+
+// Record appends the variance observed at the end of the current cycle.
+func (c *ConvergenceTracker) Record(variance float64) {
+	c.variances = append(c.variances, variance)
+}
+
+// Cycles returns the number of completed cycles recorded (excluding the
+// initial variance).
+func (c *ConvergenceTracker) Cycles() int {
+	if len(c.variances) == 0 {
+		return 0
+	}
+	return len(c.variances) - 1
+}
+
+// Variance returns the variance recorded after cycle i, where i = 0 is the
+// initial distribution.
+func (c *ConvergenceTracker) Variance(i int) (float64, error) {
+	if i < 0 || i >= len(c.variances) {
+		return 0, errors.New("stats: cycle index out of range")
+	}
+	return c.variances[i], nil
+}
+
+// Factor returns ρ_i = σ²_i / σ²_{i−1} for cycle i ≥ 1. Cycles in which
+// the previous variance was already zero (fully converged) report a factor
+// of 0.
+func (c *ConvergenceTracker) Factor(i int) (float64, error) {
+	if i < 1 || i >= len(c.variances) {
+		return 0, errors.New("stats: cycle index out of range")
+	}
+	prev := c.variances[i-1]
+	if prev == 0 {
+		return 0, nil
+	}
+	return c.variances[i] / prev, nil
+}
+
+// AverageFactor returns the geometric mean of the per-cycle convergence
+// factors over cycles [1, upTo], i.e. (σ²_upTo / σ²_0)^(1/upTo). The
+// geometric mean is the right average for multiplicative reduction rates
+// and is what the paper plots as the "average convergence factor over a
+// period of 20 cycles". When the variance underflows to zero before upTo
+// cycles, the last positive variance is used and the exponent adjusted, so
+// that extremely fast topologies do not report a spurious zero.
+func (c *ConvergenceTracker) AverageFactor(upTo int) (float64, error) {
+	if upTo < 1 || upTo >= len(c.variances) {
+		return 0, errors.New("stats: cycle index out of range")
+	}
+	v0 := c.variances[0]
+	if v0 == 0 {
+		return 0, errors.New("stats: initial variance is zero")
+	}
+	// Find the last cycle ≤ upTo with positive variance.
+	last := 0
+	for i := 1; i <= upTo; i++ {
+		if c.variances[i] > 0 {
+			last = i
+		}
+	}
+	if last == 0 {
+		return 0, nil
+	}
+	ratio := c.variances[last] / v0
+	return math.Pow(ratio, 1/float64(last)), nil
+}
+
+// NormalizedReduction returns σ²_i / σ²_0 for every recorded cycle i,
+// the series plotted in Figure 3(b).
+func (c *ConvergenceTracker) NormalizedReduction() []float64 {
+	if len(c.variances) == 0 {
+		return nil
+	}
+	v0 := c.variances[0]
+	out := make([]float64, len(c.variances))
+	for i, v := range c.variances {
+		if v0 == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = v / v0
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvergenceTrackerFactors(t *testing.T) {
+	var c ConvergenceTracker
+	c.Record(100) // cycle 0 (initial)
+	c.Record(25)  // cycle 1: factor 0.25
+	c.Record(5)   // cycle 2: factor 0.2
+
+	if c.Cycles() != 2 {
+		t.Fatalf("Cycles = %d, want 2", c.Cycles())
+	}
+	f1, err := c.Factor(1)
+	if err != nil || !almostEqual(f1, 0.25, 1e-12) {
+		t.Fatalf("Factor(1) = %g, %v", f1, err)
+	}
+	f2, err := c.Factor(2)
+	if err != nil || !almostEqual(f2, 0.2, 1e-12) {
+		t.Fatalf("Factor(2) = %g, %v", f2, err)
+	}
+}
+
+func TestConvergenceTrackerAverageFactorIsGeometricMean(t *testing.T) {
+	var c ConvergenceTracker
+	c.Record(1)
+	c.Record(0.5)  // factor 0.5
+	c.Record(0.1)  // factor 0.2
+	c.Record(0.05) // factor 0.5
+	avg, err := c.AverageFactor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.5*0.2*0.5, 1.0/3)
+	if !almostEqual(avg, want, 1e-12) {
+		t.Fatalf("AverageFactor = %g, want %g", avg, want)
+	}
+}
+
+func TestConvergenceTrackerUnderflowHandling(t *testing.T) {
+	// Once the variance underflows to exactly zero the average factor
+	// must use the last positive cycle instead of reporting 0.
+	var c ConvergenceTracker
+	c.Record(1)
+	c.Record(0.25)
+	c.Record(0) // converged exactly
+	avg, err := c.AverageFactor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(avg, 0.25, 1e-12) {
+		t.Fatalf("AverageFactor with underflow = %g, want 0.25", avg)
+	}
+}
+
+func TestConvergenceTrackerZeroFromStart(t *testing.T) {
+	var c ConvergenceTracker
+	c.Record(1)
+	c.Record(0)
+	c.Record(0)
+	avg, err := c.AverageFactor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Fatalf("AverageFactor = %g, want 0 (instant convergence)", avg)
+	}
+	f, err := c.Factor(2)
+	if err != nil || f != 0 {
+		t.Fatalf("Factor after zero variance = %g, %v; want 0", f, err)
+	}
+}
+
+func TestConvergenceTrackerErrors(t *testing.T) {
+	var c ConvergenceTracker
+	if _, err := c.Variance(0); err == nil {
+		t.Error("Variance on empty tracker should error")
+	}
+	c.Record(1)
+	if _, err := c.Factor(1); err == nil {
+		t.Error("Factor(1) with a single record should error")
+	}
+	if _, err := c.AverageFactor(1); err == nil {
+		t.Error("AverageFactor(1) with a single record should error")
+	}
+	if _, err := c.Factor(0); err == nil {
+		t.Error("Factor(0) should error (cycle 0 is the initial state)")
+	}
+	c2 := ConvergenceTracker{}
+	c2.Record(0)
+	c2.Record(0)
+	if _, err := c2.AverageFactor(1); err == nil {
+		t.Error("zero initial variance should error")
+	}
+}
+
+func TestNormalizedReduction(t *testing.T) {
+	var c ConvergenceTracker
+	c.Record(10)
+	c.Record(5)
+	c.Record(1)
+	got := c.NormalizedReduction()
+	want := []float64{1, 0.5, 0.1}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("reduction[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	var empty ConvergenceTracker
+	if empty.NormalizedReduction() != nil {
+		t.Error("empty tracker should return nil")
+	}
+}
+
+func TestVarianceAccessor(t *testing.T) {
+	var c ConvergenceTracker
+	c.Record(3)
+	v, err := c.Variance(0)
+	if err != nil || v != 3 {
+		t.Fatalf("Variance(0) = %g, %v", v, err)
+	}
+	if _, err := c.Variance(1); err == nil {
+		t.Error("out-of-range access should error")
+	}
+	if _, err := c.Variance(-1); err == nil {
+		t.Error("negative access should error")
+	}
+}

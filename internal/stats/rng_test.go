@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 outputs", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded generator produced duplicates: %d distinct of 100", len(seen))
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// The child's stream must differ from the parent's subsequent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams collided %d times", same)
+	}
+}
+
+func TestRNGSplitDeterminism(t *testing.T) {
+	c1 := NewRNG(9).Split()
+	c2 := NewRNG(9).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	if err := quick.Check(func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("value %d drawn %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(17)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %.4f, want ~0.30", got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		lambda float64
+	}{{0.5}, {1}, {4}, {10}}
+	for _, tc := range tests {
+		r := NewRNG(23)
+		var m Moments
+		for i := 0; i < 50000; i++ {
+			m.Add(float64(r.Poisson(tc.lambda)))
+		}
+		if math.Abs(m.Mean()-tc.lambda) > 0.1*tc.lambda+0.05 {
+			t.Errorf("Poisson(%g): mean %.3f", tc.lambda, m.Mean())
+		}
+		if math.Abs(m.Variance()-tc.lambda) > 0.15*tc.lambda+0.1 {
+			t.Errorf("Poisson(%g): variance %.3f", tc.lambda, m.Variance())
+		}
+	}
+}
+
+func TestPoissonNonPositiveLambda(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d", got)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := NewRNG(29)
+	var m Moments
+	for i := 0; i < 20000; i++ {
+		v := r.Poisson(100)
+		if v < 0 {
+			t.Fatal("negative Poisson variate")
+		}
+		m.Add(float64(v))
+	}
+	if math.Abs(m.Mean()-100) > 2 {
+		t.Fatalf("Poisson(100) mean %.2f", m.Mean())
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(31)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(r.NormFloat64())
+	}
+	if math.Abs(m.Mean()) > 0.02 {
+		t.Fatalf("normal mean %.4f", m.Mean())
+	}
+	if math.Abs(m.Variance()-1) > 0.03 {
+		t.Fatalf("normal variance %.4f", m.Variance())
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(13)
+	p := make([]int, 257)
+	r.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("invalid permutation value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermShufflesUniformly(t *testing.T) {
+	// Over many draws, element 0 should land in each slot about equally.
+	r := NewRNG(37)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	p := make([]int, n)
+	for i := 0; i < draws; i++ {
+		r.Perm(p)
+		for pos, v := range p {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	expected := float64(draws) / n
+	for pos, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Errorf("element 0 in slot %d: %d draws, expected ~%.0f", pos, c, expected)
+		}
+	}
+}
+
+func TestSampleDistinctAndExcluded(t *testing.T) {
+	r := NewRNG(41)
+	dst := make([]int, 10)
+	for trial := 0; trial < 100; trial++ {
+		r.Sample(dst, 50, func(v int) bool { return v == 7 })
+		seen := make(map[int]bool)
+		for _, v := range dst {
+			if v == 7 {
+				t.Fatal("excluded value sampled")
+			}
+			if v < 0 || v >= 50 {
+				t.Fatalf("out-of-range sample %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleNilExclusion(t *testing.T) {
+	r := NewRNG(43)
+	dst := make([]int, 3)
+	r.Sample(dst, 3, nil)
+	seen := map[int]bool{dst[0]: true, dst[1]: true, dst[2]: true}
+	if len(seen) != 3 {
+		t.Fatalf("Sample with n == len(dst) must be a permutation, got %v", dst)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

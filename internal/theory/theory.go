@@ -1,0 +1,118 @@
+// Package theory provides the closed-form predictions the DSN'04 paper
+// derives for the anti-entropy aggregation protocol, so that the
+// experiment harness can plot measured values against theory exactly as
+// the paper does (Figures 5 and 7a, and the §3/§4.5 convergence results).
+package theory
+
+import (
+	"errors"
+	"math"
+)
+
+// RhoPushPull is the per-cycle variance reduction factor ρ ≈ 1/(2√e) of
+// the push-pull averaging protocol on a sufficiently random overlay
+// (paper §3): every node initiates exactly one exchange per cycle and the
+// expected variance drops by this factor each cycle.
+var RhoPushPull = 1 / (2 * math.Sqrt(math.E))
+
+// RhoRandomPair is the reduction factor ρ = 1/e of the fully random
+// pairwise-exchange model (paper §6.2, from [5]), in which each variance
+// reduction step picks a uniform random pair and a node may not
+// participate in a given cycle at all.
+var RhoRandomPair = 1 / math.E
+
+// LinkFailureBound returns the paper's upper bound (equation (5)) on the
+// average convergence factor when each link is down with probability pd:
+//
+//	ρ_d = (1/e)^(1−pd) = e^(pd−1).
+//
+// Link failure only slows convergence; it introduces no approximation
+// error.
+func LinkFailureBound(pd float64) float64 {
+	return math.Exp(pd - 1)
+}
+
+// CrashVariance returns Theorem 1's prediction for Var(µ_i), the variance
+// of the running mean of the surviving estimates after i cycles when a
+// proportion pf of the nodes crashes at the beginning of every cycle:
+//
+//	Var(µ_i) = pf/(N(1−pf)) · E(σ²₀) · (1 − (ρ/(1−pf))^i) / (1 − ρ/(1−pf))
+//
+// with ρ the per-cycle variance reduction factor. n is the initial network
+// size and sigma0 is E(σ²₀), the expected variance of the initial values.
+func CrashVariance(pf float64, n int, sigma0 float64, rho float64, cycles int) (float64, error) {
+	if pf < 0 || pf >= 1 {
+		return 0, errors.New("theory: pf must be in [0, 1)")
+	}
+	if n <= 0 {
+		return 0, errors.New("theory: n must be positive")
+	}
+	if cycles < 0 {
+		return 0, errors.New("theory: cycles must be non-negative")
+	}
+	if pf == 0 {
+		return 0, nil
+	}
+	q := rho / (1 - pf)
+	lead := pf / (float64(n) * (1 - pf)) * sigma0
+	if q == 1 {
+		// Degenerate geometric series: each term contributes equally.
+		return lead * float64(cycles), nil
+	}
+	return lead * (1 - math.Pow(q, float64(cycles))) / (1 - q), nil
+}
+
+// CrashVarianceBounded reports whether the variance of µ_i stays bounded
+// as i → ∞ for the given crash rate: bounded iff ρ ≤ 1 − pf (paper §6.1).
+func CrashVarianceBounded(pf, rho float64) bool {
+	return rho <= 1-pf
+}
+
+// CyclesForAccuracy returns the smallest number of cycles γ such that the
+// expected variance reduction ρ^γ is at most epsilon (paper §4.5:
+// γ ≥ log_ρ ε). rho must be in (0, 1) and epsilon in (0, 1].
+func CyclesForAccuracy(rho, epsilon float64) (int, error) {
+	if rho <= 0 || rho >= 1 {
+		return 0, errors.New("theory: rho must be in (0, 1)")
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return 0, errors.New("theory: epsilon must be in (0, 1]")
+	}
+	return int(math.Ceil(math.Log(epsilon) / math.Log(rho))), nil
+}
+
+// ExpectedVarianceAfter returns E(σ²_γ) = ρ^γ · sigma0 (paper §4.5).
+func ExpectedVarianceAfter(rho, sigma0 float64, cycles int) float64 {
+	return sigma0 * math.Pow(rho, float64(cycles))
+}
+
+// EpidemicRoundsBound returns a standard upper bound on the number of
+// gossip rounds needed to spread one datum (the global MIN or MAX, §5) to
+// all n nodes. For push-only gossip, Pittel's theorem gives
+// log₂n + ln n + O(1); push-pull is strictly faster, so this bounds the
+// MIN/MAX protocols from above with high probability.
+func EpidemicRoundsBound(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n)) + math.Log(float64(n)) + 4
+}
+
+// ExchangesPerCycleCDF returns P(X ≤ k) where X = 1 + Poisson(1) is the
+// paper's §4.5 model of the number of exchanges a node performs in one
+// cycle (one self-initiated plus a Poisson(1) number of passive ones).
+func ExchangesPerCycleCDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	// P(Poisson(1) ≤ k−1) = e^{-1} Σ_{j=0}^{k−1} 1/j!
+	sum := 0.0
+	term := 1.0 // 1/0!
+	for j := 0; j <= k-1; j++ {
+		if j > 0 {
+			term /= float64(j)
+		}
+		sum += term
+	}
+	return math.Exp(-1) * sum
+}

@@ -1,0 +1,204 @@
+package theory
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRhoConstants(t *testing.T) {
+	if !almostEqual(RhoPushPull, 0.3032653298563167, 1e-12) {
+		t.Errorf("RhoPushPull = %v", RhoPushPull)
+	}
+	if !almostEqual(RhoRandomPair, 0.36787944117144233, 1e-12) {
+		t.Errorf("RhoRandomPair = %v", RhoRandomPair)
+	}
+	if RhoPushPull >= RhoRandomPair {
+		t.Error("push-pull must converge faster (smaller rho) than the random-pair model")
+	}
+}
+
+func TestLinkFailureBound(t *testing.T) {
+	tests := []struct {
+		pd   float64
+		want float64
+	}{
+		{0, 1 / math.E},
+		{1, 1},
+		{0.5, math.Exp(-0.5)},
+	}
+	for _, tc := range tests {
+		if got := LinkFailureBound(tc.pd); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("LinkFailureBound(%g) = %g, want %g", tc.pd, got, tc.want)
+		}
+	}
+	// Equation (5) sanity: the bound satisfies ρ_d^{1/(1−P_d)} = 1/e.
+	for _, pd := range []float64{0.1, 0.3, 0.7, 0.9} {
+		rho := LinkFailureBound(pd)
+		if !almostEqual(math.Pow(rho, 1/(1-pd)), 1/math.E, 1e-9) {
+			t.Errorf("bound identity violated at pd=%g", pd)
+		}
+	}
+	// Monotonically increasing in pd: more failure, slower convergence.
+	prev := -1.0
+	for pd := 0.0; pd <= 1.0; pd += 0.05 {
+		b := LinkFailureBound(pd)
+		if b <= prev {
+			t.Fatalf("bound not increasing at pd=%g", pd)
+		}
+		prev = b
+	}
+}
+
+func TestCrashVarianceFormula(t *testing.T) {
+	// Hand-computed check of Theorem 1 with easy numbers:
+	// pf=0.5, N=10, σ²₀=1, ρ=0.25, i=2:
+	// q = 0.25/0.5 = 0.5; lead = 0.5/(10·0.5)·1 = 0.1
+	// Var = 0.1·(1−0.5²)/(1−0.5) = 0.1·1.5 = 0.15
+	got, err := CrashVariance(0.5, 10, 1, 0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.15, 1e-12) {
+		t.Fatalf("CrashVariance = %g, want 0.15", got)
+	}
+}
+
+func TestCrashVarianceZeroPf(t *testing.T) {
+	got, err := CrashVariance(0, 1000, 5, RhoPushPull, 20)
+	if err != nil || got != 0 {
+		t.Fatalf("no crashes must mean zero mean-variance, got %g, %v", got, err)
+	}
+}
+
+func TestCrashVarianceDegenerateQ(t *testing.T) {
+	// ρ/(1−pf) = 1 exactly: each cycle contributes equally.
+	got, err := CrashVariance(0.5, 10, 1, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := 0.5 / (10 * 0.5) * 1
+	if !almostEqual(got, lead*4, 1e-12) {
+		t.Fatalf("degenerate-q variance = %g, want %g", got, lead*4)
+	}
+}
+
+func TestCrashVarianceMonotoneInPf(t *testing.T) {
+	prev := -1.0
+	for _, pf := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		v, err := CrashVariance(pf, 1e5, 1e5, RhoPushPull, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev && pf > 0 {
+			t.Fatalf("variance not increasing at pf=%g", pf)
+		}
+		prev = v
+	}
+}
+
+func TestCrashVarianceScalesInverselyWithN(t *testing.T) {
+	// Larger networks approximate better (paper §6.1: "optimal for
+	// scalability").
+	small, _ := CrashVariance(0.1, 1000, 1, RhoPushPull, 20)
+	large, _ := CrashVariance(0.1, 100000, 1, RhoPushPull, 20)
+	if !almostEqual(small/large, 100, 1e-6) {
+		t.Fatalf("variance should scale as 1/N: ratio = %g", small/large)
+	}
+}
+
+func TestCrashVarianceErrors(t *testing.T) {
+	if _, err := CrashVariance(-0.1, 10, 1, 0.3, 5); err == nil {
+		t.Error("negative pf accepted")
+	}
+	if _, err := CrashVariance(1, 10, 1, 0.3, 5); err == nil {
+		t.Error("pf = 1 accepted")
+	}
+	if _, err := CrashVariance(0.1, 0, 1, 0.3, 5); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := CrashVariance(0.1, 10, 1, 0.3, -1); err == nil {
+		t.Error("negative cycles accepted")
+	}
+}
+
+func TestCrashVarianceBounded(t *testing.T) {
+	// Bounded iff ρ ≤ 1 − pf (§6.1).
+	if !CrashVarianceBounded(0.3, RhoPushPull) {
+		t.Error("pf=0.3 with push-pull rho should be bounded")
+	}
+	if CrashVarianceBounded(0.8, RhoPushPull) {
+		t.Error("pf=0.8 should be unbounded (1-pf=0.2 < rho)")
+	}
+}
+
+func TestCyclesForAccuracy(t *testing.T) {
+	// γ ≥ log_ρ ε. With ρ = 0.1 and ε = 1e-3 exactly 3 cycles.
+	got, err := CyclesForAccuracy(0.1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("CyclesForAccuracy = %d, want 3", got)
+	}
+	// The paper's standard epoch: ρ = 1/(2√e), 30 cycles gives < 1e-15.
+	g, err := CyclesForAccuracy(RhoPushPull, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 30 {
+		t.Fatalf("30-cycle epoch should reach 1e-15 accuracy, needs %d", g)
+	}
+	if _, err := CyclesForAccuracy(0, 0.1); err == nil {
+		t.Error("rho=0 accepted")
+	}
+	if _, err := CyclesForAccuracy(1, 0.1); err == nil {
+		t.Error("rho=1 accepted")
+	}
+	if _, err := CyclesForAccuracy(0.5, 0); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := CyclesForAccuracy(0.5, 2); err == nil {
+		t.Error("epsilon=2 accepted")
+	}
+}
+
+func TestExpectedVarianceAfter(t *testing.T) {
+	if got := ExpectedVarianceAfter(0.5, 16, 4); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("ExpectedVarianceAfter = %g, want 1", got)
+	}
+	if got := ExpectedVarianceAfter(0.5, 16, 0); got != 16 {
+		t.Fatalf("zero cycles should return sigma0, got %g", got)
+	}
+}
+
+func TestExchangesPerCycleCDF(t *testing.T) {
+	// X = 1 + Poisson(1): P(X ≤ 0) = 0, P(X ≤ 1) = e⁻¹,
+	// P(X ≤ 2) = 2e⁻¹, P(X ≤ 3) = 2.5e⁻¹.
+	if got := ExchangesPerCycleCDF(0); got != 0 {
+		t.Fatalf("CDF(0) = %g", got)
+	}
+	if got := ExchangesPerCycleCDF(1); !almostEqual(got, math.Exp(-1), 1e-12) {
+		t.Fatalf("CDF(1) = %g", got)
+	}
+	if got := ExchangesPerCycleCDF(2); !almostEqual(got, 2*math.Exp(-1), 1e-12) {
+		t.Fatalf("CDF(2) = %g", got)
+	}
+	if got := ExchangesPerCycleCDF(3); !almostEqual(got, 2.5*math.Exp(-1), 1e-12) {
+		t.Fatalf("CDF(3) = %g", got)
+	}
+	// CDF must approach 1.
+	if got := ExchangesPerCycleCDF(40); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("CDF(40) = %g, want ~1", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for k := 0; k < 20; k++ {
+		v := ExchangesPerCycleCDF(k)
+		if v < prev {
+			t.Fatalf("CDF decreasing at k=%d", k)
+		}
+		prev = v
+	}
+}

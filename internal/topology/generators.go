@@ -1,0 +1,292 @@
+package topology
+
+import (
+	"fmt"
+	"slices"
+
+	"antientropy/internal/stats"
+)
+
+// NewRandomKOut builds the paper's "random" topology: the neighbor set of
+// each node is filled with k distinct peers sampled uniformly at random
+// (self excluded). Edges are directed; the paper's evaluation uses k = 20.
+func NewRandomKOut(n, k int, rng *stats.RNG) (*Adjacency, error) {
+	if err := validateSize(n); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n-1 {
+		return nil, fmt.Errorf("topology: k-out degree %d not in [1, %d]", k, n-1)
+	}
+	lists := make([][]int32, n)
+	buf := make([]int, k)
+	for i := 0; i < n; i++ {
+		rng.Sample(buf, n, func(v int) bool { return v == i })
+		l := make([]int32, k)
+		for j, v := range buf {
+			l[j] = int32(v)
+		}
+		lists[i] = l
+	}
+	return newAdjacency(lists), nil
+}
+
+// NewRingLattice builds the regular ring lattice underlying the
+// Watts–Strogatz model: nodes are arranged in a ring and each node is
+// connected to its k nearest neighbors (k/2 on each side). k must be even
+// and < n. The graph is undirected: each edge appears in both lists.
+func NewRingLattice(n, k int) (*Adjacency, error) {
+	if err := validateSize(n); err != nil {
+		return nil, err
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("topology: lattice degree %d must be even and in [2, %d]", k, n-1)
+	}
+	lists := make([][]int32, n)
+	half := k / 2
+	for i := 0; i < n; i++ {
+		l := make([]int32, 0, k)
+		for d := 1; d <= half; d++ {
+			l = append(l, int32((i+d)%n), int32((i-d+n)%n))
+		}
+		lists[i] = l
+	}
+	return newAdjacency(lists), nil
+}
+
+// NewWattsStrogatz builds a Watts–Strogatz small-world graph [14]: a ring
+// lattice of degree k in which each clockwise edge (i, i+d) is rewired
+// with probability beta to (i, random) avoiding self-loops and duplicate
+// edges. beta = 0 leaves the lattice intact; beta = 1 rewires every edge,
+// approaching a random graph (paper §4.4 and Figure 4a).
+func NewWattsStrogatz(n, k int, beta float64, rng *stats.RNG) (*Adjacency, error) {
+	if err := validateSize(n); err != nil {
+		return nil, err
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("topology: lattice degree %d must be even and in [2, %d]", k, n-1)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: rewiring probability %g not in [0,1]", beta)
+	}
+	half := k / 2
+	// Track undirected edges in per-node sets for duplicate avoidance.
+	sets := make([]map[int32]struct{}, n)
+	for i := range sets {
+		sets[i] = make(map[int32]struct{}, k)
+	}
+	addEdge := func(a, b int32) {
+		sets[a][b] = struct{}{}
+		sets[b][a] = struct{}{}
+	}
+	hasEdge := func(a, b int32) bool {
+		_, ok := sets[a][b]
+		return ok
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= half; d++ {
+			addEdge(int32(i), int32((i+d)%n))
+		}
+	}
+	// Standard WS pass: rewire clockwise edges lattice-order, keeping the
+	// i endpoint fixed.
+	for d := 1; d <= half; d++ {
+		for i := 0; i < n; i++ {
+			if !rng.Bool(beta) {
+				continue
+			}
+			oldTo := int32((i + d) % n)
+			if !hasEdge(int32(i), oldTo) {
+				// Already rewired away by an earlier pass over the
+				// reciprocal edge; skip.
+				continue
+			}
+			// A node whose edges all exist already cannot be rewired
+			// without creating a duplicate; bounded retries keep the pass
+			// O(1) in expectation.
+			var newTo int32
+			found := false
+			for attempt := 0; attempt < 64; attempt++ {
+				cand := int32(rng.Intn(n))
+				if cand == int32(i) || hasEdge(int32(i), cand) {
+					continue
+				}
+				newTo = cand
+				found = true
+				break
+			}
+			if !found {
+				continue
+			}
+			delete(sets[i], oldTo)
+			delete(sets[oldTo], int32(i))
+			addEdge(int32(i), newTo)
+		}
+	}
+	lists := make([][]int32, n)
+	for i, s := range sets {
+		l := make([]int32, 0, len(s))
+		for v := range s {
+			l = append(l, v)
+		}
+		// Sort so the adjacency layout is independent of map iteration
+		// order: runs must be reproducible bit-for-bit from the seed.
+		slices.Sort(l)
+		lists[i] = l
+	}
+	return newAdjacency(lists), nil
+}
+
+// NewKRegular builds a random simple k-regular undirected graph with the
+// pairing (configuration) model plus edge-swap repair: every node gets k
+// stubs, stubs are paired randomly, and self-loops or duplicate edges are
+// fixed by 2-swaps with randomly chosen good edges. The whole build is
+// retried if repair stalls or the result is disconnected (both are rare
+// for k ≥ 3 and n ≫ k). This is the strictest reading of the paper's
+// "regular degree of 20": exact degree k at every node, undirected.
+func NewKRegular(n, k int, rng *stats.RNG) (*Adjacency, error) {
+	if err := validateSize(n); err != nil {
+		return nil, err
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("topology: regular degree %d must be even and in [2, %d]", k, n-1)
+	}
+	const buildRetries = 16
+	for attempt := 0; attempt < buildRetries; attempt++ {
+		g, ok := tryKRegular(n, k, rng)
+		if ok && IsConnected(g) {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("topology: failed to build a connected simple %d-regular graph on %d nodes", k, n)
+}
+
+// tryKRegular performs one pairing + repair pass.
+func tryKRegular(n, k int, rng *stats.RNG) (*Adjacency, bool) {
+	stubs := make([]int32, 0, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			stubs = append(stubs, int32(i))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, len(stubs)/2)
+	sets := make([]map[int32]struct{}, n)
+	for i := range sets {
+		sets[i] = make(map[int32]struct{}, k)
+	}
+	has := func(a, b int32) bool {
+		_, ok := sets[a][b]
+		return ok
+	}
+	add := func(a, b int32) {
+		sets[a][b] = struct{}{}
+		sets[b][a] = struct{}{}
+	}
+	remove := func(a, b int32) {
+		delete(sets[a], b)
+		delete(sets[b], a)
+	}
+	var bad []edge
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || has(u, v) {
+			bad = append(bad, edge{u, v})
+			continue
+		}
+		add(u, v)
+		edges = append(edges, edge{u, v})
+	}
+	// Repair: swap each bad pairing against a random good edge.
+	repairBudget := 64 * (len(bad) + 1)
+	for len(bad) > 0 && repairBudget > 0 {
+		repairBudget--
+		b := bad[len(bad)-1]
+		if len(edges) == 0 {
+			return nil, false
+		}
+		ei := rng.Intn(len(edges))
+		g := edges[ei]
+		// Propose (b.u, g.u) and (b.v, g.v).
+		if b.u == g.u || b.v == g.v || has(b.u, g.u) || has(b.v, g.v) {
+			continue
+		}
+		// Guard the diagonal case where both proposals are the same edge.
+		if b.u == g.v && b.v == g.u {
+			continue
+		}
+		if b.u == g.v || b.v == g.u {
+			// Would recreate a self-loop on one side.
+			continue
+		}
+		remove(g.u, g.v)
+		add(b.u, g.u)
+		add(b.v, g.v)
+		edges[ei] = edge{b.u, g.u}
+		edges = append(edges, edge{b.v, g.v})
+		bad = bad[:len(bad)-1]
+	}
+	if len(bad) > 0 {
+		return nil, false
+	}
+	lists := make([][]int32, n)
+	for i, s := range sets {
+		l := make([]int32, 0, len(s))
+		for v := range s {
+			l = append(l, v)
+		}
+		// Sort so the adjacency layout is independent of map iteration
+		// order: runs must be reproducible bit-for-bit from the seed.
+		slices.Sort(l)
+		lists[i] = l
+	}
+	return newAdjacency(lists), true
+}
+
+// NewBarabasiAlbert builds a scale-free graph by preferential attachment
+// [1]: nodes are added one at a time and each new node is wired to m
+// existing nodes chosen with probability proportional to their current
+// degree. The paper's evaluation uses average degree ≈ 20, i.e. m = 10.
+// The graph is undirected.
+func NewBarabasiAlbert(n, m int, rng *stats.RNG) (*Adjacency, error) {
+	if err := validateSize(n); err != nil {
+		return nil, err
+	}
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("topology: attachment count %d not in [1, %d]", m, n-1)
+	}
+	lists := make([][]int32, n)
+	// targets holds one entry per edge endpoint; sampling uniformly from
+	// it realizes degree-proportional selection.
+	targets := make([]int32, 0, 2*m*n)
+	// Seed: a clique on the first m+1 nodes so every early node has
+	// non-zero degree.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			lists[i] = append(lists[i], int32(j))
+			lists[j] = append(lists[j], int32(i))
+			targets = append(targets, int32(i), int32(j))
+		}
+	}
+	chosen := make(map[int32]struct{}, m)
+	for v := m + 1; v < n; v++ {
+		clear(chosen)
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			chosen[t] = struct{}{}
+		}
+		wired := make([]int32, 0, m)
+		for t := range chosen {
+			wired = append(wired, t)
+		}
+		// Deterministic wiring order regardless of map iteration.
+		slices.Sort(wired)
+		for _, t := range wired {
+			lists[v] = append(lists[v], t)
+			lists[t] = append(lists[t], int32(v))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return newAdjacency(lists), nil
+}

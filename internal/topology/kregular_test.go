@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+
+	"antientropy/internal/stats"
+)
+
+func TestKRegular(t *testing.T) {
+	rng := stats.NewRNG(21)
+	g, err := NewKRegular(500, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Degrees(g)
+	if ds.Min != 20 || ds.Max != 20 {
+		t.Fatalf("not regular: degrees %+v", ds)
+	}
+	assertSimple(t, g)
+	assertSymmetric(t, g)
+	if !IsConnected(g) {
+		t.Error("k-regular cycle union must be connected")
+	}
+}
+
+func TestKRegularSmall(t *testing.T) {
+	rng := stats.NewRNG(22)
+	g, err := NewKRegular(5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Degrees(g)
+	if ds.Min != 2 || ds.Max != 2 {
+		t.Fatalf("degrees %+v", ds)
+	}
+}
+
+func TestKRegularErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := NewKRegular(10, 3, rng); err == nil {
+		t.Error("odd degree accepted")
+	}
+	if _, err := NewKRegular(10, 10, rng); err == nil {
+		t.Error("degree >= n accepted")
+	}
+	if _, err := NewKRegular(0, 2, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	// Infeasible: n=3, k=2 works (triangle); but n=3 with k=2 asks for 1
+	// cycle — fine. n=4, k=4 rejected by k>=n... try a genuinely hard
+	// case: n=4, k=2 twice would need 2 disjoint Hamilton cycles on 4
+	// nodes — only 3 distinct ones exist and they share edges, so the
+	// builder must give up cleanly rather than loop forever.
+	if _, err := NewKRegular(4, 4, rng); err == nil {
+		t.Error("k=n accepted")
+	}
+}
+
+func TestKRegularDeterministic(t *testing.T) {
+	a, err := NewKRegular(200, 10, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKRegular(200, 10, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		na, nb := a.Neighbors(i), b.Neighbors(i)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree differs", i)
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("node %d: adjacency order differs (determinism broken)", i)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministicLayout(t *testing.T) {
+	// The sorted-list fix must make every randomized generator reproduce
+	// the exact adjacency layout from the seed.
+	builders := map[string]func(seed uint64) (*Adjacency, error){
+		"watts-strogatz": func(s uint64) (*Adjacency, error) {
+			return NewWattsStrogatz(300, 10, 0.4, stats.NewRNG(s))
+		},
+		"barabasi-albert": func(s uint64) (*Adjacency, error) {
+			return NewBarabasiAlbert(300, 5, stats.NewRNG(s))
+		},
+		"random-k-out": func(s uint64) (*Adjacency, error) {
+			return NewRandomKOut(300, 10, stats.NewRNG(s))
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			a, err := build(77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := build(77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < a.N(); i++ {
+				na, nb := a.Neighbors(i), b.Neighbors(i)
+				if len(na) != len(nb) {
+					t.Fatalf("node %d: degree differs", i)
+				}
+				for j := range na {
+					if na[j] != nb[j] {
+						t.Fatalf("node %d: layout differs at slot %d", i, j)
+					}
+				}
+			}
+		})
+	}
+}

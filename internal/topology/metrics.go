@@ -1,0 +1,192 @@
+package topology
+
+import (
+	"errors"
+
+	"antientropy/internal/stats"
+)
+
+// DegreeStats summarizes the degree distribution of a materialized graph.
+type DegreeStats struct {
+	Min  int
+	Max  int
+	Mean float64
+}
+
+// Degrees computes degree statistics over all nodes of g.
+func Degrees(g Graph) DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	ds := DegreeStats{Min: g.Degree(0), Max: g.Degree(0)}
+	total := 0
+	for i := 0; i < n; i++ {
+		d := g.Degree(i)
+		total += d
+		if d < ds.Min {
+			ds.Min = d
+		}
+		if d > ds.Max {
+			ds.Max = d
+		}
+	}
+	ds.Mean = float64(total) / float64(n)
+	return ds
+}
+
+// IsConnected reports whether the graph is weakly connected: treating
+// every directed edge as bidirectional, all nodes are reachable from node
+// 0. Weak connectivity is the property the aggregation protocol needs —
+// mass can flow across an exchange in both directions.
+func IsConnected(g NeighborLister) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	// Build reverse lists once so directed k-out graphs are handled.
+	reverse := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for _, j := range g.Neighbors(i) {
+			reverse[j] = append(reverse[j], int32(i))
+		}
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+		for _, w := range reverse[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	return count == n
+}
+
+// ClusteringCoefficient estimates the average local clustering coefficient
+// by sampling `samples` nodes (or all nodes if samples ≤ 0 or ≥ N). For a
+// ring lattice this is high (~0.7); for a random graph it is ~k/N.
+func ClusteringCoefficient(g NeighborLister, samples int, rng *stats.RNG) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int, 0, n)
+	if samples <= 0 || samples >= n {
+		for i := 0; i < n; i++ {
+			idx = append(idx, i)
+		}
+	} else {
+		buf := make([]int, samples)
+		rng.Sample(buf, n, nil)
+		idx = buf
+	}
+	total := 0.0
+	counted := 0
+	for _, v := range idx {
+		nb := g.Neighbors(v)
+		if len(nb) < 2 {
+			continue
+		}
+		set := make(map[int]struct{}, len(nb))
+		for _, w := range nb {
+			set[w] = struct{}{}
+		}
+		links := 0
+		for _, w := range nb {
+			for _, x := range g.Neighbors(w) {
+				if _, ok := set[x]; ok {
+					links++
+				}
+			}
+		}
+		possible := len(nb) * (len(nb) - 1)
+		total += float64(links) / float64(possible)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// AveragePathLength estimates the mean shortest-path length by running
+// BFS from `sources` sampled nodes over the undirected closure of g. It
+// returns an error if the graph is disconnected from any sampled source.
+func AveragePathLength(g NeighborLister, sources int, rng *stats.RNG) (float64, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, nil
+	}
+	if sources <= 0 || sources > n {
+		sources = n
+	}
+	reverse := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for _, j := range g.Neighbors(i) {
+			reverse[j] = append(reverse[j], int32(i))
+		}
+	}
+	src := make([]int, sources)
+	rng.Sample(src, n, nil)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	sum, count := 0.0, 0
+	for _, s := range src {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		visited := 1
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					sum += float64(dist[w])
+					count++
+					visited++
+					queue = append(queue, w)
+				}
+			}
+			for _, w32 := range reverse[v] {
+				w := int(w32)
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					sum += float64(dist[w])
+					count++
+					visited++
+					queue = append(queue, w)
+				}
+			}
+		}
+		if visited != n {
+			return 0, errors.New("topology: graph is disconnected")
+		}
+	}
+	return sum / float64(count), nil
+}
+
+// DegreeHistogram returns a map from degree to node count, used to verify
+// the power-law tail of Barabási–Albert graphs.
+func DegreeHistogram(g Graph) map[int]int {
+	hist := make(map[int]int)
+	for i := 0; i < g.N(); i++ {
+		hist[g.Degree(i)]++
+	}
+	return hist
+}

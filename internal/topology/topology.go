@@ -1,0 +1,137 @@
+// Package topology provides the overlay topologies evaluated in the
+// DSN'04 paper (Figures 3 and 4): complete, random k-out, ring lattice,
+// Watts–Strogatz small worlds and Barabási–Albert scale-free graphs,
+// together with the graph metrics used to validate them.
+//
+// Graphs are exposed through a sampling interface so that the complete
+// graph on a million nodes needs no adjacency storage, while the
+// materialized generators share a compact CSR (compressed sparse row)
+// representation.
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"antientropy/internal/stats"
+)
+
+// Graph is a (possibly implicit) directed overlay: node i may initiate an
+// exchange with any of its out-neighbors. Undirected topologies list each
+// edge in both directions.
+type Graph interface {
+	// N returns the number of nodes.
+	N() int
+	// Degree returns the out-degree of node.
+	Degree(node int) int
+	// Neighbor returns a uniformly random out-neighbor of node, or -1 if
+	// the node has no neighbors.
+	Neighbor(node int, rng *stats.RNG) int
+}
+
+// NeighborLister is implemented by materialized graphs that can enumerate
+// exact neighbor sets (used by metrics and tests).
+type NeighborLister interface {
+	Graph
+	// Neighbors returns a copy of node's out-neighbor list.
+	Neighbors(node int) []int
+}
+
+// Complete is the fully connected overlay: every node knows every other
+// node. It is implicit — no adjacency is stored.
+type Complete struct {
+	n int
+}
+
+var _ Graph = (*Complete)(nil)
+
+// NewComplete returns the complete graph on n ≥ 1 nodes.
+func NewComplete(n int) (*Complete, error) {
+	if n < 1 {
+		return nil, errors.New("topology: complete graph needs n >= 1")
+	}
+	return &Complete{n: n}, nil
+}
+
+// N returns the number of nodes.
+func (g *Complete) N() int { return g.n }
+
+// Degree returns n−1 for every node.
+func (g *Complete) Degree(int) int { return g.n - 1 }
+
+// Neighbor returns a uniform random node different from node.
+func (g *Complete) Neighbor(node int, rng *stats.RNG) int {
+	if g.n < 2 {
+		return -1
+	}
+	j := rng.Intn(g.n - 1)
+	if j >= node {
+		j++
+	}
+	return j
+}
+
+// Adjacency is a materialized graph in CSR form. Neighbor ids are stored
+// as int32 to halve memory at the 10⁶-node scale of Figure 3(a).
+type Adjacency struct {
+	offsets []int32
+	edges   []int32
+}
+
+var _ NeighborLister = (*Adjacency)(nil)
+
+// newAdjacency builds a CSR graph from per-node neighbor lists.
+func newAdjacency(lists [][]int32) *Adjacency {
+	n := len(lists)
+	offsets := make([]int32, n+1)
+	total := 0
+	for i, l := range lists {
+		total += len(l)
+		offsets[i+1] = int32(total)
+	}
+	edges := make([]int32, 0, total)
+	for _, l := range lists {
+		edges = append(edges, l...)
+	}
+	return &Adjacency{offsets: offsets, edges: edges}
+}
+
+// N returns the number of nodes.
+func (g *Adjacency) N() int { return len(g.offsets) - 1 }
+
+// Degree returns the out-degree of node.
+func (g *Adjacency) Degree(node int) int {
+	return int(g.offsets[node+1] - g.offsets[node])
+}
+
+// Neighbor returns a uniform random out-neighbor of node, or -1 if node
+// has none.
+func (g *Adjacency) Neighbor(node int, rng *stats.RNG) int {
+	lo, hi := g.offsets[node], g.offsets[node+1]
+	if lo == hi {
+		return -1
+	}
+	return int(g.edges[lo+int32(rng.Intn(int(hi-lo)))])
+}
+
+// Neighbors returns a copy of node's out-neighbor list.
+func (g *Adjacency) Neighbors(node int) []int {
+	lo, hi := g.offsets[node], g.offsets[node+1]
+	out := make([]int, 0, hi-lo)
+	for _, v := range g.edges[lo:hi] {
+		out = append(out, int(v))
+	}
+	return out
+}
+
+// Edges returns the total number of directed edges.
+func (g *Adjacency) Edges() int { return len(g.edges) }
+
+// validateSize reports an error for non-positive node counts; generators
+// share it so error text stays uniform.
+func validateSize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("topology: invalid node count %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package topology
+
+import (
+	"testing"
+
+	"antientropy/internal/stats"
+)
+
+func TestCompleteGraph(t *testing.T) {
+	g, err := NewComplete(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Degree(0) != 99 {
+		t.Fatalf("Degree = %d, want 99", g.Degree(0))
+	}
+	rng := stats.NewRNG(1)
+	seen := make(map[int]bool)
+	for i := 0; i < 5000; i++ {
+		v := g.Neighbor(42, rng)
+		if v == 42 {
+			t.Fatal("complete graph returned self as neighbor")
+		}
+		if v < 0 || v >= 100 {
+			t.Fatalf("neighbor out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 99 {
+		t.Fatalf("after 5000 draws only %d of 99 peers seen", len(seen))
+	}
+}
+
+func TestCompleteGraphEdgeCases(t *testing.T) {
+	if _, err := NewComplete(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	g, err := NewComplete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Neighbor(0, stats.NewRNG(1)); got != -1 {
+		t.Fatalf("singleton neighbor = %d, want -1", got)
+	}
+}
+
+func TestRandomKOut(t *testing.T) {
+	rng := stats.NewRNG(2)
+	g, err := NewRandomKOut(500, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for i := 0; i < g.N(); i++ {
+		nb := g.Neighbors(i)
+		if len(nb) != 20 {
+			t.Fatalf("node %d has degree %d, want 20", i, len(nb))
+		}
+		seen := make(map[int]bool, 20)
+		for _, j := range nb {
+			if j == i {
+				t.Fatalf("node %d lists itself", i)
+			}
+			if seen[j] {
+				t.Fatalf("node %d lists %d twice", i, j)
+			}
+			seen[j] = true
+		}
+	}
+	if !IsConnected(g) {
+		t.Error("random 20-out graph on 500 nodes should be connected")
+	}
+}
+
+func TestRandomKOutErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := NewRandomKOut(0, 5, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewRandomKOut(10, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRandomKOut(10, 10, rng); err == nil {
+		t.Error("k=n accepted")
+	}
+}
+
+func TestRingLattice(t *testing.T) {
+	g, err := NewRingLattice(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 must know 1, 2, 8, 9.
+	want := map[int]bool{1: true, 2: true, 8: true, 9: true}
+	for _, v := range g.Neighbors(0) {
+		if !want[v] {
+			t.Fatalf("unexpected lattice neighbor %d", v)
+		}
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing lattice neighbors: %v", want)
+	}
+	if !IsConnected(g) {
+		t.Error("lattice must be connected")
+	}
+	ds := Degrees(g)
+	if ds.Min != 4 || ds.Max != 4 {
+		t.Fatalf("lattice degrees = %+v, want uniform 4", ds)
+	}
+}
+
+func TestRingLatticeErrors(t *testing.T) {
+	if _, err := NewRingLattice(10, 3); err == nil {
+		t.Error("odd degree accepted")
+	}
+	if _, err := NewRingLattice(10, 10); err == nil {
+		t.Error("degree >= n accepted")
+	}
+	if _, err := NewRingLattice(0, 2); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestWattsStrogatzBetaZeroIsLattice(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ws, err := NewWattsStrogatz(50, 6, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lattice, err := NewRingLattice(50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a := toSet(ws.Neighbors(i))
+		b := toSet(lattice.Neighbors(i))
+		if len(a) != len(b) {
+			t.Fatalf("node %d: WS(0) degree %d != lattice %d", i, len(a), len(b))
+		}
+		for v := range b {
+			if !a[v] {
+				t.Fatalf("node %d: WS(0) missing lattice edge to %d", i, v)
+			}
+		}
+	}
+}
+
+func TestWattsStrogatzPreservesEdgeCount(t *testing.T) {
+	for _, beta := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		rng := stats.NewRNG(4)
+		g, err := NewWattsStrogatz(200, 10, beta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rewiring moves edges, never adds or removes: 200·10/2 = 1000
+		// undirected edges, i.e. 2000 directed entries.
+		if g.Edges() != 2000 {
+			t.Errorf("beta=%g: %d directed edges, want 2000", beta, g.Edges())
+		}
+		if !IsConnected(g) {
+			t.Errorf("beta=%g: disconnected", beta)
+		}
+	}
+}
+
+func TestWattsStrogatzRandomizesClustering(t *testing.T) {
+	// Clustering must drop as beta rises: that is the small-world effect
+	// the paper leans on in Figure 4(a).
+	rng := stats.NewRNG(5)
+	ordered, err := NewWattsStrogatz(1000, 10, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disordered, err := NewWattsStrogatz(1000, 10, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := ClusteringCoefficient(ordered, 200, stats.NewRNG(6))
+	c1 := ClusteringCoefficient(disordered, 200, stats.NewRNG(6))
+	if c0 < 0.5 {
+		t.Errorf("lattice clustering %g, want > 0.5", c0)
+	}
+	if c1 > 0.1 {
+		t.Errorf("beta=1 clustering %g, want < 0.1", c1)
+	}
+}
+
+func TestWattsStrogatzNoSelfLoopsNoDupes(t *testing.T) {
+	rng := stats.NewRNG(7)
+	g, err := NewWattsStrogatz(300, 8, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSimple(t, g)
+	assertSymmetric(t, g)
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := NewWattsStrogatz(10, 4, -0.1, rng); err == nil {
+		t.Error("beta < 0 accepted")
+	}
+	if _, err := NewWattsStrogatz(10, 4, 1.1, rng); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+	if _, err := NewWattsStrogatz(10, 5, 0.5, rng); err == nil {
+		t.Error("odd degree accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := stats.NewRNG(8)
+	g, err := NewBarabasiAlbert(2000, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	assertSimple(t, g)
+	assertSymmetric(t, g)
+	if !IsConnected(g) {
+		t.Error("BA graph must be connected")
+	}
+	ds := Degrees(g)
+	// Preferential attachment: a hub must emerge with degree far above the
+	// mean (power-law tail), while the minimum stays at m.
+	if ds.Min < 10 {
+		t.Errorf("min degree %d < m", ds.Min)
+	}
+	if float64(ds.Max) < 4*ds.Mean {
+		t.Errorf("no hub: max degree %d vs mean %.1f", ds.Max, ds.Mean)
+	}
+	// Average degree ≈ 2m.
+	if ds.Mean < 18 || ds.Mean > 22 {
+		t.Errorf("mean degree %.2f, want ≈ 20", ds.Mean)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := NewBarabasiAlbert(10, 0, rng); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewBarabasiAlbert(10, 10, rng); err == nil {
+		t.Error("m=n accepted")
+	}
+}
+
+func TestIsConnectedDetectsPartitions(t *testing.T) {
+	// Two disjoint triangles.
+	lists := [][]int32{
+		{1, 2}, {0, 2}, {0, 1},
+		{4, 5}, {3, 5}, {3, 4},
+	}
+	g := newAdjacency(lists)
+	if IsConnected(g) {
+		t.Error("disjoint triangles reported connected")
+	}
+}
+
+func TestIsConnectedHandlesDirectedReachability(t *testing.T) {
+	// 0 -> 1 -> 2 with no back edges: weakly connected.
+	g := newAdjacency([][]int32{{1}, {2}, {}})
+	if !IsConnected(g) {
+		t.Error("directed chain should be weakly connected")
+	}
+}
+
+func TestDegreesAndHistogram(t *testing.T) {
+	g := newAdjacency([][]int32{{1, 2}, {0}, {0}})
+	ds := Degrees(g)
+	if ds.Min != 1 || ds.Max != 2 || !almost(ds.Mean, 4.0/3, 1e-12) {
+		t.Fatalf("Degrees = %+v", ds)
+	}
+	hist := DegreeHistogram(g)
+	if hist[1] != 2 || hist[2] != 1 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestAveragePathLength(t *testing.T) {
+	// A 5-ring: distances from any node are 1,1,2,2 -> mean 1.5.
+	g, err := NewRingLattice(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apl, err := AveragePathLength(g, 0, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(apl, 1.5, 1e-12) {
+		t.Fatalf("APL = %g, want 1.5", apl)
+	}
+}
+
+func TestAveragePathLengthDisconnected(t *testing.T) {
+	g := newAdjacency([][]int32{{1}, {0}, {3}, {2}})
+	if _, err := AveragePathLength(g, 0, stats.NewRNG(1)); err == nil {
+		t.Error("disconnected graph should error")
+	}
+}
+
+func TestSmallWorldPathShortening(t *testing.T) {
+	// The defining small-world property: a little rewiring slashes path
+	// length while the lattice keeps it long.
+	lattice, err := NewRingLattice(600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := NewWattsStrogatz(600, 6, 0.25, stats.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aplLattice, err := AveragePathLength(lattice, 20, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aplWS, err := AveragePathLength(ws, 20, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aplWS >= aplLattice/2 {
+		t.Errorf("rewiring did not shorten paths: lattice %.1f vs WS %.1f", aplLattice, aplWS)
+	}
+}
+
+func TestNeighborNeverNegativeOnPopulatedGraph(t *testing.T) {
+	rng := stats.NewRNG(12)
+	g, err := NewRandomKOut(50, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for trial := 0; trial < 20; trial++ {
+			if v := g.Neighbor(i, rng); v < 0 || v >= 50 {
+				t.Fatalf("neighbor out of range: %d", v)
+			}
+		}
+	}
+}
+
+func TestAdjacencyNeighborEmptyList(t *testing.T) {
+	g := newAdjacency([][]int32{{}, {0}})
+	if v := g.Neighbor(0, stats.NewRNG(1)); v != -1 {
+		t.Fatalf("isolated node neighbor = %d, want -1", v)
+	}
+}
+
+func TestNeighborsReturnsCopy(t *testing.T) {
+	g := newAdjacency([][]int32{{1, 2}, {}, {}})
+	nb := g.Neighbors(0)
+	nb[0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Error("Neighbors exposed internal storage")
+	}
+}
+
+func toSet(xs []int) map[int]bool {
+	m := make(map[int]bool, len(xs))
+	for _, v := range xs {
+		m[v] = true
+	}
+	return m
+}
+
+func almost(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// assertSimple verifies no self-loops and no duplicate directed edges.
+func assertSimple(t *testing.T, g *Adjacency) {
+	t.Helper()
+	for i := 0; i < g.N(); i++ {
+		seen := make(map[int]bool)
+		for _, v := range g.Neighbors(i) {
+			if v == i {
+				t.Fatalf("self-loop at node %d", i)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate edge %d -> %d", i, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// assertSymmetric verifies the graph is undirected: j in N(i) ⇒ i in N(j).
+func assertSymmetric(t *testing.T, g *Adjacency) {
+	t.Helper()
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Neighbors(i) {
+			found := false
+			for _, back := range g.Neighbors(j) {
+				if back == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d -> %d has no reverse", i, j)
+			}
+		}
+	}
+}

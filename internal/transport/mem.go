@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetworkConfig tunes the simulated network conditions.
+type MemNetworkConfig struct {
+	// MinLatency and MaxLatency bound the uniformly distributed one-way
+	// delivery delay. Zero values mean synchronous-ish delivery (still a
+	// goroutine hop).
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// Loss is the probability that a datagram silently disappears.
+	Loss float64
+	// Seed drives the loss/latency randomness (0 picks a time seed).
+	Seed int64
+	// QueueLen is each endpoint's inbound buffer; datagrams arriving at a
+	// full buffer are dropped, as a congested socket would. Default 1024.
+	QueueLen int
+}
+
+// MemNetwork is an in-memory datagram network connecting MemEndpoints.
+// It is safe for concurrent use.
+type MemNetwork struct {
+	cfg MemNetworkConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[string]*MemEndpoint
+	// partitioned[a][b] marks one-way link cuts a -> b.
+	partitioned map[string]map[string]bool
+	nextAddr    int
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork(cfg MemNetworkConfig) *MemNetwork {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &MemNetwork{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		endpoints:   make(map[string]*MemEndpoint),
+		partitioned: make(map[string]map[string]bool),
+	}
+}
+
+// Endpoint registers and returns a new endpoint with a generated address
+// of the form "mem-N".
+func (n *MemNetwork) Endpoint() *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr := fmt.Sprintf("mem-%d", n.nextAddr)
+	n.nextAddr++
+	ep := &MemEndpoint{
+		net:  n,
+		addr: addr,
+		in:   make(chan Packet, n.cfg.QueueLen),
+	}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Partition cuts the one-way link from a to b (datagrams silently
+// dropped). Heal restores it.
+func (n *MemNetwork) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitioned[a] == nil {
+		n.partitioned[a] = make(map[string]bool)
+	}
+	n.partitioned[a][b] = true
+}
+
+// Heal restores the one-way link from a to b.
+func (n *MemNetwork) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned[a], b)
+}
+
+// PartitionBoth cuts the link in both directions.
+func (n *MemNetwork) PartitionBoth(a, b string) {
+	n.Partition(a, b)
+	n.Partition(b, a)
+}
+
+// HealBoth restores the link in both directions.
+func (n *MemNetwork) HealBoth(a, b string) {
+	n.Heal(a, b)
+	n.Heal(b, a)
+}
+
+// Close shuts down the network and every endpoint, waiting for in-flight
+// deliveries to drain.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*MemEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	for _, ep := range eps {
+		ep.close(false)
+	}
+}
+
+// send routes a datagram, applying loss, latency and partitions.
+func (n *MemNetwork) send(from, to string, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	if n.partitioned[from][to] {
+		// Partition behaves like loss: the sender cannot tell.
+		n.mu.Unlock()
+		return nil
+	}
+	if p := n.cfg.Loss; p > 0 && n.rng.Float64() < p {
+		n.mu.Unlock()
+		return nil
+	}
+	var delay time.Duration
+	if n.cfg.MaxLatency > 0 {
+		span := n.cfg.MaxLatency - n.cfg.MinLatency
+		if span > 0 {
+			delay = n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(span)))
+		} else {
+			delay = n.cfg.MinLatency
+		}
+	}
+	// Copy: the caller may reuse its buffer after Send returns.
+	buf := append([]byte(nil), data...)
+	n.wg.Add(1)
+	n.mu.Unlock()
+
+	deliver := func() {
+		defer n.wg.Done()
+		dst.deliver(Packet{From: from, Data: buf})
+	}
+	if delay <= 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(delay, deliver)
+	}
+	return nil
+}
+
+// MemEndpoint is one node's attachment to a MemNetwork.
+type MemEndpoint struct {
+	net  *MemNetwork
+	addr string
+
+	mu     sync.Mutex
+	in     chan Packet
+	closed bool
+	// dropped counts datagrams discarded because the inbound buffer was
+	// full.
+	dropped int
+}
+
+var _ Endpoint = (*MemEndpoint)(nil)
+
+// Addr returns the endpoint's address.
+func (e *MemEndpoint) Addr() string { return e.addr }
+
+// Send transmits a datagram through the network.
+func (e *MemEndpoint) Send(to string, data []byte) error {
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return e.net.send(e.addr, to, data)
+}
+
+// Recv returns the inbound channel.
+func (e *MemEndpoint) Recv() <-chan Packet { return e.in }
+
+// Close detaches the endpoint: subsequent sends fail and the receive
+// channel is closed.
+func (e *MemEndpoint) Close() error {
+	e.close(true)
+	return nil
+}
+
+func (e *MemEndpoint) close(unregister bool) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.in)
+	e.mu.Unlock()
+	if unregister {
+		e.net.mu.Lock()
+		delete(e.net.endpoints, e.addr)
+		e.net.mu.Unlock()
+	}
+}
+
+// Dropped reports how many inbound datagrams were discarded due to a full
+// buffer.
+func (e *MemEndpoint) Dropped() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+func (e *MemEndpoint) deliver(p Packet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.in <- p:
+	default:
+		e.dropped++
+	}
+}

@@ -1,0 +1,49 @@
+// Package transport provides the point-to-point messaging substrate of
+// the live aggregation runtime, matching the paper's system model (§2):
+// unreliable, unordered datagram delivery with unpredictable delays.
+//
+// Two implementations are provided: an in-memory network with
+// configurable latency, loss and partitions (for tests and simulation of
+// deployments), and a UDP transport for real networks.
+package transport
+
+import "errors"
+
+// Packet is one received datagram.
+type Packet struct {
+	// From is the sender's address.
+	From string
+	// Data is the raw datagram content.
+	Data []byte
+}
+
+// Endpoint is one node's attachment to a network. Implementations must be
+// safe for concurrent use.
+type Endpoint interface {
+	// Addr returns this endpoint's address, usable as a Send target by
+	// peers.
+	Addr() string
+	// Send transmits a datagram. Delivery is best-effort: an error means
+	// the datagram was certainly not sent; no error means it may arrive.
+	Send(to string, data []byte) error
+	// Recv returns the inbound datagram channel. It is closed when the
+	// endpoint is closed.
+	Recv() <-chan Packet
+	// Close releases the endpoint. Safe to call more than once.
+	Close() error
+}
+
+// Errors shared by implementations.
+var (
+	// ErrClosed is returned by Send after Close.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownPeer is returned by the in-memory network when the
+	// destination was never registered.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrTooLarge is returned when a datagram exceeds the maximum size.
+	ErrTooLarge = errors.New("transport: datagram too large")
+)
+
+// MaxDatagram is the largest accepted datagram; generous for our wire
+// format yet within a safe UDP payload size after fragmentation.
+const MaxDatagram = 60000

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPEndpoint is a real-network datagram endpoint. Aggregation state fits
+// in single datagrams, and the protocol tolerates loss by design (§6, §7),
+// which makes UDP the natural transport.
+type UDPEndpoint struct {
+	conn *net.UDPConn
+	addr string
+	in   chan Packet
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	// resolve caches peer address resolution.
+	resolveMu sync.Mutex
+	resolved  map[string]*net.UDPAddr
+}
+
+var _ Endpoint = (*UDPEndpoint)(nil)
+
+// ListenUDP opens a UDP endpoint on the given address ("host:port";
+// ":0" picks a free port). queueLen sizes the inbound buffer (default
+// 1024 if <= 0).
+func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %q: %w", listen, err)
+	}
+	e := &UDPEndpoint{
+		conn:     conn,
+		addr:     conn.LocalAddr().String(),
+		in:       make(chan Packet, queueLen),
+		resolved: make(map[string]*net.UDPAddr),
+	}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+// Addr returns the bound local address.
+func (e *UDPEndpoint) Addr() string { return e.addr }
+
+// Send transmits one datagram to a "host:port" peer.
+func (e *UDPEndpoint) Send(to string, data []byte) error {
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	raddr, err := e.resolve(to)
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.WriteToUDP(data, raddr); err != nil {
+		return fmt.Errorf("transport: sending to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *UDPEndpoint) resolve(to string) (*net.UDPAddr, error) {
+	e.resolveMu.Lock()
+	defer e.resolveMu.Unlock()
+	if a, ok := e.resolved[to]; ok {
+		return a, nil
+	}
+	a, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving peer %q: %w", to, err)
+	}
+	// Bound the cache so a hostile peer list cannot grow it without
+	// limit.
+	if len(e.resolved) < 65536 {
+		e.resolved[to] = a
+	}
+	return a, nil
+}
+
+// Recv returns the inbound channel; closed when the endpoint closes.
+func (e *UDPEndpoint) Recv() <-chan Packet { return e.in }
+
+// Close shuts the socket down and drains the read loop.
+func (e *UDPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.conn.Close()
+	e.wg.Wait()
+	close(e.in)
+	return err
+}
+
+func (e *UDPEndpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, raddr, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read errors (e.g. ICMP unreachable surfacing) are
+			// ignored; the protocol treats them as loss.
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		data := append([]byte(nil), buf[:n]...)
+		select {
+		case e.in <- Packet{From: raddr.String(), Data: data}:
+		default:
+			// Full buffer: drop, as a kernel socket would.
+		}
+	}
+}

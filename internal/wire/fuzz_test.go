@@ -1,0 +1,46 @@
+package wire
+
+import "testing"
+
+// FuzzDecode drives the decoder with arbitrary datagrams: it must never
+// panic, and every successfully decoded message must re-encode.
+func FuzzDecode(f *testing.F) {
+	// Seed with valid encodings of every message type.
+	seeds := []Message{
+		&ExchangeRequest{From: "a:1", Payload: Payload{Seq: 1, Epoch: 2, FuncID: FuncAverage, Scalar: 1.5,
+			Entries: []MapEntry{{Leader: 3, Value: 0.5}},
+			Gossip:  []Descriptor{{Addr: "b:2", Stamp: 9}}}},
+		&ExchangeReply{From: "b:2", Payload: Payload{Seq: 1, Flags: FlagRefused}},
+		&JoinRequest{From: "c:3", Seq: 7},
+		&JoinReply{Seq: 7, NextEpoch: 8, WaitMicros: 100, Seeds: []Descriptor{{Addr: "d:4", Stamp: 1}}},
+		&Membership{From: "e:5", Seq: 9, Entries: []Descriptor{{Addr: "f:6", Stamp: 2}}},
+		&MembershipReply{From: "g:7", Seq: 9},
+	}
+	for _, m := range seeds {
+		data, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("AE04"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		// Decoded messages must round-trip.
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", m, err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", m, err)
+		}
+		if m.Type() != m2.Type() {
+			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
+		}
+	})
+}

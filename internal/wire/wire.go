@@ -1,0 +1,451 @@
+// Package wire defines the binary message format spoken by live
+// aggregation nodes (internal/agent) over any transport. The format is
+// hand-rolled on encoding/binary — length-prefixed, versioned, and
+// strictly validated, so a malformed datagram can never crash a node.
+//
+// Layout (big endian):
+//
+//	magic   [4]byte  "AE04"
+//	version uint8    (currently 1)
+//	type    uint8    message type tag
+//	body    ...      type-specific fields
+//
+// Strings are uint16 length + bytes; descriptor and map-entry lists are
+// uint16 count + fixed-size records, capped to keep every message inside
+// a single UDP datagram.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Magic identifies the protocol ("Anti-Entropy, DSN 2004").
+var Magic = [4]byte{'A', 'E', '0', '4'}
+
+// Version is the current wire version.
+const Version = 1
+
+// Limits that keep any message within one UDP datagram.
+const (
+	// MaxAddrLen bounds an address string.
+	MaxAddrLen = 256
+	// MaxDescriptors bounds a membership gossip list.
+	MaxDescriptors = 128
+	// MaxMapEntries bounds the COUNT map payload.
+	MaxMapEntries = 512
+)
+
+// Message type tags.
+type MsgType uint8
+
+// Message kinds exchanged by live nodes.
+const (
+	TExchangeRequest MsgType = iota + 1
+	TExchangeReply
+	TJoinRequest
+	TJoinReply
+	TMembership
+	TMembershipReply
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TExchangeRequest:
+		return "exchange-request"
+	case TExchangeReply:
+		return "exchange-reply"
+	case TJoinRequest:
+		return "join-request"
+	case TJoinReply:
+		return "join-reply"
+	case TMembership:
+		return "membership"
+	case TMembershipReply:
+		return "membership-reply"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTooLarge   = errors.New("wire: field exceeds limit")
+)
+
+// Descriptor is a NEWSCAST membership entry on the wire.
+type Descriptor struct {
+	Addr  string
+	Stamp int64
+}
+
+// MapEntry is one (leader, estimate) pair of the COUNT map state.
+type MapEntry struct {
+	Leader int64
+	Value  float64
+}
+
+// Payload is the aggregation state carried by exchange messages.
+type Payload struct {
+	// Seq matches replies to requests.
+	Seq uint64
+	// Epoch tags the protocol instance (§4.1).
+	Epoch uint64
+	// FuncID identifies the aggregate (see FuncID* constants).
+	FuncID uint8
+	// Flags carries exchange modifiers (FlagRefused).
+	Flags uint8
+	// Scalar is the estimate for scalar aggregates.
+	Scalar float64
+	// Entries is the map state for the COUNT aggregate.
+	Entries []MapEntry
+	// Gossip piggybacks NEWSCAST descriptors on every exchange.
+	Gossip []Descriptor
+}
+
+// FlagRefused marks a reply that declines the exchange (responder busy or
+// not yet participating). The net effect equals the paper's timed-out
+// exchange — it is skipped — but the initiator learns immediately instead
+// of waiting out the timeout.
+const FlagRefused uint8 = 1 << 0
+
+// Function identifiers for Payload.FuncID.
+const (
+	FuncAverage uint8 = iota + 1
+	FuncMin
+	FuncMax
+	FuncGeometricMean
+	FuncCount
+)
+
+// Message is any decodable wire message.
+type Message interface {
+	// Type returns the message's wire tag.
+	Type() MsgType
+}
+
+// ExchangeRequest opens a push-pull exchange (active thread of Figure 1).
+type ExchangeRequest struct {
+	From string
+	Payload
+}
+
+// Type returns TExchangeRequest.
+func (*ExchangeRequest) Type() MsgType { return TExchangeRequest }
+
+// ExchangeReply answers an ExchangeRequest with the responder's state.
+type ExchangeReply struct {
+	From string
+	Payload
+}
+
+// Type returns TExchangeReply.
+func (*ExchangeReply) Type() MsgType { return TExchangeReply }
+
+// JoinRequest asks an existing node for epoch timing and bootstrap
+// contacts (§4.2).
+type JoinRequest struct {
+	From string
+	Seq  uint64
+}
+
+// Type returns TJoinRequest.
+func (*JoinRequest) Type() MsgType { return TJoinRequest }
+
+// JoinReply hands a joiner the next epoch it may participate in, the time
+// until that epoch starts, and membership seeds.
+type JoinReply struct {
+	Seq        uint64
+	NextEpoch  uint64
+	WaitMicros int64
+	Seeds      []Descriptor
+}
+
+// Type returns TJoinReply.
+func (*JoinReply) Type() MsgType { return TJoinReply }
+
+// Membership is a standalone NEWSCAST cache exchange (used by joiners
+// that may not take part in aggregation yet).
+type Membership struct {
+	From    string
+	Seq     uint64
+	Entries []Descriptor
+}
+
+// Type returns TMembership.
+func (*Membership) Type() MsgType { return TMembership }
+
+// MembershipReply answers a Membership exchange.
+type MembershipReply struct {
+	From    string
+	Seq     uint64
+	Entries []Descriptor
+}
+
+// Type returns TMembershipReply.
+func (*MembershipReply) Type() MsgType { return TMembershipReply }
+
+// appender accumulates the encoding.
+type appender struct {
+	buf []byte
+	err error
+}
+
+func (a *appender) u8(v uint8)   { a.buf = append(a.buf, v) }
+func (a *appender) u16(v uint16) { a.buf = binary.BigEndian.AppendUint16(a.buf, v) }
+func (a *appender) u64(v uint64) { a.buf = binary.BigEndian.AppendUint64(a.buf, v) }
+func (a *appender) i64(v int64)  { a.u64(uint64(v)) }
+func (a *appender) f64(v float64) {
+	a.u64(math.Float64bits(v))
+}
+
+func (a *appender) str(s string) {
+	if len(s) > MaxAddrLen {
+		a.err = fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(s))
+		return
+	}
+	a.u16(uint16(len(s)))
+	a.buf = append(a.buf, s...)
+}
+
+func (a *appender) descriptors(ds []Descriptor) {
+	if len(ds) > MaxDescriptors {
+		a.err = fmt.Errorf("%w: %d descriptors", ErrTooLarge, len(ds))
+		return
+	}
+	a.u16(uint16(len(ds)))
+	for _, d := range ds {
+		a.str(d.Addr)
+		a.i64(d.Stamp)
+	}
+}
+
+func (a *appender) mapEntries(es []MapEntry) {
+	if len(es) > MaxMapEntries {
+		a.err = fmt.Errorf("%w: %d map entries", ErrTooLarge, len(es))
+		return
+	}
+	a.u16(uint16(len(es)))
+	for _, e := range es {
+		a.i64(e.Leader)
+		a.f64(e.Value)
+	}
+}
+
+func (a *appender) payload(p Payload) {
+	a.u64(p.Seq)
+	a.u64(p.Epoch)
+	a.u8(p.FuncID)
+	a.u8(p.Flags)
+	a.f64(p.Scalar)
+	a.mapEntries(p.Entries)
+	a.descriptors(p.Gossip)
+}
+
+// Encode serializes a message.
+func Encode(m Message) ([]byte, error) {
+	a := &appender{buf: make([]byte, 0, 256)}
+	a.buf = append(a.buf, Magic[:]...)
+	a.u8(Version)
+	a.u8(uint8(m.Type()))
+	switch v := m.(type) {
+	case *ExchangeRequest:
+		a.str(v.From)
+		a.payload(v.Payload)
+	case *ExchangeReply:
+		a.str(v.From)
+		a.payload(v.Payload)
+	case *JoinRequest:
+		a.str(v.From)
+		a.u64(v.Seq)
+	case *JoinReply:
+		a.u64(v.Seq)
+		a.u64(v.NextEpoch)
+		a.i64(v.WaitMicros)
+		a.descriptors(v.Seeds)
+	case *Membership:
+		a.str(v.From)
+		a.u64(v.Seq)
+		a.descriptors(v.Entries)
+	case *MembershipReply:
+		a.str(v.From)
+		a.u64(v.Seq)
+		a.descriptors(v.Entries)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", m)
+	}
+	if a.err != nil {
+		return nil, a.err
+	}
+	return a.buf, nil
+}
+
+// reader consumes the encoding.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if n > MaxAddrLen {
+		r.err = fmt.Errorf("%w: address %d bytes", ErrTooLarge, n)
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) descriptors() []Descriptor {
+	n := int(r.u16())
+	if n > MaxDescriptors {
+		r.err = fmt.Errorf("%w: %d descriptors", ErrTooLarge, n)
+		return nil
+	}
+	out := make([]Descriptor, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, Descriptor{Addr: r.str(), Stamp: r.i64()})
+	}
+	return out
+}
+
+func (r *reader) mapEntries() []MapEntry {
+	n := int(r.u16())
+	if n > MaxMapEntries {
+		r.err = fmt.Errorf("%w: %d map entries", ErrTooLarge, n)
+		return nil
+	}
+	out := make([]MapEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, MapEntry{Leader: r.i64(), Value: r.f64()})
+	}
+	return out
+}
+
+func (r *reader) payload() Payload {
+	return Payload{
+		Seq:     r.u64(),
+		Epoch:   r.u64(),
+		FuncID:  r.u8(),
+		Flags:   r.u8(),
+		Scalar:  r.f64(),
+		Entries: r.mapEntries(),
+		Gossip:  r.descriptors(),
+	}
+}
+
+// Decode parses a message. The input slice is not retained.
+func Decode(data []byte) (Message, error) {
+	r := &reader{buf: data}
+	magic := r.take(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if [4]byte(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := r.u8(); v != Version {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	t := MsgType(r.u8())
+	var m Message
+	switch t {
+	case TExchangeRequest:
+		m = &ExchangeRequest{From: r.str(), Payload: r.payload()}
+	case TExchangeReply:
+		m = &ExchangeReply{From: r.str(), Payload: r.payload()}
+	case TJoinRequest:
+		m = &JoinRequest{From: r.str(), Seq: r.u64()}
+	case TJoinReply:
+		m = &JoinReply{Seq: r.u64(), NextEpoch: r.u64(), WaitMicros: r.i64(), Seeds: r.descriptors()}
+	case TMembership:
+		m = &Membership{From: r.str(), Seq: r.u64(), Entries: r.descriptors()}
+	case TMembershipReply:
+		m = &MembershipReply{From: r.str(), Seq: r.u64(), Entries: r.descriptors()}
+	default:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-r.off)
+	}
+	return m, nil
+}
+
+// FuncIDFor maps a core function name to its wire id.
+func FuncIDFor(name string) (uint8, error) {
+	switch name {
+	case "average":
+		return FuncAverage, nil
+	case "min":
+		return FuncMin, nil
+	case "max":
+		return FuncMax, nil
+	case "geometric-mean":
+		return FuncGeometricMean, nil
+	case "count":
+		return FuncCount, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown function %q", name)
+	}
+}

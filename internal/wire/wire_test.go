@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	payload := Payload{
+		Seq: 7, Epoch: 42, FuncID: FuncAverage, Scalar: 3.14,
+		Entries: []MapEntry{{Leader: 9, Value: 0.5}},
+		Gossip:  []Descriptor{{Addr: "10.0.0.1:9", Stamp: 100}},
+	}
+	msgs := []Message{
+		&ExchangeRequest{From: "a:1", Payload: payload},
+		&ExchangeReply{From: "b:2", Payload: payload},
+		&JoinRequest{From: "c:3", Seq: 5},
+		&JoinReply{Seq: 5, NextEpoch: 43, WaitMicros: 123456,
+			Seeds: []Descriptor{{Addr: "d:4", Stamp: -7}}},
+		&Membership{From: "e:5", Seq: 9,
+			Entries: []Descriptor{{Addr: "f:6", Stamp: 1}, {Addr: "g:7", Stamp: 2}}},
+		&MembershipReply{From: "h:8", Seq: 9,
+			Entries: []Descriptor{{Addr: "i:9", Stamp: 3}}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s round trip mismatch:\n in: %#v\nout: %#v", m.Type(), m, got)
+		}
+	}
+}
+
+func TestRoundTripEmptyLists(t *testing.T) {
+	m := &ExchangeRequest{From: "x", Payload: Payload{Seq: 1, FuncID: FuncMin}}
+	got := roundTrip(t, m).(*ExchangeRequest)
+	if len(got.Entries) != 0 || len(got.Gossip) != 0 {
+		t.Fatalf("empty lists decoded as %v / %v", got.Entries, got.Gossip)
+	}
+}
+
+func TestRoundTripSpecialFloats(t *testing.T) {
+	for _, v := range []float64{0, -0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		m := &ExchangeReply{From: "x", Payload: Payload{Scalar: v}}
+		got := roundTrip(t, m).(*ExchangeReply)
+		if got.Scalar != v {
+			t.Errorf("float %g decoded as %g", v, got.Scalar)
+		}
+	}
+	// NaN round trips to NaN.
+	m := &ExchangeReply{From: "x", Payload: Payload{Scalar: math.NaN()}}
+	got := roundTrip(t, m).(*ExchangeReply)
+	if !math.IsNaN(got.Scalar) {
+		t.Error("NaN did not survive")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(from string, seq, epoch uint64, fid uint8, scalar float64,
+		leaders []int64, stamps []int16) bool {
+		if len(from) > MaxAddrLen {
+			from = from[:MaxAddrLen]
+		}
+		if len(leaders) > MaxMapEntries {
+			leaders = leaders[:MaxMapEntries]
+		}
+		entries := make([]MapEntry, 0, len(leaders))
+		for i, l := range leaders {
+			entries = append(entries, MapEntry{Leader: l, Value: float64(i)})
+		}
+		gossip := make([]Descriptor, 0, len(stamps))
+		for i, s := range stamps {
+			if i >= MaxDescriptors {
+				break
+			}
+			gossip = append(gossip, Descriptor{Addr: "peer", Stamp: int64(s)})
+		}
+		in := &ExchangeRequest{From: from, Payload: Payload{
+			Seq: seq, Epoch: epoch, FuncID: fid, Scalar: scalar,
+			Entries: entries, Gossip: gossip,
+		}}
+		data, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(*ExchangeRequest)
+		if !ok || got.From != in.From || got.Seq != in.Seq || got.Epoch != in.Epoch {
+			return false
+		}
+		if math.IsNaN(scalar) {
+			if !math.IsNaN(got.Scalar) {
+				return false
+			}
+		} else if got.Scalar != scalar {
+			return false
+		}
+		if len(got.Entries) != len(entries) || len(got.Gossip) != len(gossip) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := Encode(&JoinRequest{From: "a", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short magic", []byte{'A', 'E'}, ErrTruncated},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...), ErrBadMagic},
+		{"bad version", append(append([]byte{}, valid[:4]...), append([]byte{99}, valid[5:]...)...), ErrBadVersion},
+		{"bad type", func() []byte {
+			d := append([]byte{}, valid...)
+			d[5] = 200
+			return d
+		}(), ErrBadType},
+		{"truncated body", valid[:len(valid)-3], ErrTruncated},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.data)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Decode = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	valid, err := Encode(&JoinRequest{From: "a", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(valid, 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	longAddr := make([]byte, MaxAddrLen+1)
+	if _, err := Encode(&JoinRequest{From: string(longAddr)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize address: %v", err)
+	}
+	manyDescriptors := make([]Descriptor, MaxDescriptors+1)
+	if _, err := Encode(&Membership{From: "a", Entries: manyDescriptors}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize descriptor list: %v", err)
+	}
+	manyEntries := make([]MapEntry, MaxMapEntries+1)
+	if _, err := Encode(&ExchangeRequest{From: "a", Payload: Payload{Entries: manyEntries}}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize map payload: %v", err)
+	}
+}
+
+func TestDecodeRejectsOversizeCounts(t *testing.T) {
+	// Craft a message claiming an enormous descriptor list.
+	data, err := Encode(&Membership{From: "a", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The descriptor count is the last 2 bytes before the (empty) list.
+	data[len(data)-2] = 0xFF
+	data[len(data)-1] = 0xFF
+	if _, err := Decode(data); !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrTruncated) {
+		t.Errorf("oversize count accepted: %v", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		TExchangeRequest: "exchange-request",
+		TExchangeReply:   "exchange-reply",
+		TJoinRequest:     "join-request",
+		TJoinReply:       "join-reply",
+		TMembership:      "membership",
+		TMembershipReply: "membership-reply",
+		MsgType(99):      "unknown(99)",
+	}
+	for tpe, want := range names {
+		if got := tpe.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", tpe, got, want)
+		}
+	}
+}
+
+func TestFuncIDFor(t *testing.T) {
+	ids := map[string]uint8{
+		"average": FuncAverage, "min": FuncMin, "max": FuncMax,
+		"geometric-mean": FuncGeometricMean, "count": FuncCount,
+	}
+	for name, want := range ids {
+		got, err := FuncIDFor(name)
+		if err != nil || got != want {
+			t.Errorf("FuncIDFor(%q) = %d, %v", name, got, err)
+		}
+	}
+	if _, err := FuncIDFor("median"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestDecodeFuzzSafety(t *testing.T) {
+	// Decode must never panic on arbitrary input.
+	if err := quick.Check(func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
