@@ -42,9 +42,13 @@
 package antientropy
 
 import (
+	"context"
+	"io"
+
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
 	"antientropy/internal/experiments"
+	"antientropy/internal/scenario"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
 	"antientropy/internal/topology"
@@ -284,8 +288,50 @@ type (
 )
 
 // Experiments lists every registered experiment (fig2 … fig8b plus
-// ablations), sorted by id.
+// ablations and scenario-based figures), sorted by id.
 func Experiments() []Experiment { return experiments.Registry() }
+
+// Declarative scenario engine: scripted churn, partitions, loss/delay
+// bursts and value dynamics driving both the simulator and the live
+// runtime (see cmd/aggscen).
+type (
+	// Scenario is one declarative run description (JSON-loadable).
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timed intervention of a scenario.
+	ScenarioEvent = scenario.Event
+	// ScenarioRun is one executed scenario with per-cycle metrics.
+	ScenarioRun = scenario.RunResult
+	// ScenarioCycle is one cycle's metrics row.
+	ScenarioCycle = scenario.CycleMetrics
+	// ScenarioSimOptions tune the simulator executor.
+	ScenarioSimOptions = scenario.SimOptions
+	// ScenarioLiveOptions tune the live-fleet executor.
+	ScenarioLiveOptions = scenario.LiveOptions
+)
+
+// ScenarioCSVHeader is the column row of the scenario metric CSV stream.
+const ScenarioCSVHeader = scenario.CSVHeader
+
+// CannedScenarios returns the standard scenario library (steady churn,
+// flash crowd, correlated crash, partition-and-heal, loss burst, value
+// drift, rolling restart).
+func CannedScenarios() []Scenario { return scenario.Canned() }
+
+// ScenarioByName finds a canned scenario.
+func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name) }
+
+// LoadScenario reads and validates one JSON scenario.
+func LoadScenario(r io.Reader) (Scenario, error) { return scenario.Load(r) }
+
+// RunScenarioSim executes a scenario deterministically on the
+// cycle-driven simulator.
+func RunScenarioSim(sc Scenario) (*ScenarioRun, error) { return scenario.RunSim(sc) }
+
+// RunScenarioLive executes a scenario against a fleet of live nodes over
+// the in-memory transport.
+func RunScenarioLive(ctx context.Context, sc Scenario, opts ScenarioLiveOptions) (*ScenarioRun, error) {
+	return scenario.RunLive(ctx, sc, opts)
+}
 
 // RunExperiment regenerates one figure by id.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {

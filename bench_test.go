@@ -177,6 +177,29 @@ func BenchmarkExchangeDistribution(b *testing.B) {
 	b.ReportMetric(m.Variance(), "exchanges-var")
 }
 
+// --- Scenario engine ---
+
+// BenchmarkScenarioPartitionHeal10k runs the canned partition-and-heal
+// scenario at 10k nodes on the simulator executor — the perf baseline
+// for the scenario path (hooks, exchange filter, per-cycle metrics).
+func BenchmarkScenarioPartitionHeal10k(b *testing.B) {
+	sc, err := antientropy.ScenarioByName("partition-heal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.N = 10000
+	var res *antientropy.ScenarioRun
+	for i := 0; i < b.N; i++ {
+		res, err = antientropy.RunScenarioSim(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	final := res.Final()
+	b.ReportMetric(final.RelError, "final-rel-err")
+	b.ReportMetric(float64(res.TotalMessages())/float64(len(res.PerCycle)-1), "messages/cycle")
+}
+
 // --- Micro-benchmarks: protocol hot paths ---
 
 func BenchmarkExchangeScalar(b *testing.B) {

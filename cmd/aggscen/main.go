@@ -1,0 +1,201 @@
+// Command aggscen lists, runs and compares declarative scenarios:
+// scripted churn waves, correlated crashes, flash crowds, network
+// partitions, loss/delay bursts and value dynamics, executed against
+// both the deterministic cycle-driven simulator and a fleet of live
+// agent nodes over the in-memory transport.
+//
+// Usage:
+//
+//	aggscen -list
+//	aggscen -run partition-heal -n 1000            # both executors, CSV
+//	aggscen -run loss-burst -executor sim -format json
+//	aggscen -file my-scenario.json -out metrics.csv
+//	aggscen -compare steady-churn,loss-burst,partition-heal
+//	aggscen -show partition-heal                   # print the JSON script
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"antientropy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggscen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list the canned scenarios and exit")
+		name     = flag.String("run", "", "run a canned scenario by name")
+		file     = flag.String("file", "", "run a scenario from a JSON file")
+		show     = flag.String("show", "", "print a canned scenario as JSON and exit")
+		compare  = flag.String("compare", "", "comma-separated scenario names to run (sim executor) and summarize")
+		n        = flag.Int("n", 0, "override the network size")
+		cycles   = flag.Int("cycles", 0, "override the run length")
+		seed     = flag.Uint64("seed", 0, "override the scenario seed")
+		executor = flag.String("executor", "both", "which executor to use: sim, live, or both")
+		format   = flag.String("format", "csv", "metric output format: csv or json")
+		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")
+		cycleLen = flag.Duration("cycle-len", 0, "live executor: wall-clock cycle length (0 = scale with fleet size and cores)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		return listScenarios()
+	case *show != "":
+		return showScenario(*show)
+	case *compare != "":
+		return compareScenarios(strings.Split(*compare, ","), *n, *seed)
+	case *name != "" || *file != "":
+		sc, err := loadScenario(*name, *file)
+		if err != nil {
+			return err
+		}
+		if *n > 0 {
+			sc.N = *n
+		}
+		if *cycles > 0 {
+			sc.Cycles = *cycles
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		return runScenario(sc, *executor, *format, *outPath, *cycleLen)
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do (use -list, -run, -file, -show or -compare)")
+	}
+}
+
+func listScenarios() error {
+	fmt.Println("canned scenarios:")
+	for _, sc := range antientropy.CannedScenarios() {
+		fmt.Printf("  %-18s n=%-5d cycles=%-4d %s\n", sc.Name, sc.N, sc.Cycles, sc.Description)
+	}
+	return nil
+}
+
+func showScenario(name string) error {
+	sc, err := antientropy.ScenarioByName(name)
+	if err != nil {
+		return err
+	}
+	data, err := sc.JSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func loadScenario(name, file string) (antientropy.Scenario, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return antientropy.Scenario{}, err
+		}
+		defer f.Close()
+		return antientropy.LoadScenario(f)
+	}
+	return antientropy.ScenarioByName(name)
+}
+
+func runScenario(sc antientropy.Scenario, executor, format, outPath string, cycleLen time.Duration) error {
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "aggscen: closing output:", err)
+			}
+		}()
+		out = f
+	}
+
+	var runs []*antientropy.ScenarioRun
+	if executor == "sim" || executor == "both" {
+		start := time.Now()
+		res, err := antientropy.RunScenarioSim(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "aggscen: %s (%v)\n", res.String(), time.Since(start).Round(time.Millisecond))
+		runs = append(runs, res)
+	}
+	if executor == "live" || executor == "both" {
+		start := time.Now()
+		res, err := antientropy.RunScenarioLive(context.Background(), sc,
+			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "aggscen: %s (%v)\n", res.String(), time.Since(start).Round(time.Millisecond))
+		runs = append(runs, res)
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("unknown executor %q (want sim, live or both)", executor)
+	}
+
+	switch format {
+	case "csv":
+		if _, err := fmt.Fprintln(out, antientropy.ScenarioCSVHeader); err != nil {
+			return err
+		}
+		for _, r := range runs {
+			if err := r.WriteCSVRows(out); err != nil {
+				return err
+			}
+		}
+	case "json":
+		for _, r := range runs {
+			if err := r.WriteJSON(out); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", format)
+	}
+	return nil
+}
+
+func compareScenarios(names []string, n int, seed uint64) error {
+	fmt.Printf("%-18s %6s %7s %9s %9s %12s %10s\n",
+		"scenario", "n", "cycles", "min-alive", "end-alive", "final-relerr", "messages")
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		sc, err := antientropy.ScenarioByName(name)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			sc.N = n
+		}
+		if seed != 0 {
+			sc.Seed = seed
+		}
+		res, err := antientropy.RunScenarioSim(sc)
+		if err != nil {
+			return err
+		}
+		f := res.Final()
+		fmt.Printf("%-18s %6d %7d %9d %9d %12.2e %10d\n",
+			sc.Name, sc.N, sc.Cycles, res.MinAlive(), f.Alive, f.RelError, res.TotalMessages())
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module antientropy
+
+go 1.24

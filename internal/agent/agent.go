@@ -423,6 +423,26 @@ func (n *Node) closeSubsLocked() {
 	n.subs = nil
 }
 
+// AddContacts injects out-of-band discovered peer addresses into the
+// NEWSCAST cache, stamped fresh. Deployments call it when an external
+// discovery source (a seed list, DNS, an operator) learns of peers — for
+// example to remerge the overlay after a network partition heals, when
+// both sides' caches have long evicted each other's descriptors. The
+// injected descriptors then spread epidemically through normal gossip.
+func (n *Node) AddContacts(addrs []string) {
+	now := time.Now().UnixMicro()
+	entries := make([]newscast.Entry[string], 0, len(addrs))
+	for _, a := range addrs {
+		if a == "" || a == n.Addr() {
+			continue
+		}
+		entries = append(entries, newscast.Entry[string]{Key: a, Stamp: now})
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cache.Absorb(entries)
+}
+
 // PeerCount returns the NEWSCAST cache occupancy.
 func (n *Node) PeerCount() int {
 	n.mu.Lock()

@@ -410,6 +410,7 @@ func TestRegistryComplete(t *testing.T) {
 		"extension-adaptivity", "extension-countchain", "extension-minmax",
 		"fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",
+		"scenario-partition-heal", "scenario-steady-churn",
 	}
 	if len(reg) != len(wantIDs) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(wantIDs))

@@ -198,6 +198,24 @@ func Registry() []Runner {
 			},
 		},
 		{
+			ID:          "scenario-steady-churn",
+			Description: "fig 6b/8a churn regime re-expressed as a declarative scenario",
+			Run: func(o Options) (*Result, error) {
+				cfg := DefaultScenarioFig("steady-churn")
+				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
+				return RunScenarioFig(cfg)
+			},
+		},
+		{
+			ID:          "scenario-partition-heal",
+			Description: "partition-and-heal scenario: mass conserved, estimate re-converges",
+			Run: func(o Options) (*Result, error) {
+				cfg := DefaultScenarioFig("partition-heal")
+				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
+				return RunScenarioFig(cfg)
+			},
+		},
+		{
 			ID:          "ablation-pushpull",
 			Description: "A1: push-pull vs push-sum vs push-only under loss",
 			Run: func(o Options) (*Result, error) {

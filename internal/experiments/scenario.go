@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"antientropy/internal/scenario"
+	"antientropy/internal/sim"
+)
+
+// ScenarioFigConfig parameterizes a figure regenerated through the
+// declarative scenario engine instead of a hand-rolled sweep: the figure
+// 6b/8a-style failure regimes are re-expressed as canned scenarios and
+// their per-cycle metric stream becomes the plotted series.
+type ScenarioFigConfig struct {
+	// Scenario is the canned scenario name.
+	Scenario string
+	// N overrides the scenario's network size (0 keeps it).
+	N int
+	// Reps is the number of independent repetitions.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+}
+
+// DefaultScenarioFig returns laptop-scale defaults for the given canned
+// scenario.
+func DefaultScenarioFig(name string) ScenarioFigConfig {
+	return ScenarioFigConfig{Scenario: name, Reps: 5, Seed: 21}
+}
+
+// RunScenarioFig executes the scenario Reps times on the simulator
+// executor and aggregates three per-cycle series: the relative estimate
+// error, the estimate spread, and the live-node fraction. It is the
+// scenario-engine re-expression of the paper's trajectory figures — the
+// same churn regime as Figure 6(b)/8(a) plotted from the generic engine
+// rather than a bespoke experiment loop.
+func RunScenarioFig(cfg ScenarioFigConfig) (*Result, error) {
+	if cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid scenario figure config %+v", cfg)
+	}
+	sc, err := scenario.ByName(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N > 0 {
+		sc.N = cfg.N
+	}
+	runs := make([]*scenario.RunResult, cfg.Reps)
+	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+		s := sc
+		s.Seed = seed
+		res, err := scenario.RunSim(s)
+		if err != nil {
+			return err
+		}
+		runs[rep] = res
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario %s: %w", cfg.Scenario, err)
+	}
+	cycles := len(runs[0].PerCycle)
+	relErr := Series{Label: "rel error"}
+	spread := Series{Label: "estimate stddev"}
+	alive := Series{Label: "live fraction"}
+	for c := 0; c < cycles; c++ {
+		var errs, stds, fracs []float64
+		for _, r := range runs {
+			m := r.PerCycle[c]
+			errs = append(errs, m.RelError)
+			stds = append(stds, m.EstimateStdDev)
+			fracs = append(fracs, float64(m.Alive)/float64(r.N))
+		}
+		x := float64(c)
+		relErr.Points = append(relErr.Points, summarize(x, errs))
+		spread.Points = append(spread.Points, summarize(x, stds))
+		alive.Points = append(alive.Points, summarize(x, fracs))
+	}
+	return &Result{
+		ID:     "scenario-" + cfg.Scenario,
+		Title:  fmt.Sprintf("Scenario %q on the sim executor (%s)", cfg.Scenario, sc.Description),
+		XLabel: "cycle",
+		YLabel: "rel error / stddev / live fraction",
+		Series: []Series{relErr, spread, alive},
+	}, nil
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestScenarioFigRegeneratesSeries(t *testing.T) {
+	cfg := ScenarioFigConfig{Scenario: "partition-heal", N: 120, Reps: 2, Seed: 9}
+	res, err := RunScenarioFig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "scenario-partition-heal" {
+		t.Fatalf("result id %q", res.ID)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series, want rel error / stddev / live fraction", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 91 {
+			t.Fatalf("series %q has %d points, want 91", s.Label, len(s.Points))
+		}
+	}
+	final, err := res.SeriesByLabel("rel error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := final.Points[len(final.Points)-1].Mean; got > 1e-9 {
+		t.Fatalf("final rel error %g: partition-heal must re-converge", got)
+	}
+	if _, err := RunScenarioFig(ScenarioFigConfig{Scenario: "no-such", Reps: 1}); err == nil {
+		t.Fatal("unknown scenario must be rejected")
+	}
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Canned returns the standard scenario library, sorted by name. Every
+// entry is ready to run at its default size; cmd/aggscen rescales N on
+// request (fraction-based events scale with it).
+func Canned() []Scenario {
+	scenarios := []Scenario{
+		{
+			Name: "steady-churn",
+			Description: "1% of the network is replaced by fresh nodes every cycle " +
+				"(fig 6b/8a regime); the estimate must stay near the true mean despite " +
+				"continuous membership turnover",
+			N: 1000, Cycles: 90, Seed: 11,
+			Events: []Event{
+				{Kind: KindChurn, At: 1, Fraction: 0.01},
+			},
+		},
+		{
+			Name: "flash-crowd",
+			Description: "50% more nodes join at once mid-run; joiners sit out the " +
+				"running epoch (§4.2) and are folded in at the next restart",
+			N: 1000, Cycles: 90, Seed: 12,
+			Events: []Event{
+				{Kind: KindJoin, At: 35, Fraction: 0.5},
+			},
+		},
+		{
+			Name: "correlated-crash",
+			Description: "half the network crashes simultaneously (fig 6a sudden " +
+				"death); the surviving estimate mean must remain the survivors' mean",
+			N: 1000, Cycles: 90, Seed: 13,
+			Events: []Event{
+				{Kind: KindCrash, At: 45, Fraction: 0.5},
+			},
+		},
+		{
+			Name: "partition-heal",
+			Description: "the network splits into two equal components at cycle 10 " +
+				"and heals at cycle 40; mass conservation holds through the " +
+				"partition and the estimate re-converges to the true aggregate " +
+				"after the heal",
+			N: 1000, Cycles: 90, Seed: 14,
+			Events: []Event{
+				{Kind: KindPartition, At: 10, Groups: []float64{1, 1}},
+				{Kind: KindHeal, At: 40},
+			},
+		},
+		{
+			Name: "loss-burst",
+			Description: "30% message loss for one full epoch (fig 7b/8b regime), " +
+				"then clean air; the restart mechanism flushes the accumulated error",
+			N: 1000, Cycles: 90, Seed: 15,
+			Events: []Event{
+				{Kind: KindLoss, At: 31, Until: 60, Rate: 0.3},
+			},
+		},
+		{
+			Name: "value-drift",
+			Description: "every node's local value ramps by +50 over the run with a " +
+				"superimposed oscillation; epoch restarts (§4.1) make the output " +
+				"track the moving aggregate with one epoch of lag",
+			N: 1000, Cycles: 120, Seed: 16,
+			Events: []Event{
+				{Kind: KindValueRamp, At: 1, Until: 90, Delta: 50},
+				{Kind: KindValueOscillate, At: 1, Amplitude: 10, Period: 20},
+			},
+		},
+		{
+			Name: "rolling-restart",
+			Description: "a deployment-style rolling restart: 10% of the nodes crash " +
+				"in waves every 10 cycles and are restarted 5 cycles later, under " +
+				"5% background message loss and a brief delay burst",
+			N: 1000, Cycles: 90, Seed: 17, MessageLoss: 0.05,
+			Events: []Event{
+				{Kind: KindCrash, At: 10, Until: 70, Every: 10, Fraction: 0.1},
+				{Kind: KindRestart, At: 15, Until: 75, Every: 10, Fraction: 0.1},
+				{Kind: KindDelay, At: 40, Until: 50, MinDelayMs: 1, MaxDelayMs: 4},
+			},
+		},
+	}
+	for i, s := range scenarios {
+		scenarios[i] = s.WithDefaults()
+	}
+	sort.Slice(scenarios, func(i, j int) bool { return scenarios[i].Name < scenarios[j].Name })
+	return scenarios
+}
+
+// ByName finds a canned scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Canned() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (see Canned)", name)
+}

@@ -1,0 +1,539 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antientropy/internal/agent"
+	"antientropy/internal/core"
+	"antientropy/internal/stats"
+	"antientropy/internal/transport"
+)
+
+// LiveOptions tune the live-fleet executor.
+type LiveOptions struct {
+	// CycleLen is δ, the wall-clock length of one protocol cycle. The
+	// default scales with the fleet size and the machine's cores so that
+	// every node can complete its exchange within a cycle — a too-short δ
+	// starves the fleet and convergence stalls.
+	CycleLen time.Duration
+	// CacheSize is the NEWSCAST cache capacity (default 30).
+	CacheSize int
+	// Logger receives node debug events (default: discard).
+	Logger *slog.Logger
+}
+
+func (o LiveOptions) withDefaults(fleet int) LiveOptions {
+	if o.CycleLen <= 0 {
+		// Budget ~150µs of single-core compute per node per cycle (two
+		// goroutine wakeups, two piggybacked-gossip datagrams, timer
+		// churn), spread across the available cores, with a 15ms floor
+		// for timer accuracy. Measured on one core, a 1000-node fleet
+		// converges cleanly at 150ms cycles and starves at 50ms.
+		perCore := 150 * time.Microsecond / time.Duration(runtime.GOMAXPROCS(0))
+		o.CycleLen = time.Duration(fleet) * perCore
+		if o.CycleLen < 15*time.Millisecond {
+			o.CycleLen = 15 * time.Millisecond
+		}
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 30
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// liveSlot tracks one node slot of the fleet.
+type liveSlot struct {
+	node  *agent.Node
+	addr  string
+	alive bool
+}
+
+// RunLive executes the scenario against a fleet of real agent nodes over
+// the in-memory transport: every node runs the paper's active/passive
+// goroutine pair with real timers, epochs and joins; partitions, loss and
+// delay bursts are injected at the transport layer. Unlike the simulator
+// executor the run is wall-clock driven and therefore not bit-for-bit
+// deterministic, but it chases the identical scripted value signal, so
+// the two metric streams are directly comparable.
+func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(sc.MaxSlots())
+
+	slots := sc.MaxSlots()
+	prog := NewValueProgram(sc, slots)
+	rng := stats.NewRNG(sc.Seed ^ 0x6c6976652d72756e)
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{
+		Loss: sc.MessageLoss,
+		Seed: int64(sc.Seed) + 1,
+	})
+	defer net.Close()
+
+	schedule := core.Schedule{
+		Start:    time.Now(),
+		Delta:    time.Duration(sc.EpochLen) * opts.CycleLen,
+		CycleLen: opts.CycleLen,
+		Gamma:    sc.EpochLen,
+	}
+
+	d := &liveDriver{
+		sc:    sc,
+		prog:  prog,
+		slots: make([]liveSlot, slots),
+		rng:   rng,
+		net:   net,
+		opts:  opts,
+		sched: schedule,
+		ctx:   ctx,
+
+		nextJoin: sc.N,
+	}
+	defer d.stopAll()
+
+	// Found the deployment: the initial fleet bootstraps its NEWSCAST
+	// caches from the full address list and starts in the first epoch.
+	endpoints := make([]*transport.MemEndpoint, sc.N)
+	bootstrap := make([]string, sc.N)
+	for slot := 0; slot < sc.N; slot++ {
+		endpoints[slot] = net.Endpoint()
+		bootstrap[slot] = endpoints[slot].Addr()
+		d.slots[slot].addr = bootstrap[slot]
+	}
+	for slot := 0; slot < sc.N; slot++ {
+		node, err := d.newNode(slot, endpoints[slot], nil, bootstrap)
+		if err != nil {
+			return nil, err
+		}
+		d.slots[slot].node = node
+	}
+	for slot := 0; slot < sc.N; slot++ {
+		if err := d.slots[slot].node.Start(ctx); err != nil {
+			return nil, fmt.Errorf("scenario %s: starting node %d: %w", sc.Name, slot, err)
+		}
+		d.slots[slot].alive = true
+	}
+
+	result := &RunResult{
+		Scenario: sc.Name, Executor: "live",
+		N: sc.N, Slots: slots, Seed: sc.Seed,
+		PerCycle: make([]CycleMetrics, 0, sc.Cycles+1),
+	}
+
+	// Founding a large fleet takes real time, during which the nodes'
+	// wall-clock schedule has been running. Anchor scenario cycle 1 to
+	// the next epoch boundary so scripted cycles line up exactly with the
+	// fleet's epoch restarts, and derive every event/sample instant from
+	// that anchor — a free-running ticker would slowly drift into the
+	// restart edges.
+	startEpoch := time.Since(schedule.Start)/schedule.Delta + 1
+	base := schedule.Start.Add(startEpoch * schedule.Delta)
+
+	if err := sleepUntil(ctx, base.Add(-opts.CycleLen/2)); err != nil {
+		return nil, err
+	}
+	result.PerCycle = append(result.PerCycle, d.sample(0))
+	for cycle := 1; cycle <= sc.Cycles; cycle++ {
+		edge := base.Add(time.Duration(cycle-1) * opts.CycleLen)
+		if err := sleepUntil(ctx, edge); err != nil {
+			return nil, err
+		}
+		d.cycleNow.Store(int64(cycle))
+		if err := d.applyEvents(cycle); err != nil {
+			return nil, err
+		}
+		// Sample halfway into the cycle: node epochs flip at the cycle
+		// edges (staggered by their random phases), and sampling during
+		// the flip would mix estimates from two epochs.
+		if err := sleepUntil(ctx, edge.Add(opts.CycleLen/2)); err != nil {
+			return nil, err
+		}
+		result.PerCycle = append(result.PerCycle, d.sample(cycle))
+	}
+	return result, nil
+}
+
+// sleepUntil blocks until the wall-clock instant t or ctx cancellation.
+func sleepUntil(ctx context.Context, t time.Time) error {
+	wait := time.Until(t)
+	if wait <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// liveDriver owns the fleet and the mutable script state.
+type liveDriver struct {
+	sc    Scenario
+	prog  *ValueProgram
+	slots []liveSlot
+	rng   *stats.RNG
+	net   *transport.MemNetwork
+	opts  LiveOptions
+	sched core.Schedule
+	ctx   context.Context
+
+	// cycleNow is the driver's cycle clock; node Value suppliers read it
+	// so epoch restarts sample the scripted signal at the current cycle.
+	cycleNow atomic.Int64
+
+	nextJoin int
+	crashed  []int
+
+	groupOf        []int
+	partitionOn    bool
+	partitionUntil int
+
+	// retiredMessages preserves the exchange counts of stopped nodes so
+	// the per-cycle message metric stays monotonic.
+	retiredMessages int64
+	prevMessages    int64
+
+	stopping sync.WaitGroup
+}
+
+// newNode builds (but does not start) the agent for a slot.
+func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
+	node, err := agent.New(agent.Config{
+		Endpoint:  ep,
+		Schedule:  d.sched,
+		Function:  core.Average,
+		Value:     func() float64 { return d.prog.Value(slot, int(d.cycleNow.Load())) },
+		CacheSize: d.opts.CacheSize,
+		Seeds:     seeds,
+		Bootstrap: bootstrap,
+		Seed:      d.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
+		Logger:    d.opts.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: building node %d: %w", d.sc.Name, slot, err)
+	}
+	return node, nil
+}
+
+// applyEvents runs the script for one wall-clock cycle.
+func (d *liveDriver) applyEvents(cycle int) error {
+	if d.partitionOn && d.partitionUntil > 0 && cycle > d.partitionUntil {
+		d.heal()
+	}
+	d.net.SetLoss(d.effectiveLoss(cycle))
+	d.applyDelay(cycle)
+	for _, ev := range d.sc.Events {
+		if !ev.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		switch ev.Kind {
+		case KindCrash:
+			count := ev.resolveCount(d.aliveCount())
+			for k := 0; k < count && d.aliveCount() > 1; k++ {
+				d.crash(d.randomAlive())
+			}
+		case KindChurn:
+			count := ev.resolveCount(d.aliveCount())
+			for k := 0; k < count && d.aliveCount() > 1; k++ {
+				slot := d.randomAlive()
+				d.crash(slot)
+				if err := d.startJoiner(slot); err != nil {
+					return err
+				}
+				d.crashed = d.crashed[:len(d.crashed)-1] // slot reused, not available
+			}
+		case KindJoin:
+			count := ev.resolveCount(d.sc.N)
+			for k := 0; k < count; k++ {
+				slot, ok := d.takeJoinSlot()
+				if !ok {
+					break
+				}
+				if err := d.startJoiner(slot); err != nil {
+					return err
+				}
+			}
+		case KindRestart:
+			count := ev.resolveCount(d.aliveCount())
+			for k := 0; k < count && len(d.crashed) > 0; k++ {
+				slot := d.crashed[len(d.crashed)-1]
+				d.crashed = d.crashed[:len(d.crashed)-1]
+				if err := d.startJoiner(slot); err != nil {
+					return err
+				}
+			}
+		case KindPartition:
+			// Fire once at At (see the sim executor): re-splitting every
+			// cycle of the [At, Until] window would re-randomize the
+			// components.
+			if cycle == ev.At {
+				d.partition(ev)
+			}
+		case KindHeal:
+			d.heal()
+		}
+	}
+	return nil
+}
+
+// crash stops a node ungracefully (its endpoint vanishes; peers time
+// out). The stop completes in the background so one tick can crash many
+// nodes without stalling the clock.
+func (d *liveDriver) crash(slot int) {
+	s := &d.slots[slot]
+	if !s.alive {
+		return
+	}
+	s.alive = false
+	d.crashed = append(d.crashed, slot)
+	d.retiredMessages += s.node.Metrics().ExchangesInitiated
+	node := s.node
+	d.stopping.Add(1)
+	go func() {
+		defer d.stopping.Done()
+		_ = node.Stop()
+	}()
+}
+
+// startJoiner brings a slot up as a brand-new identity performing the
+// §4.2 join: it seeds from live contacts and participates from the next
+// epoch on.
+func (d *liveDriver) startJoiner(slot int) error {
+	ep := d.net.Endpoint()
+	seeds := d.seedAddrs(3)
+	node, err := d.newNode(slot, ep, seeds, nil)
+	if err != nil {
+		return err
+	}
+	if err := node.Start(d.ctx); err != nil {
+		return fmt.Errorf("scenario %s: starting joiner %d: %w", d.sc.Name, slot, err)
+	}
+	d.slots[slot] = liveSlot{node: node, addr: ep.Addr(), alive: true}
+	if d.partitionOn {
+		d.net.AssignGroup(ep.Addr(), d.groupOf[slot])
+	}
+	return nil
+}
+
+// seedAddrs samples up to n live contact addresses.
+func (d *liveDriver) seedAddrs(n int) []string {
+	live := d.liveSlots()
+	if len(live) == 0 {
+		return nil
+	}
+	seeds := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		slot := live[d.rng.Intn(len(live))]
+		seeds = append(seeds, d.slots[slot].addr)
+	}
+	return seeds
+}
+
+func (d *liveDriver) takeJoinSlot() (int, bool) {
+	if d.nextJoin < len(d.slots) {
+		slot := d.nextJoin
+		d.nextJoin++
+		return slot, true
+	}
+	if len(d.crashed) > 0 {
+		slot := d.crashed[len(d.crashed)-1]
+		d.crashed = d.crashed[:len(d.crashed)-1]
+		return slot, true
+	}
+	return 0, false
+}
+
+func (d *liveDriver) aliveCount() int {
+	count := 0
+	for i := range d.slots {
+		if d.slots[i].alive {
+			count++
+		}
+	}
+	return count
+}
+
+func (d *liveDriver) liveSlots() []int {
+	live := make([]int, 0, len(d.slots))
+	for i := range d.slots {
+		if d.slots[i].alive {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+func (d *liveDriver) randomAlive() int {
+	live := d.liveSlots()
+	return live[d.rng.Intn(len(live))]
+}
+
+// effectiveLoss mirrors the simulator executor's rule.
+func (d *liveDriver) effectiveLoss(cycle int) float64 {
+	loss := d.sc.MessageLoss
+	for _, ev := range d.sc.Events {
+		if ev.Kind != KindLoss {
+			continue
+		}
+		if from, to := ev.window(d.sc.Cycles); cycle >= from && cycle <= to {
+			loss = ev.Rate
+		}
+	}
+	return loss
+}
+
+// applyDelay raises transport latency while a delay burst is active.
+func (d *liveDriver) applyDelay(cycle int) {
+	var min, max time.Duration
+	for _, ev := range d.sc.Events {
+		if ev.Kind != KindDelay {
+			continue
+		}
+		if from, to := ev.window(d.sc.Cycles); cycle >= from && cycle <= to {
+			min = time.Duration(ev.MinDelayMs) * time.Millisecond
+			max = time.Duration(ev.MaxDelayMs) * time.Millisecond
+		}
+	}
+	d.net.SetLatency(min, max)
+}
+
+// partition splits the fleet at the transport layer: every slot gets a
+// component, live addresses are registered, and cross-component
+// datagrams drop until the heal.
+func (d *liveDriver) partition(ev Event) {
+	var total float64
+	for _, w := range ev.Groups {
+		total += w
+	}
+	perm := make([]int, len(d.slots))
+	d.rng.Perm(perm)
+	d.groupOf = make([]int, len(d.slots))
+	start := 0
+	acc := 0.0
+	for g, w := range ev.Groups {
+		acc += w
+		end := int(acc / total * float64(len(d.slots)))
+		if g == len(ev.Groups)-1 {
+			end = len(d.slots)
+		}
+		for _, slot := range perm[start:end] {
+			d.groupOf[slot] = g
+		}
+		start = end
+	}
+	groups := make(map[string]int, len(d.slots))
+	for slot := range d.slots {
+		if d.slots[slot].alive {
+			groups[d.slots[slot].addr] = d.groupOf[slot]
+		}
+	}
+	d.partitionOn = true
+	d.partitionUntil = ev.Until
+	d.net.PartitionGroups(groups)
+}
+
+func (d *liveDriver) heal() {
+	wasOn := d.partitionOn
+	d.partitionOn = false
+	d.partitionUntil = 0
+	d.net.HealGroups()
+	if !wasOn {
+		return
+	}
+	// Rendezvous refresh: after a partition longer than the cache
+	// lifetime, each side has evicted every descriptor of the other, so
+	// gossip alone can never remerge the overlay. Real deployments
+	// re-learn peers out-of-band (seed lists, DNS); model that by handing
+	// a few nodes per component fresh contacts from the other components —
+	// epidemic gossip spreads the bridge from there.
+	byGroup := make(map[int][]int)
+	for _, slot := range d.liveSlots() {
+		g := d.groupOf[slot]
+		byGroup[g] = append(byGroup[g], slot)
+	}
+	const bridgesPerGroup, contactsPerBridge = 4, 3
+	for g, members := range byGroup {
+		var others []int
+		for og, om := range byGroup {
+			if og != g {
+				others = append(others, om...)
+			}
+		}
+		if len(others) == 0 {
+			continue
+		}
+		for b := 0; b < bridgesPerGroup && b < len(members); b++ {
+			bridge := members[d.rng.Intn(len(members))]
+			contacts := make([]string, 0, contactsPerBridge)
+			for c := 0; c < contactsPerBridge; c++ {
+				contacts = append(contacts, d.slots[others[d.rng.Intn(len(others))]].addr)
+			}
+			d.slots[bridge].node.AddContacts(contacts)
+		}
+	}
+}
+
+// sample builds one cycle's metrics row from the fleet.
+func (d *liveDriver) sample(cycle int) CycleMetrics {
+	var est, truth stats.Moments
+	participating := 0
+	var messages int64
+	for i := range d.slots {
+		s := &d.slots[i]
+		if !s.alive {
+			continue
+		}
+		truth.Add(d.prog.Value(i, cycle))
+		messages += s.node.Metrics().ExchangesInitiated
+		if !s.node.Participating() {
+			continue
+		}
+		participating++
+		if v, ok := s.node.Estimate(); ok {
+			est.Add(v)
+		}
+	}
+	messages += d.retiredMessages
+	delta := messages - d.prevMessages
+	d.prevMessages = messages
+	epoch := 0
+	if cycle > 0 {
+		epoch = (cycle - 1) / d.sc.EpochLen
+	}
+	return CycleMetrics{
+		Cycle:          cycle,
+		Epoch:          epoch,
+		Alive:          truth.N(),
+		Participating:  participating,
+		TrueMean:       truth.Mean(),
+		MeanEstimate:   est.Mean(),
+		EstimateStdDev: est.StdDev(),
+		RelError:       relError(est.Mean(), truth.Mean()),
+		Messages:       delta,
+	}
+}
+
+// stopAll terminates every live node and waits for background stops.
+func (d *liveDriver) stopAll() {
+	for i := range d.slots {
+		if d.slots[i].alive {
+			d.slots[i].alive = false
+			_ = d.slots[i].node.Stop()
+		}
+	}
+	d.stopping.Wait()
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// CycleMetrics is one cycle's observation of a scenario run. Both
+// executors emit the same shape, so their CSV/JSON streams line up
+// column-for-column.
+type CycleMetrics struct {
+	// Cycle index: 0 is the initialized state, 1..Cycles follow each
+	// completed cycle.
+	Cycle int `json:"cycle"`
+	// Epoch the cycle belongs to.
+	Epoch int `json:"epoch"`
+	// Alive is the number of live nodes; Participating counts those
+	// taking part in the current epoch.
+	Alive         int `json:"alive"`
+	Participating int `json:"participating"`
+	// TrueMean is the instantaneous mean of the live nodes' local values —
+	// the signal the protocol is chasing.
+	TrueMean float64 `json:"trueMean"`
+	// MeanEstimate and EstimateStdDev summarize the participants'
+	// estimates.
+	MeanEstimate   float64 `json:"meanEstimate"`
+	EstimateStdDev float64 `json:"estimateStdDev"`
+	// RelError is |MeanEstimate − TrueMean| normalized by the true mean's
+	// magnitude.
+	RelError float64 `json:"relError"`
+	// Messages counts exchange attempts during this cycle.
+	Messages int64 `json:"messages"`
+}
+
+// relError computes the normalized estimate error.
+func relError(estimate, truth float64) float64 {
+	scale := math.Abs(truth)
+	if scale < 1e-12 {
+		scale = 1
+	}
+	return math.Abs(estimate-truth) / scale
+}
+
+// RunResult is one executed scenario: metadata plus one CycleMetrics per
+// observed cycle (Cycles+1 rows including cycle 0).
+type RunResult struct {
+	// Scenario name and the executor that ran it ("sim" or "live").
+	Scenario string `json:"scenario"`
+	Executor string `json:"executor"`
+	// N is the initial network size; Slots the total capacity incl. joins.
+	N     int `json:"n"`
+	Slots int `json:"slots"`
+	// Seed the run used.
+	Seed uint64 `json:"seed"`
+	// PerCycle are the per-cycle observations.
+	PerCycle []CycleMetrics `json:"perCycle"`
+}
+
+// Final returns the last observation.
+func (r *RunResult) Final() CycleMetrics {
+	if len(r.PerCycle) == 0 {
+		return CycleMetrics{}
+	}
+	return r.PerCycle[len(r.PerCycle)-1]
+}
+
+// TotalMessages sums the exchange attempts over the whole run.
+func (r *RunResult) TotalMessages() int64 {
+	var total int64
+	for _, c := range r.PerCycle {
+		total += c.Messages
+	}
+	return total
+}
+
+// MinAlive returns the smallest live-node count observed.
+func (r *RunResult) MinAlive() int {
+	min := math.MaxInt
+	for _, c := range r.PerCycle {
+		if c.Alive < min {
+			min = c.Alive
+		}
+	}
+	if min == math.MaxInt {
+		return 0
+	}
+	return min
+}
+
+// CSVHeader is the column row of WriteCSV.
+const CSVHeader = "scenario,executor,cycle,epoch,alive,participating,true_mean,mean_estimate,estimate_stddev,rel_error,messages"
+
+// WriteCSV emits the per-cycle metrics as CSV, header included.
+func (r *RunResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	return r.WriteCSVRows(w)
+}
+
+// WriteCSVRows emits the data rows only, for concatenating several runs
+// under one header.
+func (r *RunResult) WriteCSVRows(w io.Writer) error {
+	for _, c := range r.PerCycle {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%g,%g,%g,%g,%d\n",
+			r.Scenario, r.Executor, c.Cycle, c.Epoch, c.Alive, c.Participating,
+			c.TrueMean, c.MeanEstimate, c.EstimateStdDev, c.RelError, c.Messages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the whole result as indented JSON.
+func (r *RunResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String summarizes the run in one line.
+func (r *RunResult) String() string {
+	f := r.Final()
+	return fmt.Sprintf("%s/%s: %d cycles, alive %d→%d (min %d), final estimate %.4g vs true %.4g (rel err %.2e), %d messages",
+		r.Scenario, r.Executor, len(r.PerCycle)-1, r.N, f.Alive, r.MinAlive(),
+		f.MeanEstimate, f.TrueMean, f.RelError, r.TotalMessages())
+}

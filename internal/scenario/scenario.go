@@ -1,0 +1,363 @@
+// Package scenario is the declarative adversarial-workload engine of the
+// library: a Scenario scripts timed events over a run — churn waves,
+// correlated crashes, flash-crowd joins, network partitions and heals,
+// message-loss and delay bursts, and value dynamics that move the tracked
+// aggregate while the protocol runs.
+//
+// One Scenario drives two executors against the same script:
+//
+//   - RunSim executes it on the deterministic cycle-driven engine of
+//     internal/sim (partitions enforced via the engine's exchange filter,
+//     epoch restarts via Engine.Restart),
+//   - RunLive executes it on a fleet of real internal/agent nodes over the
+//     in-memory transport (partitions and loss injected at the transport
+//     layer).
+//
+// Both emit the same per-cycle metrics (estimate mean/spread/error,
+// message counts, live-node count), so simulator predictions can be
+// compared directly against live-runtime behaviour. A standard library of
+// canned scenarios lives in Canned; cmd/aggscen lists, runs and compares
+// them.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Kind names a scenario event type.
+type Kind string
+
+// Event kinds.
+const (
+	// KindCrash kills Count nodes (or Fraction of the live ones) without
+	// replacement. One-shot at At unless Every/Until extend it.
+	KindCrash Kind = "crash"
+	// KindChurn substitutes Count nodes (or Fraction of the live ones)
+	// with brand-new identities every active cycle, keeping the size
+	// constant while the composition changes (§4.2 joiners sit out the
+	// running epoch). Durative: defaults to the whole run from At.
+	KindChurn Kind = "churn"
+	// KindJoin adds Count fresh nodes (or Fraction of the initial N).
+	// Joiners participate from the next epoch. One-shot at At unless
+	// Every/Until extend it.
+	KindJoin Kind = "join"
+	// KindRestart revives Count previously crashed slots as brand-new
+	// joiners. One-shot at At unless Every/Until extend it.
+	KindRestart Kind = "restart"
+	// KindPartition splits the live network into len(Groups) components
+	// with the given relative sizes; exchanges across components are
+	// dropped. Active until a KindHeal event (or Until, when set).
+	KindPartition Kind = "partition"
+	// KindHeal removes the active partition.
+	KindHeal Kind = "heal"
+	// KindLoss overrides the per-message loss probability with Rate
+	// during [At, Until] (Until 0 = to the end of the run).
+	KindLoss Kind = "loss"
+	// KindDelay raises one-way delivery latency to [MinDelayMs,
+	// MaxDelayMs] during [At, Until]. Live executor only: the cycle-driven
+	// simulator has no notion of sub-cycle time and ignores it.
+	KindDelay Kind = "delay"
+	// KindValueStep adds Delta to every node's local value from At on.
+	KindValueStep Kind = "value-step"
+	// KindValueRamp linearly drifts every node's local value by Delta in
+	// total across [At, Until].
+	KindValueRamp Kind = "value-ramp"
+	// KindValueOscillate adds Amplitude·sin(2π·(cycle−At)/Period) to every
+	// node's local value while active (Until 0 = to the end of the run).
+	KindValueOscillate Kind = "value-oscillate"
+)
+
+// Event is one timed intervention of a scenario. Which fields are
+// meaningful depends on Kind; Validate rejects nonsensical combinations.
+type Event struct {
+	// Kind selects the intervention.
+	Kind Kind `json:"kind"`
+	// At is the first cycle (1-based) the event applies.
+	At int `json:"at"`
+	// Until is the last cycle (inclusive) for durative events; 0 means
+	// "one-shot" for discrete kinds (crash, join, restart) and "until the
+	// end of the run" for durative ones (churn, loss, delay, oscillate).
+	Until int `json:"until,omitempty"`
+	// Every spaces repeated firings of discrete kinds within [At, Until]
+	// (e.g. a crash wave every 5 cycles). Implies Until = end of run when
+	// Until is 0.
+	Every int `json:"every,omitempty"`
+	// Count is the absolute number of nodes affected (crash/churn/join/
+	// restart).
+	Count int `json:"count,omitempty"`
+	// Fraction expresses Count relative to the live population (crash,
+	// churn) or the initial size (join). Ignored when Count is set.
+	Fraction float64 `json:"fraction,omitempty"`
+	// Groups are the relative component sizes of a partition; they are
+	// normalized, so [1, 1] is an even split.
+	Groups []float64 `json:"groups,omitempty"`
+	// Rate is the message-loss probability of a KindLoss burst.
+	Rate float64 `json:"rate,omitempty"`
+	// Delta is the total value change of a step or ramp.
+	Delta float64 `json:"delta,omitempty"`
+	// Amplitude and Period parameterize a value oscillation.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	Period    int     `json:"period,omitempty"`
+	// MinDelayMs and MaxDelayMs bound a delay burst (live executor).
+	MinDelayMs int `json:"minDelayMs,omitempty"`
+	MaxDelayMs int `json:"maxDelayMs,omitempty"`
+}
+
+// durative reports whether the event spans a window by default.
+func (ev Event) durative() bool {
+	switch ev.Kind {
+	case KindChurn, KindLoss, KindDelay, KindValueOscillate, KindValueRamp:
+		return true
+	default:
+		return false
+	}
+}
+
+// window resolves the event's active cycle range within a run of the
+// given total length.
+func (ev Event) window(total int) (from, to int) {
+	from = ev.At
+	to = ev.Until
+	if to == 0 {
+		if ev.durative() || ev.Every > 0 {
+			to = total
+		} else {
+			to = ev.At
+		}
+	}
+	return from, to
+}
+
+// activeAt reports whether the event fires at the given cycle.
+func (ev Event) activeAt(cycle, total int) bool {
+	from, to := ev.window(total)
+	if cycle < from || cycle > to {
+		return false
+	}
+	if ev.Every > 1 && (cycle-from)%ev.Every != 0 {
+		return false
+	}
+	return true
+}
+
+// ValueSpec describes the distribution nodes draw their local values
+// from, both at initialization and whenever a fresh identity joins.
+type ValueSpec struct {
+	// Kind selects the distribution: "const" (every node = Value),
+	// "uniform" (uniform in [Lo, Hi)), "linear" (node i = i), or "peak"
+	// (node 0 = Value, everyone else 0 — the paper's hardest case).
+	// Default: "uniform" over [0, 100).
+	Kind string `json:"kind,omitempty"`
+	// Value is the constant (Kind "const") or the peak total (Kind
+	// "peak").
+	Value float64 `json:"value,omitempty"`
+	// Lo and Hi bound the uniform distribution.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+}
+
+// Scenario is one declarative run description, loadable from JSON.
+type Scenario struct {
+	// Name identifies the scenario (aggscen -run NAME).
+	Name string `json:"name"`
+	// Description summarizes what the scenario exercises.
+	Description string `json:"description,omitempty"`
+	// N is the initial network size.
+	N int `json:"n"`
+	// Cycles is the total run length.
+	Cycles int `json:"cycles"`
+	// EpochLen is γ, the number of cycles per epoch: at every epoch
+	// boundary the protocol restarts from the current local values
+	// (§4.1) and waiting joiners become participants (§4.2). Default 30.
+	EpochLen int `json:"epochLen,omitempty"`
+	// Seed drives all scenario randomness (victim picks, group
+	// assignment, value draws). Default 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Values describes the local-value distribution.
+	Values ValueSpec `json:"values,omitempty"`
+	// MessageLoss is the baseline per-message drop probability; KindLoss
+	// events override it while active.
+	MessageLoss float64 `json:"messageLoss,omitempty"`
+	// LinkFailure is the baseline per-exchange drop probability P_d
+	// (simulator executor only).
+	LinkFailure float64 `json:"linkFailure,omitempty"`
+	// Events are the scripted interventions, applied in order each cycle.
+	Events []Event `json:"events,omitempty"`
+}
+
+// WithDefaults returns a copy with unset optional fields filled in.
+func (s Scenario) WithDefaults() Scenario {
+	if s.EpochLen <= 0 {
+		s.EpochLen = 30
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Values.Kind == "" {
+		s.Values = ValueSpec{Kind: "uniform", Lo: 0, Hi: 100}
+	}
+	return s
+}
+
+// Validate reports the first configuration error, if any. Call on the
+// WithDefaults form.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return errors.New("scenario: name is required")
+	}
+	if s.N < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 nodes, got %d", s.Name, s.N)
+	}
+	if s.Cycles < 1 {
+		return fmt.Errorf("scenario %s: need at least 1 cycle, got %d", s.Name, s.Cycles)
+	}
+	if s.EpochLen < 1 {
+		return fmt.Errorf("scenario %s: epoch length must be positive, got %d", s.Name, s.EpochLen)
+	}
+	if s.MessageLoss < 0 || s.MessageLoss >= 1 {
+		return fmt.Errorf("scenario %s: message loss %g not in [0, 1)", s.Name, s.MessageLoss)
+	}
+	if s.LinkFailure < 0 || s.LinkFailure >= 1 {
+		return fmt.Errorf("scenario %s: link failure %g not in [0, 1)", s.Name, s.LinkFailure)
+	}
+	switch s.Values.Kind {
+	case "const", "linear", "peak":
+	case "uniform":
+		if s.Values.Hi <= s.Values.Lo {
+			return fmt.Errorf("scenario %s: uniform values need lo < hi", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %s: unknown value distribution %q", s.Name, s.Values.Kind)
+	}
+	for i, ev := range s.Events {
+		if err := s.validateEvent(ev); err != nil {
+			return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (s Scenario) validateEvent(ev Event) error {
+	if ev.At < 1 || ev.At > s.Cycles {
+		return fmt.Errorf("%s at cycle %d outside run of %d cycles", ev.Kind, ev.At, s.Cycles)
+	}
+	if ev.Until != 0 && ev.Until < ev.At {
+		return fmt.Errorf("%s until %d before at %d", ev.Kind, ev.Until, ev.At)
+	}
+	if ev.Every < 0 || ev.Count < 0 {
+		return fmt.Errorf("%s has negative every/count", ev.Kind)
+	}
+	switch ev.Kind {
+	case KindCrash, KindChurn, KindJoin, KindRestart:
+		if ev.Count == 0 && ev.Fraction <= 0 {
+			return fmt.Errorf("%s needs count or fraction", ev.Kind)
+		}
+		if ev.Fraction < 0 || ev.Fraction > 1 {
+			return fmt.Errorf("%s fraction %g not in [0, 1]", ev.Kind, ev.Fraction)
+		}
+	case KindPartition:
+		if len(ev.Groups) < 2 {
+			return fmt.Errorf("partition needs at least 2 groups, got %d", len(ev.Groups))
+		}
+		for _, w := range ev.Groups {
+			if w <= 0 {
+				return errors.New("partition group weights must be positive")
+			}
+		}
+	case KindHeal:
+	case KindLoss:
+		if ev.Rate < 0 || ev.Rate >= 1 {
+			return fmt.Errorf("loss rate %g not in [0, 1)", ev.Rate)
+		}
+	case KindDelay:
+		if ev.MinDelayMs < 0 || ev.MaxDelayMs < ev.MinDelayMs {
+			return errors.New("delay needs 0 <= minDelayMs <= maxDelayMs")
+		}
+	case KindValueStep, KindValueRamp:
+		if ev.Delta == 0 {
+			return fmt.Errorf("%s needs a non-zero delta", ev.Kind)
+		}
+	case KindValueOscillate:
+		if ev.Amplitude == 0 || ev.Period < 2 {
+			return errors.New("value-oscillate needs amplitude and period >= 2")
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// MaxSlots returns the node-slot capacity the scenario needs: the initial
+// size plus every join the script can perform.
+func (s Scenario) MaxSlots() int {
+	slots := s.N
+	for _, ev := range s.Events {
+		if ev.Kind != KindJoin {
+			continue
+		}
+		count := ev.Count
+		if count == 0 {
+			count = int(ev.Fraction * float64(s.N))
+		}
+		from, to := ev.window(s.Cycles)
+		firings := 1
+		if to > from {
+			step := ev.Every
+			if step < 1 {
+				step = 1
+			}
+			firings = (to-from)/step + 1
+		}
+		slots += count * firings
+	}
+	return slots
+}
+
+// resolveCount turns an event's Count/Fraction into an absolute node
+// count against the given base population. Fractions round to nearest
+// so that rescaling a scenario to a small N (aggscen -n) cannot silently
+// truncate an event to nothing — "1% churn" at N=50 still churns a node
+// every cycle rather than none.
+func (ev Event) resolveCount(base int) int {
+	if ev.Count > 0 {
+		return ev.Count
+	}
+	return int(math.Round(ev.Fraction * float64(base)))
+}
+
+// Load reads one JSON scenario.
+func Load(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadJSON parses one JSON scenario from a byte slice.
+func LoadJSON(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// JSON renders the scenario as indented JSON.
+func (s Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"fmt"
+
+	"antientropy/internal/core"
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+)
+
+// SimOptions tune the simulator executor.
+type SimOptions struct {
+	// Overlay overrides the overlay builder (default: NEWSCAST with the
+	// paper's recommended cache size 30).
+	Overlay sim.OverlayBuilder
+}
+
+// RunSim executes the scenario on the deterministic cycle-driven engine
+// with default options.
+func RunSim(sc Scenario) (*RunResult, error) { return RunSimWith(sc, SimOptions{}) }
+
+// RunSimWith executes the scenario on internal/sim: epoch restarts go
+// through Engine.Restart, scripted events through a sim.Script failure
+// model, and partitions through the engine's exchange filter. The whole
+// run is reproducible bit-for-bit from the scenario seed.
+func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	overlay := opts.Overlay
+	if overlay == nil {
+		overlay = sim.Newscast(30)
+	}
+	slots := sc.MaxSlots()
+	d := &simDriver{
+		sc:       sc,
+		prog:     NewValueProgram(sc, slots),
+		slots:    slots,
+		rng:      stats.NewRNG(sc.Seed ^ 0x7363656e6172696f),
+		nextJoin: sc.N,
+	}
+	result := &RunResult{
+		Scenario: sc.Name, Executor: "sim",
+		N: sc.N, Slots: slots, Seed: sc.Seed,
+		PerCycle: make([]CycleMetrics, 0, sc.Cycles+1),
+	}
+	var prevAttempts int64
+	_, err := sim.Run(sim.Config{
+		N:            slots,
+		InitialAlive: sc.N,
+		Cycles:       sc.Cycles,
+		Seed:         sc.Seed,
+		Fn:           core.Average,
+		Init:         func(node int) float64 { return d.prog.Value(node, 0) },
+		Overlay:      overlay,
+		MessageLoss:  sc.MessageLoss,
+		LinkFailure:  sc.LinkFailure,
+		BeforeCycle:  d.beforeCycle,
+		Failures:     []sim.FailureModel{sim.Script(sc.Name, d.applyEvents)},
+		Observe: func(cycle int, e *sim.Engine) {
+			cur := e.Metrics()
+			messages := cur.Attempts - prevAttempts
+			prevAttempts = cur.Attempts
+			result.PerCycle = append(result.PerCycle, d.observe(cycle, e, messages))
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: sim executor: %w", sc.Name, err)
+	}
+	return result, nil
+}
+
+// simDriver holds the mutable state the scripted events act on.
+type simDriver struct {
+	sc    Scenario
+	prog  *ValueProgram
+	slots int
+	rng   *stats.RNG
+
+	// nextJoin is the first vacant slot; crashed collects slots available
+	// for restart events.
+	nextJoin int
+	crashed  []int
+
+	// groupOf assigns every slot to a partition component while a
+	// partition is active.
+	groupOf        []int
+	partitionOn    bool
+	partitionUntil int
+}
+
+// beforeCycle implements §4.1/§4.2 at epoch boundaries: the protocol
+// restarts from the current scripted values and waiting joiners become
+// participants.
+func (d *simDriver) beforeCycle(cycle int, e *sim.Engine) {
+	if cycle > 1 && (cycle-1)%d.sc.EpochLen == 0 {
+		e.Restart(func(node int) float64 { return d.prog.Value(node, cycle) })
+	}
+}
+
+// applyEvents runs the script for one cycle.
+func (d *simDriver) applyEvents(cycle int, e *sim.Engine) {
+	if d.partitionOn && d.partitionUntil > 0 && cycle > d.partitionUntil {
+		d.heal(e)
+	}
+	e.SetMessageLoss(d.effectiveLoss(cycle))
+	for _, ev := range d.sc.Events {
+		if !ev.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		switch ev.Kind {
+		case KindCrash:
+			count := ev.resolveCount(e.AliveCount())
+			for k := 0; k < count && e.AliveCount() > 1; k++ {
+				victim := e.RandomAlive()
+				e.Kill(victim)
+				d.crashed = append(d.crashed, victim)
+			}
+		case KindChurn:
+			count := ev.resolveCount(e.AliveCount())
+			for k := 0; k < count && e.AliveCount() > 0; k++ {
+				victim := e.RandomAlive()
+				e.Kill(victim)
+				e.Replace(victim) // same slot, brand-new identity
+			}
+		case KindJoin:
+			count := ev.resolveCount(d.sc.N)
+			for k := 0; k < count; k++ {
+				slot, ok := d.takeJoinSlot()
+				if !ok {
+					break
+				}
+				e.Replace(slot)
+			}
+		case KindRestart:
+			count := ev.resolveCount(e.AliveCount())
+			for k := 0; k < count && len(d.crashed) > 0; k++ {
+				slot := d.crashed[len(d.crashed)-1]
+				d.crashed = d.crashed[:len(d.crashed)-1]
+				e.Replace(slot)
+			}
+		case KindPartition:
+			// Fire once at At: activeAt also matches the [At, Until]
+			// auto-heal window, and re-splitting every cycle would
+			// re-randomize the components, leaking state across the
+			// partition.
+			if cycle == ev.At {
+				d.partition(e, ev)
+			}
+		case KindHeal:
+			d.heal(e)
+		}
+	}
+}
+
+// takeJoinSlot hands out a vacant slot, falling back to crashed ones.
+func (d *simDriver) takeJoinSlot() (int, bool) {
+	if d.nextJoin < d.slots {
+		slot := d.nextJoin
+		d.nextJoin++
+		return slot, true
+	}
+	if len(d.crashed) > 0 {
+		slot := d.crashed[len(d.crashed)-1]
+		d.crashed = d.crashed[:len(d.crashed)-1]
+		return slot, true
+	}
+	return 0, false
+}
+
+// effectiveLoss resolves the message-loss rate for the cycle: the
+// baseline unless a loss burst is active (the latest active event wins).
+func (d *simDriver) effectiveLoss(cycle int) float64 {
+	loss := d.sc.MessageLoss
+	for _, ev := range d.sc.Events {
+		if ev.Kind != KindLoss {
+			continue
+		}
+		if from, to := ev.window(d.sc.Cycles); cycle >= from && cycle <= to {
+			loss = ev.Rate
+		}
+	}
+	return loss
+}
+
+// partition assigns every slot to a component by the event's relative
+// weights and installs the exchange veto. Assigning all slots — not just
+// the live ones — puts nodes that join mid-partition into a component
+// too, exactly as a joiner lands on one side of a real split.
+func (d *simDriver) partition(e *sim.Engine, ev Event) {
+	var total float64
+	for _, w := range ev.Groups {
+		total += w
+	}
+	perm := make([]int, d.slots)
+	d.rng.Perm(perm)
+	d.groupOf = make([]int, d.slots)
+	start := 0
+	acc := 0.0
+	for g, w := range ev.Groups {
+		acc += w
+		end := int(acc / total * float64(d.slots))
+		if g == len(ev.Groups)-1 {
+			end = d.slots
+		}
+		for _, slot := range perm[start:end] {
+			d.groupOf[slot] = g
+		}
+		start = end
+	}
+	d.partitionOn = true
+	d.partitionUntil = ev.Until
+	groupOf := d.groupOf
+	e.SetExchangeFilter(func(i, j int) bool { return groupOf[i] == groupOf[j] })
+}
+
+// heal removes the active partition.
+func (d *simDriver) heal(e *sim.Engine) {
+	d.partitionOn = false
+	d.partitionUntil = 0
+	e.SetExchangeFilter(nil)
+}
+
+// observe builds one cycle's metrics row.
+func (d *simDriver) observe(cycle int, e *sim.Engine, messages int64) CycleMetrics {
+	est := e.ParticipantMoments()
+	var truth stats.Moments
+	for i := 0; i < d.slots; i++ {
+		if e.Alive(i) {
+			truth.Add(d.prog.Value(i, cycle))
+		}
+	}
+	epoch := 0
+	if cycle > 0 {
+		epoch = (cycle - 1) / d.sc.EpochLen
+	}
+	return CycleMetrics{
+		Cycle:          cycle,
+		Epoch:          epoch,
+		Alive:          e.AliveCount(),
+		Participating:  e.ParticipantCount(),
+		TrueMean:       truth.Mean(),
+		MeanEstimate:   est.Mean(),
+		EstimateStdDev: est.StdDev(),
+		RelError:       relError(est.Mean(), truth.Mean()),
+		Messages:       messages,
+	}
+}

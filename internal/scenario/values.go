@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"math"
+
+	"antientropy/internal/stats"
+)
+
+// ValueProgram evaluates the scripted local-value signal: a per-slot base
+// drawn from the scenario's ValueSpec plus the global offset accumulated
+// from value-step, value-ramp and value-oscillate events. Both executors
+// share it, so the "true" aggregate they chase is identical.
+type ValueProgram struct {
+	base   []float64
+	events []Event
+	cycles int
+}
+
+// NewValueProgram materializes the value signal for the given number of
+// node slots. The base draw is deterministic in the scenario seed, so
+// simulator and live runs agree on every node's value.
+func NewValueProgram(s Scenario, slots int) *ValueProgram {
+	p := &ValueProgram{base: make([]float64, slots), cycles: s.Cycles}
+	rng := stats.NewRNG(s.Seed ^ 0x76616c756573) // decorrelate from engine streams
+	for i := range p.base {
+		switch s.Values.Kind {
+		case "const":
+			p.base[i] = s.Values.Value
+		case "linear":
+			p.base[i] = float64(i)
+		case "peak":
+			if i == 0 {
+				p.base[i] = s.Values.Value
+			}
+		default: // uniform
+			p.base[i] = s.Values.Lo + (s.Values.Hi-s.Values.Lo)*rng.Float64()
+		}
+	}
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case KindValueStep, KindValueRamp, KindValueOscillate:
+			p.events = append(p.events, ev)
+		}
+	}
+	return p
+}
+
+// Offset returns the global value displacement at the given cycle.
+func (p *ValueProgram) Offset(cycle int) float64 {
+	var off float64
+	for _, ev := range p.events {
+		from, to := ev.window(p.cycles)
+		switch ev.Kind {
+		case KindValueStep:
+			if cycle >= from {
+				off += ev.Delta
+			}
+		case KindValueRamp:
+			switch {
+			case cycle < from:
+			case cycle >= to:
+				off += ev.Delta
+			default:
+				off += ev.Delta * float64(cycle-from) / float64(to-from)
+			}
+		case KindValueOscillate:
+			if cycle >= from && cycle <= to {
+				off += ev.Amplitude * math.Sin(2*math.Pi*float64(cycle-from)/float64(ev.Period))
+			}
+		}
+	}
+	return off
+}
+
+// Value returns node's local value at the given cycle.
+func (p *ValueProgram) Value(node, cycle int) float64 {
+	return p.base[node] + p.Offset(cycle)
+}

@@ -20,6 +20,11 @@ import (
 type Config struct {
 	// N is the initial number of nodes.
 	N int
+	// InitialAlive, when positive, starts only the slots [0, InitialAlive)
+	// alive and participating; the remaining slots are vacant and can be
+	// brought up later with Replace (scenario joins and flash crowds).
+	// Zero means all N slots start alive.
+	InitialAlive int
 	// Cycles is the number of cycles to run (γ in the paper; 30 for most
 	// experiments).
 	Cycles int
@@ -63,6 +68,12 @@ type Config struct {
 	// TrackExchanges enables per-node exchange counting (§4.5 validation).
 	TrackExchanges bool
 
+	// BeforeCycle, when non-nil, runs at the start of every cycle, before
+	// the Failures are applied and before the overlay evolves. It is the
+	// scenario engine's hook point: epoch restarts, scripted churn waves,
+	// partitions and failure-rate changes are injected here.
+	BeforeCycle func(cycle int, e *Engine)
+
 	// Observe, when non-nil, is called after initialization (cycle 0) and
 	// after every completed cycle.
 	Observe func(cycle int, e *Engine)
@@ -74,6 +85,9 @@ func (c Config) validate() error {
 	}
 	if c.Cycles < 0 {
 		return fmt.Errorf("sim: invalid cycle count %d", c.Cycles)
+	}
+	if c.InitialAlive < 0 || c.InitialAlive > c.N {
+		return fmt.Errorf("sim: initial alive count %d not in [0, %d]", c.InitialAlive, c.N)
 	}
 	scalar := c.Fn.Update != nil
 	vector := c.Dim > 0
@@ -93,8 +107,12 @@ func (c Config) validate() error {
 			if len(c.Leaders) != c.Dim {
 				return fmt.Errorf("sim: vector mode needs exactly Dim=%d leaders, got %d", c.Dim, len(c.Leaders))
 			}
+			live := c.N
+			if c.InitialAlive > 0 {
+				live = c.InitialAlive
+			}
 			for d, l := range c.Leaders {
-				if l < 0 || l >= c.N {
+				if l < 0 || l >= live {
 					return fmt.Errorf("sim: leader %d of instance %d out of range", l, d)
 				}
 			}
@@ -130,6 +148,10 @@ type Metrics struct {
 	// ReplyLosses counts exchanges whose response was lost after the
 	// responder had already updated its state.
 	ReplyLosses int64
+	// PartitionDrops counts exchanges vetoed by the exchange filter
+	// (partitioned node pairs). Like a link drop, a vetoed exchange is a
+	// complete no-op, so it conserves mass.
+	PartitionDrops int64
 }
 
 // Engine runs one epoch of the protocol over a simulated overlay.
@@ -151,6 +173,10 @@ type Engine struct {
 	perm    []int
 	metrics Metrics
 
+	// filter, when non-nil, vetoes exchanges between node pairs (partition
+	// enforcement; see SetExchangeFilter).
+	filter func(i, j int) bool
+
 	// exchanges[i] counts node i's exchange participations in the current
 	// cycle (reset each cycle; valid when TrackExchanges).
 	exchanges []int
@@ -162,15 +188,20 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	initialAlive := cfg.N
+	if cfg.InitialAlive > 0 {
+		initialAlive = cfg.InitialAlive
+	}
 	e := &Engine{
 		cfg:           cfg,
 		rng:           stats.NewRNG(cfg.Seed),
 		n:             cfg.N,
-		alive:         newIndexSet(cfg.N, true),
+		alive:         newIndexSet(cfg.N, false),
 		participating: make([]bool, cfg.N),
 		perm:          make([]int, cfg.N),
 	}
-	for i := range e.participating {
+	for i := 0; i < initialAlive; i++ {
+		e.alive.add(i)
 		e.participating[i] = true
 	}
 	if cfg.TrackExchanges {
@@ -265,6 +296,9 @@ func (e *Engine) Overlay() Overlay { return e.overlay }
 // push-pull exchange in random order.
 func (e *Engine) Step() {
 	e.cycle++
+	if e.cfg.BeforeCycle != nil {
+		e.cfg.BeforeCycle(e.cycle, e)
+	}
 	for _, f := range e.cfg.Failures {
 		f.Apply(e.cycle, e)
 	}
@@ -297,6 +331,10 @@ func (e *Engine) initiateExchange(i int) {
 	}
 	if !e.participating[j] {
 		e.metrics.Refusals++
+		return
+	}
+	if e.filter != nil && !e.filter(i, j) {
+		e.metrics.PartitionDrops++
 		return
 	}
 	if e.rng.Bool(e.cfg.LinkFailure) {
@@ -398,16 +436,17 @@ func (e *Engine) ExchangeCount(node int) (int, error) {
 	return e.exchanges[node], nil
 }
 
-// kill marks a node as crashed. Its state becomes unreachable, exactly as
+// Kill marks a node as crashed. Its state becomes unreachable, exactly as
 // a crash renders a node's local value inaccessible (§6.1).
-func (e *Engine) kill(node int) {
+func (e *Engine) Kill(node int) {
 	e.alive.remove(node)
 }
 
-// replace models churn: the slot is taken over by a brand-new node that
+// Replace models churn: the slot is taken over by a brand-new node that
 // may not participate in the current epoch (§4.2) but immediately joins
-// the membership overlay.
-func (e *Engine) replace(node int) {
+// the membership overlay. It also revives a vacant slot (InitialAlive /
+// flash-crowd joins).
+func (e *Engine) Replace(node int) {
 	e.alive.add(node)
 	e.participating[node] = false
 	if e.cfg.Dim > 0 {
@@ -419,6 +458,85 @@ func (e *Engine) replace(node int) {
 		e.scalar[node] = 0
 	}
 	e.overlay.OnJoin(node, e.cycle)
+}
+
+// Restart begins a new epoch in place (§4.1 automatic restart): every
+// live node — including joiners that sat out the finished epoch —
+// becomes a participant and, in scalar mode, reloads a fresh local value
+// from init. The scenario engine calls this at epoch boundaries so the
+// tracked aggregate follows the scripted value dynamics.
+func (e *Engine) Restart(init func(node int) float64) {
+	for _, id := range e.alive.items {
+		i := int(id)
+		e.participating[i] = true
+		if e.scalar != nil && init != nil {
+			e.scalar[i] = init(i)
+		}
+	}
+}
+
+// SetScalar overwrites node's scalar estimate (scalar mode only), for
+// scripted interventions that move a local value mid-epoch. Note that
+// this deliberately changes the mass the running instance conserves;
+// the scenario engine's own value dynamics instead take effect at epoch
+// boundaries through Restart.
+func (e *Engine) SetScalar(node int, v float64) {
+	e.scalar[node] = v
+}
+
+// SetExchangeFilter installs (or, with nil, removes) a veto on exchanges:
+// when the filter returns false for a pair (i, j), the exchange is
+// dropped as if the link between them had failed — the scenario engine's
+// network-partition enforcement. A vetoed exchange is a complete no-op,
+// so mass is conserved across a partition until it heals.
+func (e *Engine) SetExchangeFilter(filter func(i, j int) bool) {
+	e.filter = filter
+}
+
+// SetMessageLoss changes the per-message drop probability mid-run
+// (scenario loss bursts). Values are clamped to [0, 1].
+func (e *Engine) SetMessageLoss(p float64) {
+	e.cfg.MessageLoss = clamp01(p)
+}
+
+// SetLinkFailure changes the per-exchange drop probability P_d mid-run
+// (the link-failure counterpart of SetMessageLoss, for scripted failure
+// models). Values are clamped to [0, 1].
+func (e *Engine) SetLinkFailure(p float64) {
+	e.cfg.LinkFailure = clamp01(p)
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// ParticipantCount returns the number of live nodes taking part in the
+// current epoch.
+func (e *Engine) ParticipantCount() int {
+	count := 0
+	for _, id := range e.alive.items {
+		if e.participating[id] {
+			count++
+		}
+	}
+	return count
+}
+
+// RandomAlive returns a uniformly random live node, or -1 when none is
+// left. Scenario events use it to pick churn and crash victims from the
+// engine's own deterministic stream.
+func (e *Engine) RandomAlive() int {
+	if e.alive.len() == 0 {
+		return -1
+	}
+	return e.alive.random(e.rng)
 }
 
 // RNG exposes the engine's generator to failure models so the whole run

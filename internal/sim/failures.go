@@ -75,8 +75,8 @@ func (c Churn) Apply(cycle int, e *Engine) {
 	}
 	for k := 0; k < count; k++ {
 		victim := e.alive.random(e.rng)
-		e.kill(victim)
-		e.replace(victim) // same slot, brand-new identity
+		e.Kill(victim)
+		e.Replace(victim) // same slot, brand-new identity
 	}
 	_ = cycle
 }
@@ -106,6 +106,34 @@ func (c CrashCount) String() string { return fmt.Sprintf("crash-count(%d/cycle)"
 // last one (a zero-node network has no defined aggregate).
 func killRandom(e *Engine, count int) {
 	for k := 0; k < count && e.alive.len() > 1; k++ {
-		e.kill(e.alive.random(e.rng))
+		e.Kill(e.alive.random(e.rng))
 	}
+}
+
+// ScriptedFailure adapts an arbitrary per-cycle function into a
+// FailureModel — the hook point declarative scenarios use to drive timed
+// churn waves, partitions, loss bursts and value dynamics through the
+// same pipeline as the paper's fixed failure models.
+type ScriptedFailure struct {
+	// Name describes the script for logs and experiment records.
+	Name string
+	// Fn is invoked at the beginning of every cycle.
+	Fn func(cycle int, e *Engine)
+}
+
+var _ FailureModel = ScriptedFailure{}
+
+// Apply runs the scripted function.
+func (s ScriptedFailure) Apply(cycle int, e *Engine) {
+	if s.Fn != nil {
+		s.Fn(cycle, e)
+	}
+}
+
+// String describes the script.
+func (s ScriptedFailure) String() string { return fmt.Sprintf("scripted(%s)", s.Name) }
+
+// Script wraps fn as a named FailureModel.
+func Script(name string, fn func(cycle int, e *Engine)) FailureModel {
+	return ScriptedFailure{Name: name, Fn: fn}
 }

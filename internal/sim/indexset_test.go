@@ -96,7 +96,7 @@ func TestCompleteLiveSingleSurvivor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, victim := range []int{1, 2, 3} {
-		e.kill(victim)
+		e.Kill(victim)
 	}
 	e.Step() // must terminate
 	if got := e.AliveCount(); got != 1 {
