@@ -48,6 +48,7 @@ import (
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
 	"antientropy/internal/experiments"
+	"antientropy/internal/parsim"
 	"antientropy/internal/scenario"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
@@ -173,6 +174,38 @@ func SimulateCountEpochs(cfg CountChainConfig) ([]CountEpochResult, error) {
 // NewSimulation builds an engine without running it, for step-by-step
 // control (Engine.Step).
 func NewSimulation(cfg SimConfig) (*SimEngine, error) { return sim.New(cfg) }
+
+// Sharded simulation API: the multi-core engine of internal/parsim,
+// built for 10⁵–10⁶-node runs. The node space is split into K shards
+// with per-shard RNG streams; results are bit-deterministic per
+// (seed, shard count) and statistically equivalent across shard counts.
+type (
+	// ShardedConfig configures one sharded simulation run.
+	ShardedConfig = parsim.Config
+	// ShardedEngine is a running/finished sharded simulation.
+	ShardedEngine = parsim.Engine
+	// ShardedOverlaySpec selects the sharded overlay implementation.
+	ShardedOverlaySpec = parsim.OverlaySpec
+	// SimCore is the engine surface shared by the serial and the sharded
+	// engine — what the scenario executor programs against.
+	SimCore = sim.Core
+)
+
+// SimulateSharded validates cfg and runs all configured cycles on the
+// sharded engine.
+func SimulateSharded(cfg ShardedConfig) (*ShardedEngine, error) { return parsim.Run(cfg) }
+
+// NewShardedSimulation builds a sharded engine without running it, for
+// step-by-step control.
+func NewShardedSimulation(cfg ShardedConfig) (*ShardedEngine, error) { return parsim.New(cfg) }
+
+// ShardedNewscastOverlay selects the sharded NEWSCAST overlay with cache
+// size c for a ShardedConfig.
+func ShardedNewscastOverlay(c int) ShardedOverlaySpec { return parsim.Newscast(c) }
+
+// ShardedCompleteLiveOverlay selects the fully connected overlay over
+// the live membership for a ShardedConfig.
+func ShardedCompleteLiveOverlay() ShardedOverlaySpec { return parsim.CompleteLive() }
 
 // NewRNG returns a deterministic random generator.
 func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
@@ -303,10 +336,22 @@ type (
 	ScenarioRun = scenario.RunResult
 	// ScenarioCycle is one cycle's metrics row.
 	ScenarioCycle = scenario.CycleMetrics
-	// ScenarioSimOptions tune the simulator executor.
+	// ScenarioSimOptions tune the simulator executor (engine selection,
+	// shard count, overlay override).
 	ScenarioSimOptions = scenario.SimOptions
 	// ScenarioLiveOptions tune the live-fleet executor.
 	ScenarioLiveOptions = scenario.LiveOptions
+	// ScenarioDivergence summarizes how two executions of one scenario
+	// differ cycle by cycle.
+	ScenarioDivergence = scenario.Divergence
+)
+
+// Engine names for ScenarioSimOptions.Engine.
+const (
+	// ScenarioEngineSerial selects the serial engine of internal/sim.
+	ScenarioEngineSerial = scenario.EngineSerial
+	// ScenarioEngineSharded selects the sharded engine of internal/parsim.
+	ScenarioEngineSharded = scenario.EngineSharded
 )
 
 // ScenarioCSVHeader is the column row of the scenario metric CSV stream.
@@ -324,8 +369,21 @@ func ScenarioByName(name string) (Scenario, error) { return scenario.ByName(name
 func LoadScenario(r io.Reader) (Scenario, error) { return scenario.Load(r) }
 
 // RunScenarioSim executes a scenario deterministically on the
-// cycle-driven simulator.
+// cycle-driven simulator (serial engine).
 func RunScenarioSim(sc Scenario) (*ScenarioRun, error) { return scenario.RunSim(sc) }
+
+// RunScenarioSimWith executes a scenario on the selected simulation
+// engine: ScenarioEngineSerial or ScenarioEngineSharded with a shard
+// count (deterministic per seed + shard count).
+func RunScenarioSimWith(sc Scenario, opts ScenarioSimOptions) (*ScenarioRun, error) {
+	return scenario.RunSimWith(sc, opts)
+}
+
+// DivergeScenarioRuns computes the per-cycle divergence of two runs of
+// the same scenario — typically one simulator run and one live-fleet
+// run, whose metric streams share the CSV schema and the scripted value
+// signal.
+func DivergeScenarioRuns(a, b *ScenarioRun) ScenarioDivergence { return scenario.Diverge(a, b) }
 
 // RunScenarioLive executes a scenario against a fleet of live nodes over
 // the in-memory transport.

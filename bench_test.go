@@ -179,18 +179,19 @@ func BenchmarkExchangeDistribution(b *testing.B) {
 
 // --- Scenario engine ---
 
-// BenchmarkScenarioPartitionHeal10k runs the canned partition-and-heal
-// scenario at 10k nodes on the simulator executor — the perf baseline
-// for the scenario path (hooks, exchange filter, per-cycle metrics).
-func BenchmarkScenarioPartitionHeal10k(b *testing.B) {
+// benchScenario runs the canned partition-and-heal scenario at the given
+// size on the selected simulation engine — the perf baseline for the
+// scenario path (hooks, exchange filter, per-cycle metrics).
+func benchScenario(b *testing.B, n int, opts antientropy.ScenarioSimOptions) {
+	b.Helper()
 	sc, err := antientropy.ScenarioByName("partition-heal")
 	if err != nil {
 		b.Fatal(err)
 	}
-	sc.N = 10000
+	sc.N = n
 	var res *antientropy.ScenarioRun
 	for i := 0; i < b.N; i++ {
-		res, err = antientropy.RunScenarioSim(sc)
+		res, err = antientropy.RunScenarioSimWith(sc, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,6 +199,32 @@ func BenchmarkScenarioPartitionHeal10k(b *testing.B) {
 	final := res.Final()
 	b.ReportMetric(final.RelError, "final-rel-err")
 	b.ReportMetric(float64(res.TotalMessages())/float64(len(res.PerCycle)-1), "messages/cycle")
+}
+
+// BenchmarkScenarioPartitionHeal10k is the serial-engine baseline the
+// sharded engine is measured against (see ROADMAP "perf baseline").
+func BenchmarkScenarioPartitionHeal10k(b *testing.B) {
+	benchScenario(b, 10000, antientropy.ScenarioSimOptions{})
+}
+
+// BenchmarkScenarioPartitionHeal10kSharded runs the same workload on the
+// sharded engine at 8 shards: the acceptance bar is ≥3× over the serial
+// engine on the same machine (typically far more — the flat packed
+// NEWSCAST path wins even on one core, and the shards parallelize on
+// top of that).
+func BenchmarkScenarioPartitionHeal10kSharded(b *testing.B) {
+	benchScenario(b, 10000, antientropy.ScenarioSimOptions{
+		Engine: antientropy.ScenarioEngineSharded, Shards: 8,
+	})
+}
+
+// BenchmarkScenarioPartitionHeal100kSharded is the scale benchmark the
+// serial engine cannot reach in reasonable time: the full 90-cycle
+// partition-heal scenario at 10⁵ nodes.
+func BenchmarkScenarioPartitionHeal100kSharded(b *testing.B) {
+	benchScenario(b, 100000, antientropy.ScenarioSimOptions{
+		Engine: antientropy.ScenarioEngineSharded, Shards: 8,
+	})
 }
 
 // --- Micro-benchmarks: protocol hot paths ---

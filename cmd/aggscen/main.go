@@ -4,13 +4,20 @@
 // both the deterministic cycle-driven simulator and a fleet of live
 // agent nodes over the in-memory transport.
 //
+// The simulator executor runs on one of two engines: the serial engine
+// (bit-deterministic from the seed alone) or the sharded multi-core
+// engine (deterministic per seed + shard count, built for 10⁵–10⁶-node
+// runs).
+//
 // Usage:
 //
 //	aggscen -list
 //	aggscen -run partition-heal -n 1000            # both executors, CSV
 //	aggscen -run loss-burst -executor sim -format json
+//	aggscen -run partition-heal -n 100000 -executor sim -engine sharded -shards 8
 //	aggscen -file my-scenario.json -out metrics.csv
 //	aggscen -compare steady-churn,loss-burst,partition-heal
+//	aggscen -compare partition-heal -executor both  # sim vs live divergence
 //	aggscen -show partition-heal                   # print the JSON script
 package main
 
@@ -38,24 +45,31 @@ func run() error {
 		name     = flag.String("run", "", "run a canned scenario by name")
 		file     = flag.String("file", "", "run a scenario from a JSON file")
 		show     = flag.String("show", "", "print a canned scenario as JSON and exit")
-		compare  = flag.String("compare", "", "comma-separated scenario names to run (sim executor) and summarize")
+		compare  = flag.String("compare", "", "comma-separated scenario names to run and summarize (add -executor both for sim-vs-live divergence)")
 		n        = flag.Int("n", 0, "override the network size")
 		cycles   = flag.Int("cycles", 0, "override the run length")
 		seed     = flag.Uint64("seed", 0, "override the scenario seed")
-		executor = flag.String("executor", "both", "which executor to use: sim, live, or both")
+		executor = flag.String("executor", "", "which executor to use: sim, live, or both (default: both for -run, sim for -compare)")
+		engine   = flag.String("engine", "serial", "sim executor engine: serial or sharded")
+		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS); results are deterministic per seed + shard count")
 		format   = flag.String("format", "csv", "metric output format: csv or json")
 		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")
 		cycleLen = flag.Duration("cycle-len", 0, "live executor: wall-clock cycle length (0 = scale with fleet size and cores)")
 	)
 	flag.Parse()
 
+	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards}
 	switch {
 	case *list:
 		return listScenarios()
 	case *show != "":
 		return showScenario(*show)
 	case *compare != "":
-		return compareScenarios(strings.Split(*compare, ","), *n, *seed)
+		exec := *executor
+		if exec == "" {
+			exec = "sim"
+		}
+		return compareScenarios(strings.Split(*compare, ","), *n, *seed, exec, simOpts, *cycleLen)
 	case *name != "" || *file != "":
 		sc, err := loadScenario(*name, *file)
 		if err != nil {
@@ -70,7 +84,11 @@ func run() error {
 		if *seed != 0 {
 			sc.Seed = *seed
 		}
-		return runScenario(sc, *executor, *format, *outPath, *cycleLen)
+		exec := *executor
+		if exec == "" {
+			exec = "both"
+		}
+		return runScenario(sc, exec, *format, *outPath, simOpts, *cycleLen)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do (use -list, -run, -file, -show or -compare)")
@@ -110,7 +128,7 @@ func loadScenario(name, file string) (antientropy.Scenario, error) {
 	return antientropy.ScenarioByName(name)
 }
 
-func runScenario(sc antientropy.Scenario, executor, format, outPath string, cycleLen time.Duration) error {
+func runScenario(sc antientropy.Scenario, executor, format, outPath string, simOpts antientropy.ScenarioSimOptions, cycleLen time.Duration) error {
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -128,7 +146,7 @@ func runScenario(sc antientropy.Scenario, executor, format, outPath string, cycl
 	var runs []*antientropy.ScenarioRun
 	if executor == "sim" || executor == "both" {
 		start := time.Now()
-		res, err := antientropy.RunScenarioSim(sc)
+		res, err := antientropy.RunScenarioSimWith(sc, simOpts)
 		if err != nil {
 			return err
 		}
@@ -147,6 +165,9 @@ func runScenario(sc antientropy.Scenario, executor, format, outPath string, cycl
 	}
 	if len(runs) == 0 {
 		return fmt.Errorf("unknown executor %q (want sim, live or both)", executor)
+	}
+	if len(runs) == 2 {
+		fmt.Fprintf(os.Stderr, "aggscen: divergence %s\n", antientropy.DivergeScenarioRuns(runs[0], runs[1]))
 	}
 
 	switch format {
@@ -171,9 +192,17 @@ func runScenario(sc antientropy.Scenario, executor, format, outPath string, cycl
 	return nil
 }
 
-func compareScenarios(names []string, n int, seed uint64) error {
-	fmt.Printf("%-18s %6s %7s %9s %9s %12s %10s\n",
-		"scenario", "n", "cycles", "min-alive", "end-alive", "final-relerr", "messages")
+// compareScenarios summarizes each scenario on the simulator executor;
+// with executor "both" it additionally runs the live fleet side by side
+// and reports the per-cycle divergence of the two metric streams (they
+// share the CSV schema and the scripted value signal, so the difference
+// isolates executor effects).
+func compareScenarios(names []string, n int, seed uint64, executor string, simOpts antientropy.ScenarioSimOptions, cycleLen time.Duration) error {
+	if executor != "sim" && executor != "both" {
+		return fmt.Errorf("-compare supports -executor sim or both, got %q", executor)
+	}
+	fmt.Printf("%-18s %-12s %6s %7s %9s %9s %12s %10s\n",
+		"scenario", "executor", "n", "cycles", "min-alive", "end-alive", "final-relerr", "messages")
 	for _, raw := range names {
 		name := strings.TrimSpace(raw)
 		if name == "" {
@@ -189,13 +218,27 @@ func compareScenarios(names []string, n int, seed uint64) error {
 		if seed != 0 {
 			sc.Seed = seed
 		}
-		res, err := antientropy.RunScenarioSim(sc)
+		simRes, err := antientropy.RunScenarioSimWith(sc, simOpts)
 		if err != nil {
 			return err
 		}
-		f := res.Final()
-		fmt.Printf("%-18s %6d %7d %9d %9d %12.2e %10d\n",
-			sc.Name, sc.N, sc.Cycles, res.MinAlive(), f.Alive, f.RelError, res.TotalMessages())
+		printCompareRow(sc, simRes)
+		if executor != "both" {
+			continue
+		}
+		liveRes, err := antientropy.RunScenarioLive(context.Background(), sc,
+			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
+		if err != nil {
+			return err
+		}
+		printCompareRow(sc, liveRes)
+		fmt.Printf("  divergence: %s\n", antientropy.DivergeScenarioRuns(simRes, liveRes))
 	}
 	return nil
+}
+
+func printCompareRow(sc antientropy.Scenario, res *antientropy.ScenarioRun) {
+	f := res.Final()
+	fmt.Printf("%-18s %-12s %6d %7d %9d %9d %12.2e %10d\n",
+		sc.Name, res.Executor, sc.N, sc.Cycles, res.MinAlive(), f.Alive, f.RelError, res.TotalMessages())
 }

@@ -37,6 +37,8 @@ func run() error {
 		n        = flag.Int("n", 0, "override network size (0 = paper scale)")
 		reps     = flag.Int("reps", 0, "override repetition count (0 = paper scale)")
 		seed     = flag.Uint64("seed", 0, "override master seed (0 = default)")
+		engine   = flag.String("engine", "serial", "simulation engine for scenario-based experiments: serial or sharded")
+		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		showPlot = flag.Bool("plot", false, "render an ASCII plot of each figure")
 	)
@@ -76,7 +78,7 @@ func run() error {
 		csvFile = f
 	}
 
-	opts := antientropy.ExperimentOptions{N: *n, Reps: *reps, Seed: *seed}
+	opts := antientropy.ExperimentOptions{N: *n, Reps: *reps, Seed: *seed, Engine: *engine, Shards: *shards}
 	for _, id := range ids {
 		start := time.Now()
 		res, err := antientropy.RunExperiment(id, opts)

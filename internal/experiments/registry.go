@@ -15,6 +15,12 @@ type Options struct {
 	// Seed overrides the master seed (0 keeps the default — the paper
 	// figures are seeded deterministically).
 	Seed uint64
+	// Engine selects the simulation engine for scenario-based figures:
+	// "" or "serial" for internal/sim, "sharded" for internal/parsim.
+	// The hand-rolled figure sweeps ignore it.
+	Engine string
+	// Shards is the shard count for the sharded engine (0 = GOMAXPROCS).
+	Shards int
 }
 
 func (o Options) n(def int) int {
@@ -203,6 +209,7 @@ func Registry() []Runner {
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultScenarioFig("steady-churn")
 				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.Engine, cfg.Shards = o.Engine, o.Shards
 				return RunScenarioFig(cfg)
 			},
 		},
@@ -212,6 +219,7 @@ func Registry() []Runner {
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultScenarioFig("partition-heal")
 				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.Engine, cfg.Shards = o.Engine, o.Shards
 				return RunScenarioFig(cfg)
 			},
 		},

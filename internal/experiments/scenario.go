@@ -20,6 +20,10 @@ type ScenarioFigConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// Engine selects the simulation engine ("" = serial, "sharded" for
+	// the multi-core engine) and Shards its shard count.
+	Engine string
+	Shards int
 }
 
 // DefaultScenarioFig returns laptop-scale defaults for the given canned
@@ -46,10 +50,21 @@ func RunScenarioFig(cfg ScenarioFigConfig) (*Result, error) {
 		sc.N = cfg.N
 	}
 	runs := make([]*scenario.RunResult, cfg.Reps)
+	// ParallelReps already spreads the repetitions across the cores, so
+	// the sharded engine runs its shards on one worker here — sharding
+	// still changes the execution (and stays deterministic per shard
+	// count), but adding engine-level goroutines on top of rep-level
+	// parallelism would only oversubscribe the CPU.
+	workers := 1
+	if cfg.Reps == 1 {
+		workers = 0 // let the engine use the machine
+	}
 	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
 		s := sc
 		s.Seed = seed
-		res, err := scenario.RunSim(s)
+		res, err := scenario.RunSimWith(s, scenario.SimOptions{
+			Engine: cfg.Engine, Shards: cfg.Shards, Workers: workers,
+		})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,388 @@
+package parsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"antientropy/internal/sim"
+	"antientropy/internal/stats"
+)
+
+// Engine runs a sharded simulation. It implements sim.Core, so the
+// declarative scenario executor drives it exactly like the serial
+// engine. All exported mutators are serial-phase operations: call them
+// only from the engine's own hooks or between cycles.
+type Engine struct {
+	cfg    Config
+	nodes  int
+	shards []*shard
+	// workers bounds the parallel-phase goroutines.
+	workers int
+
+	// ctl is the control stream (stream 0): all serial-phase randomness —
+	// scripted victim picks, join reseeds, rendezvous — draws from it, so
+	// scenario scripts are deterministic independent of the shard count's
+	// stream layout.
+	ctl *stats.RNG
+
+	// Global node state. Written only in serial phases (hooks, merge);
+	// the parallel phases read it freely and write scalar only within
+	// their own shard range.
+	alive         *sim.IndexSet
+	participating []bool
+	scalar        []float64
+
+	overlay overlay
+
+	// filter, when non-nil, vetoes exchanges — aggregation and gossip —
+	// between node pairs (partition enforcement).
+	filter func(i, j int) bool
+
+	cycle   int
+	metrics sim.Metrics
+}
+
+// shard owns the contiguous node range [lo, hi) and everything the
+// parallel phases need without touching other shards: a private RNG
+// stream, permutation and merge scratch buffers, outboxes for deferred
+// cross-shard work, and local metric counters.
+type shard struct {
+	index  int
+	lo, hi int
+	rng    *stats.RNG
+
+	// perm holds the shard-local initiation order (offsets into [lo,hi)).
+	perm []int32
+	// out collects decided cross-shard aggregation exchanges.
+	out []crossExchange
+	// gossip collects deferred cross-shard NEWSCAST exchanges.
+	gossip []crossPair
+	// scratch is the overlay merge buffer.
+	scratch []uint64
+
+	metrics sim.Metrics
+}
+
+// crossExchange is a fully decided aggregation exchange whose peer lives
+// in another shard; only the state update is deferred to the merge.
+type crossExchange struct {
+	i, j      int32
+	replyLost bool
+}
+
+// crossPair is a deferred cross-shard gossip exchange.
+type crossPair struct {
+	i, j int32
+}
+
+// permute refills s.perm with a fresh random order of the local nodes.
+func (s *shard) permute() {
+	n := s.hi - s.lo
+	s.perm = s.perm[:n]
+	for i := range s.perm {
+		s.perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
+}
+
+// New validates cfg, builds the shards and the overlay, and initializes
+// node states, returning an engine positioned before cycle 1.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.shardCount()
+	e := &Engine{
+		cfg:           cfg,
+		nodes:         cfg.N,
+		workers:       cfg.workerCount(k),
+		ctl:           stats.NewStreamRNG(cfg.Seed, 0),
+		alive:         sim.NewIndexSet(cfg.N, false),
+		participating: make([]bool, cfg.N),
+		scalar:        make([]float64, cfg.N),
+	}
+	initialAlive := cfg.N
+	if cfg.InitialAlive > 0 {
+		initialAlive = cfg.InitialAlive
+	}
+	for i := 0; i < initialAlive; i++ {
+		e.alive.Add(i)
+		e.participating[i] = true
+	}
+	for i := range e.scalar {
+		e.scalar[i] = cfg.Init(i)
+	}
+	e.shards = make([]*shard, k)
+	maxLocal := 0
+	for s := 0; s < k; s++ {
+		lo := (s*cfg.N + k - 1) / k
+		hi := ((s+1)*cfg.N + k - 1) / k
+		if local := hi - lo; local > maxLocal {
+			maxLocal = local
+		}
+		e.shards[s] = &shard{
+			index: s, lo: lo, hi: hi,
+			// Shard streams are 1-based; stream 0 is the control stream.
+			rng: stats.NewStreamRNG(cfg.Seed, uint64(s)+1),
+		}
+	}
+	for _, s := range e.shards {
+		s.perm = make([]int32, 0, maxLocal)
+	}
+	spec := cfg.Overlay
+	if spec == nil {
+		spec = Newscast(30)
+	}
+	e.overlay = spec.build(e)
+	return e, nil
+}
+
+// Run executes all configured cycles, invoking the observer after
+// initialization and after each cycle.
+func Run(cfg Config) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.observe()
+	for e.cycle < cfg.Cycles {
+		e.Step()
+		e.observe()
+	}
+	return e, nil
+}
+
+func (e *Engine) observe() {
+	if e.cfg.Observe != nil {
+		e.cfg.Observe(e.cycle, e)
+	}
+}
+
+// shardOf maps a node to its shard index (floor(i·K/N), matching the
+// contiguous ranges built in New).
+func (e *Engine) shardOf(i int) int {
+	return i * len(e.shards) / e.nodes
+}
+
+// parallel runs fn over every shard across the worker pool. With one
+// worker (or one shard) it degenerates to a plain loop.
+func (e *Engine) parallel(fn func(s *shard)) {
+	if e.workers <= 1 || len(e.shards) == 1 {
+		for _, s := range e.shards {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(e.shards) {
+					return
+				}
+				fn(e.shards[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Step advances the simulation by one full cycle: serial hooks first,
+// then the parallel NEWSCAST round with its deterministic cross-shard
+// flush, then the parallel exchange phase with its deterministic merge.
+func (e *Engine) Step() {
+	e.cycle++
+	if e.cfg.BeforeCycle != nil {
+		e.cfg.BeforeCycle(e.cycle, e)
+	}
+	if e.cfg.Script != nil {
+		e.cfg.Script(e.cycle, e)
+	}
+	e.parallel(func(s *shard) { e.overlay.stepShard(s, e.cycle) })
+	e.overlay.flushCross(e.cycle)
+	e.parallel(func(s *shard) { e.exchangeShard(s) })
+	for _, s := range e.shards {
+		for _, x := range s.out {
+			e.applyExchange(int(x.i), int(x.j), x.replyLost)
+		}
+		e.metrics.Add(s.metrics)
+	}
+}
+
+// exchangeShard runs one shard's slice of the exchange loop: every live
+// local participant initiates one push-pull exchange. Intra-shard
+// exchanges apply immediately; cross-shard exchanges are decided here
+// (all loss draws come from the shard stream) and deferred to the merge.
+func (e *Engine) exchangeShard(s *shard) {
+	s.out = s.out[:0]
+	s.metrics = sim.Metrics{}
+	s.permute()
+	for _, off := range s.perm {
+		i := s.lo + int(off)
+		if !e.alive.Contains(i) || !e.participating[i] {
+			continue
+		}
+		j := e.overlay.neighbor(i, s.rng)
+		if j < 0 || j == i {
+			continue
+		}
+		allowed := e.filter == nil || e.filter(i, j)
+		proceed, replyLost := sim.DecideExchange(s.rng, &s.metrics,
+			e.alive.Contains(j), e.participating[j], allowed,
+			e.cfg.LinkFailure, e.cfg.MessageLoss)
+		if !proceed {
+			continue
+		}
+		if e.shardOf(j) == s.index {
+			e.applyExchange(i, j, replyLost)
+		} else {
+			s.out = append(s.out, crossExchange{i: int32(i), j: int32(j), replyLost: replyLost})
+		}
+	}
+}
+
+// applyExchange performs the push-pull state update: the responder always
+// updates; the initiator updates only if the reply arrived (§7.2).
+func (e *Engine) applyExchange(i, j int, replyLost bool) {
+	ni, nj := e.cfg.Fn.Update(e.scalar[i], e.scalar[j])
+	e.scalar[j] = nj
+	if !replyLost {
+		e.scalar[i] = ni
+	}
+}
+
+// --- sim.Core ---
+
+var _ sim.Core = (*Engine)(nil)
+
+// Cycle returns the number of completed cycles.
+func (e *Engine) Cycle() int { return e.cycle }
+
+// N returns the (constant) number of node slots.
+func (e *Engine) N() int { return e.nodes }
+
+// Shards returns the effective shard count K.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// AliveCount returns the number of currently live nodes.
+func (e *Engine) AliveCount() int { return e.alive.Len() }
+
+// Alive reports whether node is currently live.
+func (e *Engine) Alive(node int) bool { return e.alive.Contains(node) }
+
+// Participating reports whether node is live and part of the current
+// epoch.
+func (e *Engine) Participating(node int) bool {
+	return e.alive.Contains(node) && e.participating[node]
+}
+
+// ParticipantCount returns the number of live nodes taking part in the
+// current epoch.
+func (e *Engine) ParticipantCount() int {
+	count := 0
+	for _, id := range e.alive.Items() {
+		if e.participating[id] {
+			count++
+		}
+	}
+	return count
+}
+
+// ParticipantMoments returns streaming moments of the participants'
+// estimates.
+func (e *Engine) ParticipantMoments() stats.Moments {
+	var m stats.Moments
+	for _, id := range e.alive.Items() {
+		if e.participating[id] {
+			m.Add(e.scalar[id])
+		}
+	}
+	return m
+}
+
+// Metrics returns the exchange counters accumulated so far.
+func (e *Engine) Metrics() sim.Metrics { return e.metrics }
+
+// Value returns node's current estimate.
+func (e *Engine) Value(node int) float64 { return e.scalar[node] }
+
+// Kill marks a node as crashed (§6.1).
+func (e *Engine) Kill(node int) {
+	e.alive.Remove(node)
+}
+
+// Replace models churn: the slot is taken over by a brand-new node that
+// sits out the current epoch (§4.2) but joins the membership overlay.
+func (e *Engine) Replace(node int) {
+	e.alive.Add(node)
+	e.participating[node] = false
+	e.scalar[node] = 0
+	e.overlay.onJoin(node, e.cycle, e.ctl)
+}
+
+// Restart begins a new epoch in place (§4.1): every live node becomes a
+// participant and reloads a fresh local value from init when given.
+func (e *Engine) Restart(init func(node int) float64) {
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		e.participating[i] = true
+		if init != nil {
+			e.scalar[i] = init(i)
+		}
+	}
+}
+
+// SetScalar overwrites node's estimate (scripted mid-epoch intervention).
+func (e *Engine) SetScalar(node int, v float64) {
+	e.scalar[node] = v
+}
+
+// SetExchangeFilter installs (or removes, with nil) the partition veto.
+// The sharded overlay consults the same filter, so a partition blocks
+// membership gossip along with aggregation exchanges.
+func (e *Engine) SetExchangeFilter(filter func(i, j int) bool) {
+	e.filter = filter
+}
+
+// SetMessageLoss changes the per-message drop probability mid-run.
+func (e *Engine) SetMessageLoss(p float64) {
+	e.cfg.MessageLoss = clamp01(p)
+}
+
+// SetLinkFailure changes the per-exchange drop probability mid-run.
+func (e *Engine) SetLinkFailure(p float64) {
+	e.cfg.LinkFailure = clamp01(p)
+}
+
+// RandomAlive returns a uniformly random live node (control stream), or
+// -1 when none is left.
+func (e *Engine) RandomAlive() int {
+	if e.alive.Len() == 0 {
+		return -1
+	}
+	return e.alive.Random(e.ctl)
+}
+
+// ReseedOverlay refreshes node's overlay view from a random sample of
+// the whole network (post-heal rendezvous).
+func (e *Engine) ReseedOverlay(node int) {
+	e.overlay.onJoin(node, e.cycle, e.ctl)
+}
+
+func clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

@@ -1,0 +1,269 @@
+package parsim
+
+import (
+	"slices"
+
+	"antientropy/internal/stats"
+)
+
+// OverlaySpec selects the sharded overlay implementation for a run.
+// Specs are descriptions, not instances: the engine builds the overlay
+// against its own shard layout.
+type OverlaySpec interface {
+	build(e *Engine) overlay
+}
+
+// overlay is the engine's internal view of a sharded overlay. neighbor
+// must only read the node's own view (it runs in the parallel phase);
+// stepShard runs one shard's slice of the overlay round, deferring
+// cross-shard work; flushCross drains the deferred work serially.
+type overlay interface {
+	neighbor(node int, rng *stats.RNG) int
+	stepShard(s *shard, cycle int)
+	flushCross(cycle int)
+	onJoin(node, cycle int, rng *stats.RNG)
+}
+
+// Newscast selects the sharded NEWSCAST overlay with cache size c
+// (values below 1 fall back to the paper's recommended 30). It is the
+// parallel equivalent of sim.Newscast: every cycle each live node
+// initiates one cache exchange; exchanges with crashed peers are
+// skipped, and the scenario partition filter vetoes gossip across a
+// split exactly as it vetoes aggregation exchanges.
+func Newscast(c int) OverlaySpec {
+	if c < 1 {
+		c = 30
+	}
+	return newscastSpec{c: c}
+}
+
+type newscastSpec struct{ c int }
+
+func (sp newscastSpec) build(e *Engine) overlay {
+	o := &shardedNewscast{
+		e:             e,
+		cap:           sp.c,
+		entries:       make([]uint64, e.nodes*sp.c),
+		viewLen:       make([]int32, e.nodes),
+		bootstrapSize: min(sp.c, e.nodes-1),
+		scratch:       make([]uint64, 0, 2*sp.c+2),
+	}
+	// Seed every cache with up to c distinct random peers (a warmed-up
+	// overlay, as the paper's experiments assume). Seeding is sharded:
+	// each shard seeds its own nodes from its own stream, so a 10⁶-node
+	// build parallelizes like a cycle does.
+	e.parallel(func(s *shard) {
+		for i := s.lo; i < s.hi; i++ {
+			o.seed(i, 0, s.rng)
+		}
+	})
+	return o
+}
+
+// shardedNewscast is a flat, allocation-free NEWSCAST implementation.
+// Node i's view lives in entries[i*cap : i*cap+viewLen[i]], each entry
+// packed as (^stamp)<<32 | key so that ascending uint64 order is
+// "freshest first, key ascending on ties" — one primitive sort per
+// exchange replaces the comparator sorts of the generic cache, which
+// dominated whole-simulation profiles.
+type shardedNewscast struct {
+	e   *Engine
+	cap int
+
+	entries []uint64
+	viewLen []int32
+
+	// bootstrapSize is how many contacts a joiner or reseeded node gets.
+	bootstrapSize int
+
+	// scratch is the serial-phase merge buffer (flushCross, onJoin); the
+	// parallel phase uses the per-shard scratch.
+	scratch []uint64
+}
+
+func pack(key int32, stamp int32) uint64 {
+	return uint64(^uint32(stamp))<<32 | uint64(uint32(key))
+}
+
+func unpackKey(e uint64) int32 { return int32(uint32(e)) }
+
+// neighbor draws a uniform member of the node's current view.
+func (o *shardedNewscast) neighbor(node int, rng *stats.RNG) int {
+	l := int(o.viewLen[node])
+	if l == 0 {
+		return -1
+	}
+	return int(unpackKey(o.entries[node*o.cap+rng.Intn(l)]))
+}
+
+// stepShard runs one shard's gossip initiations: intra-shard exchanges
+// apply immediately, cross-shard ones are deferred to flushCross. Only
+// the initiator's own view is read to pick the peer, and only local
+// caches are written, so the phase is race-free.
+func (o *shardedNewscast) stepShard(s *shard, cycle int) {
+	e := o.e
+	s.gossip = s.gossip[:0]
+	s.permute()
+	for _, off := range s.perm {
+		i := s.lo + int(off)
+		if !e.alive.Contains(i) {
+			continue
+		}
+		j := o.neighbor(i, s.rng)
+		if j < 0 || !e.alive.Contains(j) {
+			continue
+		}
+		if e.filter != nil && !e.filter(i, j) {
+			continue
+		}
+		if e.shardOf(j) == s.index {
+			s.scratch = o.exchange(s.scratch, i, j, cycle)
+		} else {
+			s.gossip = append(s.gossip, crossPair{i: int32(i), j: int32(j)})
+		}
+	}
+}
+
+// flushCross applies the deferred cross-shard gossip exchanges in shard
+// order — the deterministic merge step of the overlay round.
+func (o *shardedNewscast) flushCross(cycle int) {
+	for _, s := range o.e.shards {
+		for _, p := range s.gossip {
+			o.scratch = o.exchange(o.scratch, int(p.i), int(p.j), cycle)
+		}
+	}
+}
+
+// exchange performs one full NEWSCAST exchange between live nodes i and
+// j at logical time cycle: both caches merge the union of both views
+// plus both fresh self-descriptors, keep the freshest cap distinct keys
+// excluding their own, exactly like newscast.Exchange. The union is
+// deduplicated with a single primitive sort: ascending packed order is
+// stamp-descending, so the first occurrence of a key is its freshest
+// descriptor and the scan can stop once cap+1 survivors are kept.
+func (o *shardedNewscast) exchange(scratch []uint64, i, j, cycle int) []uint64 {
+	now := int32(cycle)
+	scratch = scratch[:0]
+	scratch = append(scratch, pack(int32(i), now), pack(int32(j), now))
+	scratch = append(scratch, o.view(i)...)
+	scratch = append(scratch, o.view(j)...)
+	slices.Sort(scratch)
+	w := 0
+	for r := 0; r < len(scratch) && w < o.cap+1; r++ {
+		key := unpackKey(scratch[r])
+		dup := false
+		for x := 0; x < w; x++ {
+			if unpackKey(scratch[x]) == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			scratch[w] = scratch[r]
+			w++
+		}
+	}
+	kept := scratch[:w]
+	o.writeBack(i, kept)
+	o.writeBack(j, kept)
+	return scratch
+}
+
+func (o *shardedNewscast) view(node int) []uint64 {
+	return o.entries[node*o.cap : node*o.cap+int(o.viewLen[node])]
+}
+
+// writeBack installs the merged view for node: the kept survivors minus
+// the node's own descriptor, truncated to cap. Because kept holds the
+// cap+1 freshest distinct keys of the union, dropping the node's own key
+// leaves exactly the cap freshest foreign descriptors.
+func (o *shardedNewscast) writeBack(node int, kept []uint64) {
+	base := node * o.cap
+	w := 0
+	for _, entry := range kept {
+		if int(unpackKey(entry)) == node {
+			continue
+		}
+		o.entries[base+w] = entry
+		w++
+		if w == o.cap {
+			break
+		}
+	}
+	o.viewLen[node] = int32(w)
+}
+
+// seed fills node's view with up to bootstrapSize distinct random peers
+// (excluding itself) stamped at the given cycle. Like the serial
+// overlay's bootstrap, contacts are drawn from the whole slot space, so
+// a joiner may briefly hold a dead contact — NEWSCAST repairs that
+// within a cycle or two.
+func (o *shardedNewscast) seed(node, cycle int, rng *stats.RNG) {
+	size := o.bootstrapSize
+	if size < 1 {
+		o.viewLen[node] = 0
+		return
+	}
+	base := node * o.cap
+	stamp := int32(cycle)
+	w := 0
+	for w < size {
+		c := rng.Intn(o.e.nodes)
+		if c == node {
+			continue
+		}
+		dup := false
+		for x := 0; x < w; x++ {
+			if int(unpackKey(o.entries[base+x])) == c {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		o.entries[base+w] = pack(int32(c), stamp)
+		w++
+	}
+	// Restore the freshest-first, key-ascending storage order (all
+	// stamps are equal here, so this is a key sort).
+	slices.Sort(o.entries[base : base+w])
+	o.viewLen[node] = int32(w)
+}
+
+// onJoin reseeds the view of a node that took over a slot (churn, joins)
+// or is being refreshed by a post-heal rendezvous.
+func (o *shardedNewscast) onJoin(node, cycle int, rng *stats.RNG) {
+	o.seed(node, cycle, rng)
+}
+
+// CompleteLive selects the fully connected overlay over the live
+// membership: every node can contact every other live node, the
+// sharded equivalent of sim.CompleteLive.
+func CompleteLive() OverlaySpec { return completeLiveSpec{} }
+
+type completeLiveSpec struct{}
+
+func (completeLiveSpec) build(e *Engine) overlay { return &completeLive{e: e} }
+
+type completeLive struct{ e *Engine }
+
+// neighbor rejection-samples a live peer different from the caller. The
+// live set is only mutated in serial phases, so concurrent reads with
+// per-shard RNGs are safe.
+func (o *completeLive) neighbor(node int, rng *stats.RNG) int {
+	if o.e.alive.Len() == 0 {
+		return -1
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		j := o.e.alive.Random(rng)
+		if j != node {
+			return j
+		}
+	}
+	return -1
+}
+
+func (o *completeLive) stepShard(s *shard, cycle int)          {}
+func (o *completeLive) flushCross(cycle int)                   {}
+func (o *completeLive) onJoin(node, cycle int, rng *stats.RNG) {}

@@ -1,0 +1,155 @@
+// Package parsim is the sharded, multi-core counterpart of internal/sim:
+// a cycle-driven simulation engine that partitions the node space into K
+// contiguous shards and runs the per-cycle push-pull exchange loop and
+// the NEWSCAST overlay step across a worker pool. It exists to reach the
+// paper's upper evaluation range — 10⁵–10⁶-node overlays under churn,
+// crashes and partitions — which the serial engine cannot simulate in
+// reasonable wall-clock time.
+//
+// # Execution model
+//
+// Every cycle runs in two phases per subsystem:
+//
+//  1. Parallel phase: each shard, driven exclusively by its own RNG
+//     stream (stats.NewStreamRNG(seed, shard)), processes its local nodes
+//     in a shard-private random order. Exchanges whose peer lives in the
+//     same shard are applied immediately; exchanges that cross a shard
+//     boundary are fully decided (loss draws included) and appended to
+//     the shard's outbox. Shards read shared state (liveness,
+//     participation, the partition filter) but never write outside their
+//     own node range, so the phase is race-free without locks.
+//  2. Deterministic merge: the outboxes are drained serially in shard
+//     order, applying the deferred cross-shard exchanges. A deferred
+//     exchange acts on the peers' then-current estimates — exactly a
+//     message that spent the cycle in flight.
+//
+// # Determinism contract
+//
+// The same seed and the same shard count yield bit-identical runs —
+// estimates, metrics and CSV output — regardless of GOMAXPROCS or
+// worker scheduling, because shard streams are pure functions of
+// (seed, shard index) and the merge order is fixed. Different shard
+// counts are different (equally valid) executions: cross-shard exchanges
+// resolve at merge time rather than in the global initiation order, so
+// per-cycle trajectories differ across shard counts while converging to
+// the same statistics. Pin -shards along with -seed to reproduce a run.
+//
+// The engine implements the same surface the declarative scenario
+// executor consumes (sim.Core), so every scenario runs unchanged on
+// either engine; internal/scenario selects via SimOptions.Engine.
+package parsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"antientropy/internal/core"
+)
+
+// Config describes one sharded simulation run. It mirrors the scalar
+// subset of sim.Config; vector mode and pluggable topology builders are
+// deliberately out of scope — the sharded engine exists for the scenario
+// workloads, which run scalar aggregation over NEWSCAST.
+type Config struct {
+	// N is the number of node slots.
+	N int
+	// InitialAlive, when positive, starts only slots [0, InitialAlive)
+	// alive and participating (scenario joins later fill the rest). Zero
+	// means all N slots start alive.
+	InitialAlive int
+	// Cycles is the number of cycles Run executes.
+	Cycles int
+	// Seed drives all randomness: the control stream and every shard
+	// stream derive from it.
+	Seed uint64
+	// Shards is the shard count K. Zero selects GOMAXPROCS. The node
+	// space [0, N) is split into K contiguous ranges of near-equal size;
+	// K is clamped to N.
+	Shards int
+	// Workers bounds the goroutines driving the parallel phases. Zero
+	// selects min(Shards, GOMAXPROCS). One worker degenerates to a
+	// serial loop with no synchronization cost.
+	Workers int
+
+	// Fn is the scalar aggregation function.
+	Fn core.Function
+	// Init yields node i's initial estimate.
+	Init func(node int) float64
+
+	// Overlay selects the sharded overlay (default: Newscast(30)).
+	Overlay OverlaySpec
+
+	// LinkFailure is P_d, the per-exchange drop probability (§6.2).
+	LinkFailure float64
+	// MessageLoss is the per-message drop probability (§7.2).
+	MessageLoss float64
+
+	// BeforeCycle, when non-nil, runs serially at the start of every
+	// cycle — the scenario engine's epoch-restart hook.
+	BeforeCycle func(cycle int, e *Engine)
+	// Script, when non-nil, runs serially after BeforeCycle — the
+	// scenario engine's event hook (churn, partitions, loss changes).
+	Script func(cycle int, e *Engine)
+	// Observe, when non-nil, is called after initialization (cycle 0)
+	// and after every completed cycle.
+	Observe func(cycle int, e *Engine)
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("parsim: invalid node count %d", c.N)
+	}
+	if c.Cycles < 0 {
+		return fmt.Errorf("parsim: invalid cycle count %d", c.Cycles)
+	}
+	if c.InitialAlive < 0 || c.InitialAlive > c.N {
+		return fmt.Errorf("parsim: initial alive count %d not in [0, %d]", c.InitialAlive, c.N)
+	}
+	if c.Fn.Update == nil {
+		return errors.New("parsim: aggregation function is required")
+	}
+	if c.Init == nil {
+		return errors.New("parsim: scalar init is required")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("parsim: invalid shard count %d", c.Shards)
+	}
+	if c.LinkFailure < 0 || c.LinkFailure > 1 {
+		return fmt.Errorf("parsim: link failure probability %g not in [0,1]", c.LinkFailure)
+	}
+	if c.MessageLoss < 0 || c.MessageLoss > 1 {
+		return fmt.Errorf("parsim: message loss probability %g not in [0,1]", c.MessageLoss)
+	}
+	return nil
+}
+
+// shardCount resolves the effective K for this configuration.
+func (c Config) shardCount() int {
+	k := c.Shards
+	if k == 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	if k > c.N {
+		k = c.N
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// workerCount resolves the goroutine budget for the parallel phases.
+func (c Config) workerCount(shards int) int {
+	w := c.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

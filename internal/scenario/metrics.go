@@ -120,6 +120,72 @@ func (r *RunResult) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// Divergence summarizes how two executions of the same scenario differ,
+// cycle by cycle: the executor-comparison harness runs a scenario on the
+// simulator and on the live fleet (or on the two sim engines) and
+// reports how far the estimate streams drift apart. Both runs share the
+// scripted value signal, so the divergence isolates executor effects —
+// wall-clock jitter, transport loss realization, exchange ordering.
+type Divergence struct {
+	// ScenarioName and the two executors compared.
+	ScenarioName string `json:"scenario"`
+	ExecutorA    string `json:"executorA"`
+	ExecutorB    string `json:"executorB"`
+	// Cycles is the number of per-cycle rows compared (the shorter run
+	// bounds it).
+	Cycles int `json:"cycles"`
+	// MeanAbsEstimate and MaxAbsEstimate aggregate |meanEstimateA −
+	// meanEstimateB| over the compared cycles.
+	MeanAbsEstimate float64 `json:"meanAbsEstimate"`
+	MaxAbsEstimate  float64 `json:"maxAbsEstimate"`
+	// MaxAbsEstimateCycle is the cycle at which the estimate gap peaked.
+	MaxAbsEstimateCycle int `json:"maxAbsEstimateCycle"`
+	// MeanAbsRelError aggregates |relErrorA − relErrorB|.
+	MeanAbsRelError float64 `json:"meanAbsRelError"`
+	// FinalAbsEstimate and FinalAbsRelError compare the last common cycle.
+	FinalAbsEstimate float64 `json:"finalAbsEstimate"`
+	FinalAbsRelError float64 `json:"finalAbsRelError"`
+}
+
+// Diverge computes the per-cycle divergence of two runs of the same
+// scenario. The runs may come from different executors or engines; they
+// are aligned by cycle index.
+func Diverge(a, b *RunResult) Divergence {
+	d := Divergence{ScenarioName: a.Scenario, ExecutorA: a.Executor, ExecutorB: b.Executor}
+	n := len(a.PerCycle)
+	if len(b.PerCycle) < n {
+		n = len(b.PerCycle)
+	}
+	d.Cycles = n
+	if n == 0 {
+		return d
+	}
+	var sumEst, sumErr float64
+	for c := 0; c < n; c++ {
+		est := math.Abs(a.PerCycle[c].MeanEstimate - b.PerCycle[c].MeanEstimate)
+		sumEst += est
+		sumErr += math.Abs(a.PerCycle[c].RelError - b.PerCycle[c].RelError)
+		if est > d.MaxAbsEstimate {
+			d.MaxAbsEstimate = est
+			d.MaxAbsEstimateCycle = a.PerCycle[c].Cycle
+		}
+	}
+	d.MeanAbsEstimate = sumEst / float64(n)
+	d.MeanAbsRelError = sumErr / float64(n)
+	last := n - 1
+	d.FinalAbsEstimate = math.Abs(a.PerCycle[last].MeanEstimate - b.PerCycle[last].MeanEstimate)
+	d.FinalAbsRelError = math.Abs(a.PerCycle[last].RelError - b.PerCycle[last].RelError)
+	return d
+}
+
+// String renders the divergence as one line.
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: %s vs %s over %d cycles: |Δest| mean %.4g max %.4g (cycle %d), |Δrelerr| mean %.2e, final |Δest| %.4g |Δrelerr| %.2e",
+		d.ScenarioName, d.ExecutorA, d.ExecutorB, d.Cycles,
+		d.MeanAbsEstimate, d.MaxAbsEstimate, d.MaxAbsEstimateCycle,
+		d.MeanAbsRelError, d.FinalAbsEstimate, d.FinalAbsRelError)
+}
+
 // String summarizes the run in one line.
 func (r *RunResult) String() string {
 	f := r.Final()

@@ -162,8 +162,12 @@ func TestSimPartitionUntilAutoHeals(t *testing.T) {
 	}
 	// After the epoch restart at cycle 21 (mid-partition) the two sides
 	// must converge to *different* means — a re-randomized split would
-	// mix them back to the global mean.
-	if mid := res.PerCycle[30]; mid.EstimateStdDev < 0.3 {
+	// mix them back to the global mean (stddev ~1e-4). With the
+	// overlay-aware partition each side converges cleanly to its own
+	// component mean, so the cross-network stddev settles at half the
+	// component-mean gap (~0.15 for this seed) instead of the larger
+	// unconverged residual seen when gossip leaked across the split.
+	if mid := res.PerCycle[30]; mid.EstimateStdDev < 0.05 {
 		t.Fatalf("cycle 30 (partitioned): stddev %g — components are mixing across the partition", mid.EstimateStdDev)
 	}
 	// Past Until the partition lifts and the next epoch re-converges.

@@ -4,34 +4,71 @@ import (
 	"fmt"
 
 	"antientropy/internal/core"
+	"antientropy/internal/parsim"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
 )
 
+// Engine names for SimOptions.Engine.
+const (
+	// EngineSerial is the single-threaded engine of internal/sim — the
+	// default, bit-for-bit deterministic from the scenario seed alone.
+	EngineSerial = "serial"
+	// EngineSharded is the sharded multi-core engine of internal/parsim:
+	// deterministic per (seed, shard count), built for 10⁵–10⁶-node runs.
+	EngineSharded = "sharded"
+)
+
 // SimOptions tune the simulator executor.
 type SimOptions struct {
-	// Overlay overrides the overlay builder (default: NEWSCAST with the
-	// paper's recommended cache size 30).
+	// Overlay overrides the overlay builder of the serial engine
+	// (default: NEWSCAST with the paper's recommended cache size 30).
+	// It is incompatible with the sharded engine, which uses its own
+	// shard-aware NEWSCAST implementation.
 	Overlay sim.OverlayBuilder
+	// Engine selects the executor engine: EngineSerial (also ""), or
+	// EngineSharded.
+	Engine string
+	// Shards is the shard count for the sharded engine (0 = GOMAXPROCS).
+	// Results are deterministic per shard count: the same seed and the
+	// same shard count reproduce a run bit-for-bit; different shard
+	// counts are statistically equivalent but not identical.
+	Shards int
+	// Workers bounds the sharded engine's goroutines (0 = GOMAXPROCS).
+	// Callers that already parallelize across repetitions set it to 1 to
+	// avoid oversubscribing the cores; it never affects results.
+	Workers int
 }
 
 // RunSim executes the scenario on the deterministic cycle-driven engine
 // with default options.
 func RunSim(sc Scenario) (*RunResult, error) { return RunSimWith(sc, SimOptions{}) }
 
-// RunSimWith executes the scenario on internal/sim: epoch restarts go
-// through Engine.Restart, scripted events through a sim.Script failure
-// model, and partitions through the engine's exchange filter. The whole
-// run is reproducible bit-for-bit from the scenario seed.
+// RunSimWith executes the scenario on a simulation engine: epoch
+// restarts go through Core.Restart, scripted events through the engines'
+// script hooks, and partitions through the exchange filter (which both
+// engines also forward to NEWSCAST gossip, so a partition splits the
+// overlay exactly as the live executor's transport partition does). The
+// whole run is reproducible bit-for-bit from the scenario seed — plus
+// the shard count when the sharded engine is selected.
 func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	overlay := opts.Overlay
-	if overlay == nil {
-		overlay = sim.Newscast(30)
+	switch opts.Engine {
+	case "", EngineSerial:
+		return runSimSerial(sc, opts)
+	case EngineSharded:
+		return runSimSharded(sc, opts)
+	default:
+		return nil, fmt.Errorf("scenario %s: unknown engine %q (want %q or %q)",
+			sc.Name, opts.Engine, EngineSerial, EngineSharded)
 	}
+}
+
+// newSimDriver builds the shared script driver and the result shell.
+func newSimDriver(sc Scenario, executor string) (*simDriver, *RunResult) {
 	slots := sc.MaxSlots()
 	d := &simDriver{
 		sc:       sc,
@@ -41,13 +78,21 @@ func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 		nextJoin: sc.N,
 	}
 	result := &RunResult{
-		Scenario: sc.Name, Executor: "sim",
+		Scenario: sc.Name, Executor: executor,
 		N: sc.N, Slots: slots, Seed: sc.Seed,
 		PerCycle: make([]CycleMetrics, 0, sc.Cycles+1),
 	}
-	var prevAttempts int64
+	return d, result
+}
+
+func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
+	overlay := opts.Overlay
+	if overlay == nil {
+		overlay = sim.Newscast(30)
+	}
+	d, result := newSimDriver(sc, "sim")
 	_, err := sim.Run(sim.Config{
-		N:            slots,
+		N:            d.slots,
 		InitialAlive: sc.N,
 		Cycles:       sc.Cycles,
 		Seed:         sc.Seed,
@@ -56,13 +101,10 @@ func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 		Overlay:      overlay,
 		MessageLoss:  sc.MessageLoss,
 		LinkFailure:  sc.LinkFailure,
-		BeforeCycle:  d.beforeCycle,
-		Failures:     []sim.FailureModel{sim.Script(sc.Name, d.applyEvents)},
+		BeforeCycle:  func(cycle int, e *sim.Engine) { d.beforeCycle(cycle, e) },
+		Failures:     []sim.FailureModel{sim.Script(sc.Name, func(cycle int, e *sim.Engine) { d.applyEvents(cycle, e) })},
 		Observe: func(cycle int, e *sim.Engine) {
-			cur := e.Metrics()
-			messages := cur.Attempts - prevAttempts
-			prevAttempts = cur.Attempts
-			result.PerCycle = append(result.PerCycle, d.observe(cycle, e, messages))
+			result.PerCycle = append(result.PerCycle, d.observe(cycle, e))
 		},
 	})
 	if err != nil {
@@ -71,7 +113,38 @@ func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 	return result, nil
 }
 
-// simDriver holds the mutable state the scripted events act on.
+func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
+	if opts.Overlay != nil {
+		return nil, fmt.Errorf("scenario %s: the sharded engine does not accept a serial overlay builder", sc.Name)
+	}
+	d, result := newSimDriver(sc, "sim-sharded")
+	_, err := parsim.Run(parsim.Config{
+		N:            d.slots,
+		InitialAlive: sc.N,
+		Cycles:       sc.Cycles,
+		Seed:         sc.Seed,
+		Shards:       opts.Shards,
+		Workers:      opts.Workers,
+		Fn:           core.Average,
+		Init:         func(node int) float64 { return d.prog.Value(node, 0) },
+		Overlay:      parsim.Newscast(30),
+		MessageLoss:  sc.MessageLoss,
+		LinkFailure:  sc.LinkFailure,
+		BeforeCycle:  func(cycle int, e *parsim.Engine) { d.beforeCycle(cycle, e) },
+		Script:       func(cycle int, e *parsim.Engine) { d.applyEvents(cycle, e) },
+		Observe: func(cycle int, e *parsim.Engine) {
+			result.PerCycle = append(result.PerCycle, d.observe(cycle, e))
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: sharded sim executor: %w", sc.Name, err)
+	}
+	return result, nil
+}
+
+// simDriver holds the mutable state the scripted events act on. It is
+// engine-agnostic: everything goes through sim.Core, so the serial and
+// the sharded engine run the identical script logic.
 type simDriver struct {
 	sc    Scenario
 	prog  *ValueProgram
@@ -88,19 +161,21 @@ type simDriver struct {
 	groupOf        []int
 	partitionOn    bool
 	partitionUntil int
+
+	prevAttempts int64
 }
 
 // beforeCycle implements §4.1/§4.2 at epoch boundaries: the protocol
 // restarts from the current scripted values and waiting joiners become
 // participants.
-func (d *simDriver) beforeCycle(cycle int, e *sim.Engine) {
+func (d *simDriver) beforeCycle(cycle int, e sim.Core) {
 	if cycle > 1 && (cycle-1)%d.sc.EpochLen == 0 {
 		e.Restart(func(node int) float64 { return d.prog.Value(node, cycle) })
 	}
 }
 
 // applyEvents runs the script for one cycle.
-func (d *simDriver) applyEvents(cycle int, e *sim.Engine) {
+func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 	if d.partitionOn && d.partitionUntil > 0 && cycle > d.partitionUntil {
 		d.heal(e)
 	}
@@ -185,10 +260,12 @@ func (d *simDriver) effectiveLoss(cycle int) float64 {
 }
 
 // partition assigns every slot to a component by the event's relative
-// weights and installs the exchange veto. Assigning all slots — not just
-// the live ones — puts nodes that join mid-partition into a component
-// too, exactly as a joiner lands on one side of a real split.
-func (d *simDriver) partition(e *sim.Engine, ev Event) {
+// weights and installs the exchange veto — which both engines also apply
+// to NEWSCAST gossip, so the overlay splits along with the aggregation
+// traffic. Assigning all slots — not just the live ones — puts nodes
+// that join mid-partition into a component too, exactly as a joiner
+// lands on one side of a real split.
+func (d *simDriver) partition(e sim.Core, ev Event) {
 	var total float64
 	for _, w := range ev.Groups {
 		total += w
@@ -215,15 +292,49 @@ func (d *simDriver) partition(e *sim.Engine, ev Event) {
 	e.SetExchangeFilter(func(i, j int) bool { return groupOf[i] == groupOf[j] })
 }
 
-// heal removes the active partition.
-func (d *simDriver) heal(e *sim.Engine) {
+// heal removes the active partition and performs the rendezvous refresh
+// the live executor models with out-of-band contacts: a partition longer
+// than the cache lifetime ages every cross-component descriptor out of
+// the NEWSCAST views, so gossip alone can never remerge the overlay.
+// Reseeding a few bridge nodes per component from the global membership
+// restores cross-component descriptors; epidemic gossip spreads the
+// bridges from there.
+func (d *simDriver) heal(e sim.Core) {
+	wasOn := d.partitionOn
 	d.partitionOn = false
 	d.partitionUntil = 0
 	e.SetExchangeFilter(nil)
+	if !wasOn {
+		return
+	}
+	const bridgesPerGroup = 4
+	groups := 0
+	for _, g := range d.groupOf {
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	for g := 0; g < groups; g++ {
+		members := make([]int, 0, d.slots)
+		for slot, sg := range d.groupOf {
+			if sg == g && e.Alive(slot) {
+				members = append(members, slot)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		for b := 0; b < bridgesPerGroup; b++ {
+			e.ReseedOverlay(members[d.rng.Intn(len(members))])
+		}
+	}
 }
 
 // observe builds one cycle's metrics row.
-func (d *simDriver) observe(cycle int, e *sim.Engine, messages int64) CycleMetrics {
+func (d *simDriver) observe(cycle int, e sim.Core) CycleMetrics {
+	cur := e.Metrics()
+	messages := cur.Attempts - d.prevAttempts
+	d.prevAttempts = cur.Attempts
 	est := e.ParticipantMoments()
 	var truth stats.Moments
 	for i := 0; i < d.slots; i++ {

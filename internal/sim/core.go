@@ -1,0 +1,115 @@
+package sim
+
+import "antientropy/internal/stats"
+
+// Core is the engine surface the declarative scenario executor consumes.
+// Two engines implement it: the serial *Engine in this package and the
+// sharded *parsim.Engine, so one scenario driver (epoch restarts,
+// scripted churn, partitions, loss changes, per-cycle metrics) runs
+// unchanged on either. All methods are serial-phase operations: they may
+// only be called from the engine's own hooks (BeforeCycle, failure
+// scripts, Observe) or between cycles, never concurrently with a running
+// cycle.
+type Core interface {
+	// Cycle returns the number of completed cycles.
+	Cycle() int
+	// N returns the (constant) number of node slots.
+	N() int
+	// AliveCount returns the number of currently live nodes.
+	AliveCount() int
+	// Alive reports whether node is currently live.
+	Alive(node int) bool
+	// Participating reports whether node is live and part of the current
+	// epoch.
+	Participating(node int) bool
+	// ParticipantCount returns the number of live nodes taking part in
+	// the current epoch.
+	ParticipantCount() int
+	// ParticipantMoments returns streaming moments of the participants'
+	// scalar estimates.
+	ParticipantMoments() stats.Moments
+	// Metrics returns the exchange counters accumulated so far.
+	Metrics() Metrics
+	// Kill marks a node as crashed.
+	Kill(node int)
+	// Replace substitutes the slot with a brand-new joiner identity.
+	Replace(node int)
+	// Restart begins a new epoch in place (§4.1 automatic restart).
+	Restart(init func(node int) float64)
+	// SetScalar overwrites node's scalar estimate.
+	SetScalar(node int, v float64)
+	// SetExchangeFilter installs (or removes, with nil) the partition
+	// veto on exchanges — aggregation and overlay gossip alike.
+	SetExchangeFilter(filter func(i, j int) bool)
+	// SetMessageLoss changes the per-message drop probability mid-run.
+	SetMessageLoss(p float64)
+	// SetLinkFailure changes the per-exchange drop probability mid-run.
+	SetLinkFailure(p float64)
+	// RandomAlive returns a uniformly random live node, or -1 when none.
+	RandomAlive() int
+	// ReseedOverlay refreshes node's overlay view from a random sample of
+	// the whole network, as an out-of-band rendezvous (seed lists, DNS)
+	// would after a partition heals.
+	ReseedOverlay(node int)
+}
+
+// GossipFilterable is implemented by overlays whose own descriptor
+// traffic can be vetoed per node pair. Engine.SetExchangeFilter forwards
+// the partition filter to such overlays so a partition blocks membership
+// gossip exactly as it blocks aggregation exchanges — matching the live
+// executor, which drops both at the transport layer.
+type GossipFilterable interface {
+	// SetGossipFilter installs (or removes, with nil) the veto: when the
+	// filter returns false for (i, j), the gossip exchange is skipped.
+	SetGossipFilter(filter func(i, j int) bool)
+}
+
+// DecideExchange classifies one initiated exchange attempt with the
+// paper's §6/§7 failure semantics, updating the metric counters. The
+// caller has already resolved the peer j (j ≥ 0, j ≠ i); peerAlive,
+// peerParticipating and allowed describe j's state and the partition
+// filter's verdict. It returns proceed = true when the exchange happens,
+// with replyLost telling whether only the responder updates (a lost
+// reply leaves the responder updated but not the initiator, §7.2).
+//
+// Both engines funnel every exchange through this function, so the
+// failure semantics — and the per-attempt RNG consumption order, which
+// fixes the serial engine's bit-exact behavior — live in one place.
+func DecideExchange(rng *stats.RNG, m *Metrics, peerAlive, peerParticipating, allowed bool, linkFailure, messageLoss float64) (proceed, replyLost bool) {
+	m.Attempts++
+	switch {
+	case !peerAlive:
+		m.Timeouts++
+	case !peerParticipating:
+		m.Refusals++
+	case !allowed:
+		m.PartitionDrops++
+	case rng.Bool(linkFailure):
+		m.LinkDrops++
+	case rng.Bool(messageLoss):
+		// The initiating message never arrived: nothing happened.
+		m.RequestLosses++
+	default:
+		replyLost = rng.Bool(messageLoss)
+		if replyLost {
+			m.ReplyLosses++
+		} else {
+			m.Completed++
+		}
+		return true, replyLost
+	}
+	return false, false
+}
+
+// Add accumulates other's counters into m — the sharded engine folds its
+// per-shard counters with it after every cycle.
+func (m *Metrics) Add(other Metrics) {
+	m.Attempts += other.Attempts
+	m.Completed += other.Completed
+	m.Timeouts += other.Timeouts
+	m.Refusals += other.Refusals
+	m.LinkDrops += other.LinkDrops
+	m.RequestLosses += other.RequestLosses
+	m.ReplyLosses += other.ReplyLosses
+	m.PartitionDrops += other.PartitionDrops
+}

@@ -161,7 +161,7 @@ type Engine struct {
 	overlay Overlay
 
 	n     int
-	alive *indexSet
+	alive *IndexSet
 	// participating marks nodes taking part in the current epoch; nodes
 	// that join mid-epoch wait for the next one (§4.2).
 	participating []bool
@@ -196,12 +196,12 @@ func New(cfg Config) (*Engine, error) {
 		cfg:           cfg,
 		rng:           stats.NewRNG(cfg.Seed),
 		n:             cfg.N,
-		alive:         newIndexSet(cfg.N, false),
+		alive:         NewIndexSet(cfg.N, false),
 		participating: make([]bool, cfg.N),
 		perm:          make([]int, cfg.N),
 	}
 	for i := 0; i < initialAlive; i++ {
-		e.alive.add(i)
+		e.alive.Add(i)
 		e.participating[i] = true
 	}
 	if cfg.TrackExchanges {
@@ -211,12 +211,12 @@ func New(cfg Config) (*Engine, error) {
 	ov, err := cfg.Overlay(OverlayContext{
 		N:     cfg.N,
 		RNG:   overlayRNG,
-		Alive: func(i int) bool { return e.alive.contains(i) },
+		Alive: func(i int) bool { return e.alive.Contains(i) },
 		RandomAlive: func(rng *stats.RNG) int {
-			if e.alive.len() == 0 {
+			if e.alive.Len() == 0 {
 				return -1
 			}
-			return e.alive.random(rng)
+			return e.alive.Random(rng)
 		},
 	})
 	if err != nil {
@@ -273,15 +273,15 @@ func (e *Engine) Cycle() int { return e.cycle }
 func (e *Engine) N() int { return e.n }
 
 // AliveCount returns the number of currently live nodes.
-func (e *Engine) AliveCount() int { return e.alive.len() }
+func (e *Engine) AliveCount() int { return e.alive.Len() }
 
 // Alive reports whether node is currently live.
-func (e *Engine) Alive(node int) bool { return e.alive.contains(node) }
+func (e *Engine) Alive(node int) bool { return e.alive.Contains(node) }
 
 // Participating reports whether node is live and part of the current
 // epoch.
 func (e *Engine) Participating(node int) bool {
-	return e.alive.contains(node) && e.participating[node]
+	return e.alive.Contains(node) && e.participating[node]
 }
 
 // Metrics returns the exchange counters accumulated so far.
@@ -310,7 +310,7 @@ func (e *Engine) Step() {
 	}
 	e.rng.Perm(e.perm)
 	for _, i := range e.perm {
-		if !e.alive.contains(i) || !e.participating[i] {
+		if !e.alive.Contains(i) || !e.participating[i] {
 			continue
 		}
 		e.initiateExchange(i)
@@ -318,44 +318,24 @@ func (e *Engine) Step() {
 }
 
 // initiateExchange performs node i's active-thread step of Figure 1 with
-// the §6/§7 failure semantics.
+// the §6/§7 failure semantics (shared with the sharded engine through
+// DecideExchange).
 func (e *Engine) initiateExchange(i int) {
 	j := e.overlay.Neighbor(i, e.rng)
 	if j < 0 || j == i {
 		return
 	}
-	e.metrics.Attempts++
-	if !e.alive.contains(j) {
-		e.metrics.Timeouts++
+	allowed := e.filter == nil || e.filter(i, j)
+	proceed, replyLost := DecideExchange(e.rng, &e.metrics,
+		e.alive.Contains(j), e.participating[j], allowed,
+		e.cfg.LinkFailure, e.cfg.MessageLoss)
+	if !proceed {
 		return
 	}
-	if !e.participating[j] {
-		e.metrics.Refusals++
-		return
-	}
-	if e.filter != nil && !e.filter(i, j) {
-		e.metrics.PartitionDrops++
-		return
-	}
-	if e.rng.Bool(e.cfg.LinkFailure) {
-		e.metrics.LinkDrops++
-		return
-	}
-	if e.rng.Bool(e.cfg.MessageLoss) {
-		// The initiating message never arrived: nothing happened.
-		e.metrics.RequestLosses++
-		return
-	}
-	replyLost := e.rng.Bool(e.cfg.MessageLoss)
 	if e.cfg.Dim > 0 {
 		e.exchangeVector(i, j, replyLost)
 	} else {
 		e.exchangeScalar(i, j, replyLost)
-	}
-	if replyLost {
-		e.metrics.ReplyLosses++
-	} else {
-		e.metrics.Completed++
 	}
 	if e.exchanges != nil {
 		e.exchanges[i]++
@@ -398,7 +378,7 @@ func (e *Engine) Vector(node int) []float64 {
 // ForEachParticipant calls fn for every live, participating node with its
 // scalar estimate.
 func (e *Engine) ForEachParticipant(fn func(node int, value float64)) {
-	for _, id := range e.alive.items {
+	for _, id := range e.alive.Items() {
 		i := int(id)
 		if e.participating[i] {
 			fn(i, e.scalar[i])
@@ -411,7 +391,7 @@ func (e *Engine) ForEachParticipant(fn func(node int, value float64)) {
 // modified.
 func (e *Engine) ForEachParticipantVec(fn func(node int, vec []float64)) {
 	dim := e.cfg.Dim
-	for _, id := range e.alive.items {
+	for _, id := range e.alive.Items() {
 		i := int(id)
 		if e.participating[i] {
 			fn(i, e.vec[i*dim:(i+1)*dim])
@@ -439,7 +419,7 @@ func (e *Engine) ExchangeCount(node int) (int, error) {
 // Kill marks a node as crashed. Its state becomes unreachable, exactly as
 // a crash renders a node's local value inaccessible (§6.1).
 func (e *Engine) Kill(node int) {
-	e.alive.remove(node)
+	e.alive.Remove(node)
 }
 
 // Replace models churn: the slot is taken over by a brand-new node that
@@ -447,7 +427,7 @@ func (e *Engine) Kill(node int) {
 // the membership overlay. It also revives a vacant slot (InitialAlive /
 // flash-crowd joins).
 func (e *Engine) Replace(node int) {
-	e.alive.add(node)
+	e.alive.Add(node)
 	e.participating[node] = false
 	if e.cfg.Dim > 0 {
 		dim := e.cfg.Dim
@@ -466,7 +446,7 @@ func (e *Engine) Replace(node int) {
 // from init. The scenario engine calls this at epoch boundaries so the
 // tracked aggregate follows the scripted value dynamics.
 func (e *Engine) Restart(init func(node int) float64) {
-	for _, id := range e.alive.items {
+	for _, id := range e.alive.Items() {
 		i := int(id)
 		e.participating[i] = true
 		if e.scalar != nil && init != nil {
@@ -488,9 +468,23 @@ func (e *Engine) SetScalar(node int, v float64) {
 // when the filter returns false for a pair (i, j), the exchange is
 // dropped as if the link between them had failed — the scenario engine's
 // network-partition enforcement. A vetoed exchange is a complete no-op,
-// so mass is conserved across a partition until it heals.
+// so mass is conserved across a partition until it heals. The filter is
+// forwarded to the overlay when it supports gossip filtering, so a
+// partition also blocks membership gossip — exactly as the live executor
+// drops both message kinds at the transport layer.
 func (e *Engine) SetExchangeFilter(filter func(i, j int) bool) {
 	e.filter = filter
+	if gf, ok := e.overlay.(GossipFilterable); ok {
+		gf.SetGossipFilter(filter)
+	}
+}
+
+// ReseedOverlay refreshes node's overlay view from a random sample of the
+// whole network, modelling the out-of-band rendezvous (seed lists, DNS) a
+// real deployment performs after a long partition has aged every
+// cross-component descriptor out of the caches.
+func (e *Engine) ReseedOverlay(node int) {
+	e.overlay.OnJoin(node, e.cycle)
 }
 
 // SetMessageLoss changes the per-message drop probability mid-run
@@ -521,7 +515,7 @@ func clamp01(p float64) float64 {
 // current epoch.
 func (e *Engine) ParticipantCount() int {
 	count := 0
-	for _, id := range e.alive.items {
+	for _, id := range e.alive.Items() {
 		if e.participating[id] {
 			count++
 		}
@@ -533,62 +527,12 @@ func (e *Engine) ParticipantCount() int {
 // left. Scenario events use it to pick churn and crash victims from the
 // engine's own deterministic stream.
 func (e *Engine) RandomAlive() int {
-	if e.alive.len() == 0 {
+	if e.alive.Len() == 0 {
 		return -1
 	}
-	return e.alive.random(e.rng)
+	return e.alive.Random(e.rng)
 }
 
 // RNG exposes the engine's generator to failure models so the whole run
 // stays deterministic under a single seed.
 func (e *Engine) RNG() *stats.RNG { return e.rng }
-
-// indexSet is a constant-time add/remove/sample set over [0, n).
-type indexSet struct {
-	items []int32
-	pos   []int32 // pos[id] = index into items, or -1
-}
-
-func newIndexSet(n int, full bool) *indexSet {
-	s := &indexSet{items: make([]int32, 0, n), pos: make([]int32, n)}
-	for i := range s.pos {
-		s.pos[i] = -1
-	}
-	if full {
-		for i := 0; i < n; i++ {
-			s.items = append(s.items, int32(i))
-			s.pos[i] = int32(i)
-		}
-	}
-	return s
-}
-
-func (s *indexSet) len() int { return len(s.items) }
-
-func (s *indexSet) contains(id int) bool { return s.pos[id] >= 0 }
-
-func (s *indexSet) add(id int) {
-	if s.pos[id] >= 0 {
-		return
-	}
-	s.pos[id] = int32(len(s.items))
-	s.items = append(s.items, int32(id))
-}
-
-func (s *indexSet) remove(id int) {
-	p := s.pos[id]
-	if p < 0 {
-		return
-	}
-	last := int32(len(s.items) - 1)
-	moved := s.items[last]
-	s.items[p] = moved
-	s.pos[moved] = p
-	s.items = s.items[:last]
-	s.pos[id] = -1
-}
-
-// random returns a uniformly random member; the set must be non-empty.
-func (s *indexSet) random(rng *stats.RNG) int {
-	return int(s.items[rng.Intn(len(s.items))])
-}

@@ -614,32 +614,32 @@ func TestObserverCalledEveryCycle(t *testing.T) {
 }
 
 func TestIndexSet(t *testing.T) {
-	s := newIndexSet(5, false)
-	if s.len() != 0 {
+	s := NewIndexSet(5, false)
+	if s.Len() != 0 {
 		t.Fatal("empty set has members")
 	}
-	s.add(3)
-	s.add(1)
-	s.add(3) // duplicate add is a no-op
-	if s.len() != 2 || !s.contains(3) || !s.contains(1) || s.contains(0) {
+	s.Add(3)
+	s.Add(1)
+	s.Add(3) // duplicate add is a no-op
+	if s.Len() != 2 || !s.Contains(3) || !s.Contains(1) || s.Contains(0) {
 		t.Fatalf("set state wrong after adds")
 	}
-	s.remove(3)
-	if s.contains(3) || s.len() != 1 {
+	s.Remove(3)
+	if s.Contains(3) || s.Len() != 1 {
 		t.Fatal("remove failed")
 	}
-	s.remove(3) // double remove is a no-op
-	if s.len() != 1 {
+	s.Remove(3) // double remove is a no-op
+	if s.Len() != 1 {
 		t.Fatal("double remove corrupted set")
 	}
-	full := newIndexSet(4, true)
-	if full.len() != 4 {
+	full := NewIndexSet(4, true)
+	if full.Len() != 4 {
 		t.Fatal("full set incomplete")
 	}
 	rng := stats.NewRNG(1)
 	seen := map[int]bool{}
 	for i := 0; i < 200; i++ {
-		seen[full.random(rng)] = true
+		seen[full.Random(rng)] = true
 	}
 	if len(seen) != 4 {
 		t.Fatalf("random sampling missed members: %v", seen)

@@ -24,7 +24,7 @@ var _ FailureModel = CrashFraction{}
 
 // Apply kills ⌊P·alive⌋ random live nodes.
 func (c CrashFraction) Apply(_ int, e *Engine) {
-	count := int(c.P * float64(e.alive.len()))
+	count := int(c.P * float64(e.alive.Len()))
 	killRandom(e, count)
 }
 
@@ -47,7 +47,7 @@ func (s SuddenDeath) Apply(cycle int, e *Engine) {
 	if cycle != s.AtCycle {
 		return
 	}
-	killRandom(e, int(s.Fraction*float64(e.alive.len())))
+	killRandom(e, int(s.Fraction*float64(e.alive.Len())))
 }
 
 // String describes the model.
@@ -70,11 +70,11 @@ var _ FailureModel = Churn{}
 // Apply substitutes PerCycle random live nodes with fresh ones.
 func (c Churn) Apply(cycle int, e *Engine) {
 	count := c.PerCycle
-	if count > e.alive.len() {
-		count = e.alive.len()
+	if count > e.alive.Len() {
+		count = e.alive.Len()
 	}
 	for k := 0; k < count; k++ {
-		victim := e.alive.random(e.rng)
+		victim := e.alive.Random(e.rng)
 		e.Kill(victim)
 		e.Replace(victim) // same slot, brand-new identity
 	}
@@ -105,8 +105,8 @@ func (c CrashCount) String() string { return fmt.Sprintf("crash-count(%d/cycle)"
 // killRandom removes count uniformly random live nodes, never killing the
 // last one (a zero-node network has no defined aggregate).
 func killRandom(e *Engine, count int) {
-	for k := 0; k < count && e.alive.len() > 1; k++ {
-		e.Kill(e.alive.random(e.rng))
+	for k := 0; k < count && e.alive.Len() > 1; k++ {
+		e.Kill(e.alive.Random(e.rng))
 	}
 }
 

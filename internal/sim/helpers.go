@@ -78,7 +78,7 @@ func (e *Engine) SizeMoments() stats.Moments {
 		})
 		return m
 	}
-	for _, id := range e.alive.items {
+	for _, id := range e.alive.Items() {
 		i := int(id)
 		if !e.participating[i] {
 			continue

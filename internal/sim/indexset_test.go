@@ -15,35 +15,35 @@ func TestIndexSetModelProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200}
 	if err := quick.Check(func(ops []uint16) bool {
 		const n = 64
-		s := newIndexSet(n, false)
+		s := NewIndexSet(n, false)
 		model := make(map[int]bool)
 		for _, op := range ops {
 			id := int(op) % n
 			if op&0x8000 != 0 {
-				s.remove(id)
+				s.Remove(id)
 				delete(model, id)
 			} else {
-				s.add(id)
+				s.Add(id)
 				model[id] = true
 			}
-			if s.len() != len(model) {
+			if s.Len() != len(model) {
 				return false
 			}
-			if s.contains(id) != model[id] {
+			if s.Contains(id) != model[id] {
 				return false
 			}
 		}
 		// Every model member must be present, and sampling must only
 		// return members.
 		for id := range model {
-			if !s.contains(id) {
+			if !s.Contains(id) {
 				return false
 			}
 		}
 		if len(model) > 0 {
 			rng := stats.NewRNG(1)
 			for i := 0; i < 32; i++ {
-				if !model[s.random(rng)] {
+				if !model[s.Random(rng)] {
 					return false
 				}
 			}

@@ -127,9 +127,15 @@ type NewscastOverlay struct {
 	// bootstrapSize is how many random live contacts a joiner is seeded
 	// with (out-of-band discovery, paper §4.2).
 	bootstrapSize int
+	// filter, when non-nil, vetoes gossip exchanges between node pairs
+	// (partition enforcement; see Engine.SetExchangeFilter).
+	filter func(i, j int) bool
 }
 
-var _ Overlay = (*NewscastOverlay)(nil)
+var (
+	_ Overlay          = (*NewscastOverlay)(nil)
+	_ GossipFilterable = (*NewscastOverlay)(nil)
+)
 
 // Newscast returns an overlay builder running NEWSCAST with cache size c.
 // The initial caches are seeded with c random peers each, modelling a
@@ -173,6 +179,8 @@ func (o *NewscastOverlay) Neighbor(node int, rng *stats.RNG) int {
 // Step performs one NEWSCAST round: every live node initiates one cache
 // exchange. Exchanges with crashed peers time out and are skipped; the
 // stale descriptor ages out on its own as fresher information spreads.
+// Exchanges vetoed by the gossip filter (partitioned pairs) are dropped
+// the same way.
 func (o *NewscastOverlay) Step(cycle int) {
 	o.rng.Perm(o.perm)
 	now := int64(cycle)
@@ -188,8 +196,17 @@ func (o *NewscastOverlay) Step(cycle int) {
 		if !o.alive(j) {
 			continue
 		}
+		if o.filter != nil && !o.filter(i, j) {
+			continue
+		}
 		newscast.Exchange(o.caches[i], o.caches[j], now)
 	}
+}
+
+// SetGossipFilter installs (or removes, with nil) the partition veto on
+// NEWSCAST's own exchanges.
+func (o *NewscastOverlay) SetGossipFilter(filter func(i, j int) bool) {
+	o.filter = filter
 }
 
 // OnJoin reseeds the cache of a node that took over a slot (churn): the

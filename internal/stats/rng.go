@@ -69,6 +69,21 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
 }
 
+// NewStreamRNG returns the generator for stream index `stream` of the
+// family rooted at seed: a pure function of (seed, stream), so shard s of
+// a K-sharded run always receives the same stream regardless of how many
+// other streams were derived before it. Distinct (seed, stream) pairs
+// yield independent-looking generators; NewStreamRNG(seed, s) is also
+// decorrelated from NewRNG(seed) itself.
+func NewStreamRNG(seed, stream uint64) *RNG {
+	// Advance the splitmix chain once so stream 0 differs from NewRNG(seed),
+	// then jump the chain by the stream index before drawing the child seed.
+	sm, _ := splitmix64(seed)
+	sm += stream * 0x9e3779b97f4a7c15
+	_, out := splitmix64(sm)
+	return NewRNG(out)
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0, matching
 // math/rand semantics: callers must validate their bounds.
 func (r *RNG) Intn(n int) int {
