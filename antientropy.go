@@ -207,6 +207,17 @@ func ShardedNewscastOverlay(c int) ShardedOverlaySpec { return parsim.Newscast(c
 // the live membership for a ShardedConfig.
 func ShardedCompleteLiveOverlay() ShardedOverlaySpec { return parsim.CompleteLive() }
 
+// ShardedStaticOverlay selects a fixed generated topology for a
+// ShardedConfig — the sharded counterpart of the static overlay
+// builders (Watts–Strogatz, scale-free, random k-out, complete).
+func ShardedStaticOverlay(build func(n int, rng *RNG) (topology.Graph, error)) ShardedOverlaySpec {
+	return parsim.Static(build)
+}
+
+// ShardedNewscastFrozenOverlay selects a NEWSCAST overlay whose gossip
+// is frozen after bootstrap (ablation A3) for a ShardedConfig.
+func ShardedNewscastFrozenOverlay(c int) ShardedOverlaySpec { return parsim.NewscastFrozen(c) }
+
 // NewRNG returns a deterministic random generator.
 func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
 
@@ -346,13 +357,21 @@ type (
 	ScenarioDivergence = scenario.Divergence
 )
 
-// Engine names for ScenarioSimOptions.Engine.
+// Engine names for ScenarioSimOptions.Engine (and, with the same
+// spelling, ExperimentOptions.Engine).
 const (
 	// ScenarioEngineSerial selects the serial engine of internal/sim.
 	ScenarioEngineSerial = scenario.EngineSerial
 	// ScenarioEngineSharded selects the sharded engine of internal/parsim.
 	ScenarioEngineSharded = scenario.EngineSharded
+	// ScenarioEngineAuto selects the engine by network size: sharded at
+	// AutoEngineThreshold node slots and above, serial below.
+	ScenarioEngineAuto = scenario.EngineAuto
 )
+
+// AutoEngineThreshold is the network size at or above which engine
+// auto-selection picks the sharded engine.
+const AutoEngineThreshold = parsim.AutoEngineThreshold
 
 // ScenarioCSVHeader is the column row of the scenario metric CSV stream.
 const ScenarioCSVHeader = scenario.CSVHeader

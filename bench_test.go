@@ -118,6 +118,27 @@ func BenchmarkAblationPeerSelection(b *testing.B) {
 	runFigure(b, "ablation-peer-selection", antientropy.ExperimentOptions{N: 5000, Reps: 3})
 }
 
+// --- Engine-agnostic figure sweeps on the sharded engine ---
+//
+// Reduced-scale reruns of a figure and an ablation with -engine sharded:
+// the CI bench job times them next to their serial counterparts above
+// (same N, same reps), so the figure-sweep perf baseline of both engines
+// lands in the scenario-engine-bench artifact.
+
+func BenchmarkFig2Sharded(b *testing.B) {
+	runFigure(b, "fig2", antientropy.ExperimentOptions{
+		N: benchN, Reps: benchReps,
+		Engine: antientropy.ScenarioEngineSharded, Shards: 8,
+	})
+}
+
+func BenchmarkAblationCombinerSharded(b *testing.B) {
+	runFigure(b, "ablation-combiner", antientropy.ExperimentOptions{
+		N: 5000, Reps: 3,
+		Engine: antientropy.ScenarioEngineSharded, Shards: 8,
+	})
+}
+
 // BenchmarkRhoTheory verifies the §3 headline result ρ ≈ 1/(2√e) and
 // reports the measured factor as a metric.
 func BenchmarkRhoTheory(b *testing.B) {

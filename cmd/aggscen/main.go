@@ -7,7 +7,10 @@
 // The simulator executor runs on one of two engines: the serial engine
 // (bit-deterministic from the seed alone) or the sharded multi-core
 // engine (deterministic per seed + shard count, built for 10⁵–10⁶-node
-// runs).
+// runs). The default -engine auto picks the sharded engine for
+// scenarios of 20k node slots and up; an explicit -engine serial or
+// -engine sharded always wins, and the executed engine is echoed in the
+// per-run summary ("sim" vs "sim-sharded").
 //
 // Usage:
 //
@@ -50,7 +53,7 @@ func run() error {
 		cycles   = flag.Int("cycles", 0, "override the run length")
 		seed     = flag.Uint64("seed", 0, "override the scenario seed")
 		executor = flag.String("executor", "", "which executor to use: sim, live, or both (default: both for -run, sim for -compare)")
-		engine   = flag.String("engine", "serial", "sim executor engine: serial or sharded")
+		engine   = flag.String("engine", "auto", "sim executor engine: auto (by size), serial, or sharded")
 		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS); results are deterministic per seed + shard count")
 		format   = flag.String("format", "csv", "metric output format: csv or json")
 		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")

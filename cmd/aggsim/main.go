@@ -8,10 +8,16 @@
 //	aggsim -exp fig2                  # paper-scale (10^5 nodes, 50 reps)
 //	aggsim -exp fig7b -n 10000 -reps 10
 //	aggsim -exp all -n 10000 -reps 5 -csv out.csv
+//	aggsim -exp all -engine sharded -shards 8   # whole evaluation, sharded
 //
 // Without -n/-reps each experiment runs at the paper's full scale, which
 // can take a long time for the 10^5–10^6-node sweeps; pass -n to scale
 // down (the paper itself shows the behaviour is size-independent).
+//
+// Every experiment honors -engine: the default "auto" picks the sharded
+// multi-core engine for sweeps of 20k nodes and up and the serial engine
+// below, an explicit "serial"/"sharded" always wins, and the engine each
+// figure ran on is echoed with its result.
 package main
 
 import (
@@ -37,8 +43,8 @@ func run() error {
 		n        = flag.Int("n", 0, "override network size (0 = paper scale)")
 		reps     = flag.Int("reps", 0, "override repetition count (0 = paper scale)")
 		seed     = flag.Uint64("seed", 0, "override master seed (0 = default)")
-		engine   = flag.String("engine", "serial", "simulation engine for scenario-based experiments: serial or sharded")
-		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", "auto", "simulation engine for every experiment: auto (by size), serial, or sharded")
+		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS); results are deterministic per seed + shard count")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		showPlot = flag.Bool("plot", false, "render an ASCII plot of each figure")
 	)
@@ -94,7 +100,7 @@ func run() error {
 				fmt.Println(rendered)
 			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v on the %s engine)\n\n", id, time.Since(start).Round(time.Millisecond), res.Engine)
 		if csvFile != nil {
 			if err := res.WriteCSV(csvFile); err != nil {
 				return fmt.Errorf("writing csv: %w", err)

@@ -22,6 +22,11 @@ type AblationConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine for the protocol runs. The
+	// push-sum/push-only reference baselines of A1 always execute on
+	// their own serial implementations — they are comparison yardsticks,
+	// not engine workloads.
+	EngineSel
 }
 
 // DefaultAblation returns laptop-scale defaults (the ablations compare
@@ -45,13 +50,19 @@ func RunAblationPushPull(cfg AblationConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	lossLevels := []float64{0, 0.05, 0.1, 0.2, 0.3}
-	overlay := RandomOverlay(20)
+	topo := RandomTopology(20)
+	overlay := topo.Overlay
 	result := &Result{
 		ID:     "ablation-pushpull",
 		Title:  "Push-pull vs push-sum vs push-only: relative error vs message loss",
 		XLabel: "message loss fraction",
 		YLabel: "mean |estimate − truth| / truth",
+		Engine: eng.name,
 	}
 	type runner struct {
 		label string
@@ -79,11 +90,11 @@ func RunAblationPushPull(cfg AblationConfig) (*Result, error) {
 			if err != nil {
 				return 0, err
 			}
-			e, err := sim.Run(sim.Config{
+			e, err := eng.run(coreConfig{
 				N: cfg.N, Cycles: cfg.Cycles, Seed: seed,
 				Fn:          core.Average,
 				Init:        func(i int) float64 { return vals[i] },
-				Overlay:     overlay,
+				Topology:    topo,
 				MessageLoss: loss,
 			})
 			if err != nil {
@@ -151,6 +162,10 @@ func RunAblationCombiner(cfg AblationConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	instanceCounts := []int{3, 6, 12, 24, 48}
 	const loss = 0.2
 	result := &Result{
@@ -158,7 +173,9 @@ func RunAblationCombiner(cfg AblationConfig) (*Result, error) {
 		Title:  "Trimmed-mean vs plain-mean combiner under 20% message loss",
 		XLabel: "number of aggregation instances t",
 		YLabel: "mean |estimate − N| / N",
+		Engine: eng.name,
 	}
+	topo := NewscastTopology(30)
 	trimmed := Series{Label: "trimmed mean (paper)", Points: make([]Point, 0, len(instanceCounts))}
 	plain := Series{Label: "plain mean", Points: make([]Point, 0, len(instanceCounts))}
 	for ti, t := range instanceCounts {
@@ -166,11 +183,11 @@ func RunAblationCombiner(cfg AblationConfig) (*Result, error) {
 		errTrim := make([]float64, cfg.Reps)
 		errPlain := make([]float64, cfg.Reps)
 		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
-			e, err := sim.Run(sim.Config{
+			e, err := eng.run(coreConfig{
 				N: cfg.N, Cycles: cfg.Cycles, Seed: s,
 				Dim:         t,
 				Leaders:     leadersFor(cfg.N, t, s),
-				Overlay:     sim.Newscast(30),
+				Topology:    topo,
 				MessageLoss: loss,
 			})
 			if err != nil {
@@ -217,22 +234,31 @@ func RunAblationPeerSelection(cfg AblationConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	named := func(name string, t TopologySpec) TopologySpec {
+		t.Name = name
+		return t
+	}
 	specs := []TopologySpec{
-		{Name: "uniform random (ideal)", Overlay: CompleteOverlay()},
-		{Name: "newscast c=30 (fresh)", Overlay: sim.Newscast(30)},
-		{Name: "newscast c=30 (frozen)", Overlay: sim.NewscastFrozen(30)},
-		{Name: "newscast c=5 (fresh)", Overlay: sim.Newscast(5)},
+		named("uniform random (ideal)", CompleteTopology()),
+		named("newscast c=30 (fresh)", NewscastTopology(30)),
+		named("newscast c=30 (frozen)", newscastFrozenTopology(30)),
+		named("newscast c=5 (fresh)", NewscastTopology(5)),
 	}
 	result := &Result{
 		ID:     "ablation-peer-selection",
 		Title:  "Peer selection quality: convergence factor by overlay freshness",
 		XLabel: "series index",
 		YLabel: "convergence factor",
+		Engine: eng.name,
 	}
 	for si, spec := range specs {
 		seed := cfg.Seed ^ hashLabel(spec.Name)
 		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
-			return measureConvergenceFactor(cfg.N, min(cfg.Cycles, 20), s, spec.Overlay, 0)
+			return measureConvergenceFactor(eng, cfg.N, min(cfg.Cycles, 20), s, spec, 0)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation A3 %s: %w", spec.Name, err)

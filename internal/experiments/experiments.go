@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"antientropy/internal/parsim"
 	"antientropy/internal/plot"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
@@ -45,6 +46,9 @@ type Result struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Engine names the simulation engine the sweep ran on ("serial" or
+	// "sharded") — echoed by cmd/aggsim so auto-selection is visible.
+	Engine string
 	Series []Series
 }
 
@@ -69,6 +73,9 @@ func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
 	fmt.Fprintf(&b, "x = %s, y = %s\n", r.XLabel, r.YLabel)
+	if r.Engine != "" {
+		fmt.Fprintf(&b, "engine = %s\n", r.Engine)
+	}
 	for _, s := range r.Series {
 		fmt.Fprintf(&b, "\n[%s]\n", s.Label)
 		fmt.Fprintf(&b, "%14s %14s %14s %14s\n", "x", "mean", "min", "max")
@@ -143,10 +150,70 @@ func summarize(x float64, values []float64) Point {
 	return p
 }
 
-// TopologySpec names an overlay construction used across Figures 3–5.
+// TopologySpec names an overlay construction used across the figure
+// sweeps, with one builder per engine: Overlay for the serial engine and
+// Sharded for the sharded one. Every topology family of the evaluation
+// carries both, which is what lets the sweeps dispatch freely.
 type TopologySpec struct {
 	Name    string
 	Overlay sim.OverlayBuilder
+	Sharded parsim.OverlaySpec
+}
+
+// graphTopology wraps a static graph generator for both engines: the
+// serial engine adapts the graph directly, the sharded engine serves the
+// same packed CSR adjacency to its parallel exchange phases.
+func graphTopology(name string, build func(n int, rng *stats.RNG) (topology.Graph, error)) TopologySpec {
+	return TopologySpec{
+		Name:    name,
+		Overlay: sim.StaticFunc(build),
+		Sharded: parsim.Static(build),
+	}
+}
+
+// NewscastTopology is the NEWSCAST overlay with cache size c on either
+// engine.
+func NewscastTopology(c int) TopologySpec {
+	return TopologySpec{Name: "Newscast", Overlay: sim.Newscast(c), Sharded: parsim.Newscast(c)}
+}
+
+// CompleteLiveTopology is the fully connected overlay over the live
+// membership on either engine.
+func CompleteLiveTopology() TopologySpec {
+	return TopologySpec{Name: "CompleteLive", Overlay: sim.CompleteLive(), Sharded: parsim.CompleteLive()}
+}
+
+// newscastFrozenTopology is NEWSCAST with gossip disabled after
+// bootstrap (ablation A3) on either engine.
+func newscastFrozenTopology(c int) TopologySpec {
+	return TopologySpec{Name: "NewscastFrozen", Overlay: sim.NewscastFrozen(c), Sharded: parsim.NewscastFrozen(c)}
+}
+
+// wattsStrogatzTopology is the small-world family of Figures 3–4.
+func wattsStrogatzTopology(name string, degree int, beta float64) TopologySpec {
+	return graphTopology(name, func(n int, rng *stats.RNG) (topology.Graph, error) {
+		return topology.NewWattsStrogatz(n, fitEvenDegree(degree, n), beta, rng)
+	})
+}
+
+// RandomTopology is the paper's default test overlay on either engine: a
+// random graph where every node knows `degree` random peers.
+func RandomTopology(degree int) TopologySpec {
+	return graphTopology("Random", func(n int, rng *stats.RNG) (topology.Graph, error) {
+		k := degree
+		if k > n-1 {
+			k = n - 1
+		}
+		return topology.NewRandomKOut(n, k, rng)
+	})
+}
+
+// CompleteTopology is the static fully connected topology on either
+// engine.
+func CompleteTopology() TopologySpec {
+	return graphTopology("Complete", func(n int, _ *stats.RNG) (topology.Graph, error) {
+		return topology.NewComplete(n)
+	})
 }
 
 // StandardTopologies returns the eight overlay families of Figure 3, all
@@ -156,67 +223,29 @@ type TopologySpec struct {
 // matches.
 func StandardTopologies(degree, newscastC int) []TopologySpec {
 	ws := func(beta float64) TopologySpec {
-		return TopologySpec{
-			Name: fmt.Sprintf("W-S (beta=%.2f)", beta),
-			Overlay: sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
-				k := fitEvenDegree(degree, n)
-				return topology.NewWattsStrogatz(n, k, beta, rng)
-			}),
-		}
+		return wattsStrogatzTopology(fmt.Sprintf("W-S (beta=%.2f)", beta), degree, beta)
 	}
 	return []TopologySpec{
 		ws(0.00), ws(0.25), ws(0.50), ws(0.75),
-		{
-			Name:    "Newscast",
-			Overlay: sim.Newscast(newscastC),
-		},
-		{
-			Name: "Scale-Free",
-			Overlay: sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
-				m := degree / 2
-				if m >= n {
-					m = n - 1
-				}
-				return topology.NewBarabasiAlbert(n, m, rng)
-			}),
-		},
-		{
-			Name: "Random",
-			Overlay: sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
-				k := degree
-				if k > n-1 {
-					k = n - 1
-				}
-				return topology.NewRandomKOut(n, k, rng)
-			}),
-		},
-		{
-			Name: "Complete",
-			Overlay: sim.StaticFunc(func(n int, _ *stats.RNG) (topology.Graph, error) {
-				return topology.NewComplete(n)
-			}),
-		},
+		NewscastTopology(newscastC),
+		graphTopology("Scale-Free", func(n int, rng *stats.RNG) (topology.Graph, error) {
+			m := degree / 2
+			if m >= n {
+				m = n - 1
+			}
+			return topology.NewBarabasiAlbert(n, m, rng)
+		}),
+		RandomTopology(degree),
+		CompleteTopology(),
 	}
 }
 
-// RandomOverlay is the paper's default test overlay: a random graph where
-// every node knows `degree` random peers.
-func RandomOverlay(degree int) sim.OverlayBuilder {
-	return sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
-		k := degree
-		if k > n-1 {
-			k = n - 1
-		}
-		return topology.NewRandomKOut(n, k, rng)
-	})
-}
+// RandomOverlay is the serial-engine builder of RandomTopology, kept for
+// callers that drive sim.Config directly.
+func RandomOverlay(degree int) sim.OverlayBuilder { return RandomTopology(degree).Overlay }
 
-// CompleteOverlay wraps the fully connected topology.
-func CompleteOverlay() sim.OverlayBuilder {
-	return sim.StaticFunc(func(n int, _ *stats.RNG) (topology.Graph, error) {
-		return topology.NewComplete(n)
-	})
-}
+// CompleteOverlay is the serial-engine builder of CompleteTopology.
+func CompleteOverlay() sim.OverlayBuilder { return CompleteTopology().Overlay }
 
 // fitEvenDegree clamps a lattice degree to something valid for n nodes.
 func fitEvenDegree(degree, n int) int {
@@ -233,20 +262,20 @@ func fitEvenDegree(degree, n int) int {
 	return k
 }
 
-// measureConvergenceFactor runs the AVERAGE protocol once and returns the
-// average convergence factor over the first `cycles` cycles (the quantity
-// of Figures 3a, 4a, 4b and 7a).
-func measureConvergenceFactor(n, cycles int, seed uint64, overlay sim.OverlayBuilder, pd float64) (float64, error) {
+// measureConvergenceFactor runs the AVERAGE protocol once on the
+// selected engine and returns the average convergence factor over the
+// first `cycles` cycles (the quantity of Figures 3a, 4a, 4b and 7a).
+func measureConvergenceFactor(eng sweepEngine, n, cycles int, seed uint64, topo TopologySpec, pd float64) (float64, error) {
 	var tracker stats.ConvergenceTracker
-	_, err := sim.Run(sim.Config{
+	_, err := eng.run(coreConfig{
 		N:           n,
 		Cycles:      cycles,
 		Seed:        seed,
 		Fn:          averageFn,
 		Init:        sim.UniformInit(0, 1, seed^0xabcdef),
-		Overlay:     overlay,
+		Topology:    topo,
 		LinkFailure: pd,
-		Observe: func(_ int, e *sim.Engine) {
+		Observe: func(_ int, e sim.Core) {
 			m := e.ParticipantMoments()
 			tracker.Record(m.Variance())
 		},

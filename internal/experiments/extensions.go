@@ -19,6 +19,8 @@ type ExtensionConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultExtension returns laptop-scale defaults.
@@ -41,9 +43,14 @@ func RunExtensionAdaptivity(cfg ExtensionConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(30)
 	const epochs = 8
 	errSeries := make([][]float64, cfg.Reps)
-	err := sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
 		results, err := sim.RunEpochChain(sim.EpochChainConfig{
 			N:      cfg.N,
 			Epochs: epochs,
@@ -55,7 +62,8 @@ func RunExtensionAdaptivity(cfg ExtensionConfig) (*Result, error) {
 				base := 100 * math.Pow(1.5, float64(epoch))
 				return base + float64(node%100)
 			},
-			Overlay: sim.Newscast(30),
+			Overlay: topo.Overlay,
+			Runner:  eng.runner(topo),
 		})
 		if err != nil {
 			return err
@@ -83,6 +91,7 @@ func RunExtensionAdaptivity(cfg ExtensionConfig) (*Result, error) {
 		Title:  "Automatic restart tracks a drifting global average (§4.1)",
 		XLabel: "epoch",
 		YLabel: "relative error of the epoch output",
+		Engine: eng.name,
 		Series: []Series{series},
 	}, nil
 }
@@ -97,11 +106,16 @@ func RunExtensionCountChain(cfg ExtensionConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(30)
 	const epochs = 6
 	const concurrency = 8
 	estSeries := make([][]float64, cfg.Reps)
 	leadSeries := make([][]float64, cfg.Reps)
-	err := sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
 		results, err := sim.RunCountEpochChain(sim.CountChainConfig{
 			N:            cfg.N,
 			Epochs:       epochs,
@@ -109,7 +123,8 @@ func RunExtensionCountChain(cfg ExtensionConfig) (*Result, error) {
 			Seed:         seed,
 			Concurrency:  concurrency,
 			InitialGuess: 2, // deliberately wrong: forces the feedback loop to correct it
-			Overlay:      sim.Newscast(30),
+			Overlay:      topo.Overlay,
+			Runner:       eng.runner(topo),
 		})
 		if err != nil {
 			return err
@@ -149,6 +164,7 @@ func RunExtensionCountChain(cfg ExtensionConfig) (*Result, error) {
 		Title:  "COUNT lifecycle: P_lead = C/N-hat feedback across epochs (§5)",
 		XLabel: "epoch",
 		YLabel: "size estimate / leaders elected",
+		Engine: eng.name,
 		Series: []Series{estimates, leaders},
 	}, nil
 }
@@ -160,20 +176,25 @@ func RunExtensionMinMax(cfg ExtensionConfig) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := RandomTopology(20)
 	sizes := logGrid(100, cfg.N)
 	measured := Series{Label: "cycles to full MIN propagation", Points: make([]Point, 0, len(sizes))}
 	bound := Series{Label: "Pittel push bound", Points: make([]Point, 0, len(sizes))}
 	for si, n := range sizes {
 		seed := cfg.Seed ^ (uint64(si+1) << 10)
 		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
-			e, err := sim.New(sim.Config{
+			e, err := eng.start(coreConfig{
 				N:      n,
 				Cycles: 10 * 64, // safety margin; we stop early below
 				Seed:   s,
 				Fn:     core.Min,
 				// Node 0 holds the unique minimum.
-				Init:    func(node int) float64 { return float64(1 + node) },
-				Overlay: RandomOverlay(20),
+				Init:     func(node int) float64 { return float64(1 + node) },
+				Topology: topo,
 			})
 			if err != nil {
 				return 0, err
@@ -199,6 +220,7 @@ func RunExtensionMinMax(cfg ExtensionConfig) (*Result, error) {
 		Title:  "MIN spreads as an epidemic broadcast (§5)",
 		XLabel: "network size",
 		YLabel: "cycles to full propagation",
+		Engine: eng.name,
 		Series: []Series{measured, bound},
 	}, nil
 }

@@ -31,6 +31,8 @@ type Fig2Config struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig2 returns the paper's parameters.
@@ -53,20 +55,24 @@ func RunFig2(cfg Fig2Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	cycles := cfg.Cycles
 	mins := make([][]float64, cfg.Reps)
 	maxs := make([][]float64, cfg.Reps)
-	err := sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
 		lo := make([]float64, 0, cycles+1)
 		hi := make([]float64, 0, cycles+1)
-		_, err := sim.Run(sim.Config{
-			N:       cfg.N,
-			Cycles:  cycles,
-			Seed:    seed,
-			Fn:      core.Average,
-			Init:    sim.PeakInit(float64(cfg.N), 0),
-			Overlay: RandomOverlay(cfg.Degree),
-			Observe: func(_ int, e *sim.Engine) {
+		_, err := eng.run(coreConfig{
+			N:        cfg.N,
+			Cycles:   cycles,
+			Seed:     seed,
+			Fn:       core.Average,
+			Init:     sim.PeakInit(float64(cfg.N), 0),
+			Topology: RandomTopology(cfg.Degree),
+			Observe: func(_ int, e sim.Core) {
 				m := e.ParticipantMoments()
 				lo = append(lo, m.Min())
 				hi = append(hi, m.Max())
@@ -100,6 +106,7 @@ func RunFig2(cfg Fig2Config) (*Result, error) {
 		Title:  "Behavior of protocol AVERAGE (peak distribution)",
 		XLabel: "cycle",
 		YLabel: "estimated average (min/max over nodes)",
+		Engine: eng.name,
 		Series: []Series{minSeries, maxSeries},
 	}, nil
 }

@@ -25,6 +25,9 @@ type Fig3aConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine (auto resolves against
+	// MaxN, the sweep's largest size).
+	EngineSel
 }
 
 // DefaultFig3a returns the paper's parameters. Beware: the full sweep
@@ -44,6 +47,10 @@ func RunFig3a(cfg Fig3aConfig) (*Result, error) {
 	if cfg.MinN < 10 || cfg.MaxN < cfg.MinN || cfg.Cycles < 1 || cfg.Reps < 1 {
 		return nil, fmt.Errorf("experiments: invalid fig3a config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.MaxN, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	sizes := logGrid(cfg.MinN, cfg.MaxN)
 	specs := StandardTopologies(cfg.Degree, cfg.NewscastC)
 	result := &Result{
@@ -51,6 +58,7 @@ func RunFig3a(cfg Fig3aConfig) (*Result, error) {
 		Title:  "Average convergence factor over 20 cycles vs network size",
 		XLabel: "network size",
 		YLabel: "convergence factor",
+		Engine: eng.name,
 	}
 	for _, spec := range specs {
 		series := Series{Label: spec.Name, Points: make([]Point, 0, len(sizes))}
@@ -63,7 +71,7 @@ func RunFig3a(cfg Fig3aConfig) (*Result, error) {
 			}
 			seed := cfg.Seed ^ (uint64(si+1) << 8) ^ hashLabel(spec.Name)
 			vals, err := repValues(reps, seed, func(_ int, s uint64) (float64, error) {
-				return measureConvergenceFactor(n, cfg.Cycles, s, spec.Overlay, 0)
+				return measureConvergenceFactor(eng, n, cfg.Cycles, s, spec, 0)
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig3a %s n=%d: %w", spec.Name, n, err)
@@ -90,6 +98,8 @@ type Fig3bConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig3b returns the paper's parameters.
@@ -104,26 +114,31 @@ func RunFig3b(cfg Fig3bConfig) (*Result, error) {
 	if cfg.N < 10 || cfg.Cycles < 1 || cfg.Reps < 1 {
 		return nil, fmt.Errorf("experiments: invalid fig3b config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	specs := StandardTopologies(cfg.Degree, cfg.NewscastC)
 	result := &Result{
 		ID:     "fig3b",
 		Title:  "Variance reduction normalized by initial variance",
 		XLabel: "cycle",
 		YLabel: "sigma^2_i / sigma^2_0",
+		Engine: eng.name,
 	}
 	for _, spec := range specs {
 		reductions := make([][]float64, cfg.Reps)
 		seed := cfg.Seed ^ hashLabel(spec.Name)
 		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
 			var tracker stats.ConvergenceTracker
-			_, err := sim.Run(sim.Config{
-				N:       cfg.N,
-				Cycles:  cfg.Cycles,
-				Seed:    s,
-				Fn:      core.Average,
-				Init:    sim.UniformInit(0, 1, s^0x5eed),
-				Overlay: spec.Overlay,
-				Observe: func(_ int, e *sim.Engine) {
+			_, err := eng.run(coreConfig{
+				N:        cfg.N,
+				Cycles:   cfg.Cycles,
+				Seed:     s,
+				Fn:       core.Average,
+				Init:     sim.UniformInit(0, 1, s^0x5eed),
+				Topology: spec,
+				Observe: func(_ int, e sim.Core) {
 					m := e.ParticipantMoments()
 					tracker.Record(m.Variance())
 				},

@@ -1,12 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-
-	"antientropy/internal/sim"
-	"antientropy/internal/stats"
-	"antientropy/internal/topology"
-)
+import "fmt"
 
 // Fig4aConfig parameterizes Figure 4(a): convergence factor of AVERAGE on
 // Watts–Strogatz graphs as a function of the rewiring probability β.
@@ -23,6 +17,8 @@ type Fig4aConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig4a returns the paper's parameters.
@@ -37,14 +33,16 @@ func RunFig4a(cfg Fig4aConfig) (*Result, error) {
 	if cfg.N < 10 || cfg.Cycles < 1 || cfg.BetaSteps < 2 || cfg.Reps < 1 {
 		return nil, fmt.Errorf("experiments: invalid fig4a config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	series := Series{Label: "W-S", Points: make([]Point, 0, cfg.BetaSteps)}
 	for step := 0; step < cfg.BetaSteps; step++ {
 		beta := float64(step) / float64(cfg.BetaSteps-1)
-		overlay := sim.StaticFunc(func(n int, rng *stats.RNG) (topology.Graph, error) {
-			return topology.NewWattsStrogatz(n, fitEvenDegree(cfg.Degree, n), beta, rng)
-		})
+		topo := wattsStrogatzTopology("W-S", cfg.Degree, beta)
 		vals, err := repValues(cfg.Reps, cfg.Seed^(uint64(step+1)<<16), func(_ int, s uint64) (float64, error) {
-			return measureConvergenceFactor(cfg.N, cfg.Cycles, s, overlay, 0)
+			return measureConvergenceFactor(eng, cfg.N, cfg.Cycles, s, topo, 0)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig4a beta=%g: %w", beta, err)
@@ -56,6 +54,7 @@ func RunFig4a(cfg Fig4aConfig) (*Result, error) {
 		Title:  "Convergence factor for Watts-Strogatz graphs vs beta",
 		XLabel: "beta",
 		YLabel: "convergence factor",
+		Engine: eng.name,
 		Series: []Series{series},
 	}, nil
 }
@@ -73,6 +72,8 @@ type Fig4bConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig4b returns the paper's parameters.
@@ -93,14 +94,18 @@ func RunFig4b(cfg Fig4bConfig) (*Result, error) {
 	if cfg.N < 10 || cfg.Cycles < 1 || len(cfg.CacheSizes) == 0 || cfg.Reps < 1 {
 		return nil, fmt.Errorf("experiments: invalid fig4b config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	series := Series{Label: "Newscast", Points: make([]Point, 0, len(cfg.CacheSizes))}
 	for i, c := range cfg.CacheSizes {
 		if c < 1 {
 			return nil, fmt.Errorf("experiments: invalid cache size %d", c)
 		}
-		overlay := sim.Newscast(c)
+		topo := NewscastTopology(c)
 		vals, err := repValues(cfg.Reps, cfg.Seed^(uint64(i+1)<<16), func(_ int, s uint64) (float64, error) {
-			return measureConvergenceFactor(cfg.N, cfg.Cycles, s, overlay, 0)
+			return measureConvergenceFactor(eng, cfg.N, cfg.Cycles, s, topo, 0)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig4b c=%d: %w", c, err)
@@ -112,6 +117,7 @@ func RunFig4b(cfg Fig4bConfig) (*Result, error) {
 		Title:  "Convergence factor for NEWSCAST graphs vs cache size c",
 		XLabel: "cache size c",
 		YLabel: "convergence factor",
+		Engine: eng.name,
 		Series: []Series{series},
 	}, nil
 }

@@ -28,6 +28,8 @@ type Fig5Config struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig5 returns the paper's parameters.
@@ -47,19 +49,25 @@ func RunFig5(cfg Fig5Config) (*Result, error) {
 		cfg.MaxPf < 0 || cfg.MaxPf >= 1 {
 		return nil, fmt.Errorf("experiments: invalid fig5 config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
 	// "Fully connected" means full knowledge of the *current* membership:
 	// crashed nodes are no longer anyone's neighbors. A static complete
 	// graph would keep timing out against the dead and stall convergence,
 	// which the paper's model excludes.
-	specs := []TopologySpec{
-		{Name: "fully connected topology", Overlay: sim.CompleteLive()},
-		{Name: "newscast", Overlay: sim.Newscast(cfg.NewscastC)},
-	}
+	fullyConnected := CompleteLiveTopology()
+	fullyConnected.Name = "fully connected topology"
+	newscast := NewscastTopology(cfg.NewscastC)
+	newscast.Name = "newscast"
+	specs := []TopologySpec{fullyConnected, newscast}
 	result := &Result{
 		ID:     "fig5",
 		Title:  "Effects of node crashes on the variance of AVERAGE at cycle 20",
 		XLabel: "Pf",
 		YLabel: "Var(mu_20) / E(sigma^2_0)",
+		Engine: eng.name,
 	}
 	// σ²₀ of the peak distribution {N, 0, …, 0} is exactly N (unbiased).
 	sigma0 := float64(cfg.N)
@@ -73,13 +81,13 @@ func RunFig5(cfg Fig5Config) (*Result, error) {
 				if pf > 0 {
 					failures = append(failures, sim.CrashFraction{P: pf})
 				}
-				e, err := sim.Run(sim.Config{
+				e, err := eng.run(coreConfig{
 					N:        cfg.N,
 					Cycles:   cfg.Cycle,
 					Seed:     s,
 					Fn:       core.Average,
 					Init:     sim.PeakInit(float64(cfg.N), 0),
-					Overlay:  spec.Overlay,
+					Topology: spec,
 					Failures: failures,
 				})
 				if err != nil {

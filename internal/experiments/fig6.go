@@ -8,18 +8,18 @@ import (
 )
 
 // countEpoch runs one COUNT epoch (single leader, peak initialization)
-// under the given failure models and returns the average network-size
-// estimate over the nodes still participating at the end of the epoch —
-// exactly the quantity Figure 6 plots.
-func countEpoch(n, cycles int, seed uint64, overlay sim.OverlayBuilder,
+// on the selected engine under the given failure models and returns the
+// average network-size estimate over the nodes still participating at
+// the end of the epoch — exactly the quantity Figure 6 plots.
+func countEpoch(eng sweepEngine, n, cycles int, seed uint64, topo TopologySpec,
 	failures []sim.FailureModel, loss float64) (float64, error) {
-	e, err := sim.Run(sim.Config{
+	e, err := eng.run(coreConfig{
 		N:           n,
 		Cycles:      cycles,
 		Seed:        seed,
 		Dim:         1,
 		Leaders:     []int{0},
-		Overlay:     overlay,
+		Topology:    topo,
 		Failures:    failures,
 		MessageLoss: loss,
 	})
@@ -52,6 +52,8 @@ type Fig6aConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig6a returns the paper's parameters.
@@ -71,6 +73,11 @@ func RunFig6a(cfg Fig6aConfig) (*Result, error) {
 		cfg.DeathFraction < 0 || cfg.DeathFraction >= 1 {
 		return nil, fmt.Errorf("experiments: invalid fig6a config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(cfg.NewscastC)
 	series := Series{Label: "Experiments", Points: make([]Point, 0, cfg.MaxCycle+1)}
 	for at := 0; at <= cfg.MaxCycle; at++ {
 		// Cycle 0 in the paper's x axis means "at the very start"; our
@@ -81,7 +88,7 @@ func RunFig6a(cfg Fig6aConfig) (*Result, error) {
 		}
 		seed := cfg.Seed ^ (uint64(at+1) << 20)
 		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
-			return countEpoch(cfg.N, cfg.Cycles, s, sim.Newscast(cfg.NewscastC),
+			return countEpoch(eng, cfg.N, cfg.Cycles, s, topo,
 				[]sim.FailureModel{sim.SuddenDeath{AtCycle: deathCycle, Fraction: cfg.DeathFraction}}, 0)
 		})
 		if err != nil {
@@ -94,6 +101,7 @@ func RunFig6a(cfg Fig6aConfig) (*Result, error) {
 		Title:  "COUNT with 50% sudden death at cycle x",
 		XLabel: "cycle of sudden death",
 		YLabel: "estimated size",
+		Engine: eng.name,
 		Series: []Series{series},
 	}, nil
 }
@@ -117,6 +125,8 @@ type Fig6bConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig6b returns the paper's parameters.
@@ -134,6 +144,11 @@ func RunFig6b(cfg Fig6bConfig) (*Result, error) {
 	if cfg.N < 10 || cfg.Cycles < 1 || cfg.Steps < 2 || cfg.Reps < 1 || cfg.MaxSubstitution < 0 {
 		return nil, fmt.Errorf("experiments: invalid fig6b config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(cfg.NewscastC)
 	series := Series{Label: "Experiments", Points: make([]Point, 0, cfg.Steps)}
 	for step := 0; step < cfg.Steps; step++ {
 		perCycle := cfg.MaxSubstitution * step / (cfg.Steps - 1)
@@ -143,7 +158,7 @@ func RunFig6b(cfg Fig6bConfig) (*Result, error) {
 		}
 		seed := cfg.Seed ^ (uint64(step+1) << 20)
 		vals, err := repValues(cfg.Reps, seed, func(_ int, s uint64) (float64, error) {
-			return countEpoch(cfg.N, cfg.Cycles, s, sim.Newscast(cfg.NewscastC), failures, 0)
+			return countEpoch(eng, cfg.N, cfg.Cycles, s, topo, failures, 0)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: fig6b churn=%d: %w", perCycle, err)
@@ -155,6 +170,7 @@ func RunFig6b(cfg Fig6bConfig) (*Result, error) {
 		Title:  "COUNT under continuous churn (constant network size)",
 		XLabel: "nodes substituted per cycle",
 		YLabel: "estimated size",
+		Engine: eng.name,
 		Series: []Series{series},
 	}, nil
 }

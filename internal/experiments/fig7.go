@@ -28,6 +28,8 @@ type Fig7aConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig7a returns the paper's parameters.
@@ -45,6 +47,11 @@ func RunFig7a(cfg Fig7aConfig) (*Result, error) {
 		cfg.MaxPd < 0 || cfg.MaxPd >= 1 {
 		return nil, fmt.Errorf("experiments: invalid fig7a config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(cfg.NewscastC)
 	measured := Series{Label: "Average Convergence Factor", Points: make([]Point, 0, cfg.PdSteps)}
 	bound := Series{Label: "Theoretical Upper Bound", Points: make([]Point, 0, cfg.PdSteps)}
 	for step := 0; step < cfg.PdSteps; step++ {
@@ -55,15 +62,15 @@ func RunFig7a(cfg Fig7aConfig) (*Result, error) {
 			// its convergence factor is measured on the underlying
 			// estimates exactly like AVERAGE's.
 			var tracker stats.ConvergenceTracker
-			_, err := sim.Run(sim.Config{
+			_, err := eng.run(coreConfig{
 				N:           cfg.N,
 				Cycles:      cfg.Cycles,
 				Seed:        s,
 				Dim:         1,
 				Leaders:     []int{0},
-				Overlay:     sim.Newscast(cfg.NewscastC),
+				Topology:    topo,
 				LinkFailure: pd,
-				Observe: func(_ int, e *sim.Engine) {
+				Observe: func(_ int, e sim.Core) {
 					var m stats.Moments
 					e.ForEachParticipantVec(func(_ int, vec []float64) {
 						m.Add(vec[0])
@@ -88,6 +95,7 @@ func RunFig7a(cfg Fig7aConfig) (*Result, error) {
 		Title:  "COUNT convergence factor vs link failure probability",
 		XLabel: "Pd",
 		YLabel: "convergence factor",
+		Engine: eng.name,
 		Series: []Series{measured, bound},
 	}, nil
 }
@@ -109,6 +117,8 @@ type Fig7bConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig7b returns the paper's parameters.
@@ -128,6 +138,11 @@ func RunFig7b(cfg Fig7bConfig) (*Result, error) {
 		cfg.MaxLoss < 0 || cfg.MaxLoss > 1 {
 		return nil, fmt.Errorf("experiments: invalid fig7b config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(cfg.NewscastC)
 	minSeries := Series{Label: "Min values", Points: make([]Point, 0, cfg.LossSteps)}
 	maxSeries := Series{Label: "Max values", Points: make([]Point, 0, cfg.LossSteps)}
 	for step := 0; step < cfg.LossSteps; step++ {
@@ -136,13 +151,13 @@ func RunFig7b(cfg Fig7bConfig) (*Result, error) {
 		mins := make([]float64, cfg.Reps)
 		maxs := make([]float64, cfg.Reps)
 		err := sim.ParallelReps(cfg.Reps, seed, func(rep int, s uint64) error {
-			e, err := sim.Run(sim.Config{
+			e, err := eng.run(coreConfig{
 				N:           cfg.N,
 				Cycles:      cfg.Cycles,
 				Seed:        s,
 				Dim:         1,
 				Leaders:     []int{0},
-				Overlay:     sim.Newscast(cfg.NewscastC),
+				Topology:    topo,
 				MessageLoss: loss,
 			})
 			if err != nil {
@@ -167,6 +182,7 @@ func RunFig7b(cfg Fig7bConfig) (*Result, error) {
 		Title:  "COUNT size estimates vs fraction of messages lost",
 		XLabel: "fraction of messages lost",
 		YLabel: "estimated size",
+		Engine: eng.name,
 		Series: []Series{maxSeries, minSeries},
 	}, nil
 }

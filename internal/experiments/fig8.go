@@ -29,6 +29,8 @@ type Fig8Config struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
 }
 
 // DefaultFig8a returns Figure 8(a)'s parameters: churn of 1000 nodes per
@@ -62,6 +64,11 @@ func RunFig8(id, title string, cfg Fig8Config) (*Result, error) {
 		cfg.MessageLoss < 0 || cfg.MessageLoss > 1 || cfg.ChurnPerCycle < 0 {
 		return nil, fmt.Errorf("experiments: invalid fig8 config %+v", cfg)
 	}
+	eng, err := cfg.EngineSel.resolve(cfg.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	topo := NewscastTopology(cfg.NewscastC)
 	minSeries := Series{Label: "Min", Points: make([]Point, 0, len(cfg.Instances))}
 	maxSeries := Series{Label: "Max", Points: make([]Point, 0, len(cfg.Instances))}
 	for ti, t := range cfg.Instances {
@@ -79,13 +86,13 @@ func RunFig8(id, title string, cfg Fig8Config) (*Result, error) {
 			// Each instance is led by a distinct random node, as if t
 			// nodes had won the P_lead coin flip this epoch.
 			leaders := leadersFor(cfg.N, t, s)
-			e, err := sim.Run(sim.Config{
+			e, err := eng.run(coreConfig{
 				N:           cfg.N,
 				Cycles:      cfg.Cycles,
 				Seed:        s,
 				Dim:         t,
 				Leaders:     leaders,
-				Overlay:     sim.Newscast(cfg.NewscastC),
+				Topology:    topo,
 				Failures:    failures,
 				MessageLoss: cfg.MessageLoss,
 			})
@@ -125,6 +132,7 @@ func RunFig8(id, title string, cfg Fig8Config) (*Result, error) {
 		Title:  title,
 		XLabel: "number of aggregation instances t",
 		YLabel: "estimated size (min/max over nodes)",
+		Engine: eng.name,
 		Series: []Series{maxSeries, minSeries},
 	}, nil
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"antientropy/internal/parsim"
+)
+
+func TestEngineAutoSelection(t *testing.T) {
+	cases := []struct {
+		sel  EngineSel
+		n    int
+		want string
+	}{
+		{EngineSel{}, parsim.AutoEngineThreshold, EngineSharded},
+		{EngineSel{}, parsim.AutoEngineThreshold - 1, EngineSerial},
+		{EngineSel{Engine: EngineAuto}, parsim.AutoEngineThreshold, EngineSharded},
+		// An explicit choice always wins over size-based selection.
+		{EngineSel{Engine: EngineSerial}, 10 * parsim.AutoEngineThreshold, EngineSerial},
+		{EngineSel{Engine: EngineSharded}, 10, EngineSharded},
+	}
+	for i, tc := range cases {
+		eng, err := tc.sel.resolve(tc.n, 3)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if eng.name != tc.want {
+			t.Errorf("case %d: resolved %q, want %q", i, eng.name, tc.want)
+		}
+	}
+	if _, err := (EngineSel{Engine: "warp"}).resolve(100, 1); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// The serial and the sharded engine are different (equally valid)
+// executions of the same protocol: trajectories differ per run, but the
+// rep-averaged series a figure plots must agree statistically. These
+// tests run fig2 (the AVERAGE envelope trajectory) and fig6b (COUNT
+// under churn) on both engines at reduced scale and bound the
+// disagreement — the acceptance check for the engine-agnostic sweep
+// layer.
+
+func runBothEngines(t *testing.T, run func(sel EngineSel) (*Result, error)) (serial, sharded *Result) {
+	t.Helper()
+	serial, err := run(EngineSel{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err = run(EngineSel{Engine: EngineSharded, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Engine != EngineSerial || sharded.Engine != EngineSharded {
+		t.Fatalf("engines not echoed: %q / %q", serial.Engine, sharded.Engine)
+	}
+	return serial, sharded
+}
+
+func TestFig2SerialShardedParity(t *testing.T) {
+	cfg := DefaultFig2()
+	cfg.N, cfg.Reps, cfg.Cycles = 600, 6, 25
+	serial, sharded := runBothEngines(t, func(sel EngineSel) (*Result, error) {
+		c := cfg
+		c.EngineSel = sel
+		return RunFig2(c)
+	})
+	for _, label := range []string{"Minimum", "Maximum"} {
+		ss, err := serial.SeriesByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := sharded.SeriesByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ss.Points) != len(ps.Points) {
+			t.Fatalf("%s: series lengths differ: %d vs %d", label, len(ss.Points), len(ps.Points))
+		}
+		// Both engines must converge the envelope to the true average 1.
+		last := len(ss.Points) - 1
+		if math.Abs(ss.Points[last].Mean-1) > 0.01 || math.Abs(ps.Points[last].Mean-1) > 0.01 {
+			t.Errorf("%s: final envelopes %g (serial) vs %g (sharded), want ≈ 1",
+				label, ss.Points[last].Mean, ps.Points[last].Mean)
+		}
+	}
+	// Trajectory parity on the closing Maximum envelope: per cycle, the
+	// rep-averaged means must agree within a small factor once the decay
+	// is underway (the first cycles are dominated by single-exchange
+	// variance).
+	ss, _ := serial.SeriesByLabel("Maximum")
+	ps, _ := sharded.SeriesByLabel("Maximum")
+	for c := 5; c < len(ss.Points); c++ {
+		a, b := ss.Points[c].Mean, ps.Points[c].Mean
+		if a <= 1 || b <= 1 {
+			continue // converged to the floor on both engines
+		}
+		// Compare the decaying excess over the limit on a log scale.
+		ratio := math.Log(a-1+1e-12) - math.Log(b-1+1e-12)
+		if math.Abs(ratio) > math.Log(8) {
+			t.Errorf("cycle %d: max envelope serial %g vs sharded %g beyond tolerance", c, a, b)
+		}
+	}
+}
+
+func TestFig6bSerialShardedParity(t *testing.T) {
+	cfg := DefaultFig6b()
+	cfg.N, cfg.Reps, cfg.Steps = 1000, 4, 3
+	cfg.MaxSubstitution = cfg.N / 40 // paper proportion: 2.5% per cycle
+	serial, sharded := runBothEngines(t, func(sel EngineSel) (*Result, error) {
+		c := cfg
+		c.EngineSel = sel
+		return RunFig6b(c)
+	})
+	ss := serial.Series[0].Points
+	ps := sharded.Series[0].Points
+	if len(ss) != len(ps) {
+		t.Fatalf("series lengths differ: %d vs %d", len(ss), len(ps))
+	}
+	n := float64(cfg.N)
+	for i := range ss {
+		if ss[i].Reps == 0 || ps[i].Reps == 0 {
+			t.Fatalf("point %d: no finite estimates (serial %d, sharded %d reps)", i, ss[i].Reps, ps[i].Reps)
+		}
+		// Both engines report the pre-churn size within the paper's
+		// "reasonable range"…
+		if math.Abs(ss[i].Mean-n)/n > 0.25 || math.Abs(ps[i].Mean-n)/n > 0.25 {
+			t.Errorf("churn=%g: estimates %g (serial) vs %g (sharded) stray from N=%g",
+				ss[i].X, ss[i].Mean, ps[i].Mean, n)
+		}
+		// …and agree with each other.
+		if math.Abs(ss[i].Mean-ps[i].Mean)/n > 0.2 {
+			t.Errorf("churn=%g: serial %g and sharded %g disagree beyond tolerance",
+				ss[i].X, ss[i].Mean, ps[i].Mean)
+		}
+	}
+}

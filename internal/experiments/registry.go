@@ -15,13 +15,20 @@ type Options struct {
 	// Seed overrides the master seed (0 keeps the default — the paper
 	// figures are seeded deterministically).
 	Seed uint64
-	// Engine selects the simulation engine for scenario-based figures:
-	// "" or "serial" for internal/sim, "sharded" for internal/parsim.
-	// The hand-rolled figure sweeps ignore it.
+	// Engine selects the simulation engine for every experiment — the
+	// figure sweeps, ablations, extensions and scenario-based entries
+	// alike: EngineSerial, EngineSharded, or ""/EngineAuto to pick by the
+	// sweep's largest network size (sharded at
+	// parsim.AutoEngineThreshold and above). The resolved engine is
+	// echoed in Result.Engine.
 	Engine string
 	// Shards is the shard count for the sharded engine (0 = GOMAXPROCS).
+	// Sharded results are deterministic per (seed, shard count).
 	Shards int
 }
+
+// sel bundles the engine choice for embedding into experiment configs.
+func (o Options) sel() EngineSel { return EngineSel{Engine: o.Engine, Shards: o.Shards} }
 
 func (o Options) n(def int) int {
 	if o.N > 0 {
@@ -62,7 +69,7 @@ func Registry() []Runner {
 			Description: "AVERAGE min/max trajectory, peak distribution, 30 cycles",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig2()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig2(cfg)
 			},
 		},
@@ -74,7 +81,7 @@ func Registry() []Runner {
 				if o.N > 0 {
 					cfg.MaxN = o.N
 				}
-				cfg.Reps, cfg.Seed = o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.Reps, cfg.Seed, cfg.EngineSel = o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig3a(cfg)
 			},
 		},
@@ -83,7 +90,7 @@ func Registry() []Runner {
 			Description: "normalized variance reduction per cycle, 8 topologies",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig3b()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig3b(cfg)
 			},
 		},
@@ -92,7 +99,7 @@ func Registry() []Runner {
 			Description: "convergence factor vs Watts-Strogatz beta",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig4a()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig4a(cfg)
 			},
 		},
@@ -101,7 +108,7 @@ func Registry() []Runner {
 			Description: "convergence factor vs NEWSCAST cache size",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig4b()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig4b(cfg)
 			},
 		},
@@ -110,7 +117,7 @@ func Registry() []Runner {
 			Description: "Var(mu_20)/E(sigma^2_0) vs crash rate Pf + Theorem 1",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig5()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig5(cfg)
 			},
 		},
@@ -119,7 +126,7 @@ func Registry() []Runner {
 			Description: "COUNT vs sudden-death cycle (50% crash)",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig6a()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig6a(cfg)
 			},
 		},
@@ -128,7 +135,7 @@ func Registry() []Runner {
 			Description: "COUNT under churn (constant size)",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig6b()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				if o.N > 0 {
 					// Keep the paper's churn-to-size proportion (2.5% of N
 					// per cycle at the top of the sweep).
@@ -142,7 +149,7 @@ func Registry() []Runner {
 			Description: "COUNT convergence factor vs link failure Pd + bound",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig7a()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig7a(cfg)
 			},
 		},
@@ -151,7 +158,7 @@ func Registry() []Runner {
 			Description: "COUNT size estimates vs message loss",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig7b()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig7b(cfg)
 			},
 		},
@@ -160,7 +167,7 @@ func Registry() []Runner {
 			Description: "multi-instance COUNT vs t under churn",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig8a()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				if o.N > 0 {
 					cfg.ChurnPerCycle = o.N / 100 // paper: 1% of N per cycle
 				}
@@ -172,7 +179,7 @@ func Registry() []Runner {
 			Description: "multi-instance COUNT vs t under 20% message loss",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultFig8b()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunFig8b(cfg)
 			},
 		},
@@ -181,7 +188,7 @@ func Registry() []Runner {
 			Description: "§4.1 restart tracks a drifting average across epochs",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultExtension()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunExtensionAdaptivity(cfg)
 			},
 		},
@@ -190,7 +197,7 @@ func Registry() []Runner {
 			Description: "§5 COUNT lifecycle: P_lead=C/N-hat feedback across epochs",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultExtension()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunExtensionCountChain(cfg)
 			},
 		},
@@ -199,7 +206,7 @@ func Registry() []Runner {
 			Description: "§5 MIN/MAX epidemic broadcast: O(log N) propagation",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultExtension()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunExtensionMinMax(cfg)
 			},
 		},
@@ -208,8 +215,7 @@ func Registry() []Runner {
 			Description: "fig 6b/8a churn regime re-expressed as a declarative scenario",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultScenarioFig("steady-churn")
-				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
-				cfg.Engine, cfg.Shards = o.Engine, o.Shards
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunScenarioFig(cfg)
 			},
 		},
@@ -218,8 +224,7 @@ func Registry() []Runner {
 			Description: "partition-and-heal scenario: mass conserved, estimate re-converges",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultScenarioFig("partition-heal")
-				cfg.N, cfg.Reps, cfg.Seed = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed)
-				cfg.Engine, cfg.Shards = o.Engine, o.Shards
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunScenarioFig(cfg)
 			},
 		},
@@ -228,7 +233,7 @@ func Registry() []Runner {
 			Description: "A1: push-pull vs push-sum vs push-only under loss",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultAblation()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunAblationPushPull(cfg)
 			},
 		},
@@ -237,7 +242,7 @@ func Registry() []Runner {
 			Description: "A2: trimmed-mean vs plain-mean combiner",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultAblation()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunAblationCombiner(cfg)
 			},
 		},
@@ -246,7 +251,7 @@ func Registry() []Runner {
 			Description: "A3: fresh vs frozen NEWSCAST vs uniform selection",
 			Run: func(o Options) (*Result, error) {
 				cfg := DefaultAblation()
-				cfg.N, cfg.Reps, cfg.Seed = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed)
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.n(cfg.N), o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
 				return RunAblationPeerSelection(cfg)
 			},
 		},

@@ -20,10 +20,9 @@ type ScenarioFigConfig struct {
 	Reps int
 	// Seed is the master seed.
 	Seed uint64
-	// Engine selects the simulation engine ("" = serial, "sharded" for
-	// the multi-core engine) and Shards its shard count.
-	Engine string
-	Shards int
+	// EngineSel selects the simulation engine (auto resolves against the
+	// scenario's effective network size).
+	EngineSel
 }
 
 // DefaultScenarioFig returns laptop-scale defaults for the given canned
@@ -49,21 +48,20 @@ func RunScenarioFig(cfg ScenarioFigConfig) (*Result, error) {
 	if cfg.N > 0 {
 		sc.N = cfg.N
 	}
-	runs := make([]*scenario.RunResult, cfg.Reps)
-	// ParallelReps already spreads the repetitions across the cores, so
-	// the sharded engine runs its shards on one worker here — sharding
-	// still changes the execution (and stays deterministic per shard
-	// count), but adding engine-level goroutines on top of rep-level
-	// parallelism would only oversubscribe the CPU.
-	workers := 1
-	if cfg.Reps == 1 {
-		workers = 0 // let the engine use the machine
+	// The sweepEngine already pins Workers to 1 for multi-rep runs:
+	// ParallelReps spreads the repetitions across the cores, and sharding
+	// still changes the execution (deterministic per shard count) without
+	// engine-level goroutines oversubscribing the CPU.
+	eng, err := cfg.EngineSel.resolve(sc.N, cfg.Reps)
+	if err != nil {
+		return nil, err
 	}
+	runs := make([]*scenario.RunResult, cfg.Reps)
 	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
 		s := sc
 		s.Seed = seed
 		res, err := scenario.RunSimWith(s, scenario.SimOptions{
-			Engine: cfg.Engine, Shards: cfg.Shards, Workers: workers,
+			Engine: eng.name, Shards: eng.shards, Workers: eng.workers,
 		})
 		if err != nil {
 			return err
@@ -96,6 +94,7 @@ func RunScenarioFig(cfg ScenarioFigConfig) (*Result, error) {
 		Title:  fmt.Sprintf("Scenario %q on the sim executor (%s)", cfg.Scenario, sc.Description),
 		XLabel: "cycle",
 		YLabel: "rel error / stddev / live fraction",
+		Engine: eng.name,
 		Series: []Series{relErr, spread, alive},
 	}, nil
 }

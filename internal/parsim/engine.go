@@ -1,9 +1,12 @@
 package parsim
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"antientropy/internal/core"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
 )
@@ -26,11 +29,13 @@ type Engine struct {
 	ctl *stats.RNG
 
 	// Global node state. Written only in serial phases (hooks, merge);
-	// the parallel phases read it freely and write scalar only within
-	// their own shard range.
+	// the parallel phases read it freely and write scalar/vec only within
+	// their own shard range. Exactly one of scalar and vec is non-nil,
+	// matching the serial engine's scalar/vector modes.
 	alive         *sim.IndexSet
 	participating []bool
 	scalar        []float64
+	vec           []float64 // flattened [node*dim+d], vector mode
 
 	overlay overlay
 
@@ -102,7 +107,6 @@ func New(cfg Config) (*Engine, error) {
 		ctl:           stats.NewStreamRNG(cfg.Seed, 0),
 		alive:         sim.NewIndexSet(cfg.N, false),
 		participating: make([]bool, cfg.N),
-		scalar:        make([]float64, cfg.N),
 	}
 	initialAlive := cfg.N
 	if cfg.InitialAlive > 0 {
@@ -112,8 +116,24 @@ func New(cfg Config) (*Engine, error) {
 		e.alive.Add(i)
 		e.participating[i] = true
 	}
-	for i := range e.scalar {
-		e.scalar[i] = cfg.Init(i)
+	if cfg.Dim > 0 {
+		e.vec = make([]float64, cfg.N*cfg.Dim)
+		if cfg.VecInit != nil {
+			for i := 0; i < cfg.N; i++ {
+				for d := 0; d < cfg.Dim; d++ {
+					e.vec[i*cfg.Dim+d] = cfg.VecInit(i, d)
+				}
+			}
+		} else {
+			for d, l := range cfg.Leaders {
+				e.vec[l*cfg.Dim+d] = 1
+			}
+		}
+	} else {
+		e.scalar = make([]float64, cfg.N)
+		for i := range e.scalar {
+			e.scalar[i] = cfg.Init(i)
+		}
 	}
 	e.shards = make([]*shard, k)
 	maxLocal := 0
@@ -136,7 +156,11 @@ func New(cfg Config) (*Engine, error) {
 	if spec == nil {
 		spec = Newscast(30)
 	}
-	e.overlay = spec.build(e)
+	ov, err := spec.build(e)
+	if err != nil {
+		return nil, fmt.Errorf("parsim: building overlay: %w", err)
+	}
+	e.overlay = ov
 	return e, nil
 }
 
@@ -194,9 +218,10 @@ func (e *Engine) parallel(fn func(s *shard)) {
 	wg.Wait()
 }
 
-// Step advances the simulation by one full cycle: serial hooks first,
-// then the parallel NEWSCAST round with its deterministic cross-shard
-// flush, then the parallel exchange phase with its deterministic merge.
+// Step advances the simulation by one full cycle: serial hooks and
+// failure models first, then the parallel overlay round with its
+// deterministic cross-shard flush, then the parallel exchange phase with
+// its deterministic merge.
 func (e *Engine) Step() {
 	e.cycle++
 	if e.cfg.BeforeCycle != nil {
@@ -204,6 +229,9 @@ func (e *Engine) Step() {
 	}
 	if e.cfg.Script != nil {
 		e.cfg.Script(e.cycle, e)
+	}
+	for _, f := range e.cfg.Failures {
+		f.Apply(e.cycle, e)
 	}
 	e.parallel(func(s *shard) { e.overlay.stepShard(s, e.cycle) })
 	e.overlay.flushCross(e.cycle)
@@ -249,8 +277,24 @@ func (e *Engine) exchangeShard(s *shard) {
 }
 
 // applyExchange performs the push-pull state update: the responder always
-// updates; the initiator updates only if the reply arrived (§7.2).
+// updates; the initiator updates only if the reply arrived (§7.2). A
+// deferred cross-shard exchange lands here during the serial merge and
+// acts on the peers' then-current state, so scalar mass — and, in vector
+// mode, every component's mass — is conserved across the merge exactly
+// as within a shard.
 func (e *Engine) applyExchange(i, j int, replyLost bool) {
+	if dim := e.cfg.Dim; dim > 0 {
+		vi := e.vec[i*dim : (i+1)*dim]
+		vj := e.vec[j*dim : (j+1)*dim]
+		for d := range vj {
+			m := (vi[d] + vj[d]) / 2
+			if !replyLost {
+				vi[d] = m
+			}
+			vj[d] = m
+		}
+		return
+	}
 	ni, nj := e.cfg.Fn.Update(e.scalar[i], e.scalar[j])
 	e.scalar[j] = nj
 	if !replyLost {
@@ -267,6 +311,9 @@ func (e *Engine) Cycle() int { return e.cycle }
 
 // N returns the (constant) number of node slots.
 func (e *Engine) N() int { return e.nodes }
+
+// Dim returns the state-vector dimension (0 in scalar mode).
+func (e *Engine) Dim() int { return e.cfg.Dim }
 
 // Shards returns the effective shard count K.
 func (e *Engine) Shards() int { return len(e.shards) }
@@ -310,8 +357,87 @@ func (e *Engine) ParticipantMoments() stats.Moments {
 // Metrics returns the exchange counters accumulated so far.
 func (e *Engine) Metrics() sim.Metrics { return e.metrics }
 
-// Value returns node's current estimate.
+// Value returns node's current estimate (scalar mode).
 func (e *Engine) Value(node int) float64 { return e.scalar[node] }
+
+// Vector returns a copy of node's state vector (vector mode).
+func (e *Engine) Vector(node int) []float64 {
+	dim := e.cfg.Dim
+	return append([]float64(nil), e.vec[node*dim:(node+1)*dim]...)
+}
+
+// ForEachParticipant calls fn for every live, participating node with
+// its scalar estimate (scalar mode).
+func (e *Engine) ForEachParticipant(fn func(node int, value float64)) {
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		if e.participating[i] {
+			fn(i, e.scalar[i])
+		}
+	}
+}
+
+// ForEachParticipantVec calls fn for every live, participating node with
+// a read-only view of its state vector (vector mode). The slice must not
+// be retained or modified.
+func (e *Engine) ForEachParticipantVec(fn func(node int, vec []float64)) {
+	dim := e.cfg.Dim
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		if e.participating[i] {
+			fn(i, e.vec[i*dim:(i+1)*dim])
+		}
+	}
+}
+
+// SizeEstimateAt converts node's vector-mode state into a network-size
+// estimate using the §7.3 combiner across the run's concurrent
+// instances, mirroring the serial engine's semantics exactly: instances
+// from which the node holds no mass are excluded, and a node holding no
+// mass at all reports +Inf.
+func (e *Engine) SizeEstimateAt(node int) float64 {
+	dim := e.cfg.Dim
+	if dim == 0 {
+		return core.SizeFromAverage(e.scalar[node])
+	}
+	ests := make([]float64, 0, dim)
+	for d := 0; d < dim; d++ {
+		if v := e.vec[node*dim+d]; v > 0 {
+			ests = append(ests, core.SizeFromAverage(v))
+		}
+	}
+	if len(ests) == 0 {
+		return math.Inf(1)
+	}
+	combined, err := core.Combine(ests)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return combined
+}
+
+// SizeMoments aggregates the finite size estimates of all participants.
+func (e *Engine) SizeMoments() stats.Moments {
+	var m stats.Moments
+	if e.cfg.Dim == 0 {
+		e.ForEachParticipant(func(_ int, v float64) {
+			if s := core.SizeFromAverage(v); !math.IsInf(s, 1) {
+				m.Add(s)
+			}
+		})
+		return m
+	}
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		if !e.participating[i] {
+			continue
+		}
+		if s := e.SizeEstimateAt(i); !math.IsInf(s, 1) {
+			m.Add(s)
+		}
+	}
+	return m
+}
 
 // Kill marks a node as crashed (§6.1).
 func (e *Engine) Kill(node int) {
@@ -323,18 +449,41 @@ func (e *Engine) Kill(node int) {
 func (e *Engine) Replace(node int) {
 	e.alive.Add(node)
 	e.participating[node] = false
-	e.scalar[node] = 0
+	if dim := e.cfg.Dim; dim > 0 {
+		for d := 0; d < dim; d++ {
+			e.vec[node*dim+d] = 0
+		}
+	} else {
+		e.scalar[node] = 0
+	}
 	e.overlay.onJoin(node, e.cycle, e.ctl)
 }
 
 // Restart begins a new epoch in place (§4.1): every live node becomes a
-// participant and reloads a fresh local value from init when given.
+// participant and, in scalar mode, reloads a fresh local value from init
+// when given.
 func (e *Engine) Restart(init func(node int) float64) {
 	for _, id := range e.alive.Items() {
 		i := int(id)
 		e.participating[i] = true
-		if init != nil {
+		if e.scalar != nil && init != nil {
 			e.scalar[i] = init(i)
+		}
+	}
+}
+
+// RestartVec begins a new epoch in vector mode (§5 COUNT lifecycle):
+// every live node becomes a participant and, when init is non-nil,
+// reloads component d of its state vector from init(node, d).
+func (e *Engine) RestartVec(init func(node, dim int) float64) {
+	dim := e.cfg.Dim
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		e.participating[i] = true
+		if e.vec != nil && init != nil {
+			for d := 0; d < dim; d++ {
+				e.vec[i*dim+d] = init(i, d)
+			}
 		}
 	}
 }

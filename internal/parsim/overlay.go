@@ -1,16 +1,18 @@
 package parsim
 
 import (
+	"fmt"
 	"slices"
 
 	"antientropy/internal/stats"
+	"antientropy/internal/topology"
 )
 
 // OverlaySpec selects the sharded overlay implementation for a run.
 // Specs are descriptions, not instances: the engine builds the overlay
 // against its own shard layout.
 type OverlaySpec interface {
-	build(e *Engine) overlay
+	build(e *Engine) (overlay, error)
 }
 
 // overlay is the engine's internal view of a sharded overlay. neighbor
@@ -39,7 +41,7 @@ func Newscast(c int) OverlaySpec {
 
 type newscastSpec struct{ c int }
 
-func (sp newscastSpec) build(e *Engine) overlay {
+func (sp newscastSpec) build(e *Engine) (overlay, error) {
 	o := &shardedNewscast{
 		e:             e,
 		cap:           sp.c,
@@ -57,7 +59,7 @@ func (sp newscastSpec) build(e *Engine) overlay {
 			o.seed(i, 0, s.rng)
 		}
 	})
-	return o
+	return o, nil
 }
 
 // shardedNewscast is a flat, allocation-free NEWSCAST implementation.
@@ -244,7 +246,7 @@ func CompleteLive() OverlaySpec { return completeLiveSpec{} }
 
 type completeLiveSpec struct{}
 
-func (completeLiveSpec) build(e *Engine) overlay { return &completeLive{e: e} }
+func (completeLiveSpec) build(e *Engine) (overlay, error) { return &completeLive{e: e}, nil }
 
 type completeLive struct{ e *Engine }
 
@@ -267,3 +269,76 @@ func (o *completeLive) neighbor(node int, rng *stats.RNG) int {
 func (o *completeLive) stepShard(s *shard, cycle int)          {}
 func (o *completeLive) flushCross(cycle int)                   {}
 func (o *completeLive) onJoin(node, cycle int, rng *stats.RNG) {}
+
+// NewscastFrozen selects a NEWSCAST overlay whose descriptor gossip is
+// disabled after the bootstrap seeding (the A3 ablation): aggregation
+// keeps sampling the same static random views. The sharded equivalent of
+// sim.NewscastFrozen.
+func NewscastFrozen(c int) OverlaySpec {
+	if c < 1 {
+		c = 30
+	}
+	return frozenNewscastSpec{c: c}
+}
+
+type frozenNewscastSpec struct{ c int }
+
+func (sp frozenNewscastSpec) build(e *Engine) (overlay, error) {
+	inner, err := newscastSpec{c: sp.c}.build(e)
+	if err != nil {
+		return nil, err
+	}
+	return &frozenNewscast{shardedNewscast: inner.(*shardedNewscast)}, nil
+}
+
+// frozenNewscast keeps the seeded views but never gossips.
+type frozenNewscast struct {
+	*shardedNewscast
+}
+
+func (f *frozenNewscast) stepShard(s *shard, cycle int) {}
+func (f *frozenNewscast) flushCross(cycle int)          {}
+
+// Static selects a fixed topology generated by build — the sharded
+// equivalent of sim.StaticFunc, covering the non-random topology
+// families of the fig3/fig4 sweeps (Watts–Strogatz, scale-free, random
+// k-out, complete). The graph is generated once at engine construction
+// from a dedicated stream of the engine seed and served through
+// topology's packed CSR adjacency, which the parallel exchange phases
+// read concurrently without synchronization: Neighbor only reads the
+// adjacency and draws from the caller's shard-private RNG.
+func Static(build func(n int, rng *stats.RNG) (topology.Graph, error)) OverlaySpec {
+	return staticSpec{gen: build}
+}
+
+type staticSpec struct {
+	gen func(n int, rng *stats.RNG) (topology.Graph, error)
+}
+
+func (sp staticSpec) build(e *Engine) (overlay, error) {
+	// The builder RNG is split off the control stream, so the graph is a
+	// pure function of (seed, shard count) like everything else.
+	g, err := sp.gen(e.nodes, e.ctl.Split())
+	if err != nil {
+		return nil, err
+	}
+	if g.N() != e.nodes {
+		return nil, fmt.Errorf("parsim: static overlay has %d nodes, engine expects %d", g.N(), e.nodes)
+	}
+	return &staticOverlay{g: g}, nil
+}
+
+// staticOverlay adapts a topology.Graph: links never change, there is no
+// per-cycle gossip, and joins keep the slot's original adjacency —
+// matching the serial engine's static overlay semantics.
+type staticOverlay struct {
+	g topology.Graph
+}
+
+func (o *staticOverlay) neighbor(node int, rng *stats.RNG) int {
+	return o.g.Neighbor(node, rng)
+}
+
+func (o *staticOverlay) stepShard(s *shard, cycle int)          {}
+func (o *staticOverlay) flushCross(cycle int)                   {}
+func (o *staticOverlay) onJoin(node, cycle int, rng *stats.RNG) {}

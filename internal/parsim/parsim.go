@@ -45,12 +45,21 @@ import (
 	"runtime"
 
 	"antientropy/internal/core"
+	"antientropy/internal/sim"
 )
 
-// Config describes one sharded simulation run. It mirrors the scalar
-// subset of sim.Config; vector mode and pluggable topology builders are
-// deliberately out of scope — the sharded engine exists for the scenario
-// workloads, which run scalar aggregation over NEWSCAST.
+// AutoEngineThreshold is the network size at or above which size-based
+// engine auto-selection ("auto") picks this sharded engine over the
+// serial one. Below it the serial engine's lower fixed costs win; above
+// it the flat packed overlay and shard parallelism dominate (ROADMAP
+// perf baselines: 8.4× for the 10⁴-node partition-heal scenario and for
+// the fig6b sweep at 2×10⁴ nodes, both on one core).
+const AutoEngineThreshold = 20000
+
+// Config describes one sharded simulation run. It mirrors sim.Config —
+// scalar mode (Fn/Init) or vector mode (Dim with Leaders or VecInit),
+// failure models, loss rates and a pluggable overlay — so the paper's
+// figure sweeps run unchanged on either engine.
 type Config struct {
 	// N is the number of node slots.
 	N int
@@ -72,10 +81,24 @@ type Config struct {
 	// serial loop with no synchronization cost.
 	Workers int
 
-	// Fn is the scalar aggregation function.
+	// Fn is the scalar aggregation function (scalar mode). Exactly one of
+	// Fn.Update or Dim must be set.
 	Fn core.Function
-	// Init yields node i's initial estimate.
+	// Init yields node i's initial estimate (scalar mode).
 	Init func(node int) float64
+
+	// Dim > 0 selects vector mode: the state is a Dim-dimensional vector
+	// averaged element-wise — the flattened COUNT map state, exactly as
+	// in sim.Config. Cross-shard exchanges defer the whole vector update
+	// to the merge, so per-component mass is conserved like scalar mass.
+	Dim int
+	// Leaders[d] is the node whose d-th component starts at 1; all other
+	// components start at 0. Exactly one of Leaders and VecInit must be
+	// set in vector mode.
+	Leaders []int
+	// VecInit initializes component d of node i arbitrarily (§5 derived
+	// aggregates).
+	VecInit func(node, dim int) float64
 
 	// Overlay selects the sharded overlay (default: Newscast(30)).
 	Overlay OverlaySpec
@@ -84,6 +107,11 @@ type Config struct {
 	LinkFailure float64
 	// MessageLoss is the per-message drop probability (§7.2).
 	MessageLoss float64
+
+	// Failures are applied in order at the beginning of every cycle
+	// (after Script), through the shared sim.Core surface — the same
+	// models, with the same semantics, as the serial engine's.
+	Failures []sim.FailureModel
 
 	// BeforeCycle, when non-nil, runs serially at the start of every
 	// cycle — the scenario engine's epoch-restart hook.
@@ -106,11 +134,34 @@ func (c Config) validate() error {
 	if c.InitialAlive < 0 || c.InitialAlive > c.N {
 		return fmt.Errorf("parsim: initial alive count %d not in [0, %d]", c.InitialAlive, c.N)
 	}
-	if c.Fn.Update == nil {
-		return errors.New("parsim: aggregation function is required")
+	scalar := c.Fn.Update != nil
+	vector := c.Dim > 0
+	if scalar == vector {
+		return errors.New("parsim: exactly one of Fn (scalar mode) and Dim (vector mode) must be set")
 	}
-	if c.Init == nil {
-		return errors.New("parsim: scalar init is required")
+	if scalar && c.Init == nil {
+		return errors.New("parsim: scalar mode requires Init")
+	}
+	if vector {
+		hasLeaders := len(c.Leaders) > 0
+		hasVecInit := c.VecInit != nil
+		if hasLeaders == hasVecInit {
+			return errors.New("parsim: vector mode requires exactly one of Leaders and VecInit")
+		}
+		if hasLeaders {
+			if len(c.Leaders) != c.Dim {
+				return fmt.Errorf("parsim: vector mode needs exactly Dim=%d leaders, got %d", c.Dim, len(c.Leaders))
+			}
+			live := c.N
+			if c.InitialAlive > 0 {
+				live = c.InitialAlive
+			}
+			for d, l := range c.Leaders {
+				if l < 0 || l >= live {
+					return fmt.Errorf("parsim: leader %d of instance %d out of range", l, d)
+				}
+			}
+		}
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("parsim: invalid shard count %d", c.Shards)

@@ -17,7 +17,20 @@ const (
 	// EngineSharded is the sharded multi-core engine of internal/parsim:
 	// deterministic per (seed, shard count), built for 10⁵–10⁶-node runs.
 	EngineSharded = "sharded"
+	// EngineAuto selects by scenario size: EngineSharded at
+	// parsim.AutoEngineThreshold slots and above, EngineSerial below. An
+	// explicit engine always wins; the executed engine is visible in
+	// RunResult.Executor ("sim" vs "sim-sharded").
+	EngineAuto = "auto"
 )
+
+// AutoEngine resolves EngineAuto for a run over `slots` node slots.
+func AutoEngine(slots int) string {
+	if slots >= parsim.AutoEngineThreshold {
+		return EngineSharded
+	}
+	return EngineSerial
+}
 
 // SimOptions tune the simulator executor.
 type SimOptions struct {
@@ -26,8 +39,8 @@ type SimOptions struct {
 	// It is incompatible with the sharded engine, which uses its own
 	// shard-aware NEWSCAST implementation.
 	Overlay sim.OverlayBuilder
-	// Engine selects the executor engine: EngineSerial (also ""), or
-	// EngineSharded.
+	// Engine selects the executor engine: EngineSerial (also ""),
+	// EngineSharded, or EngineAuto to pick by scenario size.
 	Engine string
 	// Shards is the shard count for the sharded engine (0 = GOMAXPROCS).
 	// Results are deterministic per shard count: the same seed and the
@@ -56,14 +69,18 @@ func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	switch opts.Engine {
+	engine := opts.Engine
+	if engine == EngineAuto {
+		engine = AutoEngine(sc.MaxSlots())
+	}
+	switch engine {
 	case "", EngineSerial:
 		return runSimSerial(sc, opts)
 	case EngineSharded:
 		return runSimSharded(sc, opts)
 	default:
-		return nil, fmt.Errorf("scenario %s: unknown engine %q (want %q or %q)",
-			sc.Name, opts.Engine, EngineSerial, EngineSharded)
+		return nil, fmt.Errorf("scenario %s: unknown engine %q (want %q, %q or %q)",
+			sc.Name, opts.Engine, EngineAuto, EngineSerial, EngineSharded)
 	}
 }
 
@@ -102,7 +119,7 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 		MessageLoss:  sc.MessageLoss,
 		LinkFailure:  sc.LinkFailure,
 		BeforeCycle:  func(cycle int, e *sim.Engine) { d.beforeCycle(cycle, e) },
-		Failures:     []sim.FailureModel{sim.Script(sc.Name, func(cycle int, e *sim.Engine) { d.applyEvents(cycle, e) })},
+		Failures:     []sim.FailureModel{sim.Script(sc.Name, d.applyEvents)},
 		Observe: func(cycle int, e *sim.Engine) {
 			result.PerCycle = append(result.PerCycle, d.observe(cycle, e))
 		},

@@ -2,19 +2,30 @@ package sim
 
 import "antientropy/internal/stats"
 
-// Core is the engine surface the declarative scenario executor consumes.
-// Two engines implement it: the serial *Engine in this package and the
-// sharded *parsim.Engine, so one scenario driver (epoch restarts,
-// scripted churn, partitions, loss changes, per-cycle metrics) runs
-// unchanged on either. All methods are serial-phase operations: they may
-// only be called from the engine's own hooks (BeforeCycle, failure
-// scripts, Observe) or between cycles, never concurrently with a running
-// cycle.
+// Core is the engine surface the declarative scenario executor and the
+// figure sweeps consume. Two engines implement it: the serial *Engine in
+// this package and the sharded *parsim.Engine, so one driver (epoch
+// restarts, scripted churn, partitions, loss changes, per-cycle metrics,
+// participant snapshots) runs unchanged on either. All methods are
+// serial-phase operations: they may only be called from the engine's own
+// hooks (BeforeCycle, failure models, Observe) or between cycles, never
+// concurrently with a running cycle.
+//
+// Scalar-mode observation (Value, ForEachParticipant,
+// ParticipantMoments) is only valid when Dim() == 0; vector-mode
+// observation (ForEachParticipantVec, SizeEstimateAt, SizeMoments,
+// RestartVec) only when Dim() > 0 — exactly the contract the concrete
+// engines have always had.
 type Core interface {
 	// Cycle returns the number of completed cycles.
 	Cycle() int
+	// Step advances the simulation by one full cycle: hooks and failures
+	// first, then the overlay round, then the exchange loop.
+	Step()
 	// N returns the (constant) number of node slots.
 	N() int
+	// Dim returns the state-vector dimension (0 in scalar mode).
+	Dim() int
 	// AliveCount returns the number of currently live nodes.
 	AliveCount() int
 	// Alive reports whether node is currently live.
@@ -28,6 +39,21 @@ type Core interface {
 	// ParticipantMoments returns streaming moments of the participants'
 	// scalar estimates.
 	ParticipantMoments() stats.Moments
+	// Value returns node's scalar estimate (scalar mode).
+	Value(node int) float64
+	// ForEachParticipant calls fn for every live, participating node with
+	// its scalar estimate (scalar mode).
+	ForEachParticipant(fn func(node int, value float64))
+	// ForEachParticipantVec calls fn for every live, participating node
+	// with a read-only view of its state vector (vector mode). The slice
+	// must not be retained or modified.
+	ForEachParticipantVec(fn func(node int, vec []float64))
+	// SizeEstimateAt converts node's vector-mode state into a network-size
+	// estimate with the §7.3 combiner (+Inf when the node holds no mass).
+	SizeEstimateAt(node int) float64
+	// SizeMoments aggregates the finite size estimates of all
+	// participants (vector mode).
+	SizeMoments() stats.Moments
 	// Metrics returns the exchange counters accumulated so far.
 	Metrics() Metrics
 	// Kill marks a node as crashed.
@@ -36,6 +62,9 @@ type Core interface {
 	Replace(node int)
 	// Restart begins a new epoch in place (§4.1 automatic restart).
 	Restart(init func(node int) float64)
+	// RestartVec begins a new epoch in vector mode, reinitializing
+	// component d of node i from init (the §5 COUNT lifecycle's restart).
+	RestartVec(init func(node, dim int) float64)
 	// SetScalar overwrites node's scalar estimate.
 	SetScalar(node int, v float64)
 	// SetExchangeFilter installs (or removes, with nil) the partition
@@ -52,6 +81,19 @@ type Core interface {
 	// would after a partition heals.
 	ReseedOverlay(node int)
 }
+
+// RunnerFunc executes one configured run on some engine and returns the
+// finished engine as a Core. The multi-epoch chain drivers
+// (RunEpochChain, RunCountEpochChain) accept one so the §4.1 restart and
+// §5 COUNT-lifecycle experiments can run on the sharded engine too: a
+// non-serial runner maps the Config onto its own engine (ignoring the
+// serial-only Overlay builder) and must honor every other field it can
+// express — and reject, rather than drop, any it cannot (the
+// *Engine-typed BeforeCycle/Observe hooks are serial-only).
+type RunnerFunc func(Config) (Core, error)
+
+// SerialRunner is the default RunnerFunc: Run on this package's engine.
+func SerialRunner(cfg Config) (Core, error) { return Run(cfg) }
 
 // GossipFilterable is implemented by overlays whose own descriptor
 // traffic can be vetoed per node pair. Engine.SetExchangeFilter forwards

@@ -38,6 +38,9 @@ type CountChainConfig struct {
 	// LinkFailure and MessageLoss apply within every epoch.
 	LinkFailure float64
 	MessageLoss float64
+	// Runner executes each epoch's run; nil selects the serial engine.
+	// Engine-agnostic callers inject a sharded runner here.
+	Runner RunnerFunc
 }
 
 func (c CountChainConfig) validate() error {
@@ -84,6 +87,10 @@ func RunCountEpochChain(cfg CountChainConfig) ([]CountEpochResult, error) {
 	if maxInstances <= 0 {
 		maxInstances = 64
 	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = SerialRunner
+	}
 	electionRNG := stats.NewRNG(cfg.Seed ^ 0xe1ec7)
 	estimate := cfg.InitialGuess
 	results := make([]CountEpochResult, 0, cfg.Epochs)
@@ -105,7 +112,7 @@ func RunCountEpochChain(cfg CountChainConfig) ([]CountEpochResult, error) {
 		}
 		res.Instances = len(leaders)
 		if len(leaders) > 0 {
-			e, err := Run(Config{
+			e, err := runner(Config{
 				N:           cfg.N,
 				Cycles:      cfg.Gamma,
 				Seed:        RepSeed(cfg.Seed, epoch),

@@ -154,7 +154,8 @@ type Metrics struct {
 	PartitionDrops int64
 }
 
-// Engine runs one epoch of the protocol over a simulated overlay.
+// Engine runs one epoch of the protocol over a simulated overlay. It
+// implements Core, the surface shared with the sharded engine.
 type Engine struct {
 	cfg     Config
 	rng     *stats.RNG
@@ -266,11 +267,16 @@ func (e *Engine) observe() {
 	}
 }
 
+var _ Core = (*Engine)(nil)
+
 // Cycle returns the number of completed cycles.
 func (e *Engine) Cycle() int { return e.cycle }
 
 // N returns the (constant) number of node slots.
 func (e *Engine) N() int { return e.n }
+
+// Dim returns the state-vector dimension (0 in scalar mode).
+func (e *Engine) Dim() int { return e.cfg.Dim }
 
 // AliveCount returns the number of currently live nodes.
 func (e *Engine) AliveCount() int { return e.alive.Len() }
@@ -451,6 +457,23 @@ func (e *Engine) Restart(init func(node int) float64) {
 		e.participating[i] = true
 		if e.scalar != nil && init != nil {
 			e.scalar[i] = init(i)
+		}
+	}
+}
+
+// RestartVec begins a new epoch in vector mode (§5 COUNT lifecycle):
+// every live node becomes a participant and, when init is non-nil,
+// reloads component d of its state vector from init(node, d) — e.g. a
+// fresh leader indicator set for the next COUNT election.
+func (e *Engine) RestartVec(init func(node, dim int) float64) {
+	dim := e.cfg.Dim
+	for _, id := range e.alive.Items() {
+		i := int(id)
+		e.participating[i] = true
+		if e.vec != nil && init != nil {
+			for d := 0; d < dim; d++ {
+				e.vec[i*dim+d] = init(i, d)
+			}
 		}
 	}
 }

@@ -35,6 +35,9 @@ type EpochChainConfig struct {
 	MessageLoss float64
 	// Failures are applied within every epoch.
 	Failures []FailureModel
+	// Runner executes each epoch's run; nil selects the serial engine.
+	// Engine-agnostic callers inject a sharded runner here.
+	Runner RunnerFunc
 }
 
 func (c EpochChainConfig) validate() error {
@@ -66,13 +69,17 @@ func RunEpochChain(cfg EpochChainConfig) ([]EpochResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = SerialRunner
+	}
 	results := make([]EpochResult, 0, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var truth stats.Moments
 		for i := 0; i < cfg.N; i++ {
 			truth.Add(cfg.ValueAt(epoch, i))
 		}
-		e, err := Run(Config{
+		e, err := runner(Config{
 			N:           cfg.N,
 			Cycles:      cfg.Gamma,
 			Seed:        RepSeed(cfg.Seed, epoch),

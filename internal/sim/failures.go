@@ -4,10 +4,11 @@ import "fmt"
 
 // FailureModel injects failures at the beginning of each cycle (§6.1:
 // crashing nodes at cycle start, when the variance among local values is
-// maximal, is the worst case).
+// maximal, is the worst case). Models act through the Core surface, so
+// the same failure scripts drive the serial and the sharded engine.
 type FailureModel interface {
 	// Apply injects this cycle's failures into the engine.
-	Apply(cycle int, e *Engine)
+	Apply(cycle int, e Core)
 	// String describes the model for logs and experiment records.
 	String() string
 }
@@ -23,8 +24,8 @@ type CrashFraction struct {
 var _ FailureModel = CrashFraction{}
 
 // Apply kills ⌊P·alive⌋ random live nodes.
-func (c CrashFraction) Apply(_ int, e *Engine) {
-	count := int(c.P * float64(e.alive.Len()))
+func (c CrashFraction) Apply(_ int, e Core) {
+	count := int(c.P * float64(e.AliveCount()))
 	killRandom(e, count)
 }
 
@@ -43,11 +44,11 @@ type SuddenDeath struct {
 var _ FailureModel = SuddenDeath{}
 
 // Apply kills the configured fraction once, at the configured cycle.
-func (s SuddenDeath) Apply(cycle int, e *Engine) {
+func (s SuddenDeath) Apply(cycle int, e Core) {
 	if cycle != s.AtCycle {
 		return
 	}
-	killRandom(e, int(s.Fraction*float64(e.alive.Len())))
+	killRandom(e, int(s.Fraction*float64(e.AliveCount())))
 }
 
 // String describes the model.
@@ -68,17 +69,16 @@ type Churn struct {
 var _ FailureModel = Churn{}
 
 // Apply substitutes PerCycle random live nodes with fresh ones.
-func (c Churn) Apply(cycle int, e *Engine) {
+func (c Churn) Apply(_ int, e Core) {
 	count := c.PerCycle
-	if count > e.alive.Len() {
-		count = e.alive.Len()
+	if count > e.AliveCount() {
+		count = e.AliveCount()
 	}
 	for k := 0; k < count; k++ {
-		victim := e.alive.Random(e.rng)
+		victim := e.RandomAlive()
 		e.Kill(victim)
 		e.Replace(victim) // same slot, brand-new identity
 	}
-	_ = cycle
 }
 
 // String describes the model.
@@ -95,7 +95,7 @@ type CrashCount struct {
 var _ FailureModel = CrashCount{}
 
 // Apply kills PerCycle random live nodes.
-func (c CrashCount) Apply(_ int, e *Engine) {
+func (c CrashCount) Apply(_ int, e Core) {
 	killRandom(e, c.PerCycle)
 }
 
@@ -104,9 +104,9 @@ func (c CrashCount) String() string { return fmt.Sprintf("crash-count(%d/cycle)"
 
 // killRandom removes count uniformly random live nodes, never killing the
 // last one (a zero-node network has no defined aggregate).
-func killRandom(e *Engine, count int) {
-	for k := 0; k < count && e.alive.Len() > 1; k++ {
-		e.Kill(e.alive.Random(e.rng))
+func killRandom(e Core, count int) {
+	for k := 0; k < count && e.AliveCount() > 1; k++ {
+		e.Kill(e.RandomAlive())
 	}
 }
 
@@ -118,13 +118,13 @@ type ScriptedFailure struct {
 	// Name describes the script for logs and experiment records.
 	Name string
 	// Fn is invoked at the beginning of every cycle.
-	Fn func(cycle int, e *Engine)
+	Fn func(cycle int, e Core)
 }
 
 var _ FailureModel = ScriptedFailure{}
 
 // Apply runs the scripted function.
-func (s ScriptedFailure) Apply(cycle int, e *Engine) {
+func (s ScriptedFailure) Apply(cycle int, e Core) {
 	if s.Fn != nil {
 		s.Fn(cycle, e)
 	}
@@ -134,6 +134,6 @@ func (s ScriptedFailure) Apply(cycle int, e *Engine) {
 func (s ScriptedFailure) String() string { return fmt.Sprintf("scripted(%s)", s.Name) }
 
 // Script wraps fn as a named FailureModel.
-func Script(name string, fn func(cycle int, e *Engine)) FailureModel {
+func Script(name string, fn func(cycle int, e Core)) FailureModel {
 	return ScriptedFailure{Name: name, Fn: fn}
 }

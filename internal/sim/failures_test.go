@@ -94,7 +94,7 @@ func TestScriptRunsEveryCycleBetweenBeforeCycleAndOverlay(t *testing.T) {
 	var order []string
 	cfg := baseConfig(50, 4)
 	cfg.BeforeCycle = func(cycle int, _ *Engine) { order = append(order, "hook") }
-	cfg.Failures = []FailureModel{Script("probe", func(cycle int, _ *Engine) {
+	cfg.Failures = []FailureModel{Script("probe", func(cycle int, _ Core) {
 		order = append(order, "script")
 	})}
 	if _, err := Run(cfg); err != nil {
@@ -119,7 +119,7 @@ func TestScriptRunsEveryCycleBetweenBeforeCycleAndOverlay(t *testing.T) {
 
 func TestSetMessageLossMidRun(t *testing.T) {
 	cfg := baseConfig(200, 6)
-	cfg.Failures = []FailureModel{Script("loss-burst", func(cycle int, e *Engine) {
+	cfg.Failures = []FailureModel{Script("loss-burst", func(cycle int, e Core) {
 		if cycle == 4 {
 			e.SetMessageLoss(0.5)
 		}
@@ -163,7 +163,7 @@ func TestExchangeFilterPartitionConservesMass(t *testing.T) {
 	globalMean := float64(n-1) / 2
 
 	cfg := baseConfig(n, 40)
-	cfg.Failures = []FailureModel{Script("partition", func(cycle int, e *Engine) {
+	cfg.Failures = []FailureModel{Script("partition", func(cycle int, e Core) {
 		switch cycle {
 		case 1:
 			e.SetExchangeFilter(func(i, j int) bool { return side(i) == side(j) })
