@@ -48,6 +48,7 @@ import (
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
 	"antientropy/internal/experiments"
+	"antientropy/internal/overlay"
 	"antientropy/internal/parsim"
 	"antientropy/internal/scenario"
 	"antientropy/internal/sim"
@@ -315,6 +316,26 @@ type (
 
 // NewMemNetwork creates an in-memory network.
 func NewMemNetwork(cfg MemNetworkConfig) *MemNetwork { return transport.NewMemNetwork(cfg) }
+
+// NewMemFleet opens n endpoints on an in-memory network and returns them
+// together with their address list — the shared bootstrap contact set a
+// founding deployment passes to every node. It replaces the
+// endpoint-and-address collection loop every in-process deployment used
+// to hand-roll before seeding the membership layer.
+func NewMemFleet(net *MemNetwork, n int) ([]Endpoint, []string) {
+	endpoints := make([]Endpoint, n)
+	addrs := make([]string, n)
+	for i := range endpoints {
+		ep := net.Endpoint()
+		endpoints[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	return endpoints, addrs
+}
+
+// ParseAddrList splits a comma-separated contact list ("a:1, b:2") into
+// the address slice NodeConfig.Bootstrap/Seeds take, trimming blanks.
+func ParseAddrList(s string) []string { return overlay.SplitAddrList(s) }
 
 // ListenUDP opens a UDP endpoint ("host:port"; ":0" picks a free port).
 func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {

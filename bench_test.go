@@ -90,6 +90,18 @@ func BenchmarkFig6bChurn(b *testing.B) {
 	runFigure(b, "fig6b", benchOpts())
 }
 
+// BenchmarkFig6bSerialPacked pins the serial engine explicitly on the
+// NEWSCAST-heaviest figure (COUNT under churn, cache exchanges every
+// cycle): it tracks the serial overlay's packed-cache win in the CI
+// bench artifact. Before the unified packed membership layer the serial
+// run spent most of its time in the generic comparator-sorted cache
+// merges.
+func BenchmarkFig6bSerialPacked(b *testing.B) {
+	opts := benchOpts()
+	opts.Engine = experiments.EngineSerial
+	runFigure(b, "fig6b", opts)
+}
+
 func BenchmarkFig7aLinkFailure(b *testing.B) {
 	runFigure(b, "fig7a", benchOpts())
 }
@@ -379,10 +391,10 @@ func BenchmarkWireEncodeDecode(b *testing.B) {
 		From: "10.1.2.3:7000",
 		Payload: wire.Payload{
 			Seq: 1, Epoch: 42, FuncID: wire.FuncAverage, Scalar: 3.14,
-			Gossip: []wire.Descriptor{
+			View: wire.ViewFrame{Kind: wire.ViewFull, Gen: 1, Entries: []wire.Descriptor{
 				{Addr: "10.0.0.1:7000", Stamp: 1}, {Addr: "10.0.0.2:7000", Stamp: 2},
 				{Addr: "10.0.0.3:7000", Stamp: 3}, {Addr: "10.0.0.4:7000", Stamp: 4},
-			},
+			}},
 		},
 	}
 	b.ResetTimer()

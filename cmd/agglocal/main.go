@@ -70,13 +70,7 @@ func run() error {
 	}
 	quiet := slog.New(slog.NewTextHandler(nopWriter{}, &slog.HandlerOptions{Level: slog.LevelError}))
 
-	endpoints := make([]antientropy.Endpoint, *nodes)
-	addrs := make([]string, *nodes)
-	for i := range endpoints {
-		ep := net.Endpoint()
-		endpoints[i] = ep
-		addrs[i] = ep.Addr()
-	}
+	endpoints, addrs := antientropy.NewMemFleet(net, *nodes)
 	cluster := make([]*antientropy.Node, *nodes)
 	rng := antientropy.NewRNG(*seed)
 	trueSum := 0.0

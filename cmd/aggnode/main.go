@@ -100,10 +100,10 @@ func run() error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	if *bootstrap != "" {
-		cfg.Bootstrap = splitAddrs(*bootstrap)
+		cfg.Bootstrap = antientropy.ParseAddrList(*bootstrap)
 	}
 	if *join != "" {
-		cfg.Seeds = splitAddrs(*join)
+		cfg.Seeds = antientropy.ParseAddrList(*join)
 	}
 
 	node, err := antientropy.NewNode(cfg)
@@ -145,17 +145,6 @@ func run() error {
 			}
 		}
 	}
-}
-
-func splitAddrs(s string) []string {
-	parts := strings.Split(s, ",")
-	out := make([]string, 0, len(parts))
-	for _, p := range parts {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 // atomicFloat stores a float64 behind an atomic uint64, letting the

@@ -3,9 +3,11 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"antientropy"
 )
 
-func TestSplitAddrs(t *testing.T) {
+func TestParseAddrList(t *testing.T) {
 	tests := []struct {
 		in   string
 		want []string
@@ -18,14 +20,14 @@ func TestSplitAddrs(t *testing.T) {
 		{" , ", nil},
 	}
 	for _, tc := range tests {
-		got := splitAddrs(tc.in)
+		got := antientropy.ParseAddrList(tc.in)
 		if len(got) != len(tc.want) {
-			t.Errorf("splitAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+			t.Errorf("ParseAddrList(%q) = %v, want %v", tc.in, got, tc.want)
 			continue
 		}
 		for i := range got {
 			if got[i] != tc.want[i] {
-				t.Errorf("splitAddrs(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+				t.Errorf("ParseAddrList(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
 			}
 		}
 	}

@@ -40,13 +40,7 @@ func main() {
 	var temperature atomic.Int64 // shared "environment", degrees ×10
 	temperature.Store(200)       // 20.0°C
 
-	endpoints := make([]antientropy.Endpoint, sensors)
-	addrs := make([]string, sensors)
-	for i := range endpoints {
-		ep := net.Endpoint()
-		endpoints[i] = ep
-		addrs[i] = ep.Addr()
-	}
+	endpoints, addrs := antientropy.NewMemFleet(net, sensors)
 	nodes := make([]*antientropy.Node, sensors)
 	ctx := context.Background()
 	for i := range nodes {

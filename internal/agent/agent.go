@@ -22,11 +22,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"math"
 	"sync"
 	"time"
 
 	"antientropy/internal/core"
-	"antientropy/internal/newscast"
+	"antientropy/internal/overlay"
 	"antientropy/internal/stats"
 	"antientropy/internal/transport"
 	"antientropy/internal/wire"
@@ -128,6 +129,16 @@ type Metrics struct {
 	EpochJumps int64
 	// DecodeErrors counts undecodable datagrams.
 	DecodeErrors int64
+	// GossipFramesFull counts outgoing membership frames that carried
+	// the whole view (first contact, or a delta would not have been
+	// smaller).
+	GossipFramesFull int64
+	// GossipFramesDelta counts outgoing delta frames.
+	GossipFramesDelta int64
+	// GossipEntriesSent counts descriptors across all outgoing frames —
+	// divided by the frame counts it measures what the delta codec saves
+	// against always-full gossip (the view size + 1).
+	GossipEntriesSent int64
 }
 
 // Node is a live aggregation participant. Create with New, run with
@@ -144,7 +155,17 @@ type Node struct {
 	scalar        float64
 	mapState      core.MapState
 	leaderID      core.LeaderID
-	cache         *newscast.Cache[string]
+	// book interns peer addresses to the dense int32 keys of the packed
+	// membership view; view is this node's NEWSCAST cache — the same
+	// overlay.Membership implementation both simulation engines run on.
+	book *overlay.Book
+	view *overlay.Membership
+	// peers tracks per-peer connection state: the negotiated wire
+	// version and the delta-gossip codec (wire.ViewCodec).
+	peers *transport.Sessions[peerSession]
+	// packedScratch is the reusable packed-view buffer of the gossip
+	// encode path (guarded by mu like the view it snapshots).
+	packedScratch []uint64
 	pending       map[uint64]chan wire.Payload
 	busy          bool
 	seq           uint64
@@ -190,7 +211,7 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("agent: unknown mode %d", cfg.Mode)
 	}
 	if cfg.CacheSize <= 0 {
-		cfg.CacheSize = newscast.DefaultCacheSize
+		cfg.CacheSize = overlay.DefaultCacheSize
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = cfg.Schedule.CycleLen / 2
@@ -212,7 +233,8 @@ func New(cfg Config) (*Node, error) {
 		logger = slog.Default()
 	}
 	logger = logger.With("node", addr)
-	cache, err := newscast.NewCache(addr, cfg.CacheSize)
+	book := overlay.NewBook()
+	view, err := overlay.NewMembership(book.Intern(addr), cfg.CacheSize)
 	if err != nil {
 		return nil, err
 	}
@@ -227,12 +249,70 @@ func New(cfg Config) (*Node, error) {
 		cfg:     cfg,
 		log:     logger,
 		funcID:  funcID,
-		cache:   cache,
+		book:    book,
+		view:    view,
+		peers:   transport.NewSessions(0, func(string) *peerSession { return &peerSession{} }),
 		pending: make(map[uint64]chan wire.Payload),
 		rng:     stats.NewRNG(cfg.Seed),
 	}
 	n.leaderID = leaderIDFor(addr)
 	return n, nil
+}
+
+// peerSession is the per-peer connection state kept in the transport
+// session table: the wire version the peer demonstrated (0 until it
+// speaks, meaning "assume current") and the delta-gossip codec.
+type peerSession struct {
+	version uint8
+	// legacyStreak counts consecutive legacy datagrams from a peer whose
+	// session is at a newer version (see observePeerLocked).
+	legacyStreak uint8
+	codec        wire.ViewCodec
+}
+
+// tick converts wall-clock time into the logical NEWSCAST stamp: whole
+// cycles since the shared schedule anchor — exactly the paper's logical
+// time, comparable across every node of a deployment because the
+// schedule is shared (§4.1). Saturates instead of wrapping at the 2³¹
+// horizon (68 years at 1-second cycles).
+func (n *Node) tick(now time.Time) int32 {
+	d := now.Sub(n.cfg.Schedule.Start)
+	if d < 0 {
+		return 0
+	}
+	t := int64(d / n.cfg.Schedule.CycleLen)
+	if t > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(t)
+}
+
+// stampFromWire converts a received descriptor stamp into the packed
+// int32 tick space. Version-2 peers send ticks directly; version-1
+// peers stamped with wall-clock microseconds, which are recognized by
+// being far outside the tick range (2³¹ µs is 35 minutes past the Unix
+// epoch — no real clock) and converted through the shared schedule, so
+// legacy descriptors age correctly instead of poisoning the
+// freshest-wins merge as permanently-fresh entries.
+func (n *Node) stampFromWire(stamp int64) int32 {
+	if stamp > math.MaxInt32 {
+		return n.tick(time.UnixMicro(stamp))
+	}
+	if stamp < 0 {
+		return 0
+	}
+	return int32(stamp)
+}
+
+// stampToWire converts a tick stamp for a peer at the given wire
+// version: ticks verbatim for current peers, schedule-derived wall-clock
+// microseconds for legacy peers (whose merges compare against their own
+// UnixMicro stamps).
+func (n *Node) stampToWire(stamp int32, version uint8) int64 {
+	if version != wire.VersionLegacy {
+		return int64(stamp)
+	}
+	return n.cfg.Schedule.Start.Add(time.Duration(stamp) * n.cfg.Schedule.CycleLen).UnixMicro()
 }
 
 // leaderIDFor derives the COUNT instance id from the node address, as the
@@ -262,23 +342,11 @@ func (n *Node) Start(ctx context.Context) error {
 		// refined by the seed's JoinReply.
 		n.joinEpoch = n.epoch + 1
 		n.participating = false
-		seeds := make([]newscast.Entry[string], 0, len(n.cfg.Seeds))
-		for _, s := range n.cfg.Seeds {
-			if s != n.Addr() {
-				seeds = append(seeds, newscast.Entry[string]{Key: s, Stamp: now.UnixMicro()})
-			}
-		}
-		n.cache.Seed(seeds)
+		n.view.Seed(n.contactEntries(n.cfg.Seeds, n.tick(now)))
 	} else {
 		n.participating = true
 		if len(n.cfg.Bootstrap) > 0 {
-			contacts := make([]newscast.Entry[string], 0, len(n.cfg.Bootstrap))
-			for _, b := range n.cfg.Bootstrap {
-				if b != n.Addr() {
-					contacts = append(contacts, newscast.Entry[string]{Key: b, Stamp: now.UnixMicro()})
-				}
-			}
-			n.cache.Seed(contacts)
+			n.view.Seed(n.contactEntries(n.cfg.Bootstrap, n.tick(now)))
 		}
 		n.resetStateLocked()
 	}
@@ -423,6 +491,21 @@ func (n *Node) closeSubsLocked() {
 	n.subs = nil
 }
 
+// contactEntries interns a contact address list into packed membership
+// entries, dropping blanks and the node's own address — the one seeding
+// path shared by founding bootstraps, §4.2 join seeds and out-of-band
+// contact injection.
+func (n *Node) contactEntries(addrs []string, stamp int32) []overlay.Entry {
+	entries := make([]overlay.Entry, 0, len(addrs))
+	for _, a := range addrs {
+		if a == "" || a == n.Addr() {
+			continue
+		}
+		entries = append(entries, overlay.Entry{Key: n.book.Intern(a), Stamp: stamp})
+	}
+	return entries
+}
+
 // AddContacts injects out-of-band discovered peer addresses into the
 // NEWSCAST cache, stamped fresh. Deployments call it when an external
 // discovery source (a seed list, DNS, an operator) learns of peers — for
@@ -430,34 +513,27 @@ func (n *Node) closeSubsLocked() {
 // both sides' caches have long evicted each other's descriptors. The
 // injected descriptors then spread epidemically through normal gossip.
 func (n *Node) AddContacts(addrs []string) {
-	now := time.Now().UnixMicro()
-	entries := make([]newscast.Entry[string], 0, len(addrs))
-	for _, a := range addrs {
-		if a == "" || a == n.Addr() {
-			continue
-		}
-		entries = append(entries, newscast.Entry[string]{Key: a, Stamp: now})
-	}
+	now := time.Now()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.cache.Absorb(entries)
+	n.view.Absorb(n.contactEntries(addrs, n.tick(now)))
 }
 
 // PeerCount returns the NEWSCAST cache occupancy.
 func (n *Node) PeerCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.cache.Len()
+	return n.view.Len()
 }
 
 // Peers returns the current NEWSCAST view (addresses only).
 func (n *Node) Peers() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	entries := n.cache.Entries()
-	out := make([]string, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, e.Key)
+	packed := n.view.Packed()
+	out := make([]string, 0, len(packed))
+	for _, e := range packed {
+		out = append(out, n.book.Addr(overlay.UnpackKey(e)))
 	}
 	return out
 }

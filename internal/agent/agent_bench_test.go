@@ -2,10 +2,12 @@ package agent
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"antientropy/internal/core"
+	"antientropy/internal/overlay"
 	"antientropy/internal/transport"
 	"antientropy/internal/wire"
 )
@@ -34,9 +36,14 @@ func BenchmarkHandleExchangeRequest(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer node.Stop()
+	gossip := make([]wire.Descriptor, 0, 31)
+	gossip = append(gossip, wire.Descriptor{Addr: peer.Addr(), Stamp: 1})
+	for i := 0; i < 30; i++ {
+		gossip = append(gossip, wire.Descriptor{Addr: fmt.Sprintf("10.9.0.%d:7000", i), Stamp: int64(i)})
+	}
 	msg := &wire.ExchangeRequest{From: peer.Addr(), Payload: wire.Payload{
 		Seq: 1, Epoch: node.Epoch(), FuncID: wire.FuncAverage, Scalar: 2,
-		Gossip: []wire.Descriptor{{Addr: peer.Addr(), Stamp: 1}},
+		View: wire.ViewFrame{Kind: wire.ViewFull, Gen: 1, Entries: gossip},
 	}}
 	data, err := wire.Encode(msg)
 	if err != nil {
@@ -101,3 +108,98 @@ func BenchmarkLiveClusterEpoch(b *testing.B) {
 	m := nodes[0].Metrics()
 	b.ReportMetric(float64(m.ExchangesCompleted)/float64(b.N), "exchanges/epoch")
 }
+
+// benchEncodeNode builds a node with a full 30-descriptor NEWSCAST view
+// and a schedule whose ticker never fires, so the benchmark drives the
+// gossip encode path by hand.
+func benchEncodeNode(b *testing.B) (*Node, []string) {
+	b.Helper()
+	net := transport.NewMemNetwork(transport.MemNetworkConfig{Seed: 1})
+	b.Cleanup(func() { net.Close() })
+	contacts := make([]string, 30)
+	for i := range contacts {
+		contacts[i] = fmt.Sprintf("10.0.0.%d:7000", i+1)
+	}
+	node, err := New(Config{
+		Endpoint: net.Endpoint(),
+		Schedule: core.Schedule{
+			Start: time.Now(), Delta: time.Hour,
+			CycleLen: time.Hour, Gamma: 1 << 20,
+		},
+		Value:     func() float64 { return 1 },
+		Bootstrap: contacts,
+		Seed:      1,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = node.Stop() })
+	return node, contacts
+}
+
+// benchAgentCycleEncode measures the per-cycle cost of snapshotting the
+// node state and encoding one exchange request — the live executor's
+// dominant CPU item. Every iteration models one steady-state cycle: two
+// cache descriptors refresh (one served and one initiated exchange's
+// worth of churn) plus the node's own fresh self-descriptor. With
+// established=false every frame carries the full ~30-descriptor view
+// (the pre-delta protocol, and still the first-contact cost); with
+// established=true the peer acknowledges each frame, so the codec ships
+// deltas.
+func benchAgentCycleEncode(b *testing.B, established bool) {
+	node, contacts := benchEncodeNode(b)
+	const peer = "peer-x:7000"
+	sess := node.peers.Get(peer)
+	var peerGen uint32
+	refresh := [2]int32{
+		node.book.Intern(contacts[0]),
+		node.book.Intern(contacts[1]),
+	}
+	var bytes int64
+	// The benchmark's schedule quantizes ticks at one hour, so a single
+	// wall-clock sample serves every iteration.
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.mu.Lock()
+		// The cycle's view churn: the absorbs of the cycle refreshed two
+		// descriptors.
+		stamp := int32(i + 1)
+		node.view.Absorb([]overlay.Entry{
+			{Key: refresh[0], Stamp: stamp},
+			{Key: refresh[1], Stamp: stamp},
+		})
+		// Snapshot and encode the outgoing exchange request.
+		payload, _ := node.payloadLocked(sess, uint64(i+1), now)
+		node.mu.Unlock()
+		data, err := wire.Encode(&wire.ExchangeRequest{From: node.Addr(), Payload: payload})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(data))
+		if established {
+			// The peer acks every frame, as a live reply would.
+			peerGen++
+			node.mu.Lock()
+			sess.codec.Observe(wire.ViewFrame{
+				Kind: wire.ViewDelta, Gen: peerGen, Ack: payload.View.Gen,
+			})
+			node.mu.Unlock()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/op")
+}
+
+// BenchmarkAgentCycleEncodeFull is the full-view baseline: no frame is
+// ever acknowledged, so every cycle re-encodes the whole view.
+func BenchmarkAgentCycleEncodeFull(b *testing.B) { benchAgentCycleEncode(b, false) }
+
+// BenchmarkAgentCycleEncodeDelta is the steady-state delta path: the
+// peer acknowledges frames, so each cycle ships only the refreshed
+// descriptors.
+func BenchmarkAgentCycleEncodeDelta(b *testing.B) { benchAgentCycleEncode(b, true) }

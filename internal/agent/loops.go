@@ -2,10 +2,11 @@ package agent
 
 import (
 	"context"
+	"slices"
 	"time"
 
 	"antientropy/internal/core"
-	"antientropy/internal/newscast"
+	"antientropy/internal/overlay"
 	"antientropy/internal/wire"
 )
 
@@ -113,38 +114,35 @@ func (n *Node) initiate(ctx context.Context, now time.Time) {
 		n.mu.Unlock()
 		return
 	}
-	peer, ok := n.cache.Peer(n.rng)
+	id, ok := n.view.Peer(n.rng)
 	if !ok {
 		n.mu.Unlock()
 		return
 	}
+	peer := n.book.Addr(id)
+	sess := n.peers.Get(peer)
 	seq := n.nextSeqLocked()
-	if !n.participating {
-		// Joiners integrate into the overlay while they wait (§4.2).
-		msg := &wire.Membership{From: n.Addr(), Seq: seq, Entries: n.gossipLocked(now)}
-		n.mu.Unlock()
-		n.send(peer, msg)
-		return
-	}
-	if n.cfg.Schedule.CycleWithin(now) >= n.cfg.Schedule.Gamma {
-		// §4.1: the protocol is terminated after γ cycles; the converged
+	if !n.participating || n.cfg.Schedule.CycleWithin(now) >= n.cfg.Schedule.Gamma {
+		// Joiners integrate into the overlay while they wait (§4.2), and
+		// after γ cycles the protocol is terminated (§4.1): the converged
 		// estimate is this epoch's output and the node idles until the
-		// next epoch (it still answers peers that are behind, and keeps
-		// the overlay fresh with membership gossip).
-		msg := &wire.Membership{From: n.Addr(), Seq: seq, Entries: n.gossipLocked(now)}
+		// next epoch — it still answers peers that are behind, and keeps
+		// the overlay fresh with membership gossip.
+		frame, version := n.frameForLocked(sess, now)
+		msg := &wire.Membership{From: n.Addr(), Seq: seq, View: frame}
 		n.mu.Unlock()
-		n.send(peer, msg)
+		n.send(peer, msg, version)
 		return
 	}
 	n.busy = true
 	ch := make(chan wire.Payload, 1)
 	n.pending[seq] = ch
-	payload := n.payloadLocked(seq, now)
+	payload, version := n.payloadLocked(sess, seq, now)
 	epoch := n.epoch
 	n.metrics.ExchangesInitiated++
 	n.mu.Unlock()
 
-	n.send(peer, &wire.ExchangeRequest{From: n.Addr(), Payload: payload})
+	n.send(peer, &wire.ExchangeRequest{From: n.Addr(), Payload: payload}, version)
 	n.wg.Add(1)
 	go n.awaitReply(ctx, seq, epoch, payload, ch)
 }
@@ -202,17 +200,23 @@ func (n *Node) applyLocked(remote wire.Payload) {
 	n.mapState = core.Merge(n.mapState, theirs)
 }
 
-// payloadLocked snapshots the node's state for the wire.
-func (n *Node) payloadLocked(seq uint64, now time.Time) wire.Payload {
+// payloadLocked snapshots the node's state for the wire, with the
+// membership frame addressed to the exchange peer's session. It returns
+// the wire version the payload was built for — the frame shape and the
+// encoding version must be decided at the same instant, under the same
+// lock, or a concurrent version observation could pair a delta frame
+// with a legacy encoding.
+func (n *Node) payloadLocked(sess *peerSession, seq uint64, now time.Time) (wire.Payload, uint8) {
+	frame, version := n.frameForLocked(sess, now)
 	p := wire.Payload{
 		Seq:    seq,
 		Epoch:  n.epoch,
 		FuncID: n.funcID,
-		Gossip: n.gossipLocked(now),
+		View:   frame,
 	}
 	if n.cfg.Mode == ModeScalar {
 		p.Scalar = n.scalar
-		return p
+		return p, version
 	}
 	entries := make([]wire.MapEntry, 0, len(n.mapState))
 	for l, v := range n.mapState {
@@ -222,36 +226,113 @@ func (n *Node) payloadLocked(seq uint64, now time.Time) wire.Payload {
 		entries = append(entries, wire.MapEntry{Leader: int64(l), Value: v})
 	}
 	p.Entries = entries
-	return p
+	return p, version
 }
 
-// gossipLocked builds the piggybacked NEWSCAST view: cache content plus a
-// fresh self-descriptor, truncated to the wire limit.
-func (n *Node) gossipLocked(now time.Time) []wire.Descriptor {
-	view := n.cache.View(now.UnixMicro())
-	if len(view) > wire.MaxDescriptors {
-		view = view[:wire.MaxDescriptors]
+// viewDescriptorsLocked unpacks the piggybacked NEWSCAST view — cache
+// content plus a fresh self-descriptor — into wire form for a peer at
+// the given wire version (stamps as ticks, or as schedule-derived
+// microseconds for legacy peers), truncated to the wire limit.
+func (n *Node) viewDescriptorsLocked(now time.Time, version uint8) []wire.Descriptor {
+	packed := n.view.Packed()
+	out := make([]wire.Descriptor, 0, len(packed)+1)
+	for _, e := range packed {
+		if len(out) == wire.MaxDescriptors-1 {
+			break
+		}
+		out = append(out, wire.Descriptor{
+			Addr:  n.book.Addr(overlay.UnpackKey(e)),
+			Stamp: n.stampToWire(overlay.UnpackStamp(e), version),
+		})
 	}
-	out := make([]wire.Descriptor, 0, len(view))
-	for _, e := range view {
-		out = append(out, wire.Descriptor{Addr: e.Key, Stamp: e.Stamp})
-	}
-	return out
+	return append(out, wire.Descriptor{Addr: n.Addr(), Stamp: n.stampToWire(n.tick(now), version)})
 }
 
-// absorbGossipLocked merges received descriptors into the cache.
-func (n *Node) absorbGossipLocked(ds []wire.Descriptor) {
+// frameForLocked builds the outgoing membership frame for one peer
+// session, and returns the wire version to encode the carrying message
+// at. The per-peer delta codec decides between a first-contact full
+// view and a delta against the peer's last-acknowledged snapshot,
+// straight off the packed view so addresses are resolved only for the
+// entries actually sent. Peers that spoke the legacy wire version get a
+// plain un-numbered full view — they track no generations.
+func (n *Node) frameForLocked(sess *peerSession, now time.Time) (wire.ViewFrame, uint8) {
+	if sess.version == wire.VersionLegacy {
+		frame := wire.ViewFrame{Kind: wire.ViewFull, Entries: n.viewDescriptorsLocked(now, sess.version)}
+		n.metrics.GossipFramesFull++
+		n.metrics.GossipEntriesSent += int64(len(frame.Entries))
+		return frame, wire.VersionLegacy
+	}
+	packed := n.view.Packed()
+	if len(packed) > wire.MaxDescriptors-1 {
+		packed = packed[:wire.MaxDescriptors-1]
+	}
+	// Insert the fresh self-descriptor at its sort position: the codec
+	// diffs sorted packed sets.
+	self := overlay.Pack(n.view.Self(), n.tick(now))
+	at, _ := slices.BinarySearch(packed, self)
+	buf := append(n.packedScratch[:0], packed[:at]...)
+	buf = append(buf, self)
+	buf = append(buf, packed[at:]...)
+	n.packedScratch = buf
+	frame := sess.codec.EncodeView(buf, n.book.Addr)
+	if frame.Kind == wire.ViewDelta {
+		n.metrics.GossipFramesDelta++
+	} else {
+		n.metrics.GossipFramesFull++
+	}
+	n.metrics.GossipEntriesSent += int64(len(frame.Entries))
+	return frame, wire.Version
+}
+
+// legacyStreakDowngrade is how many consecutive legacy datagrams a
+// version-2 session tolerates before downgrading: one or two are the
+// echo of our own dual-version join probe or a reordered frame, a
+// steady stream means the peer really is running a legacy binary again
+// (a rollback) and would drop everything we encode at version 2.
+const legacyStreakDowngrade = 3
+
+// observePeerLocked records the wire version a peer just demonstrated
+// and returns its session. Versions upgrade immediately, but downgrade
+// only after legacyStreakDowngrade consecutive legacy datagrams:
+// last-message-wins would let the echo of our own join probe latch two
+// current nodes onto legacy full-view gossip for good, while never
+// downgrading would permanently blackhole a peer rolled back to a
+// legacy binary.
+func (n *Node) observePeerLocked(peer string, version uint8) *peerSession {
+	sess := n.peers.Get(peer)
+	switch {
+	case version >= sess.version:
+		sess.version = version
+		sess.legacyStreak = 0
+	case version == wire.VersionLegacy:
+		if sess.legacyStreak++; sess.legacyStreak >= legacyStreakDowngrade {
+			sess.version = wire.VersionLegacy
+			sess.legacyStreak = 0
+		}
+	}
+	return sess
+}
+
+// absorbFrameLocked runs a received membership frame through the peer
+// session's codec (acknowledgement bookkeeping) and merges the carried
+// descriptors into the cache.
+func (n *Node) absorbFrameLocked(sess *peerSession, f wire.ViewFrame) {
+	n.absorbDescriptorsLocked(sess.codec.Observe(f))
+}
+
+// absorbDescriptorsLocked merges received descriptors into the cache.
+func (n *Node) absorbDescriptorsLocked(ds []wire.Descriptor) {
 	if len(ds) == 0 {
 		return
 	}
-	entries := make([]newscast.Entry[string], 0, len(ds))
+	entries := make([]overlay.Entry, 0, len(ds))
 	for _, d := range ds {
 		if d.Addr == "" {
 			continue
 		}
-		entries = append(entries, newscast.Entry[string]{Key: d.Addr, Stamp: d.Stamp})
+		entries = append(entries, overlay.Entry{Key: n.book.Intern(d.Addr), Stamp: n.stampFromWire(d.Stamp)})
 	}
-	n.cache.Absorb(entries)
+	n.view.Absorb(entries)
 }
 
 func (n *Node) nextSeqLocked() uint64 {
@@ -259,10 +340,17 @@ func (n *Node) nextSeqLocked() uint64 {
 	return n.seq
 }
 
-// send encodes and transmits a message; transport errors are logged and
-// otherwise treated as loss, per the system model.
-func (n *Node) send(to string, msg wire.Message) {
-	data, err := wire.Encode(msg)
+// send encodes and transmits a message at the given wire version (0
+// means the current one); transport errors are logged and otherwise
+// treated as loss, per the system model. The caller resolves the
+// version in the same critical section that shaped the message, so a
+// concurrent version observation can never pair a delta frame with a
+// legacy encoding.
+func (n *Node) send(to string, msg wire.Message, version uint8) {
+	if version == 0 {
+		version = wire.Version
+	}
+	data, err := wire.EncodeVersion(msg, version)
 	if err != nil {
 		n.log.Error("encode failed", "type", msg.Type().String(), "err", err)
 		return
@@ -273,6 +361,12 @@ func (n *Node) send(to string, msg wire.Message) {
 }
 
 // sendJoinRequest asks one seed for epoch timing and contacts (§4.2).
+// While the seed's wire version is unknown, the request goes out at
+// both supported versions: a legacy-only seed silently drops version-2
+// datagrams and, as the contacted party, would never speak first — so
+// the passive per-connection negotiation needs this active probe to
+// bootstrap a mixed-version join. Its reply pins the version for all
+// subsequent traffic; a duplicate JoinReply is harmlessly idempotent.
 func (n *Node) sendJoinRequest() {
 	n.mu.Lock()
 	seq := n.nextSeqLocked()
@@ -280,9 +374,19 @@ func (n *Node) sendJoinRequest() {
 	if len(n.cfg.Seeds) > 0 {
 		seed = n.cfg.Seeds[n.rng.Intn(len(n.cfg.Seeds))]
 	}
+	versionKnown := false
+	version := uint8(wire.Version)
+	if sess, ok := n.peers.Peek(seed); ok && sess.version != 0 {
+		versionKnown = true
+		version = sess.version
+	}
 	n.mu.Unlock()
 	if seed == "" || seed == n.Addr() {
 		return
 	}
-	n.send(seed, &wire.JoinRequest{From: n.Addr(), Seq: seq})
+	msg := &wire.JoinRequest{From: n.Addr(), Seq: seq}
+	n.send(seed, msg, version)
+	if !versionKnown {
+		n.send(seed, msg, wire.VersionLegacy)
+	}
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"antientropy/internal/core"
-	"antientropy/internal/newscast"
 	"antientropy/internal/wire"
 )
 
@@ -31,9 +30,13 @@ func (n *Node) recvLoop(ctx context.Context) {
 	}
 }
 
-// handle decodes and dispatches one datagram.
+// handle decodes and dispatches one datagram together with the wire
+// version it arrived at. Each handler records the version inside its
+// own critical section (observePeerLocked) — the per-connection
+// negotiation: replies to a legacy peer are encoded at the legacy
+// version with plain full views.
 func (n *Node) handle(from string, data []byte) {
-	msg, err := wire.Decode(data)
+	msg, version, err := wire.DecodeExt(data)
 	if err != nil {
 		n.mu.Lock()
 		n.metrics.DecodeErrors++
@@ -44,29 +47,37 @@ func (n *Node) handle(from string, data []byte) {
 	now := time.Now()
 	switch m := msg.(type) {
 	case *wire.ExchangeRequest:
-		n.handleExchangeRequest(m, now)
+		n.handleExchangeRequest(m, now, version)
 	case *wire.ExchangeReply:
-		n.handleExchangeReply(m)
+		n.handleExchangeReply(m, version)
 	case *wire.JoinRequest:
-		n.handleJoinRequest(m, now)
+		n.handleJoinRequest(m, now, version)
 	case *wire.JoinReply:
-		n.handleJoinReply(m, now)
+		n.handleJoinReply(m, from, version)
 	case *wire.Membership:
-		n.handleMembership(m, now)
+		n.handleMembership(m, now, version)
 	case *wire.MembershipReply:
-		n.handleMembershipReply(m)
+		n.handleMembershipReply(m, version)
 	}
 }
 
 // handleExchangeRequest is the passive thread's core: reply with the
 // local state, then install the merged state (Figure 1b), subject to the
 // epoch rules of §4.2/§4.3 and the busy rule documented on the package.
-func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time) {
+func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, version uint8) {
 	n.mu.Lock()
-	n.absorbGossipLocked(m.Gossip)
+	sess := n.observePeerLocked(m.From, version)
+	peerVersion := sess.version // captured under mu for the refusal sends
+	// Run the frame through the codec now (the reply must acknowledge
+	// it), but absorb its descriptors only after the reply frame is
+	// built: the reply is the pre-merge state (Figure 1b), and a delta
+	// reply computed post-merge would echo the initiator's own
+	// just-sent descriptors straight back at it.
+	gossip := sess.codec.Observe(m.View)
 	switch core.Synchronize(n.epoch, m.Epoch) {
 	case core.DropStale:
 		n.metrics.StaleDropped++
+		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		return
 	case core.JumpForward:
@@ -87,34 +98,41 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time) {
 		// the paper's timeout — the exchange is skipped — but frees the
 		// initiator immediately.
 		n.metrics.RefusedJoining++
+		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
 		return
 	}
 	if n.busy {
 		// Serving now could break mass conservation with our outstanding
 		// exchange; refusing behaves like a failed link (§6.2).
 		n.metrics.RefusedBusy++
+		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
 		return
 	}
 	if n.epoch != m.Epoch {
 		// Jump was vetoed (we are a joiner for an even later epoch).
 		n.metrics.StaleDropped++
+		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch))
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
 		return
 	}
 	// Reply with the pre-merge state, then update (Figure 1b).
-	reply := &wire.ExchangeReply{From: n.Addr(), Payload: n.payloadLocked(m.Seq, now)}
+	payload, replyVersion := n.payloadLocked(sess, m.Seq, now)
+	reply := &wire.ExchangeReply{From: n.Addr(), Payload: payload}
+	n.absorbDescriptorsLocked(gossip)
 	n.applyLocked(m.Payload)
 	n.metrics.ExchangesServed++
 	n.mu.Unlock()
-	n.send(m.From, reply)
+	n.send(m.From, reply, replyVersion)
 }
 
-// refusal builds the decline NACK for an exchange request.
+// refusal builds the decline NACK for an exchange request. It carries no
+// membership frame: a refusal must stay cheap, and skipping the codec
+// keeps the generation stream reserved for frames that carry state.
 func refusal(from string, seq, epoch uint64) *wire.ExchangeReply {
 	return &wire.ExchangeReply{From: from, Payload: wire.Payload{
 		Seq: seq, Epoch: epoch, Flags: wire.FlagRefused,
@@ -122,9 +140,10 @@ func refusal(from string, seq, epoch uint64) *wire.ExchangeReply {
 }
 
 // handleExchangeReply routes the response to the waiting active thread.
-func (n *Node) handleExchangeReply(m *wire.ExchangeReply) {
+func (n *Node) handleExchangeReply(m *wire.ExchangeReply, version uint8) {
 	n.mu.Lock()
-	n.absorbGossipLocked(m.Gossip)
+	sess := n.observePeerLocked(m.From, version)
+	n.absorbFrameLocked(sess, m.View)
 	ch, ok := n.pending[m.Seq]
 	n.mu.Unlock()
 	if !ok {
@@ -140,53 +159,59 @@ func (n *Node) handleExchangeReply(m *wire.ExchangeReply) {
 }
 
 // handleJoinRequest serves §4.2: hand out the next epoch identifier, the
-// time until it starts, and bootstrap contacts.
-func (n *Node) handleJoinRequest(m *wire.JoinRequest, now time.Time) {
+// time until it starts, and bootstrap contacts. Seeds are a plain full
+// descriptor list — a join is first contact, there is no delta base yet.
+func (n *Node) handleJoinRequest(m *wire.JoinRequest, now time.Time, version uint8) {
 	info := n.cfg.Schedule.JoinAt(now)
 	n.mu.Lock()
-	seeds := n.gossipLocked(now)
+	sess := n.observePeerLocked(m.From, version)
+	seeds := n.viewDescriptorsLocked(now, sess.version)
+	replyVersion := sess.version
 	n.mu.Unlock()
 	n.send(m.From, &wire.JoinReply{
 		Seq:        m.Seq,
 		NextEpoch:  info.NextEpoch,
 		WaitMicros: info.WaitFor.Microseconds(),
 		Seeds:      seeds,
-	})
+	}, replyVersion)
 }
 
-// handleJoinReply installs the join information from a seed.
-func (n *Node) handleJoinReply(m *wire.JoinReply, now time.Time) {
+// handleJoinReply installs the join information from a seed. JoinReply
+// carries no From field; the transport-level sender identifies the seed
+// whose wire version the reply demonstrates (this is what resolves the
+// dual-version join probe).
+func (n *Node) handleJoinReply(m *wire.JoinReply, from string, version uint8) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if from != "" {
+		n.observePeerLocked(from, version)
+	}
 	if n.participating {
 		return // already integrated
 	}
 	if m.NextEpoch > n.joinEpoch {
 		n.joinEpoch = m.NextEpoch
 	}
-	entries := make([]newscast.Entry[string], 0, len(m.Seeds))
-	for _, d := range m.Seeds {
-		if d.Addr == "" || d.Addr == n.Addr() {
-			continue
-		}
-		entries = append(entries, newscast.Entry[string]{Key: d.Addr, Stamp: d.Stamp})
-	}
-	n.cache.Absorb(entries)
-	_ = now
+	n.absorbDescriptorsLocked(m.Seeds)
 }
 
-// handleMembership serves a standalone NEWSCAST exchange.
-func (n *Node) handleMembership(m *wire.Membership, now time.Time) {
+// handleMembership serves a standalone NEWSCAST exchange: run the frame
+// through the peer's codec, reply with the pre-merge view (acknowledging
+// the received frame), then absorb.
+func (n *Node) handleMembership(m *wire.Membership, now time.Time, version uint8) {
 	n.mu.Lock()
-	reply := &wire.MembershipReply{From: n.Addr(), Seq: m.Seq, Entries: n.gossipLocked(now)}
-	n.absorbGossipLocked(m.Entries)
+	sess := n.observePeerLocked(m.From, version)
+	entries := sess.codec.Observe(m.View)
+	frame, replyVersion := n.frameForLocked(sess, now)
+	reply := &wire.MembershipReply{From: n.Addr(), Seq: m.Seq, View: frame}
+	n.absorbDescriptorsLocked(entries)
 	n.mu.Unlock()
-	n.send(m.From, reply)
+	n.send(m.From, reply, replyVersion)
 }
 
 // handleMembershipReply absorbs the second half of a membership exchange.
-func (n *Node) handleMembershipReply(m *wire.MembershipReply) {
+func (n *Node) handleMembershipReply(m *wire.MembershipReply, version uint8) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.absorbGossipLocked(m.Entries)
+	n.absorbFrameLocked(n.observePeerLocked(m.From, version), m.View)
 }

@@ -1,185 +1,47 @@
-// Package newscast implements the NEWSCAST decentralized membership
-// protocol the DSN'04 paper uses as its dynamic overlay (§4.4, citing
-// Jelasity, Kowalczyk & van Steen). Each node maintains a cache of c node
-// descriptors tagged with timestamps; a periodic epidemic exchange merges
-// the two caches plus fresh self-descriptors and keeps the c freshest
-// entries. Crashed nodes stop injecting their descriptor, so their
-// entries age out and the overlay repairs itself.
+// Package newscast is the compatibility shim over the unified
+// membership layer in internal/overlay, kept so that historical callers
+// (and external code written against the original generic API) continue
+// to compile. It contains no protocol logic of its own: every type and
+// function is an alias for, or a one-line delegation to, the legacy
+// generic implementation that now lives in overlay.
 //
-// The cache is generic over the node key so the cycle-driven simulator
-// (integer node ids, logical clock) and the live runtime (string
-// addresses, wall-clock) share one implementation. Keys must be ordered
-// so that merges are fully deterministic.
+// Deprecated: new code should use overlay.Membership — the packed
+// canonical implementation backing the serial simulator, the sharded
+// simulator and the live agent — or overlay.Table for whole-network
+// views. The generic cache this package exposes implements the identical
+// merge contract (pinned by overlay's TestPackedMatchesGenericOnStampTies)
+// but is ~5× slower per exchange.
 package newscast
 
 import (
 	"cmp"
-	"errors"
-	"slices"
 
-	"antientropy/internal/stats"
+	"antientropy/internal/overlay"
 )
 
 // Entry is a node descriptor: a key (identifier/address) and the
 // timestamp at which the node injected it.
-type Entry[K cmp.Ordered] struct {
-	Key   K
-	Stamp int64
-}
+type Entry[K cmp.Ordered] = overlay.GenericEntry[K]
 
 // Cache is one node's partial view of the network. It never contains the
 // node's own descriptor and never exceeds its capacity c. Cache is not
 // safe for concurrent use.
-type Cache[K cmp.Ordered] struct {
-	self    K
-	cap     int
-	entries []Entry[K]
-	scratch []Entry[K]
-}
+type Cache[K cmp.Ordered] = overlay.Generic[K]
 
-// DefaultCacheSize is the cache size the paper recommends: "choosing
-// c = 30 is already sufficient to obtain fast convergence … and very
-// stable and robust connectivity" (§4.4).
-const DefaultCacheSize = 30
+// DefaultCacheSize is the cache size the paper recommends (§4.4).
+const DefaultCacheSize = overlay.DefaultCacheSize
 
 // ErrBadCacheSize reports an invalid capacity.
-var ErrBadCacheSize = errors.New("newscast: cache size must be at least 1")
+var ErrBadCacheSize = overlay.ErrBadCacheSize
 
 // NewCache returns an empty cache of capacity c for node self.
 func NewCache[K cmp.Ordered](self K, c int) (*Cache[K], error) {
-	if c < 1 {
-		return nil, ErrBadCacheSize
-	}
-	return &Cache[K]{self: self, cap: c, entries: make([]Entry[K], 0, c)}, nil
-}
-
-// Self returns the owning node's key.
-func (c *Cache[K]) Self() K { return c.self }
-
-// Capacity returns the cache capacity c.
-func (c *Cache[K]) Capacity() int { return c.cap }
-
-// Len returns the number of descriptors currently cached.
-func (c *Cache[K]) Len() int { return len(c.entries) }
-
-// Entries returns a copy of the cached descriptors.
-func (c *Cache[K]) Entries() []Entry[K] {
-	return append([]Entry[K](nil), c.entries...)
-}
-
-// Contains reports whether the cache holds a descriptor for key.
-func (c *Cache[K]) Contains(key K) bool {
-	for _, e := range c.entries {
-		if e.Key == key {
-			return true
-		}
-	}
-	return false
-}
-
-// Stamp returns the timestamp cached for key (ok = false if absent).
-func (c *Cache[K]) Stamp(key K) (int64, bool) {
-	for _, e := range c.entries {
-		if e.Key == key {
-			return e.Stamp, true
-		}
-	}
-	return 0, false
-}
-
-// Seed bootstraps the cache of a joining node from out-of-band contacts
-// (§4.2 assumes such a discovery mechanism exists). Existing content is
-// replaced.
-func (c *Cache[K]) Seed(entries []Entry[K]) {
-	c.entries = c.entries[:0]
-	c.Absorb(entries)
-}
-
-// Peer returns a uniformly random cached descriptor key, used by
-// GETNEIGHBOR of the aggregation protocol and by NEWSCAST itself. The
-// second result is false when the cache is empty.
-func (c *Cache[K]) Peer(rng *stats.RNG) (K, bool) {
-	if len(c.entries) == 0 {
-		var zero K
-		return zero, false
-	}
-	return c.entries[rng.Intn(len(c.entries))].Key, true
-}
-
-// View returns what the node sends in an exchange: its cache content plus
-// its own descriptor stamped now. Nodes continuously inject their own
-// fresh descriptor this way; crashed nodes, by definition, stop (§4.4).
-func (c *Cache[K]) View(now int64) []Entry[K] {
-	out := make([]Entry[K], 0, len(c.entries)+1)
-	out = append(out, c.entries...)
-	out = append(out, Entry[K]{Key: c.self, Stamp: now})
-	return out
-}
-
-// Absorb merges remote descriptors into the cache: the union of the
-// current content and the remote view is deduplicated per key keeping the
-// freshest stamp, the node's own descriptor is dropped, and the c
-// freshest survivors are kept. Ties on the stamp are broken by key so
-// that the merge is fully deterministic.
-func (c *Cache[K]) Absorb(remote []Entry[K]) {
-	// merged is built in the reusable scratch buffer; entries and scratch
-	// never share a backing array because the result is always copied back.
-	merged := append(c.scratch[:0], c.entries...)
-	for _, e := range remote {
-		if e.Key != c.self {
-			merged = append(merged, e)
-		}
-	}
-	// Group per key with the freshest stamp first, then dedupe in place.
-	// slices.SortFunc (generic pdqsort) rather than sort.Slice: the
-	// reflection-based swapper dominated whole-simulation profiles.
-	slices.SortFunc(merged, func(a, b Entry[K]) int {
-		if a.Key != b.Key {
-			return cmp.Compare(a.Key, b.Key)
-		}
-		return cmp.Compare(b.Stamp, a.Stamp)
-	})
-	out := merged[:0]
-	for i, e := range merged {
-		if i == 0 || e.Key != merged[i-1].Key {
-			out = append(out, e)
-		}
-	}
-	// Keep the c freshest (stamp desc, key asc on ties).
-	slices.SortFunc(out, func(a, b Entry[K]) int {
-		if a.Stamp != b.Stamp {
-			return cmp.Compare(b.Stamp, a.Stamp)
-		}
-		return cmp.Compare(a.Key, b.Key)
-	})
-	if len(out) > c.cap {
-		out = out[:c.cap]
-	}
-	c.entries = append(c.entries[:0], out...)
-	c.scratch = merged[:0]
+	return overlay.NewGeneric(self, c)
 }
 
 // Exchange performs one full NEWSCAST exchange between two live nodes at
 // logical time now: both send their view (cache + fresh self descriptor)
 // and both absorb the other's view.
 func Exchange[K cmp.Ordered](a, b *Cache[K], now int64) {
-	va := a.View(now)
-	vb := b.View(now)
-	a.Absorb(vb)
-	b.Absorb(va)
-}
-
-// Oldest returns the smallest stamp in the cache (0, false when empty);
-// used to monitor overlay freshness and in tests of crash repair.
-func (c *Cache[K]) Oldest() (int64, bool) {
-	if len(c.entries) == 0 {
-		return 0, false
-	}
-	min := c.entries[0].Stamp
-	for _, e := range c.entries[1:] {
-		if e.Stamp < min {
-			min = e.Stamp
-		}
-	}
-	return min, true
+	overlay.ExchangeGeneric(a, b, now)
 }

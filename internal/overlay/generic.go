@@ -1,0 +1,162 @@
+package overlay
+
+import (
+	"cmp"
+	"slices"
+
+	"antientropy/internal/stats"
+)
+
+// Generic is the legacy comparator-sorted NEWSCAST cache, generic over
+// an ordered key type. It predates the packed Membership representation
+// and survives only behind the package newscast compatibility shim; new
+// code should use Membership (engines: Table), which implements the
+// identical merge contract ~5× faster. The two are pinned against each
+// other by TestPackedMatchesGenericOnStampTies.
+type Generic[K cmp.Ordered] struct {
+	self    K
+	cap     int
+	entries []GenericEntry[K]
+	scratch []GenericEntry[K]
+}
+
+// GenericEntry is a node descriptor of the legacy cache: a key
+// (identifier/address) and the timestamp at which the node injected it.
+type GenericEntry[K cmp.Ordered] struct {
+	Key   K
+	Stamp int64
+}
+
+// NewGeneric returns an empty legacy cache of capacity c for node self.
+func NewGeneric[K cmp.Ordered](self K, c int) (*Generic[K], error) {
+	if c < 1 {
+		return nil, ErrBadCacheSize
+	}
+	return &Generic[K]{self: self, cap: c, entries: make([]GenericEntry[K], 0, c)}, nil
+}
+
+// Self returns the owning node's key.
+func (c *Generic[K]) Self() K { return c.self }
+
+// Capacity returns the cache capacity c.
+func (c *Generic[K]) Capacity() int { return c.cap }
+
+// Len returns the number of descriptors currently cached.
+func (c *Generic[K]) Len() int { return len(c.entries) }
+
+// Entries returns a copy of the cached descriptors.
+func (c *Generic[K]) Entries() []GenericEntry[K] {
+	return append([]GenericEntry[K](nil), c.entries...)
+}
+
+// Contains reports whether the cache holds a descriptor for key.
+func (c *Generic[K]) Contains(key K) bool {
+	for _, e := range c.entries {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Stamp returns the timestamp cached for key (ok = false if absent).
+func (c *Generic[K]) Stamp(key K) (int64, bool) {
+	for _, e := range c.entries {
+		if e.Key == key {
+			return e.Stamp, true
+		}
+	}
+	return 0, false
+}
+
+// Seed bootstraps the cache of a joining node from out-of-band contacts
+// (§4.2 assumes such a discovery mechanism exists). Existing content is
+// replaced.
+func (c *Generic[K]) Seed(entries []GenericEntry[K]) {
+	c.entries = c.entries[:0]
+	c.Absorb(entries)
+}
+
+// Peer returns a uniformly random cached descriptor key. The second
+// result is false when the cache is empty.
+func (c *Generic[K]) Peer(rng *stats.RNG) (K, bool) {
+	if len(c.entries) == 0 {
+		var zero K
+		return zero, false
+	}
+	return c.entries[rng.Intn(len(c.entries))].Key, true
+}
+
+// View returns what the node sends in an exchange: its cache content plus
+// its own descriptor stamped now.
+func (c *Generic[K]) View(now int64) []GenericEntry[K] {
+	out := make([]GenericEntry[K], 0, len(c.entries)+1)
+	out = append(out, c.entries...)
+	return append(out, GenericEntry[K]{Key: c.self, Stamp: now})
+}
+
+// Absorb merges remote descriptors into the cache: the union of the
+// current content and the remote view is deduplicated per key keeping the
+// freshest stamp, the node's own descriptor is dropped, and the c
+// freshest survivors are kept. Ties on the stamp are broken by key so
+// that the merge is fully deterministic — the same contract the packed
+// Membership implements.
+func (c *Generic[K]) Absorb(remote []GenericEntry[K]) {
+	// merged is built in the reusable scratch buffer; entries and scratch
+	// never share a backing array because the result is always copied back.
+	merged := append(c.scratch[:0], c.entries...)
+	for _, e := range remote {
+		if e.Key != c.self {
+			merged = append(merged, e)
+		}
+	}
+	// Group per key with the freshest stamp first, then dedupe in place.
+	slices.SortFunc(merged, func(a, b GenericEntry[K]) int {
+		if a.Key != b.Key {
+			return cmp.Compare(a.Key, b.Key)
+		}
+		return cmp.Compare(b.Stamp, a.Stamp)
+	})
+	out := merged[:0]
+	for i, e := range merged {
+		if i == 0 || e.Key != merged[i-1].Key {
+			out = append(out, e)
+		}
+	}
+	// Keep the c freshest (stamp desc, key asc on ties).
+	slices.SortFunc(out, func(a, b GenericEntry[K]) int {
+		if a.Stamp != b.Stamp {
+			return cmp.Compare(b.Stamp, a.Stamp)
+		}
+		return cmp.Compare(a.Key, b.Key)
+	})
+	if len(out) > c.cap {
+		out = out[:c.cap]
+	}
+	c.entries = append(c.entries[:0], out...)
+	c.scratch = merged[:0]
+}
+
+// ExchangeGeneric performs one full NEWSCAST exchange between two live
+// nodes at logical time now: both send their view (cache + fresh self
+// descriptor) and both absorb the other's view.
+func ExchangeGeneric[K cmp.Ordered](a, b *Generic[K], now int64) {
+	va := a.View(now)
+	vb := b.View(now)
+	a.Absorb(vb)
+	b.Absorb(va)
+}
+
+// Oldest returns the smallest stamp in the cache (0, false when empty).
+func (c *Generic[K]) Oldest() (int64, bool) {
+	if len(c.entries) == 0 {
+		return 0, false
+	}
+	min := c.entries[0].Stamp
+	for _, e := range c.entries[1:] {
+		if e.Stamp < min {
+			min = e.Stamp
+		}
+	}
+	return min, true
+}

@@ -1,0 +1,438 @@
+// Package overlay is the unified membership layer of the system: one
+// implementation of the NEWSCAST partial-view protocol (paper §4.4)
+// behind a single Membership API, shared by the serial simulator, the
+// sharded simulator and the live agent runtime.
+//
+// The canonical representation is a flat, allocation-free packed cache
+// (lifted out of the sharded engine, where it was ~5× faster per
+// exchange than the earlier generic comparator-sorted cache): every
+// descriptor is one uint64, (^stamp)<<32 | key, so that ascending
+// primitive order is "freshest first, key ascending on ties". One
+// primitive sort per merge replaces the comparator sorts that dominated
+// whole-simulation profiles.
+//
+// Determinism contract: a merge keeps the cap freshest distinct keys of
+// the union of both views plus both fresh self-descriptors, excluding
+// the owner's own key; ties on the stamp are broken by ascending key.
+// The packed cache and the legacy generic cache (package newscast, now a
+// shim over Generic in this package) implement the identical contract —
+// pinned by TestPackedMatchesGenericOnStampTies — so the serial engine,
+// the sharded engine and the live agent produce identical merge results
+// for identical inputs.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"antientropy/internal/stats"
+)
+
+// DefaultCacheSize is the cache size the paper recommends: "choosing
+// c = 30 is already sufficient to obtain fast convergence … and very
+// stable and robust connectivity" (§4.4).
+const DefaultCacheSize = 30
+
+// ErrBadCacheSize reports an invalid capacity.
+var ErrBadCacheSize = errors.New("overlay: cache size must be at least 1")
+
+// Entry is one unpacked node descriptor: a key (node id / interned
+// address) and the logical timestamp at which the node injected it.
+type Entry struct {
+	Key   int32
+	Stamp int32
+}
+
+// Pack encodes a descriptor so that ascending uint64 order is
+// "freshest first, key ascending on ties".
+func Pack(key, stamp int32) uint64 {
+	return uint64(^uint32(stamp))<<32 | uint64(uint32(key))
+}
+
+// UnpackKey extracts the key of a packed descriptor.
+func UnpackKey(e uint64) int32 { return int32(uint32(e)) }
+
+// UnpackStamp extracts the stamp of a packed descriptor.
+func UnpackStamp(e uint64) int32 { return int32(^uint32(e >> 32)) }
+
+// Membership is one node's packed partial view of the network — the
+// single membership API every engine and the live agent program against.
+// It never contains the node's own descriptor and never exceeds its
+// capacity. Membership is not safe for concurrent use.
+type Membership struct {
+	self int32
+	cap  int
+	// entries is the full-capacity backing array; the first n slots hold
+	// the view in packed ascending order (freshest first). Rows of a
+	// Table alias its shared backing; standalone caches own theirs.
+	entries []uint64
+	n       int32
+	scratch []uint64
+}
+
+// NewMembership returns an empty standalone cache of capacity c for the
+// node with the given key (the live agent's per-node instance; engines
+// use NewTable).
+func NewMembership(self int32, c int) (*Membership, error) {
+	if c < 1 {
+		return nil, ErrBadCacheSize
+	}
+	return &Membership{self: self, cap: c, entries: make([]uint64, c)}, nil
+}
+
+// Self returns the owning node's key.
+func (m *Membership) Self() int32 { return m.self }
+
+// Capacity returns the cache capacity c.
+func (m *Membership) Capacity() int { return m.cap }
+
+// Len returns the number of descriptors currently cached.
+func (m *Membership) Len() int { return int(m.n) }
+
+// Packed is the escape hatch: the live packed view, freshest first, key
+// ascending on ties. The slice aliases the cache — callers must not
+// modify it and must not retain it across mutations. It is what the
+// engines' exchange loops and the agent's wire encoder consume without
+// any per-call allocation.
+func (m *Membership) Packed() []uint64 { return m.entries[:m.n] }
+
+// Entries returns an unpacked copy of the cached descriptors, freshest
+// first.
+func (m *Membership) Entries() []Entry {
+	out := make([]Entry, m.n)
+	for i, e := range m.Packed() {
+		out[i] = Entry{Key: UnpackKey(e), Stamp: UnpackStamp(e)}
+	}
+	return out
+}
+
+// Contains reports whether the cache holds a descriptor for key.
+func (m *Membership) Contains(key int32) bool {
+	_, ok := m.Stamp(key)
+	return ok
+}
+
+// Stamp returns the timestamp cached for key (ok = false if absent).
+func (m *Membership) Stamp(key int32) (int32, bool) {
+	for _, e := range m.Packed() {
+		if UnpackKey(e) == key {
+			return UnpackStamp(e), true
+		}
+	}
+	return 0, false
+}
+
+// Peer returns a uniformly random cached descriptor key, used by
+// GETNEIGHBOR of the aggregation protocol and by NEWSCAST itself. The
+// second result is false when the cache is empty.
+func (m *Membership) Peer(rng *stats.RNG) (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	return UnpackKey(m.entries[rng.Intn(int(m.n))]), true
+}
+
+// View returns what the node sends in an exchange: its cache content
+// plus its own descriptor stamped now. Nodes continuously inject their
+// own fresh descriptor this way; crashed nodes, by definition, stop.
+func (m *Membership) View(now int32) []Entry {
+	out := make([]Entry, 0, m.n+1)
+	for _, e := range m.Packed() {
+		out = append(out, Entry{Key: UnpackKey(e), Stamp: UnpackStamp(e)})
+	}
+	return append(out, Entry{Key: m.self, Stamp: now})
+}
+
+// AppendView appends the packed view (cache content plus a fresh self
+// descriptor) to dst — the allocation-free counterpart of View.
+func (m *Membership) AppendView(dst []uint64, now int32) []uint64 {
+	dst = append(dst, m.Packed()...)
+	return append(dst, Pack(m.self, now))
+}
+
+// smallAbsorb is the remote-size threshold below which Absorb updates
+// the view incrementally instead of re-sorting the whole union — the
+// steady-state case for the live agent, whose delta frames carry a
+// handful of descriptors.
+const smallAbsorb = 8
+
+// Absorb merges remote descriptors into the cache: the union of the
+// current content and the remote view is deduplicated per key keeping
+// the freshest stamp, the node's own descriptor is dropped, and the cap
+// freshest survivors are kept (stamp ties broken by ascending key).
+func (m *Membership) Absorb(remote []Entry) {
+	if len(remote) <= smallAbsorb {
+		for _, e := range remote {
+			m.absorbOne(Pack(e.Key, e.Stamp))
+		}
+		return
+	}
+	scratch := m.scratch[:0]
+	for _, e := range remote {
+		if e.Key != m.self {
+			scratch = append(scratch, Pack(e.Key, e.Stamp))
+		}
+	}
+	m.scratch = m.absorbScratch(scratch)
+}
+
+// AbsorbPacked merges an already-packed remote view into the cache.
+func (m *Membership) AbsorbPacked(remote []uint64) {
+	if len(remote) <= smallAbsorb {
+		for _, e := range remote {
+			m.absorbOne(e)
+		}
+		return
+	}
+	scratch := m.scratch[:0]
+	for _, e := range remote {
+		if UnpackKey(e) != m.self {
+			scratch = append(scratch, e)
+		}
+	}
+	m.scratch = m.absorbScratch(scratch)
+}
+
+// absorbOne merges a single descriptor, keeping the view sorted. It is
+// exactly the batch merge applied one candidate at a time: trimming to
+// cap only ever drops the current stalest survivor and later candidates
+// only raise the bar, so the sequential result equals the batch top-cap
+// of the union.
+func (m *Membership) absorbOne(e uint64) {
+	key := UnpackKey(e)
+	if key == m.self {
+		return
+	}
+	for i, x := range m.Packed() {
+		if UnpackKey(x) != key {
+			continue
+		}
+		if x <= e {
+			return // cached descriptor is at least as fresh
+		}
+		copy(m.entries[i:m.n-1], m.entries[i+1:m.n])
+		m.n--
+		break
+	}
+	at, _ := slices.BinarySearch(m.entries[:m.n], e)
+	if at == m.cap {
+		return // staler than a full view's every entry
+	}
+	if int(m.n) < m.cap {
+		m.n++
+	}
+	copy(m.entries[at+1:m.n], m.entries[at:m.n-1])
+	m.entries[at] = e
+}
+
+// absorbScratch completes a merge whose remote half (self already
+// filtered) sits in scratch: append the current view, sort, keep the
+// first occurrence of each key — ascending packed order makes that the
+// freshest descriptor — and write back at most cap survivors. Returns
+// the scratch buffer for reuse.
+func (m *Membership) absorbScratch(scratch []uint64) []uint64 {
+	scratch = append(scratch, m.Packed()...)
+	slices.Sort(scratch)
+	w := 0
+	for r := 0; r < len(scratch) && w < m.cap; r++ {
+		key := UnpackKey(scratch[r])
+		dup := false
+		for x := 0; x < w; x++ {
+			if UnpackKey(scratch[x]) == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			scratch[w] = scratch[r]
+			w++
+		}
+	}
+	copy(m.entries, scratch[:w])
+	m.n = int32(w)
+	return scratch[:0]
+}
+
+// Seed bootstraps the cache of a joining node from out-of-band contacts
+// (§4.2 assumes such a discovery mechanism exists). Existing content is
+// replaced.
+func (m *Membership) Seed(entries []Entry) {
+	m.n = 0
+	m.Absorb(entries)
+}
+
+// SeedRandom fills the view with up to size distinct random peers drawn
+// uniformly from [0, total), excluding the node itself, all stamped now —
+// the engines' warmed-up bootstrap. Like a real joiner's out-of-band
+// contact list, the sample may briefly include a dead slot; NEWSCAST
+// repairs that within a cycle or two. The rejection-sampling draw order
+// is part of the sharded engine's determinism contract — do not reorder.
+func (m *Membership) SeedRandom(size, total int, now int32, rng *stats.RNG) {
+	if size > m.cap {
+		size = m.cap
+	}
+	if size < 1 {
+		m.n = 0
+		return
+	}
+	w := 0
+	for w < size {
+		c := rng.Intn(total)
+		if int32(c) == m.self {
+			continue
+		}
+		dup := false
+		for x := 0; x < w; x++ {
+			if UnpackKey(m.entries[x]) == int32(c) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		m.entries[w] = Pack(int32(c), now)
+		w++
+	}
+	// Restore the freshest-first, key-ascending storage order (all
+	// stamps are equal here, so this is a key sort).
+	slices.Sort(m.entries[:w])
+	m.n = int32(w)
+}
+
+// Oldest returns the smallest stamp in the cache (0, false when empty);
+// used to monitor overlay freshness and in tests of crash repair.
+func (m *Membership) Oldest() (int32, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	// Packed order is freshest first, so the minimum stamp is near the
+	// end — but equal-stamp runs sort by key, so scan the whole view.
+	min := UnpackStamp(m.entries[0])
+	for _, e := range m.entries[1:m.n] {
+		if s := UnpackStamp(e); s < min {
+			min = s
+		}
+	}
+	return min, true
+}
+
+// Exchange performs one full NEWSCAST exchange between two live nodes at
+// logical time now: both merge the union of both views plus both fresh
+// self-descriptors. For standalone caches; engines use Table.Exchange,
+// which is the same merge on shared backing storage.
+func Exchange(a, b *Membership, now int32) {
+	va := a.AppendView(nil, now)
+	vb := b.AppendView(nil, now)
+	a.AbsorbPacked(vb)
+	b.AbsorbPacked(va)
+}
+
+// Table is a flat array of N packed views sharing one backing slice —
+// the engines' representation. Row i is node i's Membership with
+// self = i; a 10⁶-node table is two allocations.
+type Table struct {
+	cap     int
+	rows    []Membership
+	backing []uint64
+}
+
+// NewTable builds an empty table of n views with capacity c each.
+func NewTable(n, c int) (*Table, error) {
+	if c < 1 {
+		return nil, ErrBadCacheSize
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("overlay: invalid table size %d", n)
+	}
+	t := &Table{
+		cap:     c,
+		rows:    make([]Membership, n),
+		backing: make([]uint64, n*c),
+	}
+	for i := range t.rows {
+		t.rows[i] = Membership{
+			self:    int32(i),
+			cap:     c,
+			entries: t.backing[i*c : (i+1)*c : (i+1)*c],
+		}
+	}
+	return t, nil
+}
+
+// N returns the number of views.
+func (t *Table) N() int { return len(t.rows) }
+
+// Cap returns the per-view capacity c.
+func (t *Table) Cap() int { return t.cap }
+
+// At returns node i's Membership. The handle is live: it reads and
+// writes the table's storage.
+func (t *Table) At(i int) *Membership { return &t.rows[i] }
+
+// Neighbor draws a uniform member of node i's current view (-1 when the
+// view is empty) — GETNEIGHBOR on the table without the tuple return.
+func (t *Table) Neighbor(i int, rng *stats.RNG) int {
+	m := &t.rows[i]
+	if m.n == 0 {
+		return -1
+	}
+	return int(UnpackKey(m.entries[rng.Intn(int(m.n))]))
+}
+
+// Exchange performs one full NEWSCAST exchange between live nodes i and
+// j at logical time cycle, using (and returning) the caller's scratch
+// buffer: both views merge the union of both views plus both fresh
+// self-descriptors and keep the freshest cap distinct keys excluding
+// their own. The union is deduplicated with a single primitive sort:
+// ascending packed order is stamp-descending, so the first occurrence of
+// a key is its freshest descriptor and the scan can stop once cap+1
+// survivors are kept.
+func (t *Table) Exchange(scratch []uint64, i, j, cycle int) []uint64 {
+	now := int32(cycle)
+	scratch = scratch[:0]
+	scratch = append(scratch, Pack(int32(i), now), Pack(int32(j), now))
+	scratch = append(scratch, t.rows[i].Packed()...)
+	scratch = append(scratch, t.rows[j].Packed()...)
+	slices.Sort(scratch)
+	w := 0
+	for r := 0; r < len(scratch) && w < t.cap+1; r++ {
+		key := UnpackKey(scratch[r])
+		dup := false
+		for x := 0; x < w; x++ {
+			if UnpackKey(scratch[x]) == key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			scratch[w] = scratch[r]
+			w++
+		}
+	}
+	kept := scratch[:w]
+	t.writeBack(i, kept)
+	t.writeBack(j, kept)
+	return scratch
+}
+
+// writeBack installs the merged view for node: the kept survivors minus
+// the node's own descriptor, truncated to cap. Because kept holds the
+// cap+1 freshest distinct keys of the union, dropping the node's own key
+// leaves exactly the cap freshest foreign descriptors.
+func (t *Table) writeBack(node int, kept []uint64) {
+	m := &t.rows[node]
+	w := 0
+	for _, entry := range kept {
+		if int(UnpackKey(entry)) == node {
+			continue
+		}
+		m.entries[w] = entry
+		w++
+		if w == t.cap {
+			break
+		}
+	}
+	m.n = int32(w)
+}

@@ -37,7 +37,7 @@ type Engine struct {
 	scalar        []float64
 	vec           []float64 // flattened [node*dim+d], vector mode
 
-	overlay overlay
+	overlay overlayImpl
 
 	// filter, when non-nil, vetoes exchanges — aggregation and gossip —
 	// between node pairs (partition enforcement).

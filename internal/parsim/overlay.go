@@ -2,8 +2,8 @@ package parsim
 
 import (
 	"fmt"
-	"slices"
 
+	"antientropy/internal/overlay"
 	"antientropy/internal/stats"
 	"antientropy/internal/topology"
 )
@@ -12,14 +12,15 @@ import (
 // Specs are descriptions, not instances: the engine builds the overlay
 // against its own shard layout.
 type OverlaySpec interface {
-	build(e *Engine) (overlay, error)
+	build(e *Engine) (overlayImpl, error)
 }
 
-// overlay is the engine's internal view of a sharded overlay. neighbor
-// must only read the node's own view (it runs in the parallel phase);
-// stepShard runs one shard's slice of the overlay round, deferring
-// cross-shard work; flushCross drains the deferred work serially.
-type overlay interface {
+// overlayImpl is the engine's internal view of a sharded overlay.
+// neighbor must only read the node's own view (it runs in the parallel
+// phase); stepShard runs one shard's slice of the overlay round,
+// deferring cross-shard work; flushCross drains the deferred work
+// serially.
+type overlayImpl interface {
 	neighbor(node int, rng *stats.RNG) int
 	stepShard(s *shard, cycle int)
 	flushCross(cycle int)
@@ -41,14 +42,15 @@ func Newscast(c int) OverlaySpec {
 
 type newscastSpec struct{ c int }
 
-func (sp newscastSpec) build(e *Engine) (overlay, error) {
+func (sp newscastSpec) build(e *Engine) (overlayImpl, error) {
+	t, err := overlay.NewTable(e.nodes, sp.c)
+	if err != nil {
+		return nil, err
+	}
 	o := &shardedNewscast{
 		e:             e,
-		cap:           sp.c,
-		entries:       make([]uint64, e.nodes*sp.c),
-		viewLen:       make([]int32, e.nodes),
+		t:             t,
 		bootstrapSize: min(sp.c, e.nodes-1),
-		scratch:       make([]uint64, 0, 2*sp.c+2),
 	}
 	// Seed every cache with up to c distinct random peers (a warmed-up
 	// overlay, as the paper's experiments assume). Seeding is sharded:
@@ -56,24 +58,19 @@ func (sp newscastSpec) build(e *Engine) (overlay, error) {
 	// build parallelizes like a cycle does.
 	e.parallel(func(s *shard) {
 		for i := s.lo; i < s.hi; i++ {
-			o.seed(i, 0, s.rng)
+			t.At(i).SeedRandom(o.bootstrapSize, e.nodes, 0, s.rng)
 		}
 	})
 	return o, nil
 }
 
-// shardedNewscast is a flat, allocation-free NEWSCAST implementation.
-// Node i's view lives in entries[i*cap : i*cap+viewLen[i]], each entry
-// packed as (^stamp)<<32 | key so that ascending uint64 order is
-// "freshest first, key ascending on ties" — one primitive sort per
-// exchange replaces the comparator sorts of the generic cache, which
-// dominated whole-simulation profiles.
+// shardedNewscast drives the unified packed membership layer
+// (overlay.Table — one flat allocation-free view array, the identical
+// representation and merge code the serial engine and the live agent
+// use) through the engine's two-phase shard schedule.
 type shardedNewscast struct {
-	e   *Engine
-	cap int
-
-	entries []uint64
-	viewLen []int32
+	e *Engine
+	t *overlay.Table
 
 	// bootstrapSize is how many contacts a joiner or reseeded node gets.
 	bootstrapSize int
@@ -83,19 +80,9 @@ type shardedNewscast struct {
 	scratch []uint64
 }
 
-func pack(key int32, stamp int32) uint64 {
-	return uint64(^uint32(stamp))<<32 | uint64(uint32(key))
-}
-
-func unpackKey(e uint64) int32 { return int32(uint32(e)) }
-
 // neighbor draws a uniform member of the node's current view.
 func (o *shardedNewscast) neighbor(node int, rng *stats.RNG) int {
-	l := int(o.viewLen[node])
-	if l == 0 {
-		return -1
-	}
-	return int(unpackKey(o.entries[node*o.cap+rng.Intn(l)]))
+	return o.t.Neighbor(node, rng)
 }
 
 // stepShard runs one shard's gossip initiations: intra-shard exchanges
@@ -119,7 +106,7 @@ func (o *shardedNewscast) stepShard(s *shard, cycle int) {
 			continue
 		}
 		if e.shardOf(j) == s.index {
-			s.scratch = o.exchange(s.scratch, i, j, cycle)
+			s.scratch = o.t.Exchange(s.scratch, i, j, cycle)
 		} else {
 			s.gossip = append(s.gossip, crossPair{i: int32(i), j: int32(j)})
 		}
@@ -131,112 +118,18 @@ func (o *shardedNewscast) stepShard(s *shard, cycle int) {
 func (o *shardedNewscast) flushCross(cycle int) {
 	for _, s := range o.e.shards {
 		for _, p := range s.gossip {
-			o.scratch = o.exchange(o.scratch, int(p.i), int(p.j), cycle)
+			o.scratch = o.t.Exchange(o.scratch, int(p.i), int(p.j), cycle)
 		}
 	}
-}
-
-// exchange performs one full NEWSCAST exchange between live nodes i and
-// j at logical time cycle: both caches merge the union of both views
-// plus both fresh self-descriptors, keep the freshest cap distinct keys
-// excluding their own, exactly like newscast.Exchange. The union is
-// deduplicated with a single primitive sort: ascending packed order is
-// stamp-descending, so the first occurrence of a key is its freshest
-// descriptor and the scan can stop once cap+1 survivors are kept.
-func (o *shardedNewscast) exchange(scratch []uint64, i, j, cycle int) []uint64 {
-	now := int32(cycle)
-	scratch = scratch[:0]
-	scratch = append(scratch, pack(int32(i), now), pack(int32(j), now))
-	scratch = append(scratch, o.view(i)...)
-	scratch = append(scratch, o.view(j)...)
-	slices.Sort(scratch)
-	w := 0
-	for r := 0; r < len(scratch) && w < o.cap+1; r++ {
-		key := unpackKey(scratch[r])
-		dup := false
-		for x := 0; x < w; x++ {
-			if unpackKey(scratch[x]) == key {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			scratch[w] = scratch[r]
-			w++
-		}
-	}
-	kept := scratch[:w]
-	o.writeBack(i, kept)
-	o.writeBack(j, kept)
-	return scratch
-}
-
-func (o *shardedNewscast) view(node int) []uint64 {
-	return o.entries[node*o.cap : node*o.cap+int(o.viewLen[node])]
-}
-
-// writeBack installs the merged view for node: the kept survivors minus
-// the node's own descriptor, truncated to cap. Because kept holds the
-// cap+1 freshest distinct keys of the union, dropping the node's own key
-// leaves exactly the cap freshest foreign descriptors.
-func (o *shardedNewscast) writeBack(node int, kept []uint64) {
-	base := node * o.cap
-	w := 0
-	for _, entry := range kept {
-		if int(unpackKey(entry)) == node {
-			continue
-		}
-		o.entries[base+w] = entry
-		w++
-		if w == o.cap {
-			break
-		}
-	}
-	o.viewLen[node] = int32(w)
-}
-
-// seed fills node's view with up to bootstrapSize distinct random peers
-// (excluding itself) stamped at the given cycle. Like the serial
-// overlay's bootstrap, contacts are drawn from the whole slot space, so
-// a joiner may briefly hold a dead contact — NEWSCAST repairs that
-// within a cycle or two.
-func (o *shardedNewscast) seed(node, cycle int, rng *stats.RNG) {
-	size := o.bootstrapSize
-	if size < 1 {
-		o.viewLen[node] = 0
-		return
-	}
-	base := node * o.cap
-	stamp := int32(cycle)
-	w := 0
-	for w < size {
-		c := rng.Intn(o.e.nodes)
-		if c == node {
-			continue
-		}
-		dup := false
-		for x := 0; x < w; x++ {
-			if int(unpackKey(o.entries[base+x])) == c {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		o.entries[base+w] = pack(int32(c), stamp)
-		w++
-	}
-	// Restore the freshest-first, key-ascending storage order (all
-	// stamps are equal here, so this is a key sort).
-	slices.Sort(o.entries[base : base+w])
-	o.viewLen[node] = int32(w)
 }
 
 // onJoin reseeds the view of a node that took over a slot (churn, joins)
-// or is being refreshed by a post-heal rendezvous.
+// or is being refreshed by a post-heal rendezvous. Like the serial
+// overlay's bootstrap, contacts are drawn from the whole slot space, so
+// a joiner may briefly hold a dead contact — NEWSCAST repairs that
+// within a cycle or two.
 func (o *shardedNewscast) onJoin(node, cycle int, rng *stats.RNG) {
-	o.seed(node, cycle, rng)
+	o.t.At(node).SeedRandom(o.bootstrapSize, o.e.nodes, int32(cycle), rng)
 }
 
 // CompleteLive selects the fully connected overlay over the live
@@ -246,7 +139,7 @@ func CompleteLive() OverlaySpec { return completeLiveSpec{} }
 
 type completeLiveSpec struct{}
 
-func (completeLiveSpec) build(e *Engine) (overlay, error) { return &completeLive{e: e}, nil }
+func (completeLiveSpec) build(e *Engine) (overlayImpl, error) { return &completeLive{e: e}, nil }
 
 type completeLive struct{ e *Engine }
 
@@ -283,7 +176,7 @@ func NewscastFrozen(c int) OverlaySpec {
 
 type frozenNewscastSpec struct{ c int }
 
-func (sp frozenNewscastSpec) build(e *Engine) (overlay, error) {
+func (sp frozenNewscastSpec) build(e *Engine) (overlayImpl, error) {
 	inner, err := newscastSpec{c: sp.c}.build(e)
 	if err != nil {
 		return nil, err
@@ -315,7 +208,7 @@ type staticSpec struct {
 	gen func(n int, rng *stats.RNG) (topology.Graph, error)
 }
 
-func (sp staticSpec) build(e *Engine) (overlay, error) {
+func (sp staticSpec) build(e *Engine) (overlayImpl, error) {
 	// The builder RNG is split off the control stream, so the graph is a
 	// pure function of (seed, shard count) like everything else.
 	g, err := sp.gen(e.nodes, e.ctl.Split())

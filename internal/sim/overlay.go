@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 
-	"antientropy/internal/newscast"
+	"antientropy/internal/overlay"
 	"antientropy/internal/stats"
 	"antientropy/internal/topology"
 )
@@ -118,12 +118,17 @@ func CompleteLive() OverlayBuilder {
 // simulator: every cycle each live node performs one cache exchange with
 // a random cache member (skipped, like a timed-out connection, when that
 // member has crashed), and the aggregation protocol draws its neighbors
-// from the same caches.
+// from the same caches. The caches live in one flat packed
+// overlay.Table — the identical representation (and merge code) the
+// sharded engine and the live agent use, so a serial NEWSCAST sweep
+// inherits the packed-exchange speedup and the engines' merge results
+// agree descriptor for descriptor.
 type NewscastOverlay struct {
-	caches []*newscast.Cache[int32]
-	alive  func(int) bool
-	rng    *stats.RNG
-	perm   []int
+	t       *overlay.Table
+	alive   func(int) bool
+	rng     *stats.RNG
+	perm    []int
+	scratch []uint64
 	// bootstrapSize is how many random live contacts a joiner is seeded
 	// with (out-of-band discovery, paper §4.2).
 	bootstrapSize int
@@ -142,26 +147,29 @@ var (
 // warmed-up overlay, which is what the paper's experiments assume.
 func Newscast(c int) OverlayBuilder {
 	return func(ctx OverlayContext) (Overlay, error) {
+		t, err := overlay.NewTable(ctx.N, c)
+		if err != nil {
+			return nil, err
+		}
 		o := &NewscastOverlay{
-			caches:        make([]*newscast.Cache[int32], ctx.N),
+			t:             t,
 			alive:         ctx.Alive,
 			rng:           ctx.RNG,
 			perm:          make([]int, ctx.N),
+			scratch:       make([]uint64, 0, 2*c+2),
 			bootstrapSize: min(c, ctx.N-1),
 		}
+		// Seeding keeps the historical sample-without-replacement draws
+		// (not the sharded engine's rejection loop) so serial runs stay
+		// bit-identical across the packed-cache migration.
 		seedBuf := make([]int, min(c, ctx.N-1))
-		entries := make([]newscast.Entry[int32], len(seedBuf))
+		entries := make([]overlay.Entry, len(seedBuf))
 		for i := 0; i < ctx.N; i++ {
-			cache, err := newscast.NewCache(int32(i), c)
-			if err != nil {
-				return nil, err
-			}
 			ctx.RNG.Sample(seedBuf, ctx.N, func(v int) bool { return v == i })
 			for j, v := range seedBuf {
-				entries[j] = newscast.Entry[int32]{Key: int32(v), Stamp: 0}
+				entries[j] = overlay.Entry{Key: int32(v), Stamp: 0}
 			}
-			cache.Seed(entries)
-			o.caches[i] = cache
+			t.At(i).Seed(entries)
 		}
 		return o, nil
 	}
@@ -169,11 +177,7 @@ func Newscast(c int) OverlayBuilder {
 
 // Neighbor draws a uniform member of the node's current cache.
 func (o *NewscastOverlay) Neighbor(node int, rng *stats.RNG) int {
-	peer, ok := o.caches[node].Peer(rng)
-	if !ok {
-		return -1
-	}
-	return int(peer)
+	return o.t.Neighbor(node, rng)
 }
 
 // Step performs one NEWSCAST round: every live node initiates one cache
@@ -183,23 +187,21 @@ func (o *NewscastOverlay) Neighbor(node int, rng *stats.RNG) int {
 // the same way.
 func (o *NewscastOverlay) Step(cycle int) {
 	o.rng.Perm(o.perm)
-	now := int64(cycle)
 	for _, i := range o.perm {
 		if !o.alive(i) {
 			continue
 		}
-		peer, ok := o.caches[i].Peer(o.rng)
-		if !ok {
+		j := o.t.Neighbor(i, o.rng)
+		if j < 0 {
 			continue
 		}
-		j := int(peer)
 		if !o.alive(j) {
 			continue
 		}
 		if o.filter != nil && !o.filter(i, j) {
 			continue
 		}
-		newscast.Exchange(o.caches[i], o.caches[j], now)
+		o.scratch = o.t.Exchange(o.scratch, i, j, cycle)
 	}
 }
 
@@ -212,7 +214,7 @@ func (o *NewscastOverlay) SetGossipFilter(filter func(i, j int) bool) {
 // OnJoin reseeds the cache of a node that took over a slot (churn): the
 // joiner bootstraps from a handful of random live contacts.
 func (o *NewscastOverlay) OnJoin(node int, cycle int) {
-	n := len(o.caches)
+	n := o.t.N()
 	size := o.bootstrapSize
 	if size > n-1 {
 		size = n - 1
@@ -224,17 +226,17 @@ func (o *NewscastOverlay) OnJoin(node int, cycle int) {
 	// repairs that within a cycle or two, as in a real deployment.
 	buf := make([]int, size)
 	o.rng.Sample(buf, n, func(v int) bool { return v == node })
-	entries := make([]newscast.Entry[int32], size)
+	entries := make([]overlay.Entry, size)
 	for j, v := range buf {
-		entries[j] = newscast.Entry[int32]{Key: int32(v), Stamp: int64(cycle)}
+		entries[j] = overlay.Entry{Key: int32(v), Stamp: int32(cycle)}
 	}
-	o.caches[node].Seed(entries)
+	o.t.At(node).Seed(entries)
 }
 
-// Cache exposes a node's NEWSCAST cache for inspection in tests and
-// overlay-quality experiments.
-func (o *NewscastOverlay) Cache(node int) *newscast.Cache[int32] {
-	return o.caches[node]
+// Cache exposes a node's NEWSCAST membership view for inspection in
+// tests and overlay-quality experiments.
+func (o *NewscastOverlay) Cache(node int) *overlay.Membership {
+	return o.t.At(node)
 }
 
 // frozenNewscast is the A3 ablation overlay: NEWSCAST caches are

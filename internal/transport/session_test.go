@@ -1,0 +1,51 @@
+package transport
+
+import "testing"
+
+func TestSessionsCreateAndReuse(t *testing.T) {
+	created := 0
+	s := NewSessions(4, func(peer string) *int {
+		created++
+		v := created
+		return &v
+	})
+	a := s.Get("a")
+	if *a != 1 {
+		t.Fatalf("first session = %d", *a)
+	}
+	if again := s.Get("a"); again != a {
+		t.Fatal("Get did not reuse the session")
+	}
+	if created != 1 {
+		t.Fatalf("newFn ran %d times", created)
+	}
+	if _, ok := s.Peek("b"); ok {
+		t.Fatal("Peek created a session")
+	}
+}
+
+func TestSessionsLRUEviction(t *testing.T) {
+	s := NewSessions(2, func(peer string) *string { p := peer; return &p })
+	s.Get("a")
+	s.Get("b")
+	s.Get("a") // refresh a; b is now oldest
+	s.Get("c") // evicts b
+	if _, ok := s.Peek("b"); ok {
+		t.Fatal("least recently used session survived")
+	}
+	if _, ok := s.Peek("a"); !ok {
+		t.Fatal("recently used session evicted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSessionsForget(t *testing.T) {
+	s := NewSessions(0, func(peer string) *struct{} { return &struct{}{} })
+	s.Get("a")
+	s.Forget("a")
+	if s.Len() != 0 {
+		t.Fatal("Forget left the session")
+	}
+}

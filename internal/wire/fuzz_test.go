@@ -1,19 +1,31 @@
 package wire
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // FuzzDecode drives the decoder with arbitrary datagrams: it must never
-// panic, and every successfully decoded message must re-encode.
+// panic, and every successfully decoded message must re-encode. Seeds
+// cover every message type at the current version — both view-frame
+// kinds included — plus legacy version-1 encodings, whose decoded form
+// (an un-numbered full frame) must re-encode at the current version.
 func FuzzDecode(f *testing.F) {
-	// Seed with valid encodings of every message type.
+	fullView := ViewFrame{Kind: ViewFull, Gen: 1,
+		Entries: []Descriptor{{Addr: "b:2", Stamp: 9}}}
+	deltaView := ViewFrame{Kind: ViewDelta, Gen: 6, Ack: 3, Base: 2,
+		Entries: []Descriptor{{Addr: "c:9", Stamp: 11}, {Addr: "d:1", Stamp: 12}}}
 	seeds := []Message{
 		&ExchangeRequest{From: "a:1", Payload: Payload{Seq: 1, Epoch: 2, FuncID: FuncAverage, Scalar: 1.5,
 			Entries: []MapEntry{{Leader: 3, Value: 0.5}},
-			Gossip:  []Descriptor{{Addr: "b:2", Stamp: 9}}}},
+			View:    fullView}},
+		&ExchangeRequest{From: "a:2", Payload: Payload{Seq: 4, Epoch: 2, FuncID: FuncAverage,
+			View: deltaView}},
 		&ExchangeReply{From: "b:2", Payload: Payload{Seq: 1, Flags: FlagRefused}},
 		&JoinRequest{From: "c:3", Seq: 7},
 		&JoinReply{Seq: 7, NextEpoch: 8, WaitMicros: 100, Seeds: []Descriptor{{Addr: "d:4", Stamp: 1}}},
-		&Membership{From: "e:5", Seq: 9, Entries: []Descriptor{{Addr: "f:6", Stamp: 2}}},
+		&Membership{From: "e:5", Seq: 9, View: fullView},
+		&Membership{From: "e:6", Seq: 10, View: deltaView},
 		&MembershipReply{From: "g:7", Seq: 9},
 	}
 	for _, m := range seeds {
@@ -23,14 +35,28 @@ func FuzzDecode(f *testing.F) {
 		}
 		f.Add(data)
 	}
+	// Legacy version-1 encodings (deltas cannot be downgraded — skip).
+	for _, m := range seeds {
+		data, err := EncodeLegacy(m)
+		if errors.Is(err, ErrBadViewKind) {
+			continue
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("AE04"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Decode(data)
+		m, version, err := DecodeExt(data)
 		if err != nil {
 			return // rejected input is fine; panicking is not
 		}
-		// Decoded messages must round-trip.
+		if version != Version && version != VersionLegacy {
+			t.Fatalf("decoder accepted version %d", version)
+		}
+		// Decoded messages must round-trip at the current version.
 		re, err := Encode(m)
 		if err != nil {
 			t.Fatalf("decoded %T does not re-encode: %v", m, err)
@@ -43,4 +69,72 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
 		}
 	})
+}
+
+// FuzzViewCodec hammers the delta codec with arbitrary frame sequences:
+// whatever the peer claims, Observe must not panic and EncodeView must
+// keep producing frames whose entries are a subset of the current view.
+func FuzzViewCodec(f *testing.F) {
+	f.Add(uint8(1), uint32(1), uint32(0), uint32(0), int32(5))
+	f.Add(uint8(2), uint32(9), uint32(3), uint32(2), int32(-1))
+	f.Add(uint8(0), uint32(0), uint32(7), uint32(0), int32(0))
+	f.Fuzz(func(t *testing.T, kind uint8, gen, ack, base uint32, stamp int32) {
+		var local, remote ViewCodec
+		view := pview(1, stamp, 2, stamp+1)
+		for round := int32(0); round < 4; round++ {
+			frame := local.EncodeView(view, addrOf)
+			if frame.Kind != ViewFull && frame.Kind != ViewDelta {
+				t.Fatalf("EncodeView produced %v frame", frame.Kind)
+			}
+			if len(frame.Entries) > len(view) {
+				t.Fatalf("frame carries %d entries for a %d-entry view", len(frame.Entries), len(view))
+			}
+			remote.Observe(frame)
+			// The adversarial peer responds with an arbitrary frame.
+			local.Observe(ViewFrame{Kind: ViewKind(kind % 3), Gen: gen, Ack: ack, Base: base,
+				Entries: []Descriptor{{Addr: "x", Stamp: int64(stamp)}}})
+			view = pview(1, stamp+round+1, 2, stamp+1)
+		}
+	})
+}
+
+// TestDecodeUnknownVersionTyped pins the typed rejection: any version
+// other than the current and the legacy one must fail with
+// ErrBadVersion, for both past (0) and future (3, 99) numbers.
+func TestDecodeUnknownVersionTyped(t *testing.T) {
+	valid, err := Encode(&JoinRequest{From: "a", Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []byte{0, 3, 99, 255} {
+		data := append([]byte(nil), valid...)
+		data[4] = version
+		if _, err := Decode(data); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("version %d: Decode = %v, want ErrBadVersion", version, err)
+		}
+	}
+	// Both supported versions still decode.
+	for _, enc := range []func(Message) ([]byte, error){Encode, EncodeLegacy} {
+		data, err := enc(&JoinRequest{From: "a", Seq: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			t.Errorf("supported version rejected: %v", err)
+		}
+	}
+}
+
+// TestDecodeUnknownViewKindTyped pins the typed rejection of a frame
+// kind the codec does not know.
+func TestDecodeUnknownViewKindTyped(t *testing.T) {
+	data, err := Encode(&Membership{From: "a", Seq: 1, View: ViewFrame{Kind: ViewFull, Gen: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame trailer is kind(1) + gen(4) + ack(4) + count(2).
+	data[len(data)-11] = 9
+	if _, err := Decode(data); !errors.Is(err, ErrBadViewKind) {
+		t.Errorf("Decode = %v, want ErrBadViewKind", err)
+	}
 }

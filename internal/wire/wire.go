@@ -6,13 +6,32 @@
 // Layout (big endian):
 //
 //	magic   [4]byte  "AE04"
-//	version uint8    (currently 1)
+//	version uint8    (currently 2; version 1 is decoded for compatibility)
 //	type    uint8    message type tag
 //	body    ...      type-specific fields
 //
 // Strings are uint16 length + bytes; descriptor and map-entry lists are
-// uint16 count + fixed-size records, capped to keep every message inside
-// a single UDP datagram.
+// uint16 count + records, capped to keep every message inside a single
+// UDP datagram.
+//
+// # Versioned view codec (version 2)
+//
+// Version 1 piggybacked the full NEWSCAST view — ~30 descriptors, most
+// of them unchanged since the previous cycle — on every exchange, and
+// that encode/decode dominated the live runtime's per-cycle CPU.
+// Version 2 replaces the plain descriptor list with a ViewFrame: a full
+// packed view is sent only on first contact (or when a delta would not
+// be smaller), and subsequent frames carry only the descriptors that are
+// new or fresher than the snapshot the peer last acknowledged. Frames
+// are numbered per connection (Gen) and acknowledge the highest frame
+// received from the peer (Ack); ViewCodec maintains the per-peer state
+// on both sides. Because NEWSCAST absorption is a merge that keeps the
+// freshest descriptor per key, a lost delta never corrupts a view — the
+// peer merely misses entries that re-spread epidemically — so the codec
+// needs no retransmission machinery. Version 1 messages decode into the
+// same structures (their descriptor list becomes an un-numbered full
+// frame) and EncodeLegacy emits them, so mixed-version deployments
+// interoperate at full-view rates.
 package wire
 
 import (
@@ -25,8 +44,12 @@ import (
 // Magic identifies the protocol ("Anti-Entropy, DSN 2004").
 var Magic = [4]byte{'A', 'E', '0', '4'}
 
-// Version is the current wire version.
-const Version = 1
+// Version is the current wire version (delta-encoded membership views).
+const Version = 2
+
+// VersionLegacy is the pre-delta wire version, still decoded (and, via
+// EncodeLegacy, encoded) for compatibility with old nodes.
+const VersionLegacy = 1
 
 // Limits that keep any message within one UDP datagram.
 const (
@@ -71,13 +94,14 @@ func (t MsgType) String() string {
 	}
 }
 
-// Errors returned by Decode.
+// Errors returned by Decode and Encode.
 var (
-	ErrTruncated  = errors.New("wire: truncated message")
-	ErrBadMagic   = errors.New("wire: bad magic")
-	ErrBadVersion = errors.New("wire: unsupported version")
-	ErrBadType    = errors.New("wire: unknown message type")
-	ErrTooLarge   = errors.New("wire: field exceeds limit")
+	ErrTruncated   = errors.New("wire: truncated message")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadType     = errors.New("wire: unknown message type")
+	ErrTooLarge    = errors.New("wire: field exceeds limit")
+	ErrBadViewKind = errors.New("wire: unknown view frame kind")
 )
 
 // Descriptor is a NEWSCAST membership entry on the wire.
@@ -90,6 +114,56 @@ type Descriptor struct {
 type MapEntry struct {
 	Leader int64
 	Value  float64
+}
+
+// ViewKind tags a membership view frame.
+type ViewKind uint8
+
+// View frame kinds.
+const (
+	// ViewNone is the zero frame: no membership information attached
+	// (refusal NACKs). Encoded as a single byte.
+	ViewNone ViewKind = iota
+	// ViewFull carries the sender's complete view — first contact, or a
+	// refresh when a delta would not be smaller.
+	ViewFull
+	// ViewDelta carries only the descriptors that are new or fresher
+	// than the snapshot the peer acknowledged (frame Base).
+	ViewDelta
+)
+
+// String names the frame kind.
+func (k ViewKind) String() string {
+	switch k {
+	case ViewNone:
+		return "none"
+	case ViewFull:
+		return "full"
+	case ViewDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(k))
+	}
+}
+
+// ViewFrame is the versioned membership view attached to gossiping
+// messages: a full packed view on first contact, deltas thereafter.
+type ViewFrame struct {
+	// Kind selects full, delta or no view.
+	Kind ViewKind
+	// Gen numbers this frame within the sender→receiver connection
+	// (1-based; 0 means the sender does not track generations, e.g. a
+	// frame synthesized from a legacy version-1 message).
+	Gen uint32
+	// Ack echoes the highest Gen received from the peer (0 = none yet);
+	// it is what promotes the sender's pending snapshot on the other
+	// side and thereby enables delta frames in the reverse direction.
+	Ack uint32
+	// Base is the acknowledged generation this delta is relative to
+	// (ViewDelta only).
+	Base uint32
+	// Entries are the carried descriptors.
+	Entries []Descriptor
 }
 
 // Payload is the aggregation state carried by exchange messages.
@@ -106,8 +180,8 @@ type Payload struct {
 	Scalar float64
 	// Entries is the map state for the COUNT aggregate.
 	Entries []MapEntry
-	// Gossip piggybacks NEWSCAST descriptors on every exchange.
-	Gossip []Descriptor
+	// View piggybacks the NEWSCAST membership frame on every exchange.
+	View ViewFrame
 }
 
 // FlagRefused marks a reply that declines the exchange (responder busy or
@@ -160,7 +234,9 @@ type JoinRequest struct {
 func (*JoinRequest) Type() MsgType { return TJoinRequest }
 
 // JoinReply hands a joiner the next epoch it may participate in, the time
-// until that epoch starts, and membership seeds.
+// until that epoch starts, and membership seeds. Seeds stay a plain
+// descriptor list: a join is by definition first contact, where a delta
+// has no base to build on.
 type JoinReply struct {
 	Seq        uint64
 	NextEpoch  uint64
@@ -171,12 +247,12 @@ type JoinReply struct {
 // Type returns TJoinReply.
 func (*JoinReply) Type() MsgType { return TJoinReply }
 
-// Membership is a standalone NEWSCAST cache exchange (used by joiners
-// that may not take part in aggregation yet).
+// Membership is a standalone NEWSCAST view exchange (used by joiners
+// that may not take part in aggregation yet, and by idle post-γ nodes).
 type Membership struct {
-	From    string
-	Seq     uint64
-	Entries []Descriptor
+	From string
+	Seq  uint64
+	View ViewFrame
 }
 
 // Type returns TMembership.
@@ -184,9 +260,9 @@ func (*Membership) Type() MsgType { return TMembership }
 
 // MembershipReply answers a Membership exchange.
 type MembershipReply struct {
-	From    string
-	Seq     uint64
-	Entries []Descriptor
+	From string
+	Seq  uint64
+	View ViewFrame
 }
 
 // Type returns TMembershipReply.
@@ -200,6 +276,7 @@ type appender struct {
 
 func (a *appender) u8(v uint8)   { a.buf = append(a.buf, v) }
 func (a *appender) u16(v uint16) { a.buf = binary.BigEndian.AppendUint16(a.buf, v) }
+func (a *appender) u32(v uint32) { a.buf = binary.BigEndian.AppendUint32(a.buf, v) }
 func (a *appender) u64(v uint64) { a.buf = binary.BigEndian.AppendUint64(a.buf, v) }
 func (a *appender) i64(v int64)  { a.u64(uint64(v)) }
 func (a *appender) f64(v float64) {
@@ -227,6 +304,42 @@ func (a *appender) descriptors(ds []Descriptor) {
 	}
 }
 
+func (a *appender) viewFrame(f ViewFrame) {
+	a.u8(uint8(f.Kind))
+	switch f.Kind {
+	case ViewNone:
+		if len(f.Entries) != 0 {
+			a.err = fmt.Errorf("%w: none frame carries %d entries", ErrBadViewKind, len(f.Entries))
+		}
+	case ViewFull:
+		a.u32(f.Gen)
+		a.u32(f.Ack)
+		a.descriptors(f.Entries)
+	case ViewDelta:
+		a.u32(f.Gen)
+		a.u32(f.Ack)
+		a.u32(f.Base)
+		a.descriptors(f.Entries)
+	default:
+		a.err = fmt.Errorf("%w: %d", ErrBadViewKind, uint8(f.Kind))
+	}
+}
+
+// legacyEntries flattens a view frame into the version-1 descriptor
+// list. Only full (or empty) frames can be downgraded: a delta is
+// meaningless to a peer that tracks no generations.
+func legacyEntries(f ViewFrame) ([]Descriptor, error) {
+	switch f.Kind {
+	case ViewNone:
+		return nil, nil
+	case ViewFull:
+		return f.Entries, nil
+	default:
+		return nil, fmt.Errorf("%w: cannot downgrade %s frame to version %d",
+			ErrBadViewKind, f.Kind, VersionLegacy)
+	}
+}
+
 func (a *appender) mapEntries(es []MapEntry) {
 	if len(es) > MaxMapEntries {
 		a.err = fmt.Errorf("%w: %d map entries", ErrTooLarge, len(es))
@@ -239,29 +352,53 @@ func (a *appender) mapEntries(es []MapEntry) {
 	}
 }
 
-func (a *appender) payload(p Payload) {
+func (a *appender) payloadHead(p Payload) {
 	a.u64(p.Seq)
 	a.u64(p.Epoch)
 	a.u8(p.FuncID)
 	a.u8(p.Flags)
 	a.f64(p.Scalar)
 	a.mapEntries(p.Entries)
-	a.descriptors(p.Gossip)
 }
 
-// Encode serializes a message.
-func Encode(m Message) ([]byte, error) {
+// Encode serializes a message at the current wire version.
+func Encode(m Message) ([]byte, error) { return EncodeVersion(m, Version) }
+
+// EncodeLegacy serializes a message at the pre-delta version 1, for
+// peers that have not demonstrated version-2 support. View frames must
+// be full (or empty); deltas cannot be downgraded.
+func EncodeLegacy(m Message) ([]byte, error) { return EncodeVersion(m, VersionLegacy) }
+
+// EncodeVersion serializes a message at an explicit wire version.
+func EncodeVersion(m Message, version uint8) ([]byte, error) {
+	if version != Version && version != VersionLegacy {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
 	a := &appender{buf: make([]byte, 0, 256)}
 	a.buf = append(a.buf, Magic[:]...)
-	a.u8(Version)
+	a.u8(version)
 	a.u8(uint8(m.Type()))
+	view := func(f ViewFrame) {
+		if version == VersionLegacy {
+			ds, err := legacyEntries(f)
+			if err != nil {
+				a.err = err
+				return
+			}
+			a.descriptors(ds)
+			return
+		}
+		a.viewFrame(f)
+	}
 	switch v := m.(type) {
 	case *ExchangeRequest:
 		a.str(v.From)
-		a.payload(v.Payload)
+		a.payloadHead(v.Payload)
+		view(v.View)
 	case *ExchangeReply:
 		a.str(v.From)
-		a.payload(v.Payload)
+		a.payloadHead(v.Payload)
+		view(v.View)
 	case *JoinRequest:
 		a.str(v.From)
 		a.u64(v.Seq)
@@ -273,11 +410,11 @@ func Encode(m Message) ([]byte, error) {
 	case *Membership:
 		a.str(v.From)
 		a.u64(v.Seq)
-		a.descriptors(v.Entries)
+		view(v.View)
 	case *MembershipReply:
 		a.str(v.From)
 		a.u64(v.Seq)
-		a.descriptors(v.Entries)
+		view(v.View)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
@@ -323,6 +460,14 @@ func (r *reader) u16() uint16 {
 	return binary.BigEndian.Uint16(b)
 }
 
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
 func (r *reader) u64() uint64 {
 	b := r.take(8)
 	if b == nil {
@@ -361,6 +506,35 @@ func (r *reader) descriptors() []Descriptor {
 	return out
 }
 
+// viewFrame reads a version-2 frame.
+func (r *reader) viewFrame() ViewFrame {
+	kind := ViewKind(r.u8())
+	switch kind {
+	case ViewNone:
+		return ViewFrame{}
+	case ViewFull:
+		return ViewFrame{Kind: ViewFull, Gen: r.u32(), Ack: r.u32(), Entries: r.descriptors()}
+	case ViewDelta:
+		return ViewFrame{Kind: ViewDelta, Gen: r.u32(), Ack: r.u32(), Base: r.u32(), Entries: r.descriptors()}
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %d", ErrBadViewKind, uint8(kind))
+		}
+		return ViewFrame{}
+	}
+}
+
+// legacyFrame reads a version-1 descriptor list as an un-numbered full
+// frame (an empty list stays the zero frame, matching what version 1
+// meant by it).
+func (r *reader) legacyFrame() ViewFrame {
+	ds := r.descriptors()
+	if len(ds) == 0 {
+		return ViewFrame{}
+	}
+	return ViewFrame{Kind: ViewFull, Entries: ds}
+}
+
 func (r *reader) mapEntries() []MapEntry {
 	n := int(r.u16())
 	if n > MaxMapEntries {
@@ -374,62 +548,79 @@ func (r *reader) mapEntries() []MapEntry {
 	return out
 }
 
-func (r *reader) payload() Payload {
-	return Payload{
+func (r *reader) payload(version uint8) Payload {
+	p := Payload{
 		Seq:     r.u64(),
 		Epoch:   r.u64(),
 		FuncID:  r.u8(),
 		Flags:   r.u8(),
 		Scalar:  r.f64(),
 		Entries: r.mapEntries(),
-		Gossip:  r.descriptors(),
 	}
+	if version == VersionLegacy {
+		p.View = r.legacyFrame()
+	} else {
+		p.View = r.viewFrame()
+	}
+	return p
 }
 
 // Decode parses a message. The input slice is not retained.
 func Decode(data []byte) (Message, error) {
+	m, _, err := DecodeExt(data)
+	return m, err
+}
+
+// DecodeExt parses a message and additionally reports the wire version
+// it was encoded at, letting callers track per-peer version support.
+func DecodeExt(data []byte) (Message, uint8, error) {
 	r := &reader{buf: data}
 	magic := r.take(4)
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
 	if [4]byte(magic) != Magic {
-		return nil, ErrBadMagic
+		return nil, 0, ErrBadMagic
 	}
-	if v := r.u8(); v != Version {
+	version := r.u8()
+	if version != Version && version != VersionLegacy {
 		if r.err != nil {
-			return nil, r.err
+			return nil, 0, r.err
 		}
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	frame := r.viewFrame
+	if version == VersionLegacy {
+		frame = r.legacyFrame
 	}
 	t := MsgType(r.u8())
 	var m Message
 	switch t {
 	case TExchangeRequest:
-		m = &ExchangeRequest{From: r.str(), Payload: r.payload()}
+		m = &ExchangeRequest{From: r.str(), Payload: r.payload(version)}
 	case TExchangeReply:
-		m = &ExchangeReply{From: r.str(), Payload: r.payload()}
+		m = &ExchangeReply{From: r.str(), Payload: r.payload(version)}
 	case TJoinRequest:
 		m = &JoinRequest{From: r.str(), Seq: r.u64()}
 	case TJoinReply:
 		m = &JoinReply{Seq: r.u64(), NextEpoch: r.u64(), WaitMicros: r.i64(), Seeds: r.descriptors()}
 	case TMembership:
-		m = &Membership{From: r.str(), Seq: r.u64(), Entries: r.descriptors()}
+		m = &Membership{From: r.str(), Seq: r.u64(), View: frame()}
 	case TMembershipReply:
-		m = &MembershipReply{From: r.str(), Seq: r.u64(), Entries: r.descriptors()}
+		m = &MembershipReply{From: r.str(), Seq: r.u64(), View: frame()}
 	default:
 		if r.err != nil {
-			return nil, r.err
+			return nil, 0, r.err
 		}
-		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
 	if r.off != len(data) {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(data)-r.off)
+		return nil, 0, fmt.Errorf("wire: %d trailing bytes", len(data)-r.off)
 	}
-	return m, nil
+	return m, version, nil
 }
 
 // FuncIDFor maps a core function name to its wire id.

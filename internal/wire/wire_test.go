@@ -25,7 +25,8 @@ func TestRoundTripAllTypes(t *testing.T) {
 	payload := Payload{
 		Seq: 7, Epoch: 42, FuncID: FuncAverage, Scalar: 3.14,
 		Entries: []MapEntry{{Leader: 9, Value: 0.5}},
-		Gossip:  []Descriptor{{Addr: "10.0.0.1:9", Stamp: 100}},
+		View: ViewFrame{Kind: ViewFull, Gen: 3, Ack: 2,
+			Entries: []Descriptor{{Addr: "10.0.0.1:9", Stamp: 100}}},
 	}
 	msgs := []Message{
 		&ExchangeRequest{From: "a:1", Payload: payload},
@@ -34,9 +35,11 @@ func TestRoundTripAllTypes(t *testing.T) {
 		&JoinReply{Seq: 5, NextEpoch: 43, WaitMicros: 123456,
 			Seeds: []Descriptor{{Addr: "d:4", Stamp: -7}}},
 		&Membership{From: "e:5", Seq: 9,
-			Entries: []Descriptor{{Addr: "f:6", Stamp: 1}, {Addr: "g:7", Stamp: 2}}},
+			View: ViewFrame{Kind: ViewDelta, Gen: 7, Ack: 4, Base: 2,
+				Entries: []Descriptor{{Addr: "f:6", Stamp: 1}, {Addr: "g:7", Stamp: 2}}}},
 		&MembershipReply{From: "h:8", Seq: 9,
-			Entries: []Descriptor{{Addr: "i:9", Stamp: 3}}},
+			View: ViewFrame{Kind: ViewFull, Gen: 1,
+				Entries: []Descriptor{{Addr: "i:9", Stamp: 3}}}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -49,8 +52,8 @@ func TestRoundTripAllTypes(t *testing.T) {
 func TestRoundTripEmptyLists(t *testing.T) {
 	m := &ExchangeRequest{From: "x", Payload: Payload{Seq: 1, FuncID: FuncMin}}
 	got := roundTrip(t, m).(*ExchangeRequest)
-	if len(got.Entries) != 0 || len(got.Gossip) != 0 {
-		t.Fatalf("empty lists decoded as %v / %v", got.Entries, got.Gossip)
+	if len(got.Entries) != 0 || got.View.Kind != ViewNone || len(got.View.Entries) != 0 {
+		t.Fatalf("empty lists decoded as %v / %v", got.Entries, got.View)
 	}
 }
 
@@ -93,7 +96,8 @@ func TestRoundTripProperty(t *testing.T) {
 		}
 		in := &ExchangeRequest{From: from, Payload: Payload{
 			Seq: seq, Epoch: epoch, FuncID: fid, Scalar: scalar,
-			Entries: entries, Gossip: gossip,
+			Entries: entries,
+			View:    ViewFrame{Kind: ViewFull, Gen: 1, Entries: gossip},
 		}}
 		data, err := Encode(in)
 		if err != nil {
@@ -114,7 +118,7 @@ func TestRoundTripProperty(t *testing.T) {
 		} else if got.Scalar != scalar {
 			return false
 		}
-		if len(got.Entries) != len(entries) || len(got.Gossip) != len(gossip) {
+		if len(got.Entries) != len(entries) || len(got.View.Entries) != len(gossip) {
 			return false
 		}
 		return true
@@ -170,7 +174,8 @@ func TestEncodeLimits(t *testing.T) {
 		t.Errorf("oversize address: %v", err)
 	}
 	manyDescriptors := make([]Descriptor, MaxDescriptors+1)
-	if _, err := Encode(&Membership{From: "a", Entries: manyDescriptors}); !errors.Is(err, ErrTooLarge) {
+	oversizeView := ViewFrame{Kind: ViewFull, Gen: 1, Entries: manyDescriptors}
+	if _, err := Encode(&Membership{From: "a", View: oversizeView}); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("oversize descriptor list: %v", err)
 	}
 	manyEntries := make([]MapEntry, MaxMapEntries+1)
@@ -181,7 +186,7 @@ func TestEncodeLimits(t *testing.T) {
 
 func TestDecodeRejectsOversizeCounts(t *testing.T) {
 	// Craft a message claiming an enormous descriptor list.
-	data, err := Encode(&Membership{From: "a", Seq: 1})
+	data, err := Encode(&Membership{From: "a", Seq: 1, View: ViewFrame{Kind: ViewFull, Gen: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
