@@ -373,6 +373,8 @@ type (
 	ScenarioSimOptions = scenario.SimOptions
 	// ScenarioLiveOptions tune the live-fleet executor.
 	ScenarioLiveOptions = scenario.LiveOptions
+	// ScenarioUDPOptions tune the multi-process UDP executor.
+	ScenarioUDPOptions = scenario.UDPOptions
 	// ScenarioDivergence summarizes how two executions of one scenario
 	// differ cycle by cycle.
 	ScenarioDivergence = scenario.Divergence
@@ -429,6 +431,24 @@ func DivergeScenarioRuns(a, b *ScenarioRun) ScenarioDivergence { return scenario
 // the in-memory transport.
 func RunScenarioLive(ctx context.Context, sc Scenario, opts ScenarioLiveOptions) (*ScenarioRun, error) {
 	return scenario.RunLive(ctx, sc, opts)
+}
+
+// RunScenarioUDP executes a scenario against a fleet of live nodes on
+// real UDP loopback sockets, sliced across worker processes. The
+// supervisor coordinates cycle barriers and scripted events over the
+// workers' stdin/stdout pipes and injects partitions and loss through
+// per-process drop-rule filters (see transport.UDPFilter).
+func RunScenarioUDP(ctx context.Context, sc Scenario, opts ScenarioUDPOptions) (*ScenarioRun, error) {
+	return scenario.RunUDP(ctx, sc, opts)
+}
+
+// RunScenarioUDPWorker runs the worker half of the UDP executor on the
+// given control channel (normally os.Stdin/os.Stdout). cmd/aggscen calls
+// it in its hidden -worker mode; embedders whose binary cannot be
+// re-executed with that flag point ScenarioUDPOptions.WorkerCmd at any
+// program calling this.
+func RunScenarioUDPWorker(in io.Reader, out io.Writer) error {
+	return scenario.RunUDPWorker(in, out)
 }
 
 // RunExperiment regenerates one figure by id.

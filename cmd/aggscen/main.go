@@ -1,8 +1,9 @@
 // Command aggscen lists, runs and compares declarative scenarios:
 // scripted churn waves, correlated crashes, flash crowds, network
 // partitions, loss/delay bursts and value dynamics, executed against
-// both the deterministic cycle-driven simulator and a fleet of live
-// agent nodes over the in-memory transport.
+// the deterministic cycle-driven simulator, a fleet of live agent nodes
+// over the in-memory transport, or a multi-process fleet on real UDP
+// loopback sockets.
 //
 // The simulator executor runs on one of two engines: the serial engine
 // (bit-deterministic from the seed alone) or the sharded multi-core
@@ -12,15 +13,23 @@
 // -engine sharded always wins, and the executed engine is echoed in the
 // per-run summary ("sim" vs "sim-sharded").
 //
+// The UDP executor forks -workers worker processes (this binary
+// re-executed with the internal -worker flag), each running a slice of
+// the fleet on real sockets; partitions and loss are injected through
+// per-process drop rules, so the same scripts apply to all three
+// executors.
+//
 // Usage:
 //
 //	aggscen -list
-//	aggscen -run partition-heal -n 1000            # both executors, CSV
+//	aggscen -run partition-heal -n 1000            # sim + live, CSV
 //	aggscen -run loss-burst -executor sim -format json
+//	aggscen -run partition-heal -executor udp -workers 3
 //	aggscen -run partition-heal -n 100000 -executor sim -engine sharded -shards 8
 //	aggscen -file my-scenario.json -out metrics.csv
 //	aggscen -compare steady-churn,loss-burst,partition-heal
 //	aggscen -compare partition-heal -executor both  # sim vs live divergence
+//	aggscen -compare partition-heal -executor udp   # sim vs udp divergence
 //	aggscen -show partition-heal                   # print the JSON script
 package main
 
@@ -48,31 +57,38 @@ func run() error {
 		name     = flag.String("run", "", "run a canned scenario by name")
 		file     = flag.String("file", "", "run a scenario from a JSON file")
 		show     = flag.String("show", "", "print a canned scenario as JSON and exit")
-		compare  = flag.String("compare", "", "comma-separated scenario names to run and summarize (add -executor both for sim-vs-live divergence)")
+		compare  = flag.String("compare", "", "comma-separated scenario names to run and summarize (add -executor both/udp/all for sim-vs-fleet divergence)")
 		n        = flag.Int("n", 0, "override the network size")
 		cycles   = flag.Int("cycles", 0, "override the run length")
 		seed     = flag.Uint64("seed", 0, "override the scenario seed")
-		executor = flag.String("executor", "", "which executor to use: sim, live, or both (default: both for -run, sim for -compare)")
+		executor = flag.String("executor", "", "executors to use: sim, live, udp, both (= sim,live), all, or a comma list (default: both for -run, sim for -compare)")
 		engine   = flag.String("engine", "auto", "sim executor engine: auto (by size), serial, or sharded")
 		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS); results are deterministic per seed + shard count")
+		workers  = flag.Int("workers", 3, "udp executor: number of worker processes the fleet is sliced across")
 		format   = flag.String("format", "csv", "metric output format: csv or json")
 		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")
-		cycleLen = flag.Duration("cycle-len", 0, "live executor: wall-clock cycle length (0 = scale with fleet size and cores)")
+		cycleLen = flag.Duration("cycle-len", 0, "live/udp executors: wall-clock cycle length (0 = scale with fleet size and cores)")
+		worker   = flag.Bool("worker", false, "internal: run as a UDP-executor worker process, speaking the control protocol on stdin/stdout")
 	)
 	flag.Parse()
 
+	if *worker {
+		return antientropy.RunScenarioUDPWorker(os.Stdin, os.Stdout)
+	}
+
 	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards}
+	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen}
 	switch {
 	case *list:
 		return listScenarios()
 	case *show != "":
 		return showScenario(*show)
 	case *compare != "":
-		exec := *executor
-		if exec == "" {
-			exec = "sim"
+		extras, err := parseExecutors(*executor, "sim")
+		if err != nil {
+			return err
 		}
-		return compareScenarios(strings.Split(*compare, ","), *n, *seed, exec, simOpts, *cycleLen)
+		return compareScenarios(strings.Split(*compare, ","), *n, *seed, extras, simOpts, udpOpts, *cycleLen)
 	case *name != "" || *file != "":
 		sc, err := loadScenario(*name, *file)
 		if err != nil {
@@ -87,15 +103,48 @@ func run() error {
 		if *seed != 0 {
 			sc.Seed = *seed
 		}
-		exec := *executor
-		if exec == "" {
-			exec = "both"
+		execs, err := parseExecutors(*executor, "both")
+		if err != nil {
+			return err
 		}
-		return runScenario(sc, exec, *format, *outPath, simOpts, *cycleLen)
+		return runScenario(sc, execs, *format, *outPath, simOpts, udpOpts, *cycleLen)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do (use -list, -run, -file, -show or -compare)")
 	}
+}
+
+// parseExecutors expands an -executor value into an ordered, deduplicated
+// executor list. "both" is sim+live, "all" is sim+live+udp.
+func parseExecutors(value, def string) ([]string, error) {
+	if value == "" {
+		value = def
+	}
+	switch value {
+	case "both":
+		value = "sim,live"
+	case "all":
+		value = "sim,live,udp"
+	}
+	var execs []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(value, ",") {
+		e := strings.TrimSpace(raw)
+		if e == "" || seen[e] {
+			continue
+		}
+		switch e {
+		case "sim", "live", "udp":
+		default:
+			return nil, fmt.Errorf("unknown executor %q (want sim, live, udp, both or all)", e)
+		}
+		seen[e] = true
+		execs = append(execs, e)
+	}
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("no executor selected")
+	}
+	return execs, nil
 }
 
 func listScenarios() error {
@@ -131,7 +180,22 @@ func loadScenario(name, file string) (antientropy.Scenario, error) {
 	return antientropy.ScenarioByName(name)
 }
 
-func runScenario(sc antientropy.Scenario, executor, format, outPath string, simOpts antientropy.ScenarioSimOptions, cycleLen time.Duration) error {
+// runExecutor dispatches one scenario run to the named executor.
+func runExecutor(sc antientropy.Scenario, executor string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) (*antientropy.ScenarioRun, error) {
+	switch executor {
+	case "sim":
+		return antientropy.RunScenarioSimWith(sc, simOpts)
+	case "live":
+		return antientropy.RunScenarioLive(context.Background(), sc,
+			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
+	case "udp":
+		return antientropy.RunScenarioUDP(context.Background(), sc, udpOpts)
+	default:
+		return nil, fmt.Errorf("unknown executor %q", executor)
+	}
+}
+
+func runScenario(sc antientropy.Scenario, executors []string, format, outPath string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) error {
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -147,30 +211,19 @@ func runScenario(sc antientropy.Scenario, executor, format, outPath string, simO
 	}
 
 	var runs []*antientropy.ScenarioRun
-	if executor == "sim" || executor == "both" {
+	for _, executor := range executors {
 		start := time.Now()
-		res, err := antientropy.RunScenarioSimWith(sc, simOpts)
+		res, err := runExecutor(sc, executor, simOpts, udpOpts, cycleLen)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "aggscen: %s (%v)\n", res.String(), time.Since(start).Round(time.Millisecond))
 		runs = append(runs, res)
 	}
-	if executor == "live" || executor == "both" {
-		start := time.Now()
-		res, err := antientropy.RunScenarioLive(context.Background(), sc,
-			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "aggscen: %s (%v)\n", res.String(), time.Since(start).Round(time.Millisecond))
-		runs = append(runs, res)
-	}
-	if len(runs) == 0 {
-		return fmt.Errorf("unknown executor %q (want sim, live or both)", executor)
-	}
-	if len(runs) == 2 {
-		fmt.Fprintf(os.Stderr, "aggscen: divergence %s\n", antientropy.DivergeScenarioRuns(runs[0], runs[1]))
+	// With several executors, report how far each fleet drifts from the
+	// first-listed one (normally the simulator's prediction).
+	for i := 1; i < len(runs); i++ {
+		fmt.Fprintf(os.Stderr, "aggscen: divergence %s\n", antientropy.DivergeScenarioRuns(runs[0], runs[i]))
 	}
 
 	switch format {
@@ -196,13 +249,17 @@ func runScenario(sc antientropy.Scenario, executor, format, outPath string, simO
 }
 
 // compareScenarios summarizes each scenario on the simulator executor;
-// with executor "both" it additionally runs the live fleet side by side
-// and reports the per-cycle divergence of the two metric streams (they
-// share the CSV schema and the scripted value signal, so the difference
-// isolates executor effects).
-func compareScenarios(names []string, n int, seed uint64, executor string, simOpts antientropy.ScenarioSimOptions, cycleLen time.Duration) error {
-	if executor != "sim" && executor != "both" {
-		return fmt.Errorf("-compare supports -executor sim or both, got %q", executor)
+// additional executors (live, udp) run side by side, and the per-cycle
+// divergence of each fleet's metric stream from the simulator's is
+// reported (they share the CSV schema and the scripted value signal, so
+// the difference isolates executor effects).
+func compareScenarios(names []string, n int, seed uint64, executors []string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) error {
+	// The simulator is the comparison baseline and always runs first.
+	fleets := make([]string, 0, len(executors))
+	for _, e := range executors {
+		if e != "sim" {
+			fleets = append(fleets, e)
+		}
 	}
 	fmt.Printf("%-18s %-12s %6s %7s %9s %9s %12s %10s\n",
 		"scenario", "executor", "n", "cycles", "min-alive", "end-alive", "final-relerr", "messages")
@@ -226,16 +283,14 @@ func compareScenarios(names []string, n int, seed uint64, executor string, simOp
 			return err
 		}
 		printCompareRow(sc, simRes)
-		if executor != "both" {
-			continue
+		for _, executor := range fleets {
+			res, err := runExecutor(sc, executor, simOpts, udpOpts, cycleLen)
+			if err != nil {
+				return err
+			}
+			printCompareRow(sc, res)
+			fmt.Printf("  divergence: %s\n", antientropy.DivergeScenarioRuns(simRes, res))
 		}
-		liveRes, err := antientropy.RunScenarioLive(context.Background(), sc,
-			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
-		if err != nil {
-			return err
-		}
-		printCompareRow(sc, liveRes)
-		fmt.Printf("  divergence: %s\n", antientropy.DivergeScenarioRuns(simRes, liveRes))
 	}
 	return nil
 }

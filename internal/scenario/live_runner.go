@@ -51,13 +51,6 @@ func (o LiveOptions) withDefaults(fleet int) LiveOptions {
 	return o
 }
 
-// liveSlot tracks one node slot of the fleet.
-type liveSlot struct {
-	node  *agent.Node
-	addr  string
-	alive bool
-}
-
 // RunLive executes the scenario against a fleet of real agent nodes over
 // the in-memory transport: every node runs the paper's active/passive
 // goroutine pair with real timers, epochs and joins; partitions, loss and
@@ -89,16 +82,15 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 	}
 
 	d := &liveDriver{
-		sc:    sc,
-		prog:  prog,
-		slots: make([]liveSlot, slots),
-		rng:   rng,
-		net:   net,
-		opts:  opts,
-		sched: schedule,
-		ctx:   ctx,
-
-		nextJoin: sc.N,
+		sc:     sc,
+		prog:   prog,
+		roster: newFleetRoster(slots, sc.N),
+		nodes:  make([]*agent.Node, slots),
+		rng:    rng,
+		net:    net,
+		opts:   opts,
+		sched:  schedule,
+		ctx:    ctx,
 	}
 	defer d.stopAll()
 
@@ -109,20 +101,20 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 	for slot := 0; slot < sc.N; slot++ {
 		endpoints[slot] = net.Endpoint()
 		bootstrap[slot] = endpoints[slot].Addr()
-		d.slots[slot].addr = bootstrap[slot]
+		d.roster.addr[slot] = bootstrap[slot]
 	}
 	for slot := 0; slot < sc.N; slot++ {
 		node, err := d.newNode(slot, endpoints[slot], nil, bootstrap)
 		if err != nil {
 			return nil, err
 		}
-		d.slots[slot].node = node
+		d.nodes[slot] = node
 	}
 	for slot := 0; slot < sc.N; slot++ {
-		if err := d.slots[slot].node.Start(ctx); err != nil {
+		if err := d.nodes[slot].Start(ctx); err != nil {
 			return nil, fmt.Errorf("scenario %s: starting node %d: %w", sc.Name, slot, err)
 		}
-		d.slots[slot].alive = true
+		d.roster.alive[slot] = true
 	}
 
 	result := &RunResult{
@@ -182,25 +174,21 @@ func sleepUntil(ctx context.Context, t time.Time) error {
 
 // liveDriver owns the fleet and the mutable script state.
 type liveDriver struct {
-	sc    Scenario
-	prog  *ValueProgram
-	slots []liveSlot
-	rng   *stats.RNG
-	net   *transport.MemNetwork
-	opts  LiveOptions
-	sched core.Schedule
-	ctx   context.Context
+	sc     Scenario
+	prog   *ValueProgram
+	roster *fleetRoster
+	nodes  []*agent.Node
+	rng    *stats.RNG
+	net    *transport.MemNetwork
+	opts   LiveOptions
+	sched  core.Schedule
+	ctx    context.Context
 
 	// cycleNow is the driver's cycle clock; node Value suppliers read it
 	// so epoch restarts sample the scripted signal at the current cycle.
 	cycleNow atomic.Int64
 
-	nextJoin int
-	crashed  []int
-
-	groupOf        []int
-	partitionOn    bool
-	partitionUntil int
+	part partitionState
 
 	// retiredMessages preserves the exchange counts of stopped nodes so
 	// the per-cycle message metric stays monotonic.
@@ -231,10 +219,10 @@ func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap [
 
 // applyEvents runs the script for one wall-clock cycle.
 func (d *liveDriver) applyEvents(cycle int) error {
-	if d.partitionOn && d.partitionUntil > 0 && cycle > d.partitionUntil {
+	if d.part.expired(cycle) {
 		d.heal()
 	}
-	d.net.SetLoss(d.effectiveLoss(cycle))
+	d.net.SetLoss(d.sc.effectiveLoss(cycle))
 	d.applyDelay(cycle)
 	for _, ev := range d.sc.Events {
 		if !ev.activeAt(cycle, d.sc.Cycles) {
@@ -242,24 +230,24 @@ func (d *liveDriver) applyEvents(cycle int) error {
 		}
 		switch ev.Kind {
 		case KindCrash:
-			count := ev.resolveCount(d.aliveCount())
-			for k := 0; k < count && d.aliveCount() > 1; k++ {
-				d.crash(d.randomAlive())
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count && d.roster.aliveCount() > 1; k++ {
+				d.crash(d.roster.randomAlive(d.rng))
 			}
 		case KindChurn:
-			count := ev.resolveCount(d.aliveCount())
-			for k := 0; k < count && d.aliveCount() > 1; k++ {
-				slot := d.randomAlive()
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count && d.roster.aliveCount() > 1; k++ {
+				slot := d.roster.randomAlive(d.rng)
 				d.crash(slot)
 				if err := d.startJoiner(slot); err != nil {
 					return err
 				}
-				d.crashed = d.crashed[:len(d.crashed)-1] // slot reused, not available
+				d.roster.popCrashed() // slot reused, not available for restarts
 			}
 		case KindJoin:
 			count := ev.resolveCount(d.sc.N)
 			for k := 0; k < count; k++ {
-				slot, ok := d.takeJoinSlot()
+				slot, ok := d.roster.takeJoinSlot()
 				if !ok {
 					break
 				}
@@ -268,10 +256,12 @@ func (d *liveDriver) applyEvents(cycle int) error {
 				}
 			}
 		case KindRestart:
-			count := ev.resolveCount(d.aliveCount())
-			for k := 0; k < count && len(d.crashed) > 0; k++ {
-				slot := d.crashed[len(d.crashed)-1]
-				d.crashed = d.crashed[:len(d.crashed)-1]
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count; k++ {
+				slot, ok := d.roster.popCrashed()
+				if !ok {
+					break
+				}
 				if err := d.startJoiner(slot); err != nil {
 					return err
 				}
@@ -294,14 +284,12 @@ func (d *liveDriver) applyEvents(cycle int) error {
 // out). The stop completes in the background so one tick can crash many
 // nodes without stalling the clock.
 func (d *liveDriver) crash(slot int) {
-	s := &d.slots[slot]
-	if !s.alive {
+	if !d.roster.alive[slot] {
 		return
 	}
-	s.alive = false
-	d.crashed = append(d.crashed, slot)
-	d.retiredMessages += s.node.Metrics().ExchangesInitiated
-	node := s.node
+	d.roster.markCrashed(slot)
+	d.retiredMessages += d.nodes[slot].Metrics().ExchangesInitiated
+	node := d.nodes[slot]
 	d.stopping.Add(1)
 	go func() {
 		defer d.stopping.Done()
@@ -314,7 +302,7 @@ func (d *liveDriver) crash(slot int) {
 // epoch on.
 func (d *liveDriver) startJoiner(slot int) error {
 	ep := d.net.Endpoint()
-	seeds := d.seedAddrs(3)
+	seeds := d.roster.seedAddrs(d.rng, 3)
 	node, err := d.newNode(slot, ep, seeds, nil)
 	if err != nil {
 		return err
@@ -322,78 +310,13 @@ func (d *liveDriver) startJoiner(slot int) error {
 	if err := node.Start(d.ctx); err != nil {
 		return fmt.Errorf("scenario %s: starting joiner %d: %w", d.sc.Name, slot, err)
 	}
-	d.slots[slot] = liveSlot{node: node, addr: ep.Addr(), alive: true}
-	if d.partitionOn {
-		d.net.AssignGroup(ep.Addr(), d.groupOf[slot])
+	d.nodes[slot] = node
+	d.roster.addr[slot] = ep.Addr()
+	d.roster.alive[slot] = true
+	if d.part.on {
+		d.net.AssignGroup(ep.Addr(), d.part.groupOf[slot])
 	}
 	return nil
-}
-
-// seedAddrs samples up to n live contact addresses.
-func (d *liveDriver) seedAddrs(n int) []string {
-	live := d.liveSlots()
-	if len(live) == 0 {
-		return nil
-	}
-	seeds := make([]string, 0, n)
-	for k := 0; k < n; k++ {
-		slot := live[d.rng.Intn(len(live))]
-		seeds = append(seeds, d.slots[slot].addr)
-	}
-	return seeds
-}
-
-func (d *liveDriver) takeJoinSlot() (int, bool) {
-	if d.nextJoin < len(d.slots) {
-		slot := d.nextJoin
-		d.nextJoin++
-		return slot, true
-	}
-	if len(d.crashed) > 0 {
-		slot := d.crashed[len(d.crashed)-1]
-		d.crashed = d.crashed[:len(d.crashed)-1]
-		return slot, true
-	}
-	return 0, false
-}
-
-func (d *liveDriver) aliveCount() int {
-	count := 0
-	for i := range d.slots {
-		if d.slots[i].alive {
-			count++
-		}
-	}
-	return count
-}
-
-func (d *liveDriver) liveSlots() []int {
-	live := make([]int, 0, len(d.slots))
-	for i := range d.slots {
-		if d.slots[i].alive {
-			live = append(live, i)
-		}
-	}
-	return live
-}
-
-func (d *liveDriver) randomAlive() int {
-	live := d.liveSlots()
-	return live[d.rng.Intn(len(live))]
-}
-
-// effectiveLoss mirrors the simulator executor's rule.
-func (d *liveDriver) effectiveLoss(cycle int) float64 {
-	loss := d.sc.MessageLoss
-	for _, ev := range d.sc.Events {
-		if ev.Kind != KindLoss {
-			continue
-		}
-		if from, to := ev.window(d.sc.Cycles); cycle >= from && cycle <= to {
-			loss = ev.Rate
-		}
-	}
-	return loss
 }
 
 // applyDelay raises transport latency while a delay burst is active.
@@ -415,75 +338,25 @@ func (d *liveDriver) applyDelay(cycle int) {
 // component, live addresses are registered, and cross-component
 // datagrams drop until the heal.
 func (d *liveDriver) partition(ev Event) {
-	var total float64
-	for _, w := range ev.Groups {
-		total += w
+	d.part.activate(partitionComponents(d.rng, len(d.roster.alive), ev.Groups), ev.Until)
+	groups := make(map[string]int, len(d.roster.alive))
+	for _, slot := range d.roster.liveSlots() {
+		groups[d.roster.addr[slot]] = d.part.groupOf[slot]
 	}
-	perm := make([]int, len(d.slots))
-	d.rng.Perm(perm)
-	d.groupOf = make([]int, len(d.slots))
-	start := 0
-	acc := 0.0
-	for g, w := range ev.Groups {
-		acc += w
-		end := int(acc / total * float64(len(d.slots)))
-		if g == len(ev.Groups)-1 {
-			end = len(d.slots)
-		}
-		for _, slot := range perm[start:end] {
-			d.groupOf[slot] = g
-		}
-		start = end
-	}
-	groups := make(map[string]int, len(d.slots))
-	for slot := range d.slots {
-		if d.slots[slot].alive {
-			groups[d.slots[slot].addr] = d.groupOf[slot]
-		}
-	}
-	d.partitionOn = true
-	d.partitionUntil = ev.Until
 	d.net.PartitionGroups(groups)
 }
 
+// heal removes the partition and performs the rendezvous refresh (see
+// bridgeContacts): a few bridge nodes per component learn contacts from
+// the other components out-of-band, and gossip remerges the overlay.
 func (d *liveDriver) heal() {
-	wasOn := d.partitionOn
-	d.partitionOn = false
-	d.partitionUntil = 0
+	wasOn := d.part.clear()
 	d.net.HealGroups()
 	if !wasOn {
 		return
 	}
-	// Rendezvous refresh: after a partition longer than the cache
-	// lifetime, each side has evicted every descriptor of the other, so
-	// gossip alone can never remerge the overlay. Real deployments
-	// re-learn peers out-of-band (seed lists, DNS); model that by handing
-	// a few nodes per component fresh contacts from the other components —
-	// epidemic gossip spreads the bridge from there.
-	byGroup := make(map[int][]int)
-	for _, slot := range d.liveSlots() {
-		g := d.groupOf[slot]
-		byGroup[g] = append(byGroup[g], slot)
-	}
-	const bridgesPerGroup, contactsPerBridge = 4, 3
-	for g, members := range byGroup {
-		var others []int
-		for og, om := range byGroup {
-			if og != g {
-				others = append(others, om...)
-			}
-		}
-		if len(others) == 0 {
-			continue
-		}
-		for b := 0; b < bridgesPerGroup && b < len(members); b++ {
-			bridge := members[d.rng.Intn(len(members))]
-			contacts := make([]string, 0, contactsPerBridge)
-			for c := 0; c < contactsPerBridge; c++ {
-				contacts = append(contacts, d.slots[others[d.rng.Intn(len(others))]].addr)
-			}
-			d.slots[bridge].node.AddContacts(contacts)
-		}
+	for _, bc := range bridgeContacts(d.rng, d.roster, d.part.groupOf) {
+		d.nodes[bc.slot].AddContacts(bc.addrs)
 	}
 }
 
@@ -492,18 +365,15 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 	var est, truth stats.Moments
 	participating := 0
 	var messages int64
-	for i := range d.slots {
-		s := &d.slots[i]
-		if !s.alive {
-			continue
-		}
-		truth.Add(d.prog.Value(i, cycle))
-		messages += s.node.Metrics().ExchangesInitiated
-		if !s.node.Participating() {
+	for _, slot := range d.roster.liveSlots() {
+		node := d.nodes[slot]
+		truth.Add(d.prog.Value(slot, cycle))
+		messages += node.Metrics().ExchangesInitiated
+		if !node.Participating() {
 			continue
 		}
 		participating++
-		if v, ok := s.node.Estimate(); ok {
+		if v, ok := node.Estimate(); ok {
 			est.Add(v)
 		}
 	}
@@ -529,11 +399,9 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 
 // stopAll terminates every live node and waits for background stops.
 func (d *liveDriver) stopAll() {
-	for i := range d.slots {
-		if d.slots[i].alive {
-			d.slots[i].alive = false
-			_ = d.slots[i].node.Stop()
-		}
+	for _, slot := range d.roster.liveSlots() {
+		d.roster.alive[slot] = false
+		_ = d.nodes[slot].Stop()
 	}
 	d.stopping.Wait()
 }

@@ -1,0 +1,245 @@
+package scenario
+
+import "antientropy/internal/stats"
+
+// This file holds the script-state machinery the executors share. The
+// three drivers (sim, live-mem, udp) differ only in how an intervention
+// is *performed* — engine hook, direct node call, or control-channel
+// command — while the bookkeeping of who is alive where, which slot a
+// join takes, how a partition slices the fleet and who bridges it after
+// the heal must be identical, or the executors' metric streams stop
+// being comparable.
+
+// effectiveLoss resolves the message-loss rate for a cycle: the baseline
+// unless a loss burst is active (the latest active event wins). Every
+// executor applies this same rule.
+func (s Scenario) effectiveLoss(cycle int) float64 {
+	loss := s.MessageLoss
+	for _, ev := range s.Events {
+		if ev.Kind != KindLoss {
+			continue
+		}
+		if from, to := ev.window(s.Cycles); cycle >= from && cycle <= to {
+			loss = ev.Rate
+		}
+	}
+	return loss
+}
+
+// partitionComponents assigns every slot to a partition component by the
+// event's relative weights. Assigning all slots — not just the live
+// ones — puts nodes that join mid-partition into a component too,
+// exactly as a joiner lands on one side of a real split.
+func partitionComponents(rng *stats.RNG, slots int, weights []float64) []int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	perm := make([]int, slots)
+	rng.Perm(perm)
+	groupOf := make([]int, slots)
+	start := 0
+	acc := 0.0
+	for g, w := range weights {
+		acc += w
+		end := int(acc / total * float64(slots))
+		if g == len(weights)-1 {
+			end = slots
+		}
+		for _, slot := range perm[start:end] {
+			groupOf[slot] = g
+		}
+		start = end
+	}
+	return groupOf
+}
+
+// partitionState tracks the active scripted partition.
+type partitionState struct {
+	groupOf []int
+	on      bool
+	until   int
+}
+
+// activate installs a component assignment (with the event's auto-heal
+// bound, 0 = until an explicit heal).
+func (p *partitionState) activate(groupOf []int, until int) {
+	p.groupOf, p.on, p.until = groupOf, true, until
+}
+
+// expired reports whether the auto-heal window has passed.
+func (p *partitionState) expired(cycle int) bool {
+	return p.on && p.until > 0 && cycle > p.until
+}
+
+// clear ends the partition, reporting whether one was active.
+func (p *partitionState) clear() bool {
+	on := p.on
+	p.on, p.until = false, 0
+	return on
+}
+
+// slotAllocator hands out node slots for joins — vacant slots first,
+// then crashed ones, newest first — and tracks the crash stack restart
+// events pop from. All three executors allocate slots through it.
+type slotAllocator struct {
+	// nextJoin is the first never-used slot; capacity bounds it.
+	nextJoin int
+	capacity int
+	// crashed collects slots available for restart events.
+	crashed []int
+}
+
+func newSlotAllocator(capacity, initial int) slotAllocator {
+	return slotAllocator{nextJoin: initial, capacity: capacity}
+}
+
+// pushCrashed records a slot as dead and available for restarts.
+func (a *slotAllocator) pushCrashed(slot int) { a.crashed = append(a.crashed, slot) }
+
+// popCrashed hands back the most recently crashed slot, for restarts and
+// for churn (which reuses the slot it just freed).
+func (a *slotAllocator) popCrashed() (int, bool) {
+	if len(a.crashed) == 0 {
+		return 0, false
+	}
+	slot := a.crashed[len(a.crashed)-1]
+	a.crashed = a.crashed[:len(a.crashed)-1]
+	return slot, true
+}
+
+// takeJoinSlot hands out a vacant slot, falling back to crashed ones.
+func (a *slotAllocator) takeJoinSlot() (int, bool) {
+	if a.nextJoin < a.capacity {
+		slot := a.nextJoin
+		a.nextJoin++
+		return slot, true
+	}
+	return a.popCrashed()
+}
+
+// fleetRoster tracks which slot is alive at which transport address,
+// plus the slot allocator — the script bookkeeping both real-fleet
+// executors (live-mem and udp) share.
+type fleetRoster struct {
+	addr  []string
+	alive []bool
+	slotAllocator
+}
+
+// newFleetRoster allocates slots node slots, the first initial of which
+// are the founding fleet.
+func newFleetRoster(slots, initial int) *fleetRoster {
+	return &fleetRoster{
+		addr:          make([]string, slots),
+		alive:         make([]bool, slots),
+		slotAllocator: newSlotAllocator(slots, initial),
+	}
+}
+
+func (r *fleetRoster) aliveCount() int {
+	count := 0
+	for _, a := range r.alive {
+		if a {
+			count++
+		}
+	}
+	return count
+}
+
+func (r *fleetRoster) liveSlots() []int {
+	live := make([]int, 0, len(r.alive))
+	for i, a := range r.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+func (r *fleetRoster) randomAlive(rng *stats.RNG) int {
+	live := r.liveSlots()
+	return live[rng.Intn(len(live))]
+}
+
+// seedAddrs samples up to n live contact addresses. Slots whose address
+// is not known yet (a join still in flight on a worker) are skipped.
+func (r *fleetRoster) seedAddrs(rng *stats.RNG, n int) []string {
+	live := make([]int, 0, len(r.alive))
+	for i, a := range r.alive {
+		if a && r.addr[i] != "" {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	seeds := make([]string, 0, n)
+	for k := 0; k < n; k++ {
+		seeds = append(seeds, r.addr[live[rng.Intn(len(live))]])
+	}
+	return seeds
+}
+
+// markCrashed records a slot's death (caller performs the actual stop).
+func (r *fleetRoster) markCrashed(slot int) {
+	r.alive[slot] = false
+	r.pushCrashed(slot)
+}
+
+// slotContacts hands one slot fresh out-of-band contact addresses.
+type slotContacts struct {
+	slot  int
+	addrs []string
+}
+
+// bridgeContacts picks the post-heal rendezvous refresh: a partition
+// longer than the cache lifetime ages every cross-component descriptor
+// out of the NEWSCAST views, so gossip alone can never remerge the
+// overlay. Real deployments re-learn peers out-of-band (seed lists,
+// DNS); model that by handing a few bridge slots per component fresh
+// contacts from the other components — epidemic gossip spreads the
+// bridges from there.
+func bridgeContacts(rng *stats.RNG, r *fleetRoster, groupOf []int) []slotContacts {
+	byGroup := make(map[int][]int)
+	groups := 0
+	for _, slot := range r.liveSlots() {
+		if r.addr[slot] == "" {
+			continue
+		}
+		g := groupOf[slot]
+		byGroup[g] = append(byGroup[g], slot)
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	const bridgesPerGroup, contactsPerBridge = 4, 3
+	var out []slotContacts
+	// Iterate components in id order: ranging over the map directly
+	// would consume the script RNG in Go's randomized map order, breaking
+	// repeat-run determinism of the picks.
+	for g := 0; g < groups; g++ {
+		members := byGroup[g]
+		if len(members) == 0 {
+			continue
+		}
+		var others []int
+		for og := 0; og < groups; og++ {
+			if og != g {
+				others = append(others, byGroup[og]...)
+			}
+		}
+		if len(others) == 0 {
+			continue
+		}
+		for b := 0; b < bridgesPerGroup && b < len(members); b++ {
+			bridge := members[rng.Intn(len(members))]
+			contacts := make([]string, 0, contactsPerBridge)
+			for c := 0; c < contactsPerBridge; c++ {
+				contacts = append(contacts, r.addr[others[rng.Intn(len(others))]])
+			}
+			out = append(out, slotContacts{slot: bridge, addrs: contacts})
+		}
+	}
+	return out
+}

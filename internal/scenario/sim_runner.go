@@ -88,11 +88,11 @@ func RunSimWith(sc Scenario, opts SimOptions) (*RunResult, error) {
 func newSimDriver(sc Scenario, executor string) (*simDriver, *RunResult) {
 	slots := sc.MaxSlots()
 	d := &simDriver{
-		sc:       sc,
-		prog:     NewValueProgram(sc, slots),
-		slots:    slots,
-		rng:      stats.NewRNG(sc.Seed ^ 0x7363656e6172696f),
-		nextJoin: sc.N,
+		sc:    sc,
+		prog:  NewValueProgram(sc, slots),
+		slots: slots,
+		rng:   stats.NewRNG(sc.Seed ^ 0x7363656e6172696f),
+		alloc: newSlotAllocator(slots, sc.N),
 	}
 	result := &RunResult{
 		Scenario: sc.Name, Executor: executor,
@@ -168,16 +168,11 @@ type simDriver struct {
 	slots int
 	rng   *stats.RNG
 
-	// nextJoin is the first vacant slot; crashed collects slots available
-	// for restart events.
-	nextJoin int
-	crashed  []int
+	// alloc hands out join slots and tracks the crash stack (shared with
+	// the other executors' drivers).
+	alloc slotAllocator
 
-	// groupOf assigns every slot to a partition component while a
-	// partition is active.
-	groupOf        []int
-	partitionOn    bool
-	partitionUntil int
+	part partitionState
 
 	prevAttempts int64
 }
@@ -193,10 +188,10 @@ func (d *simDriver) beforeCycle(cycle int, e sim.Core) {
 
 // applyEvents runs the script for one cycle.
 func (d *simDriver) applyEvents(cycle int, e sim.Core) {
-	if d.partitionOn && d.partitionUntil > 0 && cycle > d.partitionUntil {
+	if d.part.expired(cycle) {
 		d.heal(e)
 	}
-	e.SetMessageLoss(d.effectiveLoss(cycle))
+	e.SetMessageLoss(d.sc.effectiveLoss(cycle))
 	for _, ev := range d.sc.Events {
 		if !ev.activeAt(cycle, d.sc.Cycles) {
 			continue
@@ -207,7 +202,7 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 			for k := 0; k < count && e.AliveCount() > 1; k++ {
 				victim := e.RandomAlive()
 				e.Kill(victim)
-				d.crashed = append(d.crashed, victim)
+				d.alloc.pushCrashed(victim)
 			}
 		case KindChurn:
 			count := ev.resolveCount(e.AliveCount())
@@ -219,7 +214,7 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 		case KindJoin:
 			count := ev.resolveCount(d.sc.N)
 			for k := 0; k < count; k++ {
-				slot, ok := d.takeJoinSlot()
+				slot, ok := d.alloc.takeJoinSlot()
 				if !ok {
 					break
 				}
@@ -227,9 +222,11 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 			}
 		case KindRestart:
 			count := ev.resolveCount(e.AliveCount())
-			for k := 0; k < count && len(d.crashed) > 0; k++ {
-				slot := d.crashed[len(d.crashed)-1]
-				d.crashed = d.crashed[:len(d.crashed)-1]
+			for k := 0; k < count; k++ {
+				slot, ok := d.alloc.popCrashed()
+				if !ok {
+					break
+				}
 				e.Replace(slot)
 			}
 		case KindPartition:
@@ -246,66 +243,13 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 	}
 }
 
-// takeJoinSlot hands out a vacant slot, falling back to crashed ones.
-func (d *simDriver) takeJoinSlot() (int, bool) {
-	if d.nextJoin < d.slots {
-		slot := d.nextJoin
-		d.nextJoin++
-		return slot, true
-	}
-	if len(d.crashed) > 0 {
-		slot := d.crashed[len(d.crashed)-1]
-		d.crashed = d.crashed[:len(d.crashed)-1]
-		return slot, true
-	}
-	return 0, false
-}
-
-// effectiveLoss resolves the message-loss rate for the cycle: the
-// baseline unless a loss burst is active (the latest active event wins).
-func (d *simDriver) effectiveLoss(cycle int) float64 {
-	loss := d.sc.MessageLoss
-	for _, ev := range d.sc.Events {
-		if ev.Kind != KindLoss {
-			continue
-		}
-		if from, to := ev.window(d.sc.Cycles); cycle >= from && cycle <= to {
-			loss = ev.Rate
-		}
-	}
-	return loss
-}
-
-// partition assigns every slot to a component by the event's relative
-// weights and installs the exchange veto — which both engines also apply
-// to NEWSCAST gossip, so the overlay splits along with the aggregation
-// traffic. Assigning all slots — not just the live ones — puts nodes
-// that join mid-partition into a component too, exactly as a joiner
-// lands on one side of a real split.
+// partition assigns every slot to a component (see partitionComponents)
+// and installs the exchange veto — which both engines also apply to
+// NEWSCAST gossip, so the overlay splits along with the aggregation
+// traffic.
 func (d *simDriver) partition(e sim.Core, ev Event) {
-	var total float64
-	for _, w := range ev.Groups {
-		total += w
-	}
-	perm := make([]int, d.slots)
-	d.rng.Perm(perm)
-	d.groupOf = make([]int, d.slots)
-	start := 0
-	acc := 0.0
-	for g, w := range ev.Groups {
-		acc += w
-		end := int(acc / total * float64(d.slots))
-		if g == len(ev.Groups)-1 {
-			end = d.slots
-		}
-		for _, slot := range perm[start:end] {
-			d.groupOf[slot] = g
-		}
-		start = end
-	}
-	d.partitionOn = true
-	d.partitionUntil = ev.Until
-	groupOf := d.groupOf
+	d.part.activate(partitionComponents(d.rng, d.slots, ev.Groups), ev.Until)
+	groupOf := d.part.groupOf
 	e.SetExchangeFilter(func(i, j int) bool { return groupOf[i] == groupOf[j] })
 }
 
@@ -317,23 +261,21 @@ func (d *simDriver) partition(e sim.Core, ev Event) {
 // restores cross-component descriptors; epidemic gossip spreads the
 // bridges from there.
 func (d *simDriver) heal(e sim.Core) {
-	wasOn := d.partitionOn
-	d.partitionOn = false
-	d.partitionUntil = 0
+	wasOn := d.part.clear()
 	e.SetExchangeFilter(nil)
 	if !wasOn {
 		return
 	}
 	const bridgesPerGroup = 4
 	groups := 0
-	for _, g := range d.groupOf {
+	for _, g := range d.part.groupOf {
 		if g+1 > groups {
 			groups = g + 1
 		}
 	}
 	for g := 0; g < groups; g++ {
 		members := make([]int, 0, d.slots)
-		for slot, sg := range d.groupOf {
+		for slot, sg := range d.part.groupOf {
 			if sg == g && e.Alive(slot) {
 				members = append(members, slot)
 			}

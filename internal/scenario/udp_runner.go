@@ -1,0 +1,653 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"antientropy/internal/stats"
+)
+
+// UDPOptions tune the multi-process UDP executor.
+type UDPOptions struct {
+	// Workers is the number of worker processes the fleet is sliced
+	// across (default 3, capped at the scenario's initial size). Slot i
+	// lives in worker i mod Workers for the whole run.
+	Workers int
+	// CycleLen is δ, the wall-clock length of one protocol cycle. The
+	// default scales with the fleet size and the machine's cores like the
+	// live-mem executor's, with a higher floor: real sockets add syscall
+	// and cross-process scheduling cost per exchange.
+	CycleLen time.Duration
+	// CacheSize is the NEWSCAST cache capacity (default 30).
+	CacheSize int
+	// QueueLen sizes each endpoint's inbound buffer (default 1024).
+	QueueLen int
+	// WorkerCmd is the argv that launches one worker process speaking the
+	// control protocol on stdin/stdout (a program calling RunUDPWorker).
+	// Default: the current executable with a single -worker argument —
+	// what cmd/aggscen implements.
+	WorkerCmd []string
+	// WorkerEnv appends to the inherited environment of every worker.
+	WorkerEnv []string
+	// ControlTimeout bounds every wait for a worker reply (default 60s).
+	ControlTimeout time.Duration
+	// Logger receives supervisor progress and worker-drop accounting
+	// (default: discard).
+	Logger *slog.Logger
+}
+
+func (o UDPOptions) withDefaults(fleet int) (UDPOptions, error) {
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	if o.CycleLen <= 0 {
+		// Budget ~250µs of single-core compute per node per cycle (the
+		// live-mem executor's 150µs plus UDP syscalls and cross-process
+		// wakeups), spread across the cores, with a 25ms floor for timer
+		// accuracy across process boundaries.
+		perCore := 250 * time.Microsecond / time.Duration(runtime.GOMAXPROCS(0))
+		o.CycleLen = time.Duration(fleet) * perCore
+		if o.CycleLen < 25*time.Millisecond {
+			o.CycleLen = 25 * time.Millisecond
+		}
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 30
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.ControlTimeout <= 0 {
+		o.ControlTimeout = 60 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if len(o.WorkerCmd) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return o, fmt.Errorf("scenario: resolving worker executable: %w", err)
+		}
+		o.WorkerCmd = []string{self, "-worker"}
+	}
+	return o, nil
+}
+
+// RunUDP executes the scenario against a fleet of real agent nodes over
+// UDP loopback sockets, sliced across worker processes: the paper's
+// runtime on a real network stack, with kernel scheduling, packet
+// reordering and socket-buffer pressure in the loop. The supervisor forks
+// Workers processes (see UDPOptions.WorkerCmd), coordinates cycle
+// barriers and scripted events over stdin/stdout JSON, and injects
+// partitions and loss through each worker's UDPFilter — the userspace
+// stand-in for the iptables rules a privileged supervisor would install.
+// Like the live-mem executor the run is wall-clock driven and therefore
+// not bit-for-bit deterministic, but it chases the identical scripted
+// value signal, so its metric stream is directly comparable to the other
+// executors'.
+func RunUDP(ctx context.Context, sc Scenario, opts UDPOptions) (*RunResult, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults(sc.MaxSlots())
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers > sc.N {
+		opts.Workers = sc.N
+	}
+
+	slots := sc.MaxSlots()
+	d := &udpDriver{
+		sc:     sc,
+		prog:   NewValueProgram(sc, slots),
+		roster: newFleetRoster(slots, sc.N),
+		rng:    stats.NewRNG(sc.Seed ^ 0x7564702d72756e), // "udp-run"
+		opts:   opts,
+		ctx:    ctx,
+	}
+	defer d.teardown()
+
+	if err := d.spawnWorkers(); err != nil {
+		return nil, err
+	}
+	if err := d.initWorkers(); err != nil {
+		return nil, err
+	}
+	anchor, err := d.startFleet()
+	if err != nil {
+		return nil, err
+	}
+
+	result := &RunResult{
+		Scenario: sc.Name, Executor: "udp",
+		N: sc.N, Slots: slots, Seed: sc.Seed,
+		PerCycle: make([]CycleMetrics, 0, sc.Cycles+1),
+	}
+
+	// Founding the fleet takes real time, during which the nodes'
+	// wall-clock schedule has been running. Anchor scenario cycle 1 to the
+	// next epoch boundary so scripted cycles line up exactly with the
+	// fleet's epoch restarts (see RunLive).
+	delta := time.Duration(sc.EpochLen) * opts.CycleLen
+	startEpoch := time.Since(anchor)/delta + 1
+	base := anchor.Add(startEpoch * delta)
+
+	if err := sleepUntil(ctx, base.Add(-opts.CycleLen/2)); err != nil {
+		return nil, err
+	}
+	row, err := d.sample(0)
+	if err != nil {
+		return nil, err
+	}
+	result.PerCycle = append(result.PerCycle, row)
+	for cycle := 1; cycle <= sc.Cycles; cycle++ {
+		edge := base.Add(time.Duration(cycle-1) * opts.CycleLen)
+		if err := sleepUntil(ctx, edge); err != nil {
+			return nil, err
+		}
+		if err := d.runCycle(cycle); err != nil {
+			return nil, err
+		}
+		// Sample halfway into the cycle: node epochs flip at the cycle
+		// edges, and sampling during the flip would mix two epochs.
+		if err := sleepUntil(ctx, edge.Add(opts.CycleLen/2)); err != nil {
+			return nil, err
+		}
+		row, err := d.sample(cycle)
+		if err != nil {
+			return nil, err
+		}
+		result.PerCycle = append(result.PerCycle, row)
+	}
+	if err := d.shutdownWorkers(); err != nil {
+		return nil, err
+	}
+	d.opts.Logger.Info("udp executor finished",
+		"scenario", sc.Name, "workers", opts.Workers,
+		"queueDrops", d.lastQueueDrops, "filterDrops", d.lastFilterDrops)
+	return result, nil
+}
+
+// udpWorkerProc is the supervisor's handle on one worker process.
+type udpWorkerProc struct {
+	index int
+	cmd   *exec.Cmd
+	conn  *udpConn
+	stdin io.WriteCloser
+
+	// inbox carries decoded replies; the pump goroutine closes it at EOF
+	// or error (readErr is set first).
+	inbox   chan udpMsg
+	readErr error
+}
+
+// udpDriver owns the worker fleet and the mutable script state. The
+// script logic mirrors liveDriver through the shared fleetRoster and
+// partitionState; the actions become control messages.
+type udpDriver struct {
+	sc     Scenario
+	prog   *ValueProgram
+	roster *fleetRoster
+	rng    *stats.RNG
+	opts   UDPOptions
+	ctx    context.Context
+
+	procs []*udpWorkerProc
+
+	part partitionState
+	// pendingJoin tracks joins commanded this cycle whose addresses are
+	// still unknown (the worker acks them at the barrier); a crash of
+	// such a slot in the same cycle cancels the join instead of racing
+	// it on the worker.
+	pendingJoin map[int]bool
+	// pendingAssign broadcasts mid-partition joiner addresses to every
+	// worker's filter on the next barrier (the owner already knows).
+	pendingAssign map[string]int
+
+	delayWarned bool
+
+	prevMessages    int64
+	lastQueueDrops  int64
+	lastFilterDrops int64
+}
+
+// owner returns the worker index a slot lives in.
+func (d *udpDriver) owner(slot int) int { return slot % d.opts.Workers }
+
+// spawnWorkers forks the worker processes and wires their pipes.
+func (d *udpDriver) spawnWorkers() error {
+	for i := 0; i < d.opts.Workers; i++ {
+		cmd := exec.CommandContext(d.ctx, d.opts.WorkerCmd[0], d.opts.WorkerCmd[1:]...)
+		cmd.Env = append(os.Environ(), d.opts.WorkerEnv...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fmt.Errorf("scenario %s: worker %d stdin: %w", d.sc.Name, i, err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fmt.Errorf("scenario %s: worker %d stdout: %w", d.sc.Name, i, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("scenario %s: starting worker %d (%q): %w",
+				d.sc.Name, i, d.opts.WorkerCmd[0], err)
+		}
+		p := &udpWorkerProc{
+			index: i,
+			cmd:   cmd,
+			conn:  newUDPConn(stdout, stdin),
+			stdin: stdin,
+			inbox: make(chan udpMsg, 16),
+		}
+		go func() {
+			for {
+				m, err := p.conn.recv()
+				if err != nil {
+					if err != io.EOF {
+						p.readErr = err
+					}
+					close(p.inbox)
+					return
+				}
+				p.inbox <- m
+			}
+		}()
+		// Append only fully wired handles: teardown walks d.procs on
+		// every exit path, including a failure earlier in this loop.
+		d.procs = append(d.procs, p)
+	}
+	return nil
+}
+
+// recv awaits one reply of the wanted op from a worker.
+func (d *udpDriver) recv(p *udpWorkerProc, want string) (udpMsg, error) {
+	timer := time.NewTimer(d.opts.ControlTimeout)
+	defer timer.Stop()
+	select {
+	case <-d.ctx.Done():
+		return udpMsg{}, d.ctx.Err()
+	case <-timer.C:
+		return udpMsg{}, fmt.Errorf("scenario %s: worker %d: no %s within %v",
+			d.sc.Name, p.index, want, d.opts.ControlTimeout)
+	case m, ok := <-p.inbox:
+		if !ok {
+			if p.readErr != nil {
+				return udpMsg{}, fmt.Errorf("scenario %s: worker %d: %w", d.sc.Name, p.index, p.readErr)
+			}
+			return udpMsg{}, fmt.Errorf("scenario %s: worker %d exited mid-run", d.sc.Name, p.index)
+		}
+		if m.Op == udpOpFatal {
+			return udpMsg{}, fmt.Errorf("scenario %s: worker %d failed: %s", d.sc.Name, p.index, m.Err)
+		}
+		if m.Op != want {
+			return udpMsg{}, fmt.Errorf("scenario %s: worker %d replied %q, want %q",
+				d.sc.Name, p.index, m.Op, want)
+		}
+		return m, nil
+	}
+}
+
+// broadcast sends per-worker messages and gathers one reply of the
+// wanted op from each, returning the replies indexed by worker.
+func (d *udpDriver) broadcast(msgs []udpMsg, want string) ([]udpMsg, error) {
+	for i, p := range d.procs {
+		if err := p.conn.send(msgs[i]); err != nil {
+			return nil, fmt.Errorf("scenario %s: worker %d: %w", d.sc.Name, i, err)
+		}
+	}
+	replies := make([]udpMsg, len(d.procs))
+	for i, p := range d.procs {
+		m, err := d.recv(p, want)
+		if err != nil {
+			return nil, err
+		}
+		replies[i] = m
+	}
+	return replies, nil
+}
+
+// initWorkers distributes the founding slot assignment and collects the
+// bound addresses.
+func (d *udpDriver) initWorkers() error {
+	msgs := make([]udpMsg, d.opts.Workers)
+	for i := range msgs {
+		var assigned []int
+		for slot := 0; slot < d.sc.N; slot++ {
+			if d.owner(slot) == i {
+				assigned = append(assigned, slot)
+			}
+		}
+		sc := d.sc
+		msgs[i] = udpMsg{
+			Op:         udpOpInit,
+			Scenario:   &sc,
+			Worker:     i,
+			Slots:      assigned,
+			CacheSize:  d.opts.CacheSize,
+			CycleLenUS: d.opts.CycleLen.Microseconds(),
+			QueueLen:   d.opts.QueueLen,
+		}
+	}
+	replies, err := d.broadcast(msgs, udpOpReady)
+	if err != nil {
+		return err
+	}
+	for i, m := range replies {
+		for slot, addr := range m.Addrs {
+			if slot < 0 || slot >= d.sc.N || d.owner(slot) != i {
+				return fmt.Errorf("scenario %s: worker %d reported foreign slot %d", d.sc.Name, i, slot)
+			}
+			d.roster.addr[slot] = addr
+			d.roster.alive[slot] = true
+		}
+	}
+	for slot := 0; slot < d.sc.N; slot++ {
+		if !d.roster.alive[slot] {
+			return fmt.Errorf("scenario %s: slot %d has no endpoint after init", d.sc.Name, slot)
+		}
+	}
+	return nil
+}
+
+// startFleet anchors the shared schedule and starts every founding node.
+func (d *udpDriver) startFleet() (time.Time, error) {
+	bootstrap := make([]string, d.sc.N)
+	copy(bootstrap, d.roster.addr[:d.sc.N])
+	anchor := time.Now()
+	msgs := make([]udpMsg, d.opts.Workers)
+	for i := range msgs {
+		msgs[i] = udpMsg{
+			Op:             udpOpStart,
+			AnchorUnixNano: anchor.UnixNano(),
+			Bootstrap:      bootstrap,
+		}
+	}
+	if _, err := d.broadcast(msgs, udpOpStarted); err != nil {
+		return time.Time{}, err
+	}
+	return anchor, nil
+}
+
+// runCycle builds this cycle's per-worker event commands, runs the
+// barrier, and folds reported joiner addresses back into the roster.
+func (d *udpDriver) runCycle(cycle int) error {
+	msgs := make([]udpMsg, d.opts.Workers)
+	loss := d.sc.effectiveLoss(cycle)
+	for i := range msgs {
+		msgs[i] = udpMsg{Op: udpOpCycle, Cycle: cycle, Loss: loss, Assign: d.pendingAssign}
+	}
+	d.pendingAssign = nil
+	d.pendingJoin = nil
+
+	if d.part.expired(cycle) {
+		d.heal(msgs)
+	}
+	for _, ev := range d.sc.Events {
+		if !ev.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		switch ev.Kind {
+		case KindCrash:
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count && d.roster.aliveCount() > 1; k++ {
+				d.crash(msgs, d.roster.randomAlive(d.rng))
+			}
+		case KindChurn:
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count && d.roster.aliveCount() > 1; k++ {
+				slot := d.roster.randomAlive(d.rng)
+				d.crash(msgs, slot)
+				d.join(msgs, slot)
+				d.roster.popCrashed() // slot reused, not available for restarts
+			}
+		case KindJoin:
+			count := ev.resolveCount(d.sc.N)
+			for k := 0; k < count; k++ {
+				slot, ok := d.roster.takeJoinSlot()
+				if !ok {
+					break
+				}
+				d.join(msgs, slot)
+			}
+		case KindRestart:
+			count := ev.resolveCount(d.roster.aliveCount())
+			for k := 0; k < count; k++ {
+				slot, ok := d.roster.popCrashed()
+				if !ok {
+					break
+				}
+				d.join(msgs, slot)
+			}
+		case KindPartition:
+			// Fire once at At (see the other executors): re-splitting
+			// every cycle of the window would re-randomize the components.
+			if cycle == ev.At {
+				d.partition(msgs, ev)
+			}
+		case KindHeal:
+			d.heal(msgs)
+		case KindDelay:
+			if !d.delayWarned {
+				d.delayWarned = true
+				d.opts.Logger.Warn("udp executor ignores delay events (no userspace latency injection)",
+					"scenario", d.sc.Name)
+			}
+		}
+	}
+
+	acks, err := d.broadcast(msgs, udpOpAck)
+	if err != nil {
+		return err
+	}
+	for i, ack := range acks {
+		if ack.Cycle != cycle {
+			return fmt.Errorf("scenario %s: worker %d acked cycle %d, want %d",
+				d.sc.Name, i, ack.Cycle, cycle)
+		}
+		for slot, addr := range ack.Addrs {
+			if slot < 0 || slot >= len(d.roster.alive) || d.owner(slot) != i {
+				return fmt.Errorf("scenario %s: worker %d reported foreign joiner slot %d",
+					d.sc.Name, i, slot)
+			}
+			d.roster.addr[slot] = addr
+			if d.part.on {
+				if d.pendingAssign == nil {
+					d.pendingAssign = make(map[string]int)
+				}
+				d.pendingAssign[addr] = d.part.groupOf[slot]
+			}
+		}
+	}
+	return nil
+}
+
+// crash marks a slot dead and routes the stop command to its worker. A
+// slot whose join was commanded earlier in the same cycle has no node on
+// the worker yet, so the join is cancelled instead — the net effect
+// (nothing running, slot available for restart) matches the other
+// executors' sequential join-then-crash.
+func (d *udpDriver) crash(msgs []udpMsg, slot int) {
+	if !d.roster.alive[slot] {
+		return
+	}
+	d.roster.markCrashed(slot)
+	w := d.owner(slot)
+	if d.pendingJoin[slot] {
+		delete(d.pendingJoin, slot)
+		joins := msgs[w].Joins
+		for i := range joins {
+			if joins[i].Slot == slot {
+				msgs[w].Joins = append(joins[:i], joins[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	msgs[w].Crash = append(msgs[w].Crash, slot)
+}
+
+// join routes a fresh-identity start command to the slot's worker. The
+// new node performs the §4.2 join against live seed contacts; while a
+// partition is active it lands in the slot's component.
+func (d *udpDriver) join(msgs []udpMsg, slot int) {
+	group := -1
+	if d.part.on {
+		group = d.part.groupOf[slot]
+	}
+	w := d.owner(slot)
+	msgs[w].Joins = append(msgs[w].Joins, udpJoin{
+		Slot: slot, Seeds: d.roster.seedAddrs(d.rng, 3), Group: group,
+	})
+	if d.pendingJoin == nil {
+		d.pendingJoin = make(map[int]bool)
+	}
+	d.pendingJoin[slot] = true
+	d.roster.alive[slot] = true
+	// The joiner's address is known only after the worker acks; blank it
+	// so seed sampling cannot hand out the stale address meanwhile.
+	d.roster.addr[slot] = ""
+}
+
+// partition splits the fleet: every slot gets a component, and the
+// addr → group map is broadcast so every worker's filter drops
+// cross-component datagrams on both the send and the receive path.
+func (d *udpDriver) partition(msgs []udpMsg, ev Event) {
+	d.part.activate(partitionComponents(d.rng, len(d.roster.alive), ev.Groups), ev.Until)
+	groups := make(map[string]int, len(d.roster.alive))
+	for _, slot := range d.roster.liveSlots() {
+		if d.roster.addr[slot] != "" {
+			groups[d.roster.addr[slot]] = d.part.groupOf[slot]
+		}
+	}
+	for i := range msgs {
+		msgs[i].Groups = groups
+	}
+}
+
+// heal clears the partition on every worker and routes the rendezvous
+// refresh (see bridgeContacts) to the bridge slots' owners.
+func (d *udpDriver) heal(msgs []udpMsg) {
+	wasOn := d.part.clear()
+	for i := range msgs {
+		msgs[i].Heal = true
+		msgs[i].Groups = nil
+	}
+	d.pendingAssign = nil
+	if !wasOn {
+		return
+	}
+	for _, bc := range bridgeContacts(d.rng, d.roster, d.part.groupOf) {
+		w := d.owner(bc.slot)
+		msgs[w].Contacts = append(msgs[w].Contacts, udpContacts{Slot: bc.slot, Addrs: bc.addrs})
+	}
+}
+
+// sample gathers the workers' partial aggregates into one metrics row.
+func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
+	msgs := make([]udpMsg, d.opts.Workers)
+	for i := range msgs {
+		msgs[i] = udpMsg{Op: udpOpSample, Cycle: cycle}
+	}
+	replies, err := d.broadcast(msgs, udpOpMetrics)
+	if err != nil {
+		return CycleMetrics{}, err
+	}
+	var alive, participating, estN int
+	var estSum, estSumSq float64
+	var messages, queueDrops, filterDrops int64
+	for _, m := range replies {
+		alive += m.Alive
+		participating += m.Participating
+		estN += m.EstN
+		estSum += m.EstSum
+		estSumSq += m.EstSumSq
+		messages += m.Messages
+		queueDrops += m.QueueDrops
+		filterDrops += m.FilterDrops
+	}
+	d.lastQueueDrops, d.lastFilterDrops = queueDrops, filterDrops
+	if alive != d.roster.aliveCount() {
+		d.opts.Logger.Warn("udp executor: worker fleet drifted from script state",
+			"cycle", cycle, "workersAlive", alive, "scriptAlive", d.roster.aliveCount())
+	}
+
+	var truth stats.Moments
+	for _, slot := range d.roster.liveSlots() {
+		truth.Add(d.prog.Value(slot, cycle))
+	}
+	var estMean, estStd float64
+	if estN > 0 {
+		estMean = estSum / float64(estN)
+		if estN > 1 {
+			variance := (estSumSq - estSum*estSum/float64(estN)) / float64(estN-1)
+			if variance > 0 {
+				estStd = math.Sqrt(variance)
+			}
+		}
+	}
+	epoch := 0
+	if cycle > 0 {
+		epoch = (cycle - 1) / d.sc.EpochLen
+	}
+	prev := d.prevMessages
+	d.prevMessages = messages
+	return CycleMetrics{
+		Cycle:          cycle,
+		Epoch:          epoch,
+		Alive:          alive,
+		Participating:  participating,
+		TrueMean:       truth.Mean(),
+		MeanEstimate:   estMean,
+		EstimateStdDev: estStd,
+		RelError:       relError(estMean, truth.Mean()),
+		Messages:       messages - prev,
+	}, nil
+}
+
+// shutdownWorkers winds the fleet down cleanly: shutdown/bye handshake,
+// then process exit.
+func (d *udpDriver) shutdownWorkers() error {
+	msgs := make([]udpMsg, d.opts.Workers)
+	for i := range msgs {
+		msgs[i] = udpMsg{Op: udpOpShutdown}
+	}
+	if _, err := d.broadcast(msgs, udpOpBye); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, p := range d.procs {
+		_ = p.stdin.Close()
+		if err := p.cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("scenario %s: worker %d exit: %w", d.sc.Name, p.index, err)
+		}
+	}
+	d.procs = nil
+	return firstErr
+}
+
+// teardown force-kills any workers still running (error paths; the happy
+// path already waited in shutdownWorkers).
+func (d *udpDriver) teardown() {
+	for _, p := range d.procs {
+		_ = p.stdin.Close()
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+		}
+	}
+	for _, p := range d.procs {
+		// Drain the pump goroutine so it can exit, then reap the process.
+		for range p.inbox {
+		}
+		_ = p.cmd.Wait()
+	}
+	d.procs = nil
+}

@@ -1,0 +1,323 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"antientropy/internal/agent"
+	"antientropy/internal/core"
+	"antientropy/internal/transport"
+)
+
+// RunUDPWorker is the worker half of the UDP multi-process executor: it
+// runs one fleet slice of live agent nodes on real UDP endpoints, driven
+// by a supervisor (RunUDP) over the line-delimited JSON control channel
+// on in/out (normally the process's stdin/stdout). It returns when the
+// supervisor sends shutdown or closes the channel; a non-nil error means
+// the worker died mid-run (after reporting a fatal message upstream).
+//
+// cmd/aggscen exposes it as the hidden -worker mode; embedders whose
+// binary cannot be re-executed with that flag point UDPOptions.WorkerCmd
+// at any program that calls this function.
+func RunUDPWorker(in io.Reader, out io.Writer) error {
+	w := &udpWorker{
+		conn:  newUDPConn(in, out),
+		nodes: make(map[int]*udpWorkerSlot),
+	}
+	defer w.stopAll()
+	for {
+		msg, err := w.conn.recv()
+		if err != nil {
+			if err == io.EOF {
+				// Supervisor went away: wind the fleet slice down quietly.
+				return nil
+			}
+			return err
+		}
+		reply, err := w.handle(msg)
+		if err != nil {
+			_ = w.conn.send(udpMsg{Op: udpOpFatal, Err: err.Error()})
+			return err
+		}
+		if err := w.conn.send(reply); err != nil {
+			return err
+		}
+		if reply.Op == udpOpBye {
+			return nil
+		}
+	}
+}
+
+// udpWorkerSlot is one live node of this worker's fleet slice.
+type udpWorkerSlot struct {
+	node *agent.Node
+	ep   *transport.UDPEndpoint
+	addr string
+}
+
+// udpWorker executes control messages against its slice of the fleet.
+type udpWorker struct {
+	conn *udpConn
+
+	sc        Scenario
+	prog      *ValueProgram
+	index     int
+	cacheSize int
+	queueLen  int
+	cycleLen  time.Duration
+	sched     core.Schedule
+
+	// cycleNow is the supervisor's cycle clock, advanced by every cycle
+	// message; node Value suppliers read it so epoch restarts sample the
+	// scripted signal at the current cycle.
+	cycleNow atomic.Int64
+
+	// filter carries the supervisor's scripted drop rules; every endpoint
+	// of this worker shares it.
+	filter *transport.UDPFilter
+
+	nodes map[int]*udpWorkerSlot
+
+	// retired* preserve the counters of crashed nodes so the cumulative
+	// per-worker metrics stay monotonic.
+	retiredMessages    int64
+	retiredQueueDrops  int64
+	retiredFilterDrops int64
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	stopping sync.WaitGroup
+	stopped  bool
+}
+
+// handle dispatches one control message and builds the reply.
+func (w *udpWorker) handle(msg udpMsg) (udpMsg, error) {
+	switch msg.Op {
+	case udpOpInit:
+		return w.handleInit(msg)
+	case udpOpStart:
+		return w.handleStart(msg)
+	case udpOpCycle:
+		return w.handleCycle(msg)
+	case udpOpSample:
+		return w.handleSample(msg)
+	case udpOpShutdown:
+		w.stopAll()
+		return udpMsg{Op: udpOpBye}, nil
+	default:
+		return udpMsg{}, fmt.Errorf("udp worker: unexpected op %q", msg.Op)
+	}
+}
+
+// handleInit binds one UDP endpoint per assigned founding slot.
+func (w *udpWorker) handleInit(msg udpMsg) (udpMsg, error) {
+	if msg.Scenario == nil {
+		return udpMsg{}, fmt.Errorf("udp worker: init without scenario")
+	}
+	w.sc = msg.Scenario.WithDefaults()
+	if err := w.sc.Validate(); err != nil {
+		return udpMsg{}, err
+	}
+	w.index = msg.Worker
+	w.cacheSize = msg.CacheSize
+	w.queueLen = msg.QueueLen
+	w.cycleLen = time.Duration(msg.CycleLenUS) * time.Microsecond
+	if w.cycleLen <= 0 {
+		return udpMsg{}, fmt.Errorf("udp worker: non-positive cycle length")
+	}
+	w.prog = NewValueProgram(w.sc, w.sc.MaxSlots())
+	w.filter = transport.NewUDPFilter(int64(w.sc.Seed) + int64(w.index) + 2)
+	// The baseline loss applies from the founding on, exactly as the
+	// other executors do; loss bursts override it cycle by cycle.
+	w.filter.SetLoss(w.sc.MessageLoss)
+	w.ctx, w.cancel = context.WithCancel(context.Background())
+
+	addrs := make(map[int]string, len(msg.Slots))
+	for _, slot := range msg.Slots {
+		ep, err := transport.ListenUDP("127.0.0.1:0", w.queueLen)
+		if err != nil {
+			return udpMsg{}, fmt.Errorf("udp worker %d: slot %d: %w", w.index, slot, err)
+		}
+		ep.SetFilter(w.filter)
+		w.nodes[slot] = &udpWorkerSlot{ep: ep, addr: ep.Addr()}
+		addrs[slot] = ep.Addr()
+	}
+	return udpMsg{Op: udpOpReady, Addrs: addrs}, nil
+}
+
+// handleStart builds and starts the founding nodes on the shared
+// schedule, NEWSCAST-bootstrapped from the full founding address book.
+func (w *udpWorker) handleStart(msg udpMsg) (udpMsg, error) {
+	w.sched = core.Schedule{
+		Start:    time.Unix(0, msg.AnchorUnixNano),
+		Delta:    time.Duration(w.sc.EpochLen) * w.cycleLen,
+		CycleLen: w.cycleLen,
+		Gamma:    w.sc.EpochLen,
+	}
+	for slot, s := range w.nodes {
+		node, err := w.newNode(slot, s.ep, nil, msg.Bootstrap)
+		if err != nil {
+			return udpMsg{}, err
+		}
+		s.node = node
+	}
+	for slot, s := range w.nodes {
+		if err := s.node.Start(w.ctx); err != nil {
+			return udpMsg{}, fmt.Errorf("udp worker %d: starting node %d: %w", w.index, slot, err)
+		}
+	}
+	return udpMsg{Op: udpOpStarted}, nil
+}
+
+// newNode builds (but does not start) the agent for a slot, mirroring the
+// live-mem executor's construction so the two fleets are comparable.
+func (w *udpWorker) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
+	node, err := agent.New(agent.Config{
+		Endpoint:  ep,
+		Schedule:  w.sched,
+		Function:  core.Average,
+		Value:     func() float64 { return w.prog.Value(slot, int(w.cycleNow.Load())) },
+		CacheSize: w.cacheSize,
+		Seeds:     seeds,
+		Bootstrap: bootstrap,
+		Seed:      w.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
+		Logger:    slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("udp worker %d: building node %d: %w", w.index, slot, err)
+	}
+	return node, nil
+}
+
+// handleCycle applies one cycle's scripted interventions to this slice.
+func (w *udpWorker) handleCycle(msg udpMsg) (udpMsg, error) {
+	w.cycleNow.Store(int64(msg.Cycle))
+	for addr, g := range msg.Assign {
+		w.filter.AssignGroup(addr, g)
+	}
+	if msg.Heal {
+		w.filter.HealGroups()
+	}
+	if msg.Groups != nil {
+		w.filter.PartitionGroups(msg.Groups)
+	}
+	w.filter.SetLoss(msg.Loss)
+	for _, slot := range msg.Crash {
+		w.crash(slot)
+	}
+	var addrs map[int]string
+	for _, j := range msg.Joins {
+		addr, err := w.join(j)
+		if err != nil {
+			return udpMsg{}, err
+		}
+		if addrs == nil {
+			addrs = make(map[int]string, len(msg.Joins))
+		}
+		addrs[j.Slot] = addr
+	}
+	for _, c := range msg.Contacts {
+		if s, ok := w.nodes[c.Slot]; ok {
+			s.node.AddContacts(c.Addrs)
+		}
+	}
+	return udpMsg{Op: udpOpAck, Cycle: msg.Cycle, Addrs: addrs}, nil
+}
+
+// crash stops a node ungracefully: its socket closes mid-protocol and
+// peers time out, exactly as a process crash looks from the network. The
+// stop completes in the background so one barrier tick can crash many
+// nodes without stalling the fleet clock.
+func (w *udpWorker) crash(slot int) {
+	s, ok := w.nodes[slot]
+	if !ok {
+		return
+	}
+	delete(w.nodes, slot)
+	w.retiredMessages += s.node.Metrics().ExchangesInitiated
+	w.retiredQueueDrops += s.ep.QueueDrops()
+	w.retiredFilterDrops += s.ep.FilterDrops()
+	node := s.node
+	w.stopping.Add(1)
+	go func() {
+		defer w.stopping.Done()
+		_ = node.Stop()
+	}()
+}
+
+// join brings a slot up as a brand-new identity performing the §4.2 join:
+// fresh endpoint (new port), seed contacts, participation from the next
+// epoch on. A positive group places it into the active partition.
+func (w *udpWorker) join(j udpJoin) (string, error) {
+	ep, err := transport.ListenUDP("127.0.0.1:0", w.queueLen)
+	if err != nil {
+		return "", fmt.Errorf("udp worker %d: joiner %d: %w", w.index, j.Slot, err)
+	}
+	ep.SetFilter(w.filter)
+	if j.Group >= 0 {
+		w.filter.AssignGroup(ep.Addr(), j.Group)
+	}
+	node, err := w.newNode(j.Slot, ep, j.Seeds, nil)
+	if err != nil {
+		_ = ep.Close()
+		return "", err
+	}
+	if err := node.Start(w.ctx); err != nil {
+		return "", fmt.Errorf("udp worker %d: starting joiner %d: %w", w.index, j.Slot, err)
+	}
+	w.nodes[j.Slot] = &udpWorkerSlot{node: node, ep: ep, addr: ep.Addr()}
+	return ep.Addr(), nil
+}
+
+// handleSample reports this slice's partial metric aggregates. Estimates
+// travel as (n, Σx, Σx²) for exact cross-worker moment merging.
+func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
+	reply := udpMsg{
+		Op:          udpOpMetrics,
+		Cycle:       msg.Cycle,
+		Alive:       len(w.nodes),
+		Messages:    w.retiredMessages,
+		QueueDrops:  w.retiredQueueDrops,
+		FilterDrops: w.retiredFilterDrops,
+	}
+	for _, s := range w.nodes {
+		reply.Messages += s.node.Metrics().ExchangesInitiated
+		reply.QueueDrops += s.ep.QueueDrops()
+		reply.FilterDrops += s.ep.FilterDrops()
+		if !s.node.Participating() {
+			continue
+		}
+		reply.Participating++
+		if v, ok := s.node.Estimate(); ok {
+			reply.EstN++
+			reply.EstSum += v
+			reply.EstSumSq += v * v
+		}
+	}
+	return reply, nil
+}
+
+// stopAll terminates the fleet slice and waits for background stops.
+func (w *udpWorker) stopAll() {
+	if w.stopped {
+		return
+	}
+	w.stopped = true
+	if w.cancel != nil {
+		w.cancel()
+	}
+	for slot, s := range w.nodes {
+		delete(w.nodes, slot)
+		if s.node != nil {
+			_ = s.node.Stop()
+		} else {
+			_ = s.ep.Close()
+		}
+	}
+	w.stopping.Wait()
+}

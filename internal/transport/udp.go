@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // UDPEndpoint is a real-network datagram endpoint. Aggregation state fits
@@ -18,6 +19,16 @@ type UDPEndpoint struct {
 	mu     sync.Mutex
 	closed bool
 	wg     sync.WaitGroup
+
+	// filter, when set, applies scripted drop rules (partitions, loss) to
+	// both directions; see UDPFilter.
+	filter atomic.Pointer[UDPFilter]
+
+	// queueDrops counts inbound datagrams discarded because the buffer
+	// was full; filterDrops counts datagrams (either direction) consumed
+	// by the drop-rule filter.
+	queueDrops  atomic.Int64
+	filterDrops atomic.Int64
 
 	// resolve caches peer address resolution.
 	resolveMu sync.Mutex
@@ -55,6 +66,20 @@ func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {
 // Addr returns the bound local address.
 func (e *UDPEndpoint) Addr() string { return e.addr }
 
+// SetFilter installs (or, with nil, removes) the endpoint's drop-rule
+// filter. Several endpoints of one process typically share a filter so a
+// scripted partition applies to the whole fleet slice at once.
+func (e *UDPEndpoint) SetFilter(f *UDPFilter) { e.filter.Store(f) }
+
+// QueueDrops reports how many inbound datagrams were discarded because
+// the inbound buffer was full (the userspace analogue of a kernel socket
+// buffer overflow).
+func (e *UDPEndpoint) QueueDrops() int64 { return e.queueDrops.Load() }
+
+// FilterDrops reports how many datagrams the drop-rule filter consumed,
+// outbound and inbound combined.
+func (e *UDPEndpoint) FilterDrops() int64 { return e.filterDrops.Load() }
+
 // Send transmits one datagram to a "host:port" peer.
 func (e *UDPEndpoint) Send(to string, data []byte) error {
 	if len(data) > MaxDatagram {
@@ -66,11 +91,21 @@ func (e *UDPEndpoint) Send(to string, data []byte) error {
 	if closed {
 		return ErrClosed
 	}
+	if f := e.filter.Load(); f != nil && f.DropOutbound(e.addr, to) {
+		// Scripted drop behaves like network loss: the sender cannot tell.
+		e.filterDrops.Add(1)
+		return nil
+	}
 	raddr, err := e.resolve(to)
 	if err != nil {
 		return err
 	}
 	if _, err := e.conn.WriteToUDP(data, raddr); err != nil {
+		// Close may race an in-flight Send; report the endpoint state
+		// rather than a raw "use of closed network connection".
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
 		return fmt.Errorf("transport: sending to %s: %w", to, err)
 	}
 	return nil
@@ -97,7 +132,9 @@ func (e *UDPEndpoint) resolve(to string) (*net.UDPAddr, error) {
 // Recv returns the inbound channel; closed when the endpoint closes.
 func (e *UDPEndpoint) Recv() <-chan Packet { return e.in }
 
-// Close shuts the socket down and drains the read loop.
+// Close shuts the socket down and drains the read loop. Safe to call
+// more than once and concurrently with Send (which then reports
+// ErrClosed).
 func (e *UDPEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -131,11 +168,18 @@ func (e *UDPEndpoint) readLoop() {
 			}
 			continue
 		}
+		from := raddr.String()
+		if f := e.filter.Load(); f != nil && f.DropInbound(e.addr, from) {
+			e.filterDrops.Add(1)
+			continue
+		}
 		data := append([]byte(nil), buf[:n]...)
 		select {
-		case e.in <- Packet{From: raddr.String(), Data: data}:
+		case e.in <- Packet{From: from, Data: data}:
 		default:
-			// Full buffer: drop, as a kernel socket would.
+			// Full buffer: drop, as a kernel socket would — but account
+			// for it so deployments can see the congestion.
+			e.queueDrops.Add(1)
 		}
 	}
 }
