@@ -48,6 +48,7 @@ import (
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
 	"antientropy/internal/experiments"
+	"antientropy/internal/obs"
 	"antientropy/internal/overlay"
 	"antientropy/internal/parsim"
 	"antientropy/internal/scenario"
@@ -300,6 +301,46 @@ const (
 
 // NewNode validates cfg and builds a live node (start with Node.Start).
 func NewNode(cfg NodeConfig) (*Node, error) { return agent.New(cfg) }
+
+// Live telemetry (metrics registry, Prometheus export, exchange traces).
+type (
+	// MetricsRegistry names and exports a set of zero-allocation metric
+	// instruments in the Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// MetricsHistogram is a fixed-bucket histogram instrument.
+	MetricsHistogram = obs.Histogram
+	// TraceRing is a bounded ring of exchange-lifecycle trace events.
+	TraceRing = obs.TraceRing
+	// TraceEvent is one structured exchange-lifecycle event.
+	TraceEvent = obs.TraceEvent
+	// TelemetryServer serves /metrics, /debug/trace and /debug/pprof.
+	TelemetryServer = obs.Server
+)
+
+// RTTBuckets are the default histogram bounds (seconds) for exchange
+// round-trip latency.
+var RTTBuckets = obs.RTTBuckets
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceRing builds a ring retaining the newest capacity exchange
+// trace events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewTraceRing(capacity) }
+
+// ServeTelemetry starts the telemetry HTTP server on addr, exposing reg
+// on /metrics, trace (may be nil) on /debug/trace and the runtime
+// profiles on /debug/pprof/. Close the returned server to stop it.
+func ServeTelemetry(addr string, reg *MetricsRegistry, trace *TraceRing) (*TelemetryServer, error) {
+	return obs.Serve(addr, reg, trace)
+}
+
+// RegisterNodeMetrics exposes aggregated node protocol counters on reg
+// under the canonical agg_* names; snap is called at scrape time and
+// returns the (summed) NodeMetrics of the population the process hosts.
+func RegisterNodeMetrics(reg *MetricsRegistry, snap func() NodeMetrics) {
+	agent.RegisterMetrics(reg, snap)
+}
 
 // Transports.
 type (

@@ -49,25 +49,37 @@ func main() {
 
 func run() error {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		value     = flag.Float64("value", 1, "this node's local value (scalar modes)")
-		stdinVals = flag.Bool("stdin", false, "read value updates (one float per line) from stdin; each epoch restart picks up the latest")
-		function  = flag.String("function", "average", "aggregate: average, min, max, geometric-mean")
-		mode      = flag.String("mode", "scalar", "scalar or count (network-size estimation)")
-		bootstrap = flag.String("bootstrap", "", "comma-separated founding-member addresses")
-		join      = flag.String("join", "", "comma-separated seed addresses of a running deployment")
-		delta     = flag.Duration("delta", 30*time.Second, "epoch length Δ")
-		cycle     = flag.Duration("cycle", time.Second, "cycle length δ")
-		gamma     = flag.Int("gamma", 30, "cycles per epoch γ")
-		anchor    = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
-		cache     = flag.Int("cache", 30, "NEWSCAST cache size c")
-		conc      = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
+		listen      = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		value       = flag.Float64("value", 1, "this node's local value (scalar modes)")
+		stdinVals   = flag.Bool("stdin", false, "read value updates (one float per line) from stdin; each epoch restart picks up the latest")
+		function    = flag.String("function", "average", "aggregate: average, min, max, geometric-mean")
+		mode        = flag.String("mode", "scalar", "scalar or count (network-size estimation)")
+		bootstrap   = flag.String("bootstrap", "", "comma-separated founding-member addresses")
+		join        = flag.String("join", "", "comma-separated seed addresses of a running deployment")
+		delta       = flag.Duration("delta", 30*time.Second, "epoch length Δ")
+		cycle       = flag.Duration("cycle", time.Second, "cycle length δ")
+		gamma       = flag.Int("gamma", 30, "cycles per epoch γ")
+		anchor      = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
+		cache       = flag.Int("cache", 30, "NEWSCAST cache size c")
+		conc        = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace and /debug/pprof on this address (empty: off)")
+		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events (served on /debug/trace; 0: off)")
 	)
 	flag.Parse()
 
 	endpoint, err := antientropy.ListenUDP(*listen, 0)
 	if err != nil {
 		return err
+	}
+	var (
+		reg   *antientropy.MetricsRegistry
+		trace *antientropy.TraceRing
+	)
+	if *traceCap > 0 {
+		trace = antientropy.NewTraceRing(*traceCap)
+	}
+	if *metricsAddr != "" {
+		reg = antientropy.NewMetricsRegistry()
 	}
 	cfg := antientropy.NodeConfig{
 		Endpoint: endpoint,
@@ -79,6 +91,12 @@ func run() error {
 		},
 		CacheSize:   *cache,
 		Concurrency: *conc,
+		Trace:       trace,
+	}
+	if reg != nil {
+		cfg.RTT = reg.Histogram("agg_exchange_rtt_seconds",
+			"Exchange round-trip latency, initiate to reply, in seconds.",
+			antientropy.RTTBuckets)
 	}
 	switch *mode {
 	case "scalar":
@@ -109,6 +127,21 @@ func run() error {
 	node, err := antientropy.NewNode(cfg)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		antientropy.RegisterNodeMetrics(reg, node.Metrics)
+		reg.CounterFunc("agg_transport_queue_drops_total",
+			"Datagrams dropped at the full endpoint inbound queue.",
+			endpoint.QueueDrops)
+		reg.CounterFunc("agg_transport_filter_drops_total",
+			"Datagrams dropped by the endpoint's drop-rule filter.",
+			endpoint.FilterDrops)
+		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, trace)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

@@ -69,6 +69,9 @@ func run() error {
 		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")
 		cycleLen = flag.Duration("cycle-len", 0, "live/udp executors: wall-clock cycle length (0 = scale with fleet size and cores)")
 		worker   = flag.Bool("worker", false, "internal: run as a UDP-executor worker process, speaking the control protocol on stdin/stdout")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace and /debug/pprof on this address for the duration of the run (empty: off)")
+		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events per process, dumped to stderr at the end of the run (0: off)")
 	)
 	flag.Parse()
 
@@ -76,8 +79,32 @@ func run() error {
 		return antientropy.RunScenarioUDPWorker(os.Stdin, os.Stdout)
 	}
 
-	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards}
-	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen}
+	// Telemetry is shared across every executor of the invocation: one
+	// registry (and one /metrics endpoint) no matter how many runs.
+	var (
+		reg  *antientropy.MetricsRegistry
+		ring *antientropy.TraceRing
+	)
+	if *traceCap > 0 {
+		ring = antientropy.NewTraceRing(*traceCap)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "aggscen: exchange trace:")
+			_ = ring.WriteJSON(os.Stderr)
+		}()
+	}
+	if *metricsAddr != "" {
+		reg = antientropy.NewMetricsRegistry()
+		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, ring)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "aggscen: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+
+	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards, Obs: reg}
+	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen, Obs: reg, TraceCap: *traceCap}
+	liveOpts := antientropy.ScenarioLiveOptions{CycleLen: *cycleLen, Obs: reg, Trace: ring}
 	switch {
 	case *list:
 		return listScenarios()
@@ -88,7 +115,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return compareScenarios(strings.Split(*compare, ","), *n, *seed, extras, simOpts, udpOpts, *cycleLen)
+		return compareScenarios(strings.Split(*compare, ","), *n, *seed, extras, simOpts, udpOpts, liveOpts)
 	case *name != "" || *file != "":
 		sc, err := loadScenario(*name, *file)
 		if err != nil {
@@ -107,7 +134,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runScenario(sc, execs, *format, *outPath, simOpts, udpOpts, *cycleLen)
+		return runScenario(sc, execs, *format, *outPath, simOpts, udpOpts, liveOpts)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do (use -list, -run, -file, -show or -compare)")
@@ -181,13 +208,12 @@ func loadScenario(name, file string) (antientropy.Scenario, error) {
 }
 
 // runExecutor dispatches one scenario run to the named executor.
-func runExecutor(sc antientropy.Scenario, executor string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) (*antientropy.ScenarioRun, error) {
+func runExecutor(sc antientropy.Scenario, executor string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) (*antientropy.ScenarioRun, error) {
 	switch executor {
 	case "sim":
 		return antientropy.RunScenarioSimWith(sc, simOpts)
 	case "live":
-		return antientropy.RunScenarioLive(context.Background(), sc,
-			antientropy.ScenarioLiveOptions{CycleLen: cycleLen})
+		return antientropy.RunScenarioLive(context.Background(), sc, liveOpts)
 	case "udp":
 		return antientropy.RunScenarioUDP(context.Background(), sc, udpOpts)
 	default:
@@ -195,7 +221,7 @@ func runExecutor(sc antientropy.Scenario, executor string, simOpts antientropy.S
 	}
 }
 
-func runScenario(sc antientropy.Scenario, executors []string, format, outPath string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) error {
+func runScenario(sc antientropy.Scenario, executors []string, format, outPath string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -213,7 +239,7 @@ func runScenario(sc antientropy.Scenario, executors []string, format, outPath st
 	var runs []*antientropy.ScenarioRun
 	for _, executor := range executors {
 		start := time.Now()
-		res, err := runExecutor(sc, executor, simOpts, udpOpts, cycleLen)
+		res, err := runExecutor(sc, executor, simOpts, udpOpts, liveOpts)
 		if err != nil {
 			return err
 		}
@@ -253,7 +279,7 @@ func runScenario(sc antientropy.Scenario, executors []string, format, outPath st
 // divergence of each fleet's metric stream from the simulator's is
 // reported (they share the CSV schema and the scripted value signal, so
 // the difference isolates executor effects).
-func compareScenarios(names []string, n int, seed uint64, executors []string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, cycleLen time.Duration) error {
+func compareScenarios(names []string, n int, seed uint64, executors []string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
 	// The simulator is the comparison baseline and always runs first.
 	fleets := make([]string, 0, len(executors))
 	for _, e := range executors {
@@ -284,7 +310,7 @@ func compareScenarios(names []string, n int, seed uint64, executors []string, si
 		}
 		printCompareRow(sc, simRes)
 		for _, executor := range fleets {
-			res, err := runExecutor(sc, executor, simOpts, udpOpts, cycleLen)
+			res, err := runExecutor(sc, executor, simOpts, udpOpts, liveOpts)
 			if err != nil {
 				return err
 			}

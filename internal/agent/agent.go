@@ -24,9 +24,11 @@ import (
 	"log/slog"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/overlay"
 	"antientropy/internal/stats"
 	"antientropy/internal/transport"
@@ -89,6 +91,14 @@ type Config struct {
 	Logger *slog.Logger
 	// MaxOutputs bounds the retained epoch outputs (default 16).
 	MaxOutputs int
+	// RTT, when set, receives every measured exchange round trip in
+	// seconds. Fleets share one histogram across all their nodes, so a
+	// process exports a single agg_exchange_rtt_seconds series.
+	RTT *obs.Histogram
+	// Trace, when set, receives structured exchange-lifecycle events
+	// (initiate → absorb/timeout/declined, refusals, epoch jumps, stale
+	// drops). Fleets share one bounded ring across all their nodes.
+	Trace *obs.TraceRing
 }
 
 // Output is one completed epoch's aggregation result.
@@ -105,7 +115,7 @@ type Output struct {
 	At time.Time
 }
 
-// Metrics counts protocol events on a live node.
+// Metrics is a snapshot of a node's protocol counters.
 type Metrics struct {
 	// ExchangesInitiated counts active-thread attempts.
 	ExchangesInitiated int64
@@ -139,6 +149,79 @@ type Metrics struct {
 	// divided by the frame counts it measures what the delta codec saves
 	// against always-full gossip (the view size + 1).
 	GossipEntriesSent int64
+	// RTTSamples counts exchange replies whose initiate→reply round
+	// trip was measured; RTTTotal is their summed latency, so the mean
+	// round trip is RTTTotal/RTTSamples. Refusal NACKs count too — the
+	// measurement is of the network round trip, not of the merge.
+	RTTSamples int64
+	// RTTTotal is the summed round-trip latency of RTTSamples replies.
+	RTTTotal time.Duration
+}
+
+// Accumulate adds o's counts into m — the fleet-aggregation and
+// crash-retirement primitive: a worker sums its live nodes plus the
+// counters of nodes it already stopped, and the sums stay monotone.
+func (m *Metrics) Accumulate(o Metrics) {
+	m.ExchangesInitiated += o.ExchangesInitiated
+	m.ExchangesCompleted += o.ExchangesCompleted
+	m.ExchangesServed += o.ExchangesServed
+	m.Timeouts += o.Timeouts
+	m.RefusedBusy += o.RefusedBusy
+	m.PeerDeclined += o.PeerDeclined
+	m.RefusedJoining += o.RefusedJoining
+	m.StaleDropped += o.StaleDropped
+	m.EpochJumps += o.EpochJumps
+	m.DecodeErrors += o.DecodeErrors
+	m.GossipFramesFull += o.GossipFramesFull
+	m.GossipFramesDelta += o.GossipFramesDelta
+	m.GossipEntriesSent += o.GossipEntriesSent
+	m.RTTSamples += o.RTTSamples
+	m.RTTTotal += o.RTTTotal
+}
+
+// counters is the node's live counter set: plain atomics, so the
+// exchange hot paths pay one uncontended atomic add per event and
+// Metrics() snapshots without taking the node lock — metric scrapes
+// never contend with the protocol.
+type counters struct {
+	exchangesInitiated atomic.Int64
+	exchangesCompleted atomic.Int64
+	exchangesServed    atomic.Int64
+	timeouts           atomic.Int64
+	refusedBusy        atomic.Int64
+	peerDeclined       atomic.Int64
+	refusedJoining     atomic.Int64
+	staleDropped       atomic.Int64
+	epochJumps         atomic.Int64
+	decodeErrors       atomic.Int64
+	gossipFramesFull   atomic.Int64
+	gossipFramesDelta  atomic.Int64
+	gossipEntriesSent  atomic.Int64
+	rttSamples         atomic.Int64
+	rttTotalNanos      atomic.Int64
+}
+
+// snapshot reads every counter. Loads are individually atomic; a
+// snapshot taken mid-exchange may see the exchange half-counted, which
+// is the usual scrape contract.
+func (c *counters) snapshot() Metrics {
+	return Metrics{
+		ExchangesInitiated: c.exchangesInitiated.Load(),
+		ExchangesCompleted: c.exchangesCompleted.Load(),
+		ExchangesServed:    c.exchangesServed.Load(),
+		Timeouts:           c.timeouts.Load(),
+		RefusedBusy:        c.refusedBusy.Load(),
+		PeerDeclined:       c.peerDeclined.Load(),
+		RefusedJoining:     c.refusedJoining.Load(),
+		StaleDropped:       c.staleDropped.Load(),
+		EpochJumps:         c.epochJumps.Load(),
+		DecodeErrors:       c.decodeErrors.Load(),
+		GossipFramesFull:   c.gossipFramesFull.Load(),
+		GossipFramesDelta:  c.gossipFramesDelta.Load(),
+		GossipEntriesSent:  c.gossipEntriesSent.Load(),
+		RTTSamples:         c.rttSamples.Load(),
+		RTTTotal:           time.Duration(c.rttTotalNanos.Load()),
+	}
 }
 
 // Node is a live aggregation participant. Create with New, run with
@@ -171,9 +254,12 @@ type Node struct {
 	seq           uint64
 	rng           *stats.RNG
 	outputs       []Output
-	metrics       Metrics
 	started       bool
 	stopped       bool
+
+	// metrics is deliberately outside the mu regime: its fields are
+	// atomics, incremented on the hot paths and snapshot lock-free.
+	metrics counters
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -436,11 +522,11 @@ func (n *Node) LastOutput() (Output, bool) {
 	return n.outputs[len(n.outputs)-1], true
 }
 
-// Metrics returns a snapshot of the node's protocol counters.
+// Metrics returns a snapshot of the node's protocol counters. It takes
+// no lock: the counters are atomics, so scraping a running fleet never
+// contends with the exchange path.
 func (n *Node) Metrics() Metrics {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.metrics
+	return n.metrics.snapshot()
 }
 
 // Subscribe returns a channel that receives every completed epoch's

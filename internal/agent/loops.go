@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/overlay"
 	"antientropy/internal/wire"
 )
@@ -139,17 +140,19 @@ func (n *Node) initiate(ctx context.Context, now time.Time) {
 	n.pending[seq] = ch
 	payload, version := n.payloadLocked(sess, seq, now)
 	epoch := n.epoch
-	n.metrics.ExchangesInitiated++
+	n.metrics.exchangesInitiated.Add(1)
 	n.mu.Unlock()
 
+	start := time.Now()
+	n.trace(obs.TraceInitiate, peer, seq, epoch, start)
 	n.send(peer, &wire.ExchangeRequest{From: n.Addr(), Payload: payload}, version)
 	n.wg.Add(1)
-	go n.awaitReply(ctx, seq, epoch, payload, ch)
+	go n.awaitReply(ctx, peer, seq, epoch, start, ch)
 }
 
 // awaitReply waits for the push-pull response and applies it (active
 // thread's sp ← UPDATE(sp, sq)).
-func (n *Node) awaitReply(ctx context.Context, seq, epoch uint64, sent wire.Payload, ch <-chan wire.Payload) {
+func (n *Node) awaitReply(ctx context.Context, peer string, seq, epoch uint64, start time.Time, ch <-chan wire.Payload) {
 	defer n.wg.Done()
 	timer := time.NewTimer(n.cfg.RequestTimeout)
 	defer timer.Stop()
@@ -161,29 +164,56 @@ func (n *Node) awaitReply(ctx context.Context, seq, epoch uint64, sent wire.Payl
 	case reply = <-ch:
 		ok = true
 	}
+	if ok {
+		// The round trip is measured for every reply, refusals included:
+		// it observes the network and the peer's receive path, not the
+		// merge. Timeouts are accounted separately — mixing the timeout
+		// bound into the latency histogram would fabricate a mode at
+		// RequestTimeout.
+		rtt := time.Since(start)
+		n.metrics.rttSamples.Add(1)
+		n.metrics.rttTotalNanos.Add(int64(rtt))
+		if n.cfg.RTT != nil {
+			n.cfg.RTT.Observe(rtt.Seconds())
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.pending, seq)
 	n.busy = false
 	if !ok {
-		n.metrics.Timeouts++
+		n.metrics.timeouts.Add(1)
+		n.trace(obs.TraceTimeout, peer, seq, epoch, time.Time{})
 		return
 	}
 	if reply.Flags&wire.FlagRefused != 0 {
 		// The peer declined (busy or joining): the exchange is skipped,
 		// exactly as if the link had failed (§6.2).
-		n.metrics.PeerDeclined++
+		n.metrics.peerDeclined.Add(1)
+		n.trace(obs.TraceDeclined, peer, seq, epoch, time.Time{})
 		return
 	}
 	// A reply from a different epoch must not be merged: the local
 	// instance it belonged to is gone (its effect equals a lost reply).
 	if reply.Epoch != n.epoch || epoch != n.epoch {
-		n.metrics.StaleDropped++
+		n.metrics.staleDropped.Add(1)
+		n.trace(obs.TraceStaleDrop, peer, seq, epoch, time.Time{})
 		return
 	}
 	n.applyLocked(reply)
-	n.metrics.ExchangesCompleted++
-	_ = sent
+	n.metrics.exchangesCompleted.Add(1)
+	n.trace(obs.TraceAbsorb, peer, seq, n.epoch, time.Time{})
+}
+
+// trace records one exchange-lifecycle event on the optional ring. A
+// zero at is stamped by the ring.
+func (n *Node) trace(kind obs.TraceKind, peer string, seq, epoch uint64, at time.Time) {
+	if n.cfg.Trace == nil {
+		return
+	}
+	n.cfg.Trace.Record(obs.TraceEvent{
+		At: at, Node: n.Addr(), Peer: peer, Kind: kind, Seq: seq, Epoch: epoch,
+	})
 }
 
 // applyLocked merges a remote state into ours.
@@ -258,8 +288,8 @@ func (n *Node) viewDescriptorsLocked(now time.Time, version uint8) []wire.Descri
 func (n *Node) frameForLocked(sess *peerSession, now time.Time) (wire.ViewFrame, uint8) {
 	if sess.version == wire.VersionLegacy {
 		frame := wire.ViewFrame{Kind: wire.ViewFull, Entries: n.viewDescriptorsLocked(now, sess.version)}
-		n.metrics.GossipFramesFull++
-		n.metrics.GossipEntriesSent += int64(len(frame.Entries))
+		n.metrics.gossipFramesFull.Add(1)
+		n.metrics.gossipEntriesSent.Add(int64(len(frame.Entries)))
 		return frame, wire.VersionLegacy
 	}
 	packed := n.view.Packed()
@@ -276,11 +306,11 @@ func (n *Node) frameForLocked(sess *peerSession, now time.Time) (wire.ViewFrame,
 	n.packedScratch = buf
 	frame := sess.codec.EncodeView(buf, n.book.Addr)
 	if frame.Kind == wire.ViewDelta {
-		n.metrics.GossipFramesDelta++
+		n.metrics.gossipFramesDelta.Add(1)
 	} else {
-		n.metrics.GossipFramesFull++
+		n.metrics.gossipFramesFull.Add(1)
 	}
-	n.metrics.GossipEntriesSent += int64(len(frame.Entries))
+	n.metrics.gossipEntriesSent.Add(int64(len(frame.Entries)))
 	return frame, wire.Version
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/wire"
 )
 
@@ -38,9 +39,8 @@ func (n *Node) recvLoop(ctx context.Context) {
 func (n *Node) handle(from string, data []byte) {
 	msg, version, err := wire.DecodeExt(data)
 	if err != nil {
-		n.mu.Lock()
-		n.metrics.DecodeErrors++
-		n.mu.Unlock()
+		n.metrics.decodeErrors.Add(1)
+		n.trace(obs.TraceDecodeError, from, 0, 0, time.Time{})
 		n.log.Debug("undecodable datagram", "from", from, "err", err)
 		return
 	}
@@ -76,7 +76,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 	gossip := sess.codec.Observe(m.View)
 	switch core.Synchronize(n.epoch, m.Epoch) {
 	case core.DropStale:
-		n.metrics.StaleDropped++
+		n.metrics.staleDropped.Add(1)
+		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		return
@@ -86,7 +87,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 			// fresh local values; then serve the request in that epoch.
 			n.finishEpochLocked(now)
 			n.epoch = m.Epoch
-			n.metrics.EpochJumps++
+			n.metrics.epochJumps.Add(1)
+			n.trace(obs.TraceEpochJump, m.From, m.Seq, m.Epoch, now)
 			n.startEpochLocked()
 		}
 	case core.KeepEpoch:
@@ -97,7 +99,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 		// to the running epoch. The explicit NACK has the same effect as
 		// the paper's timeout — the exchange is skipped — but frees the
 		// initiator immediately.
-		n.metrics.RefusedJoining++
+		n.metrics.refusedJoining.Add(1)
+		n.trace(obs.TraceRefusedJoining, m.From, m.Seq, m.Epoch, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
@@ -106,7 +109,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 	if n.busy {
 		// Serving now could break mass conservation with our outstanding
 		// exchange; refusing behaves like a failed link (§6.2).
-		n.metrics.RefusedBusy++
+		n.metrics.refusedBusy.Add(1)
+		n.trace(obs.TraceRefusedBusy, m.From, m.Seq, m.Epoch, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
@@ -114,7 +118,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 	}
 	if n.epoch != m.Epoch {
 		// Jump was vetoed (we are a joiner for an even later epoch).
-		n.metrics.StaleDropped++
+		n.metrics.staleDropped.Add(1)
+		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
@@ -125,7 +130,8 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 	reply := &wire.ExchangeReply{From: n.Addr(), Payload: payload}
 	n.absorbDescriptorsLocked(gossip)
 	n.applyLocked(m.Payload)
-	n.metrics.ExchangesServed++
+	n.metrics.exchangesServed.Add(1)
+	n.trace(obs.TraceServed, m.From, m.Seq, m.Epoch, now)
 	n.mu.Unlock()
 	n.send(m.From, reply, replyVersion)
 }

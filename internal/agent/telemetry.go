@@ -1,0 +1,59 @@
+package agent
+
+import "antientropy/internal/obs"
+
+// RegisterMetrics exposes one aggregated agent counter set on reg under
+// the canonical agg_* names. snap is called at scrape time and should
+// return the summed Metrics of whatever population the process hosts —
+// a single node, a live fleet plus its retired crash victims, or a UDP
+// supervisor's merged worker totals. Registering funcs (rather than
+// having nodes increment registry counters directly) keeps the per-node
+// counters authoritative, which crash retirement requires, and keeps
+// the hot path at exactly one atomic add per event.
+func RegisterMetrics(reg *obs.Registry, snap func() Metrics) {
+	if reg == nil || snap == nil {
+		return
+	}
+	counter := func(name, help string, read func(Metrics) int64) {
+		reg.CounterFunc(name, help, func() int64 { return read(snap()) })
+	}
+	counter("agg_exchanges_initiated_total",
+		"Active-thread exchange attempts.",
+		func(m Metrics) int64 { return m.ExchangesInitiated })
+	counter("agg_exchanges_completed_total",
+		"Exchange replies applied by the initiator.",
+		func(m Metrics) int64 { return m.ExchangesCompleted })
+	counter("agg_exchanges_served_total",
+		"Passive-thread exchange replies sent.",
+		func(m Metrics) int64 { return m.ExchangesServed })
+	counter("agg_exchange_timeouts_total",
+		"Exchange replies that never arrived in time.",
+		func(m Metrics) int64 { return m.Timeouts })
+	counter("agg_exchanges_refused_busy_total",
+		"Incoming exchange requests NACKed while an exchange was outstanding.",
+		func(m Metrics) int64 { return m.RefusedBusy })
+	counter("agg_exchanges_declined_total",
+		"Own exchange requests NACKed by a busy or joining peer.",
+		func(m Metrics) int64 { return m.PeerDeclined })
+	counter("agg_exchanges_refused_joining_total",
+		"Incoming exchange requests NACKed while waiting to join (§4.2).",
+		func(m Metrics) int64 { return m.RefusedJoining })
+	counter("agg_stale_dropped_total",
+		"Messages dropped for belonging to an older epoch.",
+		func(m Metrics) int64 { return m.StaleDropped })
+	counter("agg_epoch_jumps_total",
+		"Jump-forward epoch synchronizations (§4.3).",
+		func(m Metrics) int64 { return m.EpochJumps })
+	counter("agg_decode_errors_total",
+		"Undecodable datagrams received.",
+		func(m Metrics) int64 { return m.DecodeErrors })
+	counter("agg_gossip_frames_full_total",
+		"Outgoing membership frames carrying the whole view.",
+		func(m Metrics) int64 { return m.GossipFramesFull })
+	counter("agg_gossip_frames_delta_total",
+		"Outgoing delta-encoded membership frames.",
+		func(m Metrics) int64 { return m.GossipFramesDelta })
+	counter("agg_gossip_entries_sent_total",
+		"Descriptors sent across all outgoing membership frames.",
+		func(m Metrics) int64 { return m.GossipEntriesSent })
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry in the Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to do
+			// but drop the connection.
+			return
+		}
+	})
+}
+
+// TraceHandler serves a trace ring as JSON (404 when tracing is off).
+func TraceHandler(t *TraceRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled (no trace ring attached)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}
+
+// Server is one live telemetry endpoint: /metrics (Prometheus text),
+// /debug/trace (exchange trace ring JSON) and /debug/pprof/* for the
+// runtime profiles. Create with Serve, stop with Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry HTTP server on addr ("host:port"; ":0"
+// picks a free port — read the resolved address back with Addr). trace
+// may be nil; /debug/trace then reports tracing disabled.
+func Serve(addr string, reg *Registry, trace *TraceRing) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/trace", TraceHandler(trace))
+	// net/http/pprof self-registers on http.DefaultServeMux at import;
+	// wire its handlers onto this private mux explicitly so the
+	// telemetry port is the only place they are exposed.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

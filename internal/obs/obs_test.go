@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("agg_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("agg_test_gauge", "help")
+	g.Set(2.5)
+	if got := g.Load(); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	g.Set(-1)
+	if got := g.Load(); got != -1 {
+		t.Errorf("gauge after reset = %g, want -1", got)
+	}
+}
+
+func TestRegistryIdempotentInstruments(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("agg_shared_total", "help")
+	b := r.Counter("agg_shared_total", "other help")
+	if a != b {
+		t.Error("re-registering a counter returned a different instrument")
+	}
+	h1 := r.Histogram("agg_shared_hist", "help", RTTBuckets)
+	h2 := r.Histogram("agg_shared_hist", "help", FrameBytesBuckets)
+	if h1 != h2 {
+		t.Error("re-registering a histogram returned a different instrument")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agg_clash", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge over a counter name did not panic")
+		}
+	}()
+	r.Gauge("agg_clash", "help")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	for _, name := range []string{"", "1leading", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", name)
+				}
+			}()
+			NewRegistry().Counter(name, "help")
+		}()
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// Prometheus buckets have inclusive upper bounds: v <= bound.
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v) // bucket le=1
+	}
+	h.Observe(1.5) // le=2
+	h.Observe(2)   // le=2 (inclusive)
+	h.Observe(4)   // le=4 (inclusive)
+	h.Observe(4.1) // +Inf
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 4 + 4.1; s.Sum != wantSum {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1, 2})
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	h1 := NewHistogram([]float64{1, 2})
+	h2 := NewHistogram([]float64{1, 2})
+	h1.Observe(0.5)
+	h2.Observe(1.5)
+	h2.Observe(10)
+	m := h1.Snapshot().Merge(h2.Snapshot())
+	if m.Count != 3 || m.Counts[0] != 1 || m.Counts[1] != 1 || m.Counts[2] != 1 {
+		t.Errorf("merge = %+v", m)
+	}
+	if m.Sum != 12 {
+		t.Errorf("merged sum = %g, want 12", m.Sum)
+	}
+	// Mismatched layouts refuse to merge.
+	other := NewHistogram([]float64{5}).Snapshot()
+	before := h1.Snapshot()
+	if got := before.Merge(other); got.Count != before.Count {
+		t.Error("mismatched-layout merge changed the snapshot")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(RTTBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%4) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != workers*per {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}
+
+// TestHotPathAllocs is the zero-allocation guard on the counter hot
+// path: one exchange is about a microsecond of work, so a single heap
+// allocation per metric event would dominate the protocol's cost.
+func TestHotPathAllocs(t *testing.T) {
+	c := &Counter{}
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f times per call", n)
+	}
+	g := &Gauge{}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3.14) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f times per call", n)
+	}
+	h := NewHistogram(RTTBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f times per call", n)
+	}
+	ring := NewTraceRing(64)
+	ev := TraceEvent{Node: "n", Peer: "p", Kind: TraceInitiate, Seq: 1, Epoch: 2}
+	// A pre-stamped event must not allocate either (time.Now stamping is
+	// only for zero At values).
+	ev.At = ev.At.AddDate(2020, 0, 0)
+	if n := testing.AllocsPerRun(1000, func() { ring.Record(ev) }); n != 0 {
+		t.Errorf("TraceRing.Record allocates %.1f times per call", n)
+	}
+}

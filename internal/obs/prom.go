@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric name.
+// Instrument values are read atomically; func-backed metrics are
+// evaluated inline, so a scrape observes the fleet as of now.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		if m.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(m.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(m.name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.kind.String())
+		bw.WriteByte('\n')
+		switch m.kind {
+		case kindCounter:
+			v := int64(0)
+			if m.counter != nil {
+				v = m.counter.Load()
+			} else if m.counterFn != nil {
+				v = m.counterFn()
+			}
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(v, 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			v := 0.0
+			if m.gauge != nil {
+				v = m.gauge.Load()
+			} else if m.gaugeFn != nil {
+				v = m.gaugeFn()
+			}
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(v))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			var s HistSnapshot
+			if m.hist != nil {
+				s = m.hist.Snapshot()
+			} else if m.histFn != nil {
+				s = m.histFn()
+			}
+			writeHistogram(bw, m.name, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram: cumulative le-labelled buckets,
+// then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, s HistSnapshot) {
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		bw.WriteString(name)
+		bw.WriteString(`_bucket{le="`)
+		bw.WriteString(formatFloat(bound))
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	if n := len(s.Counts); n > 0 {
+		cum += s.Counts[n-1]
+	}
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{le="+Inf"} `)
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum ")
+	bw.WriteString(formatFloat(s.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count ")
+	bw.WriteString(strconv.FormatInt(s.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a value the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

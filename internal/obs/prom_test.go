@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("agg_exchanges_total", "Exchanges attempted.").Add(7)
+	r.Gauge("agg_mean", "Current mean estimate.").Set(12.5)
+	h := r.Histogram("agg_rtt_seconds", "Round trips.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+	r.CounterFunc("agg_fleet_total", "Scrape-time sum.", func() int64 { return 41 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP agg_exchanges_total Exchanges attempted.
+# TYPE agg_exchanges_total counter
+agg_exchanges_total 7
+# HELP agg_fleet_total Scrape-time sum.
+# TYPE agg_fleet_total counter
+agg_fleet_total 41
+# HELP agg_mean Current mean estimate.
+# TYPE agg_mean gauge
+agg_mean 12.5
+# HELP agg_rtt_seconds Round trips.
+# TYPE agg_rtt_seconds histogram
+agg_rtt_seconds_bucket{le="0.001"} 1
+agg_rtt_seconds_bucket{le="0.01"} 2
+agg_rtt_seconds_bucket{le="+Inf"} 3
+agg_rtt_seconds_sum 5.0025
+agg_rtt_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("export mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusSpecialFloats(t *testing.T) {
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Errorf("formatFloat(0.25) = %q", got)
+	}
+	r := NewRegistry()
+	r.GaugeFunc("agg_nan", "", func() float64 { return nan() })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "agg_nan NaN") {
+		t.Errorf("NaN not rendered: %s", sb.String())
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// TestConcurrentScrape races scrapes against hot-path updates; run with
+// -race this proves a scrape never tears or contends with the protocol.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("agg_busy_total", "")
+	h := r.Histogram("agg_busy_seconds", "", RTTBuckets)
+	g := r.Gauge("agg_busy_gauge", "")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					c.Inc()
+					g.Set(1.5)
+					h.Observe(0.002)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("agg_served_total", "help").Add(3)
+	ring := NewTraceRing(8)
+	ring.Record(TraceEvent{Node: "a", Peer: "b", Kind: TraceAbsorb, Seq: 9})
+	srv, err := Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "agg_served_total 3") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/trace"); code != http.StatusOK || !strings.Contains(body, `"absorb"`) {
+		t.Errorf("/debug/trace: code %d body %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+
+	// Tracing off → 404, not a panic.
+	srv2, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace", srv2.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace without ring: code %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceRingWraparound(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 1; i <= 10; i++ {
+		ring.Record(TraceEvent{Node: "n", Kind: TraceInitiate, Seq: uint64(i)})
+	}
+	if got := ring.Total(); got != 10 {
+		t.Errorf("total = %d, want 10", got)
+	}
+	events := ring.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// The newest 4, oldest first: seq 7, 8, 9, 10.
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if events[i].Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, events[i].Seq, want)
+		}
+	}
+}
+
+func TestTraceRingPartiallyFilled(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.Record(TraceEvent{Seq: 1})
+	ring.Record(TraceEvent{Seq: 2})
+	events := ring.Events()
+	if len(events) != 2 || events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestTraceRingZeroAtStamped(t *testing.T) {
+	ring := NewTraceRing(1)
+	ring.Record(TraceEvent{Seq: 1})
+	if ring.Events()[0].At.IsZero() {
+		t.Error("zero At not stamped with the record time")
+	}
+}
+
+func TestNilTraceRingSafe(t *testing.T) {
+	var ring *TraceRing
+	ring.Record(TraceEvent{Seq: 1}) // must not panic
+	if ring.Events() != nil || ring.Total() != 0 {
+		t.Error("nil ring not empty")
+	}
+}
+
+func TestTraceRingMinCapacity(t *testing.T) {
+	ring := NewTraceRing(0)
+	ring.Record(TraceEvent{Seq: 1})
+	ring.Record(TraceEvent{Seq: 2})
+	events := ring.Events()
+	if len(events) != 1 || events[0].Seq != 2 {
+		t.Errorf("events = %+v, want just seq 2", events)
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	ring := NewTraceRing(2)
+	ring.Record(TraceEvent{Node: "a", Peer: "b", Kind: TraceTimeout, Seq: 3, Epoch: 5})
+	var sb strings.Builder
+	if err := ring.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Events   []struct {
+			Kind  string `json:"kind"`
+			Seq   uint64 `json:"seq"`
+			Epoch uint64 `json:"epoch"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if dump.Total != 1 || dump.Retained != 1 || len(dump.Events) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if e := dump.Events[0]; e.Kind != "timeout" || e.Seq != 3 || e.Epoch != 5 {
+		t.Errorf("event = %+v", e)
+	}
+}
+
+func TestTraceKindNames(t *testing.T) {
+	for k := TraceInitiate; k <= TraceDecodeError; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TraceKind(0).String() != "unknown" || TraceKind(200).String() != "unknown" {
+		t.Error("out-of-range kinds must be unknown")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/stats"
 	"antientropy/internal/transport"
 )
@@ -27,6 +28,15 @@ type LiveOptions struct {
 	CacheSize int
 	// Logger receives node debug events (default: discard).
 	Logger *slog.Logger
+	// Obs, when set, exposes the fleet on a metrics registry: the
+	// aggregated agent counters (agg_*_total, summed over live nodes plus
+	// crash-retired ones), one shared agg_exchange_rtt_seconds histogram,
+	// the per-cycle scenario gauges and the convergence watch. Scrapes
+	// read atomics and never block the protocol.
+	Obs *obs.Registry
+	// Trace, when set, receives exchange-lifecycle events from every node
+	// of the fleet (one shared bounded ring).
+	Trace *obs.TraceRing
 }
 
 func (o LiveOptions) withDefaults(fleet int) LiveOptions {
@@ -91,6 +101,11 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 		opts:   opts,
 		sched:  schedule,
 		ctx:    ctx,
+		sobs:   newScenarioObs(opts.Obs),
+	}
+	if opts.Obs != nil {
+		d.rtt = opts.Obs.Histogram("agg_exchange_rtt_seconds",
+			"Exchange round-trip latency, initiate to reply, in seconds.", obs.RTTBuckets)
 	}
 	defer d.stopAll()
 
@@ -116,6 +131,10 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 		}
 		d.roster.alive[slot] = true
 	}
+	// Bind the scrape-time aggregation only once the fleet exists; from
+	// here on every roster mutation happens under d.mu, so a concurrent
+	// scrape always sees a consistent node set.
+	agent.RegisterMetrics(opts.Obs, d.fleetMetrics)
 
 	result := &RunResult{
 		Scenario: sc.Name, Executor: "live",
@@ -142,7 +161,10 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 			return nil, err
 		}
 		d.cycleNow.Store(int64(cycle))
-		if err := d.applyEvents(cycle); err != nil {
+		d.mu.Lock()
+		err := d.applyEvents(cycle)
+		d.mu.Unlock()
+		if err != nil {
 			return nil, err
 		}
 		// Sample halfway into the cycle: node epochs flip at the cycle
@@ -188,14 +210,36 @@ type liveDriver struct {
 	// so epoch restarts sample the scripted signal at the current cycle.
 	cycleNow atomic.Int64
 
+	// mu guards roster, nodes and retired against the telemetry scrape
+	// goroutine: the driver mutates them while applying events and
+	// sampling, fleetMetrics reads them from HTTP handlers.
+	mu sync.Mutex
+
 	part partitionState
 
-	// retiredMessages preserves the exchange counts of stopped nodes so
-	// the per-cycle message metric stays monotonic.
-	retiredMessages int64
-	prevMessages    int64
+	// retired preserves the counters of stopped nodes so the fleet
+	// aggregates (and the per-cycle message metric) stay monotonic.
+	retired      agent.Metrics
+	prevMessages int64
+
+	// rtt is the process-wide exchange round-trip histogram every node
+	// feeds; sobs publishes the per-cycle gauges. Both nil without Obs.
+	rtt  *obs.Histogram
+	sobs *scenarioObs
 
 	stopping sync.WaitGroup
+}
+
+// fleetMetrics sums the live nodes' counters plus the retired totals —
+// the scrape-time aggregation hook bound by RegisterMetrics.
+func (d *liveDriver) fleetMetrics() agent.Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := d.retired
+	for _, slot := range d.roster.liveSlots() {
+		total.Accumulate(d.nodes[slot].Metrics())
+	}
+	return total
 }
 
 // newNode builds (but does not start) the agent for a slot.
@@ -210,6 +254,8 @@ func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap [
 		Bootstrap: bootstrap,
 		Seed:      d.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
 		Logger:    d.opts.Logger,
+		RTT:       d.rtt,
+		Trace:     d.opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: building node %d: %w", d.sc.Name, slot, err)
@@ -288,7 +334,7 @@ func (d *liveDriver) crash(slot int) {
 		return
 	}
 	d.roster.markCrashed(slot)
-	d.retiredMessages += d.nodes[slot].Metrics().ExchangesInitiated
+	d.retired.Accumulate(d.nodes[slot].Metrics())
 	node := d.nodes[slot]
 	d.stopping.Add(1)
 	go func() {
@@ -362,6 +408,7 @@ func (d *liveDriver) heal() {
 
 // sample builds one cycle's metrics row from the fleet.
 func (d *liveDriver) sample(cycle int) CycleMetrics {
+	d.mu.Lock()
 	var est, truth stats.Moments
 	participating := 0
 	var messages int64
@@ -377,14 +424,15 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 			est.Add(v)
 		}
 	}
-	messages += d.retiredMessages
+	messages += d.retired.ExchangesInitiated
+	d.mu.Unlock()
 	delta := messages - d.prevMessages
 	d.prevMessages = messages
 	epoch := 0
 	if cycle > 0 {
 		epoch = (cycle - 1) / d.sc.EpochLen
 	}
-	return CycleMetrics{
+	row := CycleMetrics{
 		Cycle:          cycle,
 		Epoch:          epoch,
 		Alive:          truth.N(),
@@ -395,13 +443,24 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 		RelError:       relError(est.Mean(), truth.Mean()),
 		Messages:       delta,
 	}
+	d.sobs.observe(row)
+	return row
 }
 
 // stopAll terminates every live node and waits for background stops.
+// The final counters are folded into retired first, so a scrape after
+// the run still reports the complete fleet totals.
 func (d *liveDriver) stopAll() {
+	d.mu.Lock()
+	var stopping []*agent.Node
 	for _, slot := range d.roster.liveSlots() {
 		d.roster.alive[slot] = false
-		_ = d.nodes[slot].Stop()
+		d.retired.Accumulate(d.nodes[slot].Metrics())
+		stopping = append(stopping, d.nodes[slot])
+	}
+	d.mu.Unlock()
+	for _, node := range stopping {
+		_ = node.Stop()
 	}
 	d.stopping.Wait()
 }

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"antientropy/internal/obs"
+	"antientropy/internal/theory"
+)
+
+// scenarioObs publishes the per-cycle scenario gauges and the
+// convergence watch on a metrics registry. All three executors emit the
+// same series, so a dashboard built against one applies to them all. A
+// nil *scenarioObs ignores observations — executors thread optional
+// telemetry without branching.
+type scenarioObs struct {
+	cycle          *obs.Gauge
+	epoch          *obs.Gauge
+	alive          *obs.Gauge
+	participating  *obs.Gauge
+	trueMean       *obs.Gauge
+	meanEstimate   *obs.Gauge
+	estimateStdDev *obs.Gauge
+	relError       *obs.Gauge
+
+	observedRho *obs.Gauge
+	theoryRho   *obs.Gauge
+	rhoRatio    *obs.Gauge
+
+	watch convergenceWatch
+}
+
+// newScenarioObs registers the scenario gauge set on reg (nil reg → nil
+// observer). Registration is idempotent, so re-running a scenario on
+// the same registry rebinds nothing and keeps the series continuous.
+func newScenarioObs(reg *obs.Registry) *scenarioObs {
+	if reg == nil {
+		return nil
+	}
+	s := &scenarioObs{
+		cycle:          reg.Gauge("agg_scenario_cycle", "Current scenario cycle index."),
+		epoch:          reg.Gauge("agg_scenario_epoch", "Epoch the current cycle belongs to."),
+		alive:          reg.Gauge("agg_scenario_alive", "Live nodes at the last sample."),
+		participating:  reg.Gauge("agg_scenario_participating", "Nodes participating in the current epoch."),
+		trueMean:       reg.Gauge("agg_scenario_true_mean", "Instantaneous mean of the live nodes' local values."),
+		meanEstimate:   reg.Gauge("agg_scenario_mean_estimate", "Mean of the participants' estimates."),
+		estimateStdDev: reg.Gauge("agg_scenario_estimate_stddev", "Standard deviation of the participants' estimates."),
+		relError:       reg.Gauge("agg_scenario_rel_error", "Normalized |estimate - true mean| error."),
+		observedRho: reg.Gauge("agg_convergence_observed_rho",
+			"Observed per-cycle variance reduction factor of the estimates (within the current epoch)."),
+		theoryRho: reg.Gauge("agg_convergence_theory_rho",
+			"Theoretical per-cycle variance reduction factor 1/(2*sqrt(e)) of push-pull averaging."),
+		rhoRatio: reg.Gauge("agg_convergence_rho_ratio",
+			"Observed over theoretical variance reduction; ~1 means the fleet converges at the paper's rate."),
+	}
+	s.theoryRho.Set(theory.RhoPushPull)
+	return s
+}
+
+// observe publishes one cycle's metrics row.
+func (s *scenarioObs) observe(c CycleMetrics) {
+	if s == nil {
+		return
+	}
+	s.cycle.Set(float64(c.Cycle))
+	s.epoch.Set(float64(c.Epoch))
+	s.alive.Set(float64(c.Alive))
+	s.participating.Set(float64(c.Participating))
+	s.trueMean.Set(c.TrueMean)
+	s.meanEstimate.Set(c.MeanEstimate)
+	s.estimateStdDev.Set(c.EstimateStdDev)
+	s.relError.Set(c.RelError)
+	if rho, ok := s.watch.observe(c); ok {
+		s.observedRho.Set(rho)
+		s.rhoRatio.Set(rho / theory.RhoPushPull)
+	}
+}
+
+// convergenceWatch derives the observed per-cycle variance reduction
+// factor ρ̂_i = σ²_i / σ²_{i−1} from consecutive same-epoch samples —
+// the measured counterpart of the paper's §3 convergence factor. The
+// ratio is only meaningful within one epoch: estimates restart from
+// fresh local values at every epoch boundary (§4.1), so the first cycle
+// of an epoch resets the baseline instead of reporting a bogus blow-up.
+type convergenceWatch struct {
+	havePrev  bool
+	prevEpoch int
+	prevVar   float64
+}
+
+// observe folds in one sample and reports the reduction factor when the
+// previous cycle of the same epoch had positive estimate variance.
+func (w *convergenceWatch) observe(c CycleMetrics) (rho float64, ok bool) {
+	variance := c.EstimateStdDev * c.EstimateStdDev
+	prevVar, usable := w.prevVar, w.havePrev && c.Epoch == w.prevEpoch
+	w.havePrev, w.prevEpoch, w.prevVar = true, c.Epoch, variance
+	if !usable || prevVar <= 0 {
+		return 0, false
+	}
+	return variance / prevVar, true
+}

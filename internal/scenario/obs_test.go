@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"antientropy/internal/obs"
+	"antientropy/internal/theory"
+)
+
+func TestConvergenceWatchWithinEpoch(t *testing.T) {
+	var w convergenceWatch
+	// First sample only primes the window — nothing to report yet.
+	if _, ok := w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 4}); ok {
+		t.Error("first sample reported a rho")
+	}
+	// Variance 16 → 4 within the same epoch: rho = 0.25.
+	rho, ok := w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 2})
+	if !ok || rho != 0.25 {
+		t.Errorf("rho = %g ok=%v, want 0.25 true", rho, ok)
+	}
+	rho, ok = w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 1})
+	if !ok || rho != 0.25 {
+		t.Errorf("second rho = %g ok=%v, want 0.25 true", rho, ok)
+	}
+}
+
+func TestConvergenceWatchEpochBoundaryResets(t *testing.T) {
+	var w convergenceWatch
+	w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 2})
+	// Epoch restart: estimates reset to fresh local values, so the ratio
+	// across the boundary is meaningless and must be suppressed.
+	if _, ok := w.observe(CycleMetrics{Epoch: 2, EstimateStdDev: 10}); ok {
+		t.Error("cross-epoch ratio reported")
+	}
+	// But the new epoch's window is primed: the next same-epoch sample
+	// reports again.
+	rho, ok := w.observe(CycleMetrics{Epoch: 2, EstimateStdDev: 5})
+	if !ok || rho != 0.25 {
+		t.Errorf("post-reset rho = %g ok=%v, want 0.25 true", rho, ok)
+	}
+}
+
+func TestConvergenceWatchZeroVarianceGuard(t *testing.T) {
+	var w convergenceWatch
+	w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 0})
+	// prevVar == 0 would divide by zero; the watch must stay silent.
+	if _, ok := w.observe(CycleMetrics{Epoch: 1, EstimateStdDev: 1}); ok {
+		t.Error("rho reported against zero previous variance")
+	}
+}
+
+// TestSimObsRegistryExports runs the deterministic simulator with a
+// registry attached and checks the scenario gauges and convergence-watch
+// series land in the Prometheus export.
+func TestSimObsRegistryExports(t *testing.T) {
+	sc := Scenario{Name: "obs-sim", N: 64, Cycles: 20, EpochLen: 20, Seed: 3}.WithDefaults()
+	reg := obs.NewRegistry()
+	if _, err := RunSimWith(sc, SimOptions{Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"agg_scenario_cycle",
+		"agg_scenario_alive",
+		"agg_scenario_estimate_stddev",
+		"agg_convergence_observed_rho",
+		"agg_convergence_theory_rho",
+		"agg_convergence_rho_ratio",
+	} {
+		if !strings.Contains(out, "\n"+name+" ") {
+			t.Errorf("series %s missing from export", name)
+		}
+	}
+	if !strings.Contains(out, "agg_scenario_cycle 20") {
+		t.Errorf("final cycle gauge not 20:\n%s", out)
+	}
+	_ = theory.RhoPushPull
+	if !strings.Contains(out, "agg_convergence_theory_rho 0.303") {
+		t.Errorf("theory rho gauge wrong:\n%s", out)
+	}
+}
+
+// TestLiveObsRegistryExports runs a short live fleet with a registry and
+// trace ring attached and checks the agent counters, RTT histogram and
+// trace all populate.
+func TestLiveObsRegistryExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet test skipped in -short mode")
+	}
+	sc := Scenario{Name: "obs-live", N: 24, Cycles: 12, EpochLen: 6, Seed: 9}.WithDefaults()
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(512)
+	res, err := RunLive(context.Background(), sc, LiveOptions{
+		CycleLen: 20 * time.Millisecond, Obs: reg, Trace: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMessages() == 0 {
+		t.Fatal("no exchanges attempted")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"agg_exchanges_initiated_total",
+		"agg_exchanges_completed_total",
+		"agg_exchange_rtt_seconds_count",
+		"agg_scenario_cycle",
+		"agg_convergence_theory_rho",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("series %s missing from export", name)
+		}
+	}
+	if strings.Contains(out, "agg_exchanges_initiated_total 0\n") {
+		t.Error("fleet initiated counter still zero after the run")
+	}
+	if ring.Total() == 0 {
+		t.Error("trace ring recorded no exchange events")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/parsim"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
@@ -51,6 +52,10 @@ type SimOptions struct {
 	// Callers that already parallelize across repetitions set it to 1 to
 	// avoid oversubscribing the cores; it never affects results.
 	Workers int
+	// Obs, when set, receives the per-cycle scenario gauges and the
+	// convergence watch (agg_scenario_* / agg_convergence_*), updated as
+	// each cycle is observed. It never affects results.
+	Obs *obs.Registry
 }
 
 // RunSim executes the scenario on the deterministic cycle-driven engine
@@ -108,6 +113,7 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 		overlay = sim.Newscast(30)
 	}
 	d, result := newSimDriver(sc, "sim")
+	sobs := newScenarioObs(opts.Obs)
 	_, err := sim.Run(sim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
@@ -121,7 +127,9 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 		BeforeCycle:  func(cycle int, e *sim.Engine) { d.beforeCycle(cycle, e) },
 		Failures:     []sim.FailureModel{sim.Script(sc.Name, d.applyEvents)},
 		Observe: func(cycle int, e *sim.Engine) {
-			result.PerCycle = append(result.PerCycle, d.observe(cycle, e))
+			row := d.observe(cycle, e)
+			sobs.observe(row)
+			result.PerCycle = append(result.PerCycle, row)
 		},
 	})
 	if err != nil {
@@ -135,6 +143,7 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("scenario %s: the sharded engine does not accept a serial overlay builder", sc.Name)
 	}
 	d, result := newSimDriver(sc, "sim-sharded")
+	sobs := newScenarioObs(opts.Obs)
 	_, err := parsim.Run(parsim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
@@ -150,7 +159,9 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 		BeforeCycle:  func(cycle int, e *parsim.Engine) { d.beforeCycle(cycle, e) },
 		Script:       func(cycle int, e *parsim.Engine) { d.applyEvents(cycle, e) },
 		Observe: func(cycle int, e *parsim.Engine) {
-			result.PerCycle = append(result.PerCycle, d.observe(cycle, e))
+			row := d.observe(cycle, e)
+			sobs.observe(row)
+			result.PerCycle = append(result.PerCycle, row)
 		},
 	})
 	if err != nil {

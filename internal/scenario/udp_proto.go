@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"antientropy/internal/agent"
+	"antientropy/internal/obs"
 )
 
 // The UDP executor splits a scenario fleet across worker processes, each
@@ -71,6 +74,9 @@ type udpMsg struct {
 	CacheSize  int       `json:"cacheSize,omitempty"`
 	CycleLenUS int64     `json:"cycleLenUs,omitempty"`
 	QueueLen   int       `json:"queueLen,omitempty"`
+	// TraceCap > 0 makes the worker keep a bounded exchange trace ring
+	// of that capacity, dumped to its stderr at shutdown.
+	TraceCap int `json:"traceCap,omitempty"`
 
 	// start: the shared schedule anchor and the founding address book.
 	AnchorUnixNano int64    `json:"anchorUnixNano,omitempty"`
@@ -103,6 +109,12 @@ type udpMsg struct {
 	Messages      int64   `json:"messages,omitempty"`
 	QueueDrops    int64   `json:"queueDrops,omitempty"`
 	FilterDrops   int64   `json:"filterDrops,omitempty"`
+	// AgentTotals carries the worker's cumulative protocol counters
+	// (live nodes plus crash-retired ones) and RTTHist its exchange
+	// round-trip histogram snapshot, so the supervisor can export one
+	// aggregated fleet on its /metrics endpoint.
+	AgentTotals *agent.Metrics    `json:"agentTotals,omitempty"`
+	RTTHist     *obs.HistSnapshot `json:"rttHist,omitempty"`
 
 	// fatal: the error that killed the sender.
 	Err string `json:"err,omitempty"`

@@ -9,8 +9,11 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sync"
 	"time"
 
+	"antientropy/internal/agent"
+	"antientropy/internal/obs"
 	"antientropy/internal/stats"
 )
 
@@ -41,6 +44,16 @@ type UDPOptions struct {
 	// Logger receives supervisor progress and worker-drop accounting
 	// (default: discard).
 	Logger *slog.Logger
+	// Obs, when set, exposes the whole fleet on the supervisor's metrics
+	// registry: workers forward their cumulative protocol counters and
+	// RTT histogram snapshots over the control channel at every sample,
+	// and the supervisor exports the merged totals alongside the
+	// per-cycle scenario gauges and the convergence watch — one
+	// aggregated /metrics endpoint for a multi-process run.
+	Obs *obs.Registry
+	// TraceCap > 0 makes every worker keep an exchange trace ring of
+	// that capacity and dump it to stderr at shutdown.
+	TraceCap int
 }
 
 func (o UDPOptions) withDefaults(fleet int) (UDPOptions, error) {
@@ -113,7 +126,9 @@ func RunUDP(ctx context.Context, sc Scenario, opts UDPOptions) (*RunResult, erro
 		rng:    stats.NewRNG(sc.Seed ^ 0x7564702d72756e), // "udp-run"
 		opts:   opts,
 		ctx:    ctx,
+		sobs:   newScenarioObs(opts.Obs),
 	}
+	d.bindObs(opts.Obs)
 	defer d.teardown()
 
 	if err := d.spawnWorkers(); err != nil {
@@ -218,6 +233,55 @@ type udpDriver struct {
 	prevMessages    int64
 	lastQueueDrops  int64
 	lastFilterDrops int64
+
+	// sobs publishes the per-cycle gauges; telMu guards the cached
+	// worker telemetry the registry's scrape-time funcs read (the HTTP
+	// scrape goroutine is concurrent with the driver's control loop).
+	sobs           *scenarioObs
+	telMu          sync.Mutex
+	telTotals      agent.Metrics
+	telRTT         obs.HistSnapshot
+	telQueueDrops  int64
+	telFilterDrops int64
+}
+
+// fleetAgentMetrics returns the last sampled fleet-wide counter totals —
+// the scrape-time aggregation hook bound by RegisterMetrics.
+func (d *udpDriver) fleetAgentMetrics() agent.Metrics {
+	d.telMu.Lock()
+	defer d.telMu.Unlock()
+	return d.telTotals
+}
+
+// bindObs registers the fleet aggregates on the supervisor's registry.
+// The funcs read the telemetry cache refreshed at every sample barrier,
+// so scrapes between barriers see the last consistent fleet snapshot.
+func (d *udpDriver) bindObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	agent.RegisterMetrics(reg, d.fleetAgentMetrics)
+	reg.HistogramFunc("agg_exchange_rtt_seconds",
+		"Exchange round-trip latency, initiate to reply, in seconds.",
+		func() obs.HistSnapshot {
+			d.telMu.Lock()
+			defer d.telMu.Unlock()
+			return d.telRTT
+		})
+	reg.CounterFunc("agg_transport_queue_drops_total",
+		"Datagrams dropped at full endpoint inbound queues.",
+		func() int64 {
+			d.telMu.Lock()
+			defer d.telMu.Unlock()
+			return d.telQueueDrops
+		})
+	reg.CounterFunc("agg_transport_filter_drops_total",
+		"Datagrams dropped by the scripted loss/partition filter.",
+		func() int64 {
+			d.telMu.Lock()
+			defer d.telMu.Unlock()
+			return d.telFilterDrops
+		})
 }
 
 // owner returns the worker index a slot lives in.
@@ -335,6 +399,7 @@ func (d *udpDriver) initWorkers() error {
 			CacheSize:  d.opts.CacheSize,
 			CycleLenUS: d.opts.CycleLen.Microseconds(),
 			QueueLen:   d.opts.QueueLen,
+			TraceCap:   d.opts.TraceCap,
 		}
 	}
 	replies, err := d.broadcast(msgs, udpOpReady)
@@ -564,6 +629,8 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 	var alive, participating, estN int
 	var estSum, estSumSq float64
 	var messages, queueDrops, filterDrops int64
+	var totals agent.Metrics
+	var rtt obs.HistSnapshot
 	for _, m := range replies {
 		alive += m.Alive
 		participating += m.Participating
@@ -573,8 +640,22 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 		messages += m.Messages
 		queueDrops += m.QueueDrops
 		filterDrops += m.FilterDrops
+		if m.AgentTotals != nil {
+			totals.Accumulate(*m.AgentTotals)
+		}
+		if m.RTTHist != nil {
+			if rtt.Counts == nil {
+				rtt = *m.RTTHist
+			} else {
+				rtt = rtt.Merge(*m.RTTHist)
+			}
+		}
 	}
 	d.lastQueueDrops, d.lastFilterDrops = queueDrops, filterDrops
+	d.telMu.Lock()
+	d.telTotals, d.telRTT = totals, rtt
+	d.telQueueDrops, d.telFilterDrops = queueDrops, filterDrops
+	d.telMu.Unlock()
 	if alive != d.roster.aliveCount() {
 		d.opts.Logger.Warn("udp executor: worker fleet drifted from script state",
 			"cycle", cycle, "workersAlive", alive, "scriptAlive", d.roster.aliveCount())
@@ -600,7 +681,7 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 	}
 	prev := d.prevMessages
 	d.prevMessages = messages
-	return CycleMetrics{
+	row := CycleMetrics{
 		Cycle:          cycle,
 		Epoch:          epoch,
 		Alive:          alive,
@@ -610,7 +691,9 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 		EstimateStdDev: estStd,
 		RelError:       relError(estMean, truth.Mean()),
 		Messages:       messages - prev,
-	}, nil
+	}
+	d.sobs.observe(row)
+	return row, nil
 }
 
 // shutdownWorkers winds the fleet down cleanly: shutdown/bye handshake,

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
+	"antientropy/internal/obs"
 	"antientropy/internal/transport"
 )
 
@@ -81,11 +83,17 @@ type udpWorker struct {
 	// of this worker shares it.
 	filter *transport.UDPFilter
 
+	// rtt is the worker-wide exchange round-trip histogram every node of
+	// this slice feeds; trace is the optional shared exchange trace ring
+	// (nil unless the supervisor sent a TraceCap).
+	rtt   *obs.Histogram
+	trace *obs.TraceRing
+
 	nodes map[int]*udpWorkerSlot
 
 	// retired* preserve the counters of crashed nodes so the cumulative
 	// per-worker metrics stay monotonic.
-	retiredMessages    int64
+	retiredAgent       agent.Metrics
 	retiredQueueDrops  int64
 	retiredFilterDrops int64
 
@@ -108,6 +116,7 @@ func (w *udpWorker) handle(msg udpMsg) (udpMsg, error) {
 		return w.handleSample(msg)
 	case udpOpShutdown:
 		w.stopAll()
+		w.dumpTrace()
 		return udpMsg{Op: udpOpBye}, nil
 	default:
 		return udpMsg{}, fmt.Errorf("udp worker: unexpected op %q", msg.Op)
@@ -131,6 +140,10 @@ func (w *udpWorker) handleInit(msg udpMsg) (udpMsg, error) {
 		return udpMsg{}, fmt.Errorf("udp worker: non-positive cycle length")
 	}
 	w.prog = NewValueProgram(w.sc, w.sc.MaxSlots())
+	w.rtt = obs.NewHistogram(obs.RTTBuckets)
+	if msg.TraceCap > 0 {
+		w.trace = obs.NewTraceRing(msg.TraceCap)
+	}
 	w.filter = transport.NewUDPFilter(int64(w.sc.Seed) + int64(w.index) + 2)
 	// The baseline loss applies from the founding on, exactly as the
 	// other executors do; loss bursts override it cycle by cycle.
@@ -187,6 +200,8 @@ func (w *udpWorker) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []
 		Bootstrap: bootstrap,
 		Seed:      w.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
 		Logger:    slog.New(slog.DiscardHandler),
+		RTT:       w.rtt,
+		Trace:     w.trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("udp worker %d: building node %d: %w", w.index, slot, err)
@@ -239,7 +254,7 @@ func (w *udpWorker) crash(slot int) {
 		return
 	}
 	delete(w.nodes, slot)
-	w.retiredMessages += s.node.Metrics().ExchangesInitiated
+	w.retiredAgent.Accumulate(s.node.Metrics())
 	w.retiredQueueDrops += s.ep.QueueDrops()
 	w.retiredFilterDrops += s.ep.FilterDrops()
 	node := s.node
@@ -275,18 +290,20 @@ func (w *udpWorker) join(j udpJoin) (string, error) {
 }
 
 // handleSample reports this slice's partial metric aggregates. Estimates
-// travel as (n, Σx, Σx²) for exact cross-worker moment merging.
+// travel as (n, Σx, Σx²) for exact cross-worker moment merging; the full
+// protocol-counter totals and the RTT histogram snapshot ride along so
+// the supervisor's /metrics endpoint exports the whole fleet.
 func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 	reply := udpMsg{
 		Op:          udpOpMetrics,
 		Cycle:       msg.Cycle,
 		Alive:       len(w.nodes),
-		Messages:    w.retiredMessages,
 		QueueDrops:  w.retiredQueueDrops,
 		FilterDrops: w.retiredFilterDrops,
 	}
+	totals := w.retiredAgent
 	for _, s := range w.nodes {
-		reply.Messages += s.node.Metrics().ExchangesInitiated
+		totals.Accumulate(s.node.Metrics())
 		reply.QueueDrops += s.ep.QueueDrops()
 		reply.FilterDrops += s.ep.FilterDrops()
 		if !s.node.Participating() {
@@ -299,7 +316,23 @@ func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 			reply.EstSumSq += v * v
 		}
 	}
+	reply.Messages = totals.ExchangesInitiated
+	reply.AgentTotals = &totals
+	rttSnap := w.rtt.Snapshot()
+	reply.RTTHist = &rttSnap
 	return reply, nil
+}
+
+// dumpTrace writes the exchange trace ring to stderr at shutdown, the
+// multi-process counterpart of aggscen's -trace dump: worker stderr is
+// inherited from the supervisor, so the rings of all workers land in
+// the run's error stream.
+func (w *udpWorker) dumpTrace() {
+	if w.trace == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "udp worker %d exchange trace:\n", w.index)
+	_ = w.trace.WriteJSON(os.Stderr)
 }
 
 // stopAll terminates the fleet slice and waits for background stops.
