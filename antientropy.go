@@ -313,7 +313,24 @@ type (
 	TraceRing = obs.TraceRing
 	// TraceEvent is one structured exchange-lifecycle event.
 	TraceEvent = obs.TraceEvent
-	// TelemetryServer serves /metrics, /debug/trace and /debug/pprof.
+	// TraceSpan is one exchange's causally stitched event group: every
+	// event sharing the initiator-stamped exchange identifier, classified
+	// into an outcome with one-way-delay and round-trip estimates.
+	TraceSpan = obs.Span
+	// Timeline is the per-cycle flight recorder: a bounded ring of fleet
+	// snapshots served at /debug/timeline.
+	Timeline = obs.Timeline
+	// TimelineEntry is one flight-recorder snapshot.
+	TimelineEntry = obs.TimelineEntry
+	// Health evaluates the fleet health rules once per cycle, exporting
+	// agg_alerts_total / agg_alert_active and logging transitions.
+	Health = obs.Health
+	// HealthConfig tunes the health-rule thresholds.
+	HealthConfig = obs.HealthConfig
+	// HealthSample is one cycle's fleet state fed to the health rules.
+	HealthSample = obs.HealthSample
+	// TelemetryServer serves /metrics, /debug/trace, /debug/timeline and
+	// /debug/pprof.
 	TelemetryServer = obs.Server
 )
 
@@ -328,11 +345,24 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // trace events.
 func NewTraceRing(capacity int) *TraceRing { return obs.NewTraceRing(capacity) }
 
+// NewTimeline builds a flight recorder retaining the newest capacity
+// per-cycle snapshots.
+func NewTimeline(capacity int) *Timeline { return obs.NewTimeline(capacity) }
+
+// NewHealth builds a health-rule engine, registering its alert metric
+// families on reg (may be nil).
+func NewHealth(reg *MetricsRegistry, cfg HealthConfig) *Health { return obs.NewHealth(reg, cfg) }
+
+// StitchTraceSpans groups trace events by exchange identifier into
+// causal cross-node spans, ordered by start time.
+func StitchTraceSpans(events []TraceEvent) []TraceSpan { return obs.StitchSpans(events) }
+
 // ServeTelemetry starts the telemetry HTTP server on addr, exposing reg
-// on /metrics, trace (may be nil) on /debug/trace and the runtime
-// profiles on /debug/pprof/. Close the returned server to stop it.
-func ServeTelemetry(addr string, reg *MetricsRegistry, trace *TraceRing) (*TelemetryServer, error) {
-	return obs.Serve(addr, reg, trace)
+// on /metrics, trace (may be nil) on /debug/trace, timeline (may be
+// nil) on /debug/timeline and the runtime profiles on /debug/pprof/.
+// Close the returned server to stop it.
+func ServeTelemetry(addr string, reg *MetricsRegistry, trace *TraceRing, timeline *Timeline) (*TelemetryServer, error) {
+	return obs.Serve(addr, reg, trace, timeline)
 }
 
 // RegisterNodeMetrics exposes aggregated node protocol counters on reg

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"os/signal"
@@ -62,21 +63,32 @@ func run() error {
 		anchor      = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
 		cache       = flag.Int("cache", 30, "NEWSCAST cache size c")
 		conc        = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace and /debug/pprof on this address (empty: off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace, /debug/timeline and /debug/pprof on this address (empty: off)")
 		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events (served on /debug/trace; 0: off)")
+		timelineCap = flag.Int("timeline", 256, "retain the newest N status-tick flight-recorder snapshots (served on /debug/timeline; 0: off)")
+		logLevel    = flag.String("log", "info", "stderr log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 
 	endpoint, err := antientropy.ListenUDP(*listen, 0)
 	if err != nil {
 		return err
 	}
 	var (
-		reg   *antientropy.MetricsRegistry
-		trace *antientropy.TraceRing
+		reg      *antientropy.MetricsRegistry
+		trace    *antientropy.TraceRing
+		timeline *antientropy.Timeline
 	)
 	if *traceCap > 0 {
 		trace = antientropy.NewTraceRing(*traceCap)
+	}
+	if *timelineCap > 0 {
+		timeline = antientropy.NewTimeline(*timelineCap)
 	}
 	if *metricsAddr != "" {
 		reg = antientropy.NewMetricsRegistry()
@@ -92,6 +104,7 @@ func run() error {
 		CacheSize:   *cache,
 		Concurrency: *conc,
 		Trace:       trace,
+		Logger:      logger,
 	}
 	if reg != nil {
 		cfg.RTT = reg.Histogram("agg_exchange_rtt_seconds",
@@ -109,7 +122,7 @@ func run() error {
 		var live atomicFloat
 		live.store(*value)
 		if *stdinVals {
-			go readValues(os.Stdin, &live)
+			go readValues(os.Stdin, &live, logger)
 		}
 		cfg.Value = live.load
 	case "count":
@@ -136,12 +149,12 @@ func run() error {
 		reg.CounterFunc("agg_transport_filter_drops_total",
 			"Datagrams dropped by the endpoint's drop-rule filter.",
 			endpoint.FilterDrops)
-		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, trace)
+		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, trace, timeline)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+		logger.Info("telemetry serving", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -150,25 +163,35 @@ func run() error {
 	}
 	defer func() {
 		if err := node.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "aggnode: stop:", err)
+			logger.Error("node stop", "err", err)
 		}
 	}()
 	fmt.Printf("node %s up: mode=%s function=%s epoch=%d\n",
 		node.Addr(), *mode, *function, node.Epoch())
 
+	// The status loop doubles as this node's flight recorder and health
+	// monitor: every tick lands one timeline snapshot, and the health
+	// rules watch the local protocol counters for loss spikes and
+	// partition-shaped timeout skew (the convergence rules need
+	// fleet-wide spread and stay quiet on a single node).
+	health := antientropy.NewHealth(reg, antientropy.HealthConfig{Logger: logger})
 	ticker := time.NewTicker(*cycle * 5)
 	defer ticker.Stop()
 	var lastReported uint64
+	tick := 0
 	for {
 		select {
 		case <-ctx.Done():
 			fmt.Println("\nshutting down")
 			return nil
 		case <-ticker.C:
+			tick++
 			est, ok := node.Estimate()
 			status := "converging"
+			participating := 1
 			if !ok {
 				status = "waiting for epoch"
+				participating = 0
 			}
 			fmt.Printf("[epoch %d] estimate %12.4f (%s, %d peers)\n",
 				node.Epoch(), est, status, node.PeerCount())
@@ -176,8 +199,49 @@ func run() error {
 				lastReported = out.Epoch
 				fmt.Printf("== epoch %d output: %.6f (ok=%v)\n", out.Epoch, out.Value, out.OK)
 			}
+			m := node.Metrics()
+			alerts := health.Eval(antientropy.HealthSample{
+				Cycle:         tick,
+				Epoch:         node.Epoch(),
+				Alive:         node.PeerCount() + 1,
+				Participating: participating,
+				MeanEstimate:  est,
+				Initiated:     m.ExchangesInitiated,
+				Completed:     m.ExchangesCompleted,
+				Timeouts:      m.Timeouts,
+				Declined:      m.PeerDeclined,
+				Drops:         endpoint.QueueDrops() + endpoint.FilterDrops(),
+			})
+			timeline.Record(antientropy.TimelineEntry{
+				Cycle:         tick,
+				Epoch:         node.Epoch(),
+				Alive:         node.PeerCount() + 1,
+				Participating: participating,
+				MeanEstimate:  est,
+				Drops:         endpoint.QueueDrops() + endpoint.FilterDrops(),
+				Alerts:        alerts,
+			})
 		}
 	}
+}
+
+// newLogger builds the stderr structured logger node debug events and
+// health-alert transitions share, replacing ad-hoc stderr prints.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // atomicFloat stores a float64 behind an atomic uint64, letting the
@@ -191,7 +255,7 @@ func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
 func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
 
 // readValues feeds stdin lines into the live value.
-func readValues(r io.Reader, dst *atomicFloat) {
+func readValues(r io.Reader, dst *atomicFloat, logger *slog.Logger) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -200,7 +264,7 @@ func readValues(r io.Reader, dst *atomicFloat) {
 		}
 		v, err := strconv.ParseFloat(line, 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aggnode: ignoring %q: %v\n", line, err)
+			logger.Warn("ignoring stdin value", "line", line, "err", err)
 			continue
 		}
 		dst.store(v)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"log/slog"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestAtomicFloat(t *testing.T) {
 func TestReadValues(t *testing.T) {
 	var f atomicFloat
 	input := "10.5\n\nnot-a-number\n  42 \n"
-	readValues(strings.NewReader(input), &f)
+	readValues(strings.NewReader(input), &f, slog.New(slog.DiscardHandler))
 	if f.load() != 42 {
 		t.Fatalf("final value = %g, want 42 (last valid line)", f.load())
 	}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -70,41 +71,57 @@ func run() error {
 		cycleLen = flag.Duration("cycle-len", 0, "live/udp executors: wall-clock cycle length (0 = scale with fleet size and cores)")
 		worker   = flag.Bool("worker", false, "internal: run as a UDP-executor worker process, speaking the control protocol on stdin/stdout")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace and /debug/pprof on this address for the duration of the run (empty: off)")
-		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events per process, dumped to stderr at the end of the run (0: off)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace, /debug/timeline and /debug/pprof on this address for the duration of the run (empty: off)")
+		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events fleet-wide (served on /debug/trace and dumped to stderr at the end of the run; 0: off)")
+		timelineCap = flag.Int("timeline", 512, "retain the newest N per-cycle flight-recorder snapshots (served on /debug/timeline; 0: off)")
+		logLevel    = flag.String("log", "info", "stderr log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		return err
+	}
 
 	if *worker {
 		return antientropy.RunScenarioUDPWorker(os.Stdin, os.Stdout)
 	}
 
 	// Telemetry is shared across every executor of the invocation: one
-	// registry (and one /metrics endpoint) no matter how many runs.
+	// registry (and one /metrics endpoint) no matter how many runs. The
+	// trace dump only happens when -trace was actually set, and the
+	// announcement goes through the structured logger.
 	var (
-		reg  *antientropy.MetricsRegistry
-		ring *antientropy.TraceRing
+		reg      *antientropy.MetricsRegistry
+		ring     *antientropy.TraceRing
+		timeline *antientropy.Timeline
 	)
 	if *traceCap > 0 {
 		ring = antientropy.NewTraceRing(*traceCap)
 		defer func() {
-			fmt.Fprintln(os.Stderr, "aggscen: exchange trace:")
+			logger.Info("dumping exchange trace", "retained", len(ring.Events()), "total", ring.Total())
 			_ = ring.WriteJSON(os.Stderr)
 		}()
 	}
+	if *timelineCap > 0 {
+		timeline = antientropy.NewTimeline(*timelineCap)
+	}
 	if *metricsAddr != "" {
 		reg = antientropy.NewMetricsRegistry()
-		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, ring)
+		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, ring, timeline)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "aggscen: telemetry on http://%s/metrics\n", srv.Addr())
+		logger.Info("telemetry serving", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
 	}
 
-	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards, Obs: reg}
-	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen, Obs: reg, TraceCap: *traceCap}
-	liveOpts := antientropy.ScenarioLiveOptions{CycleLen: *cycleLen, Obs: reg, Trace: ring}
+	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards, Obs: reg,
+		Timeline: timeline, Logger: logger}
+	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen, Obs: reg,
+		TraceCap: *traceCap, Trace: ring, Timeline: timeline, Logger: logger}
+	liveOpts := antientropy.ScenarioLiveOptions{CycleLen: *cycleLen, Obs: reg, Trace: ring,
+		Timeline: timeline, Logger: logger}
 	switch {
 	case *list:
 		return listScenarios()
@@ -134,7 +151,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runScenario(sc, execs, *format, *outPath, simOpts, udpOpts, liveOpts)
+		return runScenario(sc, execs, *format, *outPath, logger, simOpts, udpOpts, liveOpts)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do (use -list, -run, -file, -show or -compare)")
@@ -221,7 +238,7 @@ func runExecutor(sc antientropy.Scenario, executor string, simOpts antientropy.S
 	}
 }
 
-func runScenario(sc antientropy.Scenario, executors []string, format, outPath string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
+func runScenario(sc antientropy.Scenario, executors []string, format, outPath string, logger *slog.Logger, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
 	out := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -249,7 +266,7 @@ func runScenario(sc antientropy.Scenario, executors []string, format, outPath st
 	// With several executors, report how far each fleet drifts from the
 	// first-listed one (normally the simulator's prediction).
 	for i := 1; i < len(runs); i++ {
-		fmt.Fprintf(os.Stderr, "aggscen: divergence %s\n", antientropy.DivergeScenarioRuns(runs[0], runs[i]))
+		logger.Info("executor divergence", "divergence", antientropy.DivergeScenarioRuns(runs[0], runs[i]).String())
 	}
 
 	switch format {
@@ -325,4 +342,24 @@ func printCompareRow(sc antientropy.Scenario, res *antientropy.ScenarioRun) {
 	f := res.Final()
 	fmt.Printf("%-18s %-12s %6d %7d %9d %9d %12.2e %10d\n",
 		sc.Name, res.Executor, sc.N, sc.Cycles, res.MinAlive(), f.Alive, f.RelError, res.TotalMessages())
+}
+
+// newLogger builds the stderr structured logger every subsystem shares:
+// executor progress, health-alert transitions and node debug events all
+// flow through it, replacing the ad-hoc stderr prints.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }

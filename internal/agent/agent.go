@@ -252,6 +252,7 @@ type Node struct {
 	pending       map[uint64]chan wire.Payload
 	busy          bool
 	seq           uint64
+	xidBase       uint64
 	rng           *stats.RNG
 	outputs       []Output
 	started       bool
@@ -342,7 +343,33 @@ func New(cfg Config) (*Node, error) {
 		rng:     stats.NewRNG(cfg.Seed),
 	}
 	n.leaderID = leaderIDFor(addr)
+	// The exchange-ID stream mixes the address into the seed so two
+	// nodes sharing a Seed (deterministic fleets) still stamp disjoint
+	// XIDs, then splitmix64 whitens per sequence number (xidLocked).
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	n.xidBase = splitmix64(cfg.Seed ^ h.Sum64())
 	return n, nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer
+// turning a counter stream into well-distributed 64-bit identifiers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// xidLocked derives the exchange ID for a sequence number: unique per
+// (node, seq) with overwhelming probability across a fleet, never 0
+// (0 means "no XID" on the wire and in traces).
+func (n *Node) xidLocked(seq uint64) uint64 {
+	xid := splitmix64(n.xidBase + seq)
+	if xid == 0 {
+		xid = 1
+	}
+	return xid
 }
 
 // peerSession is the per-peer connection state kept in the transport
@@ -350,10 +377,21 @@ func New(cfg Config) (*Node, error) {
 // speaks, meaning "assume current") and the delta-gossip codec.
 type peerSession struct {
 	version uint8
-	// legacyStreak counts consecutive legacy datagrams from a peer whose
-	// session is at a newer version (see observePeerLocked).
-	legacyStreak uint8
-	codec        wire.ViewCodec
+	// downStreak counts consecutive datagrams at downVersion from a
+	// peer whose session is at a newer version (see observePeerLocked).
+	downStreak  uint8
+	downVersion uint8
+	codec       wire.ViewCodec
+}
+
+// wireVersion resolves the version to encode messages to this peer at:
+// the demonstrated one, or the current version while the peer has not
+// spoken yet.
+func (s *peerSession) wireVersion() uint8 {
+	if s.version == 0 {
+		return wire.Version
+	}
+	return s.version
 }
 
 // tick converts wall-clock time into the logical NEWSCAST stamp: whole

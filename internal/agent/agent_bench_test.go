@@ -174,7 +174,7 @@ func benchAgentCycleEncode(b *testing.B, established bool) {
 			{Key: refresh[1], Stamp: stamp},
 		})
 		// Snapshot and encode the outgoing exchange request.
-		payload, _ := node.payloadLocked(sess, uint64(i+1), now)
+		payload, _ := node.payloadLocked(sess, uint64(i+1), uint64(i+1), now)
 		node.mu.Unlock()
 		data, err := wire.Encode(&wire.ExchangeRequest{From: node.Addr(), Payload: payload})
 		if err != nil {

@@ -237,7 +237,7 @@ func TestVersionNeverDowngrades(t *testing.T) {
 	// …but a steady legacy stream means the peer really rolled back to a
 	// legacy binary, and staying at version 2 would blackhole it.
 	var last uint8
-	for seq := uint64(3); seq < 3+uint64(legacyStreakDowngrade); seq++ {
+	for seq := uint64(3); seq < 3+uint64(downgradeStreak); seq++ {
 		last = sendAt(wire.EncodeLegacy, seq)
 	}
 	if last != wire.VersionLegacy {

@@ -138,21 +138,22 @@ func (n *Node) initiate(ctx context.Context, now time.Time) {
 	n.busy = true
 	ch := make(chan wire.Payload, 1)
 	n.pending[seq] = ch
-	payload, version := n.payloadLocked(sess, seq, now)
+	xid := n.xidLocked(seq)
+	payload, version := n.payloadLocked(sess, seq, xid, now)
 	epoch := n.epoch
 	n.metrics.exchangesInitiated.Add(1)
 	n.mu.Unlock()
 
 	start := time.Now()
-	n.trace(obs.TraceInitiate, peer, seq, epoch, start)
+	n.trace(obs.TraceInitiate, peer, seq, epoch, xid, start)
 	n.send(peer, &wire.ExchangeRequest{From: n.Addr(), Payload: payload}, version)
 	n.wg.Add(1)
-	go n.awaitReply(ctx, peer, seq, epoch, start, ch)
+	go n.awaitReply(ctx, peer, seq, epoch, xid, start, ch)
 }
 
 // awaitReply waits for the push-pull response and applies it (active
 // thread's sp ← UPDATE(sp, sq)).
-func (n *Node) awaitReply(ctx context.Context, peer string, seq, epoch uint64, start time.Time, ch <-chan wire.Payload) {
+func (n *Node) awaitReply(ctx context.Context, peer string, seq, epoch, xid uint64, start time.Time, ch <-chan wire.Payload) {
 	defer n.wg.Done()
 	timer := time.NewTimer(n.cfg.RequestTimeout)
 	defer timer.Stop()
@@ -183,36 +184,36 @@ func (n *Node) awaitReply(ctx context.Context, peer string, seq, epoch uint64, s
 	n.busy = false
 	if !ok {
 		n.metrics.timeouts.Add(1)
-		n.trace(obs.TraceTimeout, peer, seq, epoch, time.Time{})
+		n.trace(obs.TraceTimeout, peer, seq, epoch, xid, time.Time{})
 		return
 	}
 	if reply.Flags&wire.FlagRefused != 0 {
 		// The peer declined (busy or joining): the exchange is skipped,
 		// exactly as if the link had failed (§6.2).
 		n.metrics.peerDeclined.Add(1)
-		n.trace(obs.TraceDeclined, peer, seq, epoch, time.Time{})
+		n.trace(obs.TraceDeclined, peer, seq, epoch, xid, time.Time{})
 		return
 	}
 	// A reply from a different epoch must not be merged: the local
 	// instance it belonged to is gone (its effect equals a lost reply).
 	if reply.Epoch != n.epoch || epoch != n.epoch {
 		n.metrics.staleDropped.Add(1)
-		n.trace(obs.TraceStaleDrop, peer, seq, epoch, time.Time{})
+		n.trace(obs.TraceStaleDrop, peer, seq, epoch, xid, time.Time{})
 		return
 	}
 	n.applyLocked(reply)
 	n.metrics.exchangesCompleted.Add(1)
-	n.trace(obs.TraceAbsorb, peer, seq, n.epoch, time.Time{})
+	n.trace(obs.TraceAbsorb, peer, seq, n.epoch, xid, time.Time{})
 }
 
 // trace records one exchange-lifecycle event on the optional ring. A
 // zero at is stamped by the ring.
-func (n *Node) trace(kind obs.TraceKind, peer string, seq, epoch uint64, at time.Time) {
+func (n *Node) trace(kind obs.TraceKind, peer string, seq, epoch, xid uint64, at time.Time) {
 	if n.cfg.Trace == nil {
 		return
 	}
 	n.cfg.Trace.Record(obs.TraceEvent{
-		At: at, Node: n.Addr(), Peer: peer, Kind: kind, Seq: seq, Epoch: epoch,
+		At: at, Node: n.Addr(), Peer: peer, Kind: kind, Seq: seq, Epoch: epoch, XID: xid,
 	})
 }
 
@@ -236,10 +237,11 @@ func (n *Node) applyLocked(remote wire.Payload) {
 // encoding version must be decided at the same instant, under the same
 // lock, or a concurrent version observation could pair a delta frame
 // with a legacy encoding.
-func (n *Node) payloadLocked(sess *peerSession, seq uint64, now time.Time) (wire.Payload, uint8) {
+func (n *Node) payloadLocked(sess *peerSession, seq, xid uint64, now time.Time) (wire.Payload, uint8) {
 	frame, version := n.frameForLocked(sess, now)
 	p := wire.Payload{
 		Seq:    seq,
+		XID:    xid,
 		Epoch:  n.epoch,
 		FuncID: n.funcID,
 		View:   frame,
@@ -311,33 +313,38 @@ func (n *Node) frameForLocked(sess *peerSession, now time.Time) (wire.ViewFrame,
 		n.metrics.gossipFramesFull.Add(1)
 	}
 	n.metrics.gossipEntriesSent.Add(int64(len(frame.Entries)))
-	return frame, wire.Version
+	return frame, sess.wireVersion()
 }
 
-// legacyStreakDowngrade is how many consecutive legacy datagrams a
-// version-2 session tolerates before downgrading: one or two are the
-// echo of our own dual-version join probe or a reordered frame, a
-// steady stream means the peer really is running a legacy binary again
-// (a rollback) and would drop everything we encode at version 2.
-const legacyStreakDowngrade = 3
+// downgradeStreak is how many consecutive lower-version datagrams a
+// session tolerates before downgrading: one or two are the echo of our
+// own multi-version join probe or a reordered frame, a steady stream
+// means the peer really is running an older binary again (a rollback)
+// and would drop everything we encode at the newer version.
+const downgradeStreak = 3
 
 // observePeerLocked records the wire version a peer just demonstrated
 // and returns its session. Versions upgrade immediately, but downgrade
-// only after legacyStreakDowngrade consecutive legacy datagrams:
-// last-message-wins would let the echo of our own join probe latch two
-// current nodes onto legacy full-view gossip for good, while never
-// downgrading would permanently blackhole a peer rolled back to a
-// legacy binary.
+// only after downgradeStreak consecutive datagrams at the same lower
+// version: last-message-wins would let the echo of our own join probe
+// latch two current nodes onto a downlevel wire for good, while never
+// downgrading would permanently blackhole a peer rolled back to an
+// older binary. The rule is version-agnostic — a v3 session rolls back
+// to v2 (losing only exchange IDs) exactly like a v2 session rolls
+// back to the legacy full-view wire.
 func (n *Node) observePeerLocked(peer string, version uint8) *peerSession {
 	sess := n.peers.Get(peer)
 	switch {
 	case version >= sess.version:
 		sess.version = version
-		sess.legacyStreak = 0
-	case version == wire.VersionLegacy:
-		if sess.legacyStreak++; sess.legacyStreak >= legacyStreakDowngrade {
-			sess.version = wire.VersionLegacy
-			sess.legacyStreak = 0
+		sess.downStreak = 0
+	default:
+		if sess.downVersion != version {
+			sess.downVersion, sess.downStreak = version, 0
+		}
+		if sess.downStreak++; sess.downStreak >= downgradeStreak {
+			sess.version = version
+			sess.downStreak = 0
 		}
 	}
 	return sess
@@ -392,11 +399,12 @@ func (n *Node) send(to string, msg wire.Message, version uint8) {
 
 // sendJoinRequest asks one seed for epoch timing and contacts (§4.2).
 // While the seed's wire version is unknown, the request goes out at
-// both supported versions: a legacy-only seed silently drops version-2
-// datagrams and, as the contacted party, would never speak first — so
-// the passive per-connection negotiation needs this active probe to
-// bootstrap a mixed-version join. Its reply pins the version for all
-// subsequent traffic; a duplicate JoinReply is harmlessly idempotent.
+// every supported version: a downlevel seed silently drops datagrams
+// encoded at versions it does not know and, as the contacted party,
+// would never speak first — so the passive per-connection negotiation
+// needs this active probe to bootstrap a mixed-version join. Its reply
+// pins the version for all subsequent traffic; duplicate JoinReplies
+// are harmlessly idempotent.
 func (n *Node) sendJoinRequest() {
 	n.mu.Lock()
 	seq := n.nextSeqLocked()
@@ -417,6 +425,7 @@ func (n *Node) sendJoinRequest() {
 	msg := &wire.JoinRequest{From: n.Addr(), Seq: seq}
 	n.send(seed, msg, version)
 	if !versionKnown {
+		n.send(seed, msg, wire.VersionDelta)
 		n.send(seed, msg, wire.VersionLegacy)
 	}
 }

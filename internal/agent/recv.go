@@ -40,7 +40,7 @@ func (n *Node) handle(from string, data []byte) {
 	msg, version, err := wire.DecodeExt(data)
 	if err != nil {
 		n.metrics.decodeErrors.Add(1)
-		n.trace(obs.TraceDecodeError, from, 0, 0, time.Time{})
+		n.trace(obs.TraceDecodeError, from, 0, 0, 0, time.Time{})
 		n.log.Debug("undecodable datagram", "from", from, "err", err)
 		return
 	}
@@ -77,7 +77,7 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 	switch core.Synchronize(n.epoch, m.Epoch) {
 	case core.DropStale:
 		n.metrics.staleDropped.Add(1)
-		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, now)
+		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, m.XID, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
 		return
@@ -88,7 +88,7 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 			n.finishEpochLocked(now)
 			n.epoch = m.Epoch
 			n.metrics.epochJumps.Add(1)
-			n.trace(obs.TraceEpochJump, m.From, m.Seq, m.Epoch, now)
+			n.trace(obs.TraceEpochJump, m.From, m.Seq, m.Epoch, m.XID, now)
 			n.startEpochLocked()
 		}
 	case core.KeepEpoch:
@@ -100,48 +100,50 @@ func (n *Node) handleExchangeRequest(m *wire.ExchangeRequest, now time.Time, ver
 		// the paper's timeout — the exchange is skipped — but frees the
 		// initiator immediately.
 		n.metrics.refusedJoining.Add(1)
-		n.trace(obs.TraceRefusedJoining, m.From, m.Seq, m.Epoch, now)
+		n.trace(obs.TraceRefusedJoining, m.From, m.Seq, m.Epoch, m.XID, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.XID, m.Epoch), peerVersion)
 		return
 	}
 	if n.busy {
 		// Serving now could break mass conservation with our outstanding
 		// exchange; refusing behaves like a failed link (§6.2).
 		n.metrics.refusedBusy.Add(1)
-		n.trace(obs.TraceRefusedBusy, m.From, m.Seq, m.Epoch, now)
+		n.trace(obs.TraceRefusedBusy, m.From, m.Seq, m.Epoch, m.XID, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.XID, m.Epoch), peerVersion)
 		return
 	}
 	if n.epoch != m.Epoch {
 		// Jump was vetoed (we are a joiner for an even later epoch).
 		n.metrics.staleDropped.Add(1)
-		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, now)
+		n.trace(obs.TraceStaleDrop, m.From, m.Seq, m.Epoch, m.XID, now)
 		n.absorbDescriptorsLocked(gossip)
 		n.mu.Unlock()
-		n.send(m.From, refusal(n.Addr(), m.Seq, m.Epoch), peerVersion)
+		n.send(m.From, refusal(n.Addr(), m.Seq, m.XID, m.Epoch), peerVersion)
 		return
 	}
 	// Reply with the pre-merge state, then update (Figure 1b).
-	payload, replyVersion := n.payloadLocked(sess, m.Seq, now)
+	payload, replyVersion := n.payloadLocked(sess, m.Seq, m.XID, now)
 	reply := &wire.ExchangeReply{From: n.Addr(), Payload: payload}
 	n.absorbDescriptorsLocked(gossip)
 	n.applyLocked(m.Payload)
 	n.metrics.exchangesServed.Add(1)
-	n.trace(obs.TraceServed, m.From, m.Seq, m.Epoch, now)
+	n.trace(obs.TraceServed, m.From, m.Seq, m.Epoch, m.XID, now)
 	n.mu.Unlock()
 	n.send(m.From, reply, replyVersion)
 }
 
 // refusal builds the decline NACK for an exchange request. It carries no
 // membership frame: a refusal must stay cheap, and skipping the codec
-// keeps the generation stream reserved for frames that carry state.
-func refusal(from string, seq, epoch uint64) *wire.ExchangeReply {
+// keeps the generation stream reserved for frames that carry state. The
+// initiator's exchange identifier is echoed so the decline stitches
+// into its span.
+func refusal(from string, seq, xid, epoch uint64) *wire.ExchangeReply {
 	return &wire.ExchangeReply{From: from, Payload: wire.Payload{
-		Seq: seq, Epoch: epoch, Flags: wire.FlagRefused,
+		Seq: seq, XID: xid, Epoch: epoch, Flags: wire.FlagRefused,
 	}}
 }
 

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// export renders the registry for substring assertions.
+func export(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestHealthSeriesExistBeforeFiring(t *testing.T) {
+	reg := NewRegistry()
+	NewHealth(reg, HealthConfig{})
+	out := export(t, reg)
+	for _, rule := range healthRuleNames {
+		if !strings.Contains(out, `agg_alerts_total{rule="`+rule+`"} 0`) {
+			t.Errorf("agg_alerts_total{rule=%q} not exported at 0:\n%s", rule, out)
+		}
+		if !strings.Contains(out, `agg_alert_active{rule="`+rule+`"} 0`) {
+			t.Errorf("agg_alert_active{rule=%q} not exported at 0:\n%s", rule, out)
+		}
+	}
+}
+
+func TestHealthStallFiresAfterStreakAndClears(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg, HealthConfig{StallCycles: 3})
+	stalled := HealthSample{
+		MeanEstimate: 10, EstimateStdDev: 2, RhoHat: 0.95, TheoryRho: 0.303,
+	}
+	for i := 1; i <= 2; i++ {
+		stalled.Cycle = i
+		if active := h.Eval(stalled); len(active) != 0 {
+			t.Fatalf("cycle %d: fired before the streak: %v", i, active)
+		}
+	}
+	stalled.Cycle = 3
+	active := h.Eval(stalled)
+	if len(active) != 1 || active[0] != RuleConvergenceStall {
+		t.Fatalf("cycle 3 active = %v, want [convergence_stall]", active)
+	}
+	out := export(t, reg)
+	if !strings.Contains(out, `agg_alerts_total{rule="convergence_stall"} 1`) {
+		t.Errorf("firing not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `agg_alert_active{rule="convergence_stall"} 1`) {
+		t.Errorf("active gauge not set:\n%s", out)
+	}
+	// One clean cycle clears it; the firing counter keeps its history.
+	recovered := stalled
+	recovered.Cycle, recovered.RhoHat = 4, 0.2
+	if active := h.Eval(recovered); len(active) != 0 {
+		t.Fatalf("still active after clean cycle: %v", active)
+	}
+	out = export(t, reg)
+	if !strings.Contains(out, `agg_alerts_total{rule="convergence_stall"} 1`) {
+		t.Errorf("counter lost its history:\n%s", out)
+	}
+	if !strings.Contains(out, `agg_alert_active{rule="convergence_stall"} 0`) {
+		t.Errorf("active gauge not cleared:\n%s", out)
+	}
+}
+
+func TestHealthStallQuietOnceConverged(t *testing.T) {
+	h := NewHealth(nil, HealthConfig{StallCycles: 1})
+	// ρ̂ above threshold but the spread is numerical noise — a converged
+	// fleet must not page.
+	s := HealthSample{MeanEstimate: 10, EstimateStdDev: 1e-9, RhoHat: 2, TheoryRho: 0.303}
+	if active := h.Eval(s); len(active) != 0 {
+		t.Errorf("stall fired on a converged fleet: %v", active)
+	}
+}
+
+func TestHealthLossSpikeAndPartitionSuspect(t *testing.T) {
+	h := NewHealth(nil, HealthConfig{LossCycles: 2, PartitionCycles: 2})
+	// Cycle 1 just primes the deltas.
+	s := HealthSample{Cycle: 1, Initiated: 10, Timeouts: 0, Declined: 0}
+	if active := h.Eval(s); len(active) != 0 {
+		t.Fatalf("fired without a previous sample: %v", active)
+	}
+	// Two cycles of 8/10 attempts timing out with no NACKs: both the
+	// loss-spike and the partition-shaped skew rule must fire.
+	for i := 2; i <= 3; i++ {
+		s.Cycle = i
+		s.Initiated += 10
+		s.Timeouts += 8
+		active := h.Eval(s)
+		if i == 2 && len(active) != 0 {
+			t.Fatalf("cycle 2: fired before the streak: %v", active)
+		}
+		if i == 3 {
+			want := []string{RuleExchangeLossSpike, RulePartitionSuspect}
+			if len(active) != 2 || active[0] != want[0] || active[1] != want[1] {
+				t.Fatalf("cycle 3 active = %v, want %v", active, want)
+			}
+		}
+	}
+	// NACK-dominated failures keep firing the loss spike but not the
+	// partition rule: busy peers answered, they are not unreachable.
+	s.Cycle, s.Initiated, s.Declined = 4, s.Initiated+10, s.Declined+8
+	s.Cycle, s.Initiated, s.Declined = 5, s.Initiated+10, s.Declined+8
+	active := h.Eval(s)
+	for _, name := range active {
+		if name == RulePartitionSuspect {
+			t.Errorf("partition_suspect active on NACK-dominated losses: %v", active)
+		}
+	}
+}
+
+func TestHealthMassDrift(t *testing.T) {
+	h := NewHealth(nil, HealthConfig{DriftCycles: 2})
+	s := HealthSample{TrueMean: 10, MeanEstimate: 14, RelError: 0.4}
+	s.Cycle = 1
+	if active := h.Eval(s); len(active) != 0 {
+		t.Fatalf("drift fired before the streak: %v", active)
+	}
+	s.Cycle = 2
+	if active := h.Eval(s); len(active) != 1 || active[0] != RuleMassDrift {
+		t.Fatalf("cycle 2 active = %v, want [mass_drift]", active)
+	}
+	s.Cycle, s.RelError = 3, 0.01
+	if active := h.Eval(s); len(active) != 0 {
+		t.Fatalf("drift stuck after recovery: %v", active)
+	}
+}
+
+func TestHealthLossSpikeIgnoresThinSamples(t *testing.T) {
+	h := NewHealth(nil, HealthConfig{LossCycles: 1, LossMinAttempts: 8})
+	h.Eval(HealthSample{Cycle: 1})
+	// 3 attempts, all failed: ratio 1.0 but far below the attempt floor —
+	// too thin to mean anything.
+	s := HealthSample{Cycle: 2, Initiated: 3, Timeouts: 3}
+	if active := h.Eval(s); len(active) != 0 {
+		t.Errorf("loss spike fired on %d attempts: %v", s.Initiated, active)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -20,7 +21,8 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
-// TraceHandler serves a trace ring as JSON (404 when tracing is off).
+// TraceHandler serves a trace ring as JSON — raw events plus stitched
+// spans (404 when tracing is off).
 func TraceHandler(t *TraceRing) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if t == nil {
@@ -32,25 +34,58 @@ func TraceHandler(t *TraceRing) http.Handler {
 	})
 }
 
+// TimelineHandler serves the per-cycle flight recorder as JSON (404
+// when no timeline is attached).
+func TimelineHandler(t *Timeline) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "flight recorder disabled (no timeline attached)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}
+
+// getOnly rejects non-GET/HEAD methods with 405: the telemetry
+// surfaces are read-only and a stray POST should say so rather than
+// render a scrape.
+func getOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, req)
+	})
+}
+
 // Server is one live telemetry endpoint: /metrics (Prometheus text),
-// /debug/trace (exchange trace ring JSON) and /debug/pprof/* for the
-// runtime profiles. Create with Serve, stop with Close.
+// /debug/trace (stitched exchange spans + raw trace-ring JSON),
+// /debug/timeline (per-cycle flight recorder JSON) and /debug/pprof/*
+// for the runtime profiles. Create with Serve, stop with Close.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
+// closeDrain bounds how long Close waits for in-flight scrapes.
+const closeDrain = 2 * time.Second
+
 // Serve starts the telemetry HTTP server on addr ("host:port"; ":0"
-// picks a free port — read the resolved address back with Addr). trace
-// may be nil; /debug/trace then reports tracing disabled.
-func Serve(addr string, reg *Registry, trace *TraceRing) (*Server, error) {
+// picks a free port — read the resolved address back with Addr).
+// trace and timeline may be nil; the corresponding endpoint then
+// reports itself disabled with a 404.
+func Serve(addr string, reg *Registry, trace *TraceRing, timeline *Timeline) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %q: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", Handler(reg))
-	mux.Handle("/debug/trace", TraceHandler(trace))
+	mux.Handle("/metrics", getOnly(Handler(reg)))
+	mux.Handle("/debug/trace", getOnly(TraceHandler(trace)))
+	mux.Handle("/debug/timeline", getOnly(TimelineHandler(timeline)))
 	// net/http/pprof self-registers on http.DefaultServeMux at import;
 	// wire its handlers onto this private mux explicitly so the
 	// telemetry port is the only place they are exposed.
@@ -73,5 +108,15 @@ func Serve(addr string, reg *Registry, trace *TraceRing) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server, draining in-flight scrapes for up to a
+// short deadline before cutting remaining connections: a Prometheus
+// scrape racing a scenario teardown gets its response instead of a
+// reset.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeDrain)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -150,6 +150,86 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return s
 }
 
+// CounterVec is a family of counters distinguished by the value of
+// one label — the shape of `agg_alerts_total{rule="..."}`. Children
+// are created on first use and live forever (label cardinality is
+// expected to be a small fixed rule set, not user data).
+type CounterVec struct {
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value,
+// registering it (at zero) on first use.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[label]
+	if !ok {
+		c = &Counter{}
+		v.children[label] = c
+	}
+	return c
+}
+
+// labeledInt is one (label value, metric value) pair of a family
+// snapshot.
+type labeledInt struct {
+	label string
+	value int64
+}
+
+// snapshot returns the children sorted by label value.
+func (v *CounterVec) snapshot() []labeledInt {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]labeledInt, 0, len(v.children))
+	for label, c := range v.children {
+		out = append(out, labeledInt{label, c.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// GaugeVec is a family of gauges distinguished by one label — the
+// shape of `agg_alert_active{rule="..."}`.
+type GaugeVec struct {
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label value, registering
+// it (at zero) on first use.
+func (v *GaugeVec) With(label string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[label]
+	if !ok {
+		g = &Gauge{}
+		v.children[label] = g
+	}
+	return g
+}
+
+// labeledFloat is one (label value, metric value) pair of a family
+// snapshot.
+type labeledFloat struct {
+	label string
+	value float64
+}
+
+// snapshot returns the children sorted by label value.
+func (v *GaugeVec) snapshot() []labeledFloat {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]labeledFloat, 0, len(v.children))
+	for label, g := range v.children {
+		out = append(out, labeledFloat{label, g.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
 // metricKind discriminates the registry entries.
 type metricKind uint8
 
@@ -184,6 +264,12 @@ type metric struct {
 	counterFn func() int64
 	gaugeFn   func() float64
 	histFn    func() HistSnapshot
+
+	// Labeled families: when set, the entry renders one sample per
+	// child under a single HELP/TYPE header.
+	labelKey string
+	cvec     *CounterVec
+	gvec     *GaugeVec
 }
 
 // Registry names and exports a set of metrics. All methods are safe for
@@ -242,11 +328,20 @@ func (r *Registry) lookup(name, help string, kind metricKind) (*metric, bool) {
 	return m, false
 }
 
+// mustUnlabeled panics if the slot already holds a labeled family —
+// one name cannot export both labeled and unlabeled samples.
+func (m *metric) mustUnlabeled() {
+	if m.cvec != nil || m.gvec != nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as a labeled %s family", m.name, m.kind))
+	}
+}
+
 // Counter returns the named counter, registering it on first use.
 func (r *Registry) Counter(name, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, existed := r.lookup(name, help, kindCounter)
+	m.mustUnlabeled()
 	if !existed || m.counter == nil {
 		m.counter = &Counter{}
 		m.counterFn = nil
@@ -259,6 +354,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, existed := r.lookup(name, help, kindGauge)
+	m.mustUnlabeled()
 	if !existed || m.gauge == nil {
 		m.gauge = &Gauge{}
 		m.gaugeFn = nil
@@ -280,6 +376,55 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return m.hist
 }
 
+// CounterVec returns the named single-label counter family,
+// registering it on first use. Re-registering with a different label
+// key, or on a name already registered as an unlabeled counter,
+// panics: mixing labeled and unlabeled samples of one name would
+// corrupt the export.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	if !validName(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label key %q for metric %q", labelKey, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, existed := r.lookup(name, help, kindCounter)
+	if existed {
+		if m.cvec == nil {
+			panic(fmt.Sprintf("obs: metric %q already registered as an unlabeled counter", name))
+		}
+		if m.labelKey != labelKey {
+			panic(fmt.Sprintf("obs: metric %q registered with label %q, requested %q", name, m.labelKey, labelKey))
+		}
+		return m.cvec
+	}
+	m.labelKey = labelKey
+	m.cvec = &CounterVec{children: make(map[string]*Counter)}
+	return m.cvec
+}
+
+// GaugeVec returns the named single-label gauge family, registering
+// it on first use, with the same consistency rules as CounterVec.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	if !validName(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label key %q for metric %q", labelKey, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, existed := r.lookup(name, help, kindGauge)
+	if existed {
+		if m.gvec == nil {
+			panic(fmt.Sprintf("obs: metric %q already registered as an unlabeled gauge", name))
+		}
+		if m.labelKey != labelKey {
+			panic(fmt.Sprintf("obs: metric %q registered with label %q, requested %q", name, m.labelKey, labelKey))
+		}
+		return m.gvec
+	}
+	m.labelKey = labelKey
+	m.gvec = &GaugeVec{children: make(map[string]*Gauge)}
+	return m.gvec
+}
+
 // CounterFunc registers (or rebinds) a counter whose value is computed
 // at scrape time — the aggregation hook for fleets: the closure sums
 // per-node atomic counters, so the hot path never touches the registry.
@@ -287,6 +432,7 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, _ := r.lookup(name, help, kindCounter)
+	m.mustUnlabeled()
 	m.counter, m.counterFn = nil, fn
 }
 
@@ -295,6 +441,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, _ := r.lookup(name, help, kindGauge)
+	m.mustUnlabeled()
 	m.gauge, m.gaugeFn = nil, fn
 }
 

@@ -29,6 +29,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		bw.WriteByte('\n')
 		switch m.kind {
 		case kindCounter:
+			if m.cvec != nil {
+				for _, child := range m.cvec.snapshot() {
+					writeLabeled(bw, m.name, m.labelKey, child.label)
+					bw.WriteString(strconv.FormatInt(child.value, 10))
+					bw.WriteByte('\n')
+				}
+				continue
+			}
 			v := int64(0)
 			if m.counter != nil {
 				v = m.counter.Load()
@@ -40,6 +48,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteString(strconv.FormatInt(v, 10))
 			bw.WriteByte('\n')
 		case kindGauge:
+			if m.gvec != nil {
+				for _, child := range m.gvec.snapshot() {
+					writeLabeled(bw, m.name, m.labelKey, child.label)
+					bw.WriteString(formatFloat(child.value))
+					bw.WriteByte('\n')
+				}
+				continue
+			}
 			v := 0.0
 			if m.gauge != nil {
 				v = m.gauge.Load()
@@ -95,6 +111,17 @@ func writeHistogram(bw *bufio.Writer, name string, s HistSnapshot) {
 	bw.WriteByte('\n')
 }
 
+// writeLabeled writes `name{key="value"} ` with the label value
+// escaped per the text format.
+func writeLabeled(bw *bufio.Writer, name, key, value string) {
+	bw.WriteString(name)
+	bw.WriteByte('{')
+	bw.WriteString(key)
+	bw.WriteString(`="`)
+	bw.WriteString(escapeLabel(value))
+	bw.WriteString(`"} `)
+}
+
 // formatFloat renders a value the way Prometheus clients expect.
 func formatFloat(v float64) string {
 	switch {
@@ -111,5 +138,13 @@ func formatFloat(v float64) string {
 // escapeHelp escapes backslashes and newlines per the text format.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in a label
+// value per the text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestWritePrometheusGolden(t *testing.T) {
@@ -96,12 +98,24 @@ func TestConcurrentScrape(t *testing.T) {
 	wg.Wait()
 }
 
+// TestServeEndpoints drives the whole telemetry surface end to end:
+// populated trace ring and timeline → HTTP GET → decode JSON → assert
+// the stitched span and flight-recorder fields, plus the read-only
+// method guard.
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("agg_served_total", "help").Add(3)
 	ring := NewTraceRing(8)
-	ring.Record(TraceEvent{Node: "a", Peer: "b", Kind: TraceAbsorb, Seq: 9})
-	srv, err := Serve("127.0.0.1:0", reg, ring)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// One complete cross-node exchange sharing one XID.
+	ring.Record(TraceEvent{At: base, Node: "a", Peer: "b", Kind: TraceInitiate, Seq: 9, Epoch: 2, XID: 0xabc})
+	ring.Record(TraceEvent{At: base.Add(time.Millisecond), Node: "b", Peer: "a", Kind: TraceServed, Seq: 9, Epoch: 2, XID: 0xabc})
+	ring.Record(TraceEvent{At: base.Add(2 * time.Millisecond), Node: "a", Peer: "b", Kind: TraceAbsorb, Seq: 9, Epoch: 2, XID: 0xabc})
+	timeline := NewTimeline(16)
+	timeline.Record(TimelineEntry{Cycle: 7, Epoch: 1, Alive: 48, Participating: 48,
+		TrueMean: 10, MeanEstimate: 10.2, EstimateStdDev: 0.4, RelError: 0.02,
+		RhoHat: 0.31, Alerts: []string{RuleConvergenceStall}})
+	srv, err := Serve("127.0.0.1:0", reg, ring, timeline)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,25 +138,88 @@ func TestServeEndpoints(t *testing.T) {
 	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "agg_served_total 3") {
 		t.Errorf("/metrics: code %d body %q", code, body)
 	}
-	if code, body := get("/debug/trace"); code != http.StatusOK || !strings.Contains(body, `"absorb"`) {
-		t.Errorf("/debug/trace: code %d body %q", code, body)
+
+	code, body := get("/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: code %d body %q", code, body)
 	}
+	var dump struct {
+		Total    uint64       `json:"total"`
+		Retained int          `json:"retained"`
+		Spans    []Span       `json:"spans"`
+		Events   []TraceEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v\n%s", err, body)
+	}
+	if dump.Total != 3 || dump.Retained != 3 || len(dump.Events) != 3 {
+		t.Errorf("trace dump counts = %d/%d/%d events, want 3/3/3", dump.Total, dump.Retained, len(dump.Events))
+	}
+	if len(dump.Spans) != 1 {
+		t.Fatalf("stitched spans = %d, want 1\n%s", len(dump.Spans), body)
+	}
+	sp := dump.Spans[0]
+	if sp.XID != 0xabc || sp.Outcome != "completed" || sp.Initiator != "a" || sp.Responder != "b" {
+		t.Errorf("span = %+v, want completed a→b with xid 0xabc", sp)
+	}
+	if sp.RTTSeconds != 0.002 || sp.OneWayDelaySeconds != 0.001 {
+		t.Errorf("span delays rtt=%g one-way=%g, want 0.002/0.001", sp.RTTSeconds, sp.OneWayDelaySeconds)
+	}
+
+	code, body = get("/debug/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/timeline: code %d body %q", code, body)
+	}
+	var tl struct {
+		Total    uint64          `json:"total"`
+		Retained int             `json:"retained"`
+		Entries  []TimelineEntry `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/debug/timeline not JSON: %v\n%s", err, body)
+	}
+	if tl.Total != 1 || len(tl.Entries) != 1 {
+		t.Fatalf("timeline dump = %d total, %d entries, want 1/1", tl.Total, len(tl.Entries))
+	}
+	e := tl.Entries[0]
+	if e.Cycle != 7 || e.Alive != 48 || e.RhoHat != 0.31 ||
+		len(e.Alerts) != 1 || e.Alerts[0] != RuleConvergenceStall {
+		t.Errorf("timeline entry = %+v", e)
+	}
+
 	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline: code %d", code)
 	}
 
-	// Tracing off → 404, not a panic.
-	srv2, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	// The scrape surfaces are read-only: non-GET gets 405.
+	for _, path := range []string{"/metrics", "/debug/trace", "/debug/timeline"} {
+		resp, err := http.Post(fmt.Sprintf("http://%s%s", srv.Addr(), path), "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: code %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s: Allow = %q", path, allow)
+		}
+	}
+
+	// Tracing and flight recorder off → 404, not a panic.
+	srv2, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
-	resp, err := http.Get(fmt.Sprintf("http://%s/debug/trace", srv2.Addr()))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("/debug/trace without ring: code %d, want 404", resp.StatusCode)
+	for _, path := range []string{"/debug/trace", "/debug/timeline"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv2.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without ring: code %d, want 404", path, resp.StatusCode)
+		}
 	}
 }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Span is one exchange reconstructed from its trace events: every
+// event that carried the same non-zero exchange ID, stitched into the
+// initiate → served → absorb/timeout causal chain. When the events of
+// both parties land in one ring (a shared per-process ring, or the
+// UDP supervisor's merged fleet ring) the span crosses nodes and
+// processes, which is what makes loss classification possible: a
+// timeout with a matching served event is a lost reply, a timeout
+// with nothing on the far side is a lost (or filtered) request.
+type Span struct {
+	// XID is the exchange identifier shared by every event.
+	XID uint64 `json:"xid"`
+	// Initiator and Responder are the two parties, when identifiable
+	// from the events (the initiator from its initiate event, the
+	// responder from its served/refusal event).
+	Initiator string `json:"initiator,omitempty"`
+	Responder string `json:"responder,omitempty"`
+	// Seq and Epoch of the exchange, from the first event carrying them.
+	Seq   uint64 `json:"seq,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Outcome classifies the exchange:
+	//
+	//	completed    — the initiator absorbed a reply
+	//	declined     — the responder NACKed (busy or joining)
+	//	stale        — the reply arrived but was dropped as stale
+	//	reply-lost   — the responder served/NACKed but the initiator
+	//	               timed out: the reply never made it back
+	//	request-lost — the initiator timed out and the responder never
+	//	               saw the request
+	//	orphan       — responder-side events with no initiate in the
+	//	               ring (the initiator's events were overwritten or
+	//	               live in an unmerged ring)
+	//	pending      — an initiate with no outcome yet
+	Outcome string `json:"outcome"`
+	// Start and End bound the span in time (first and last event).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// OneWayDelaySeconds estimates request propagation: served.At −
+	// initiate.At across the two parties' clocks (loopback and
+	// NTP-synced hosts make this meaningful; wildly skewed clocks can
+	// even make it negative, which is itself a useful signal). Zero
+	// when either side is missing.
+	OneWayDelaySeconds float64 `json:"one_way_delay_seconds,omitempty"`
+	// RTTSeconds is the initiator-local round trip: absorb (or
+	// declined) minus initiate — one clock, so always trustworthy.
+	// Zero when the exchange has no initiator-side reply event.
+	RTTSeconds float64 `json:"rtt_seconds,omitempty"`
+	// Events are the span's events, oldest first.
+	Events []TraceEvent `json:"events"`
+}
+
+// StitchSpans groups events by non-zero exchange ID and reconstructs
+// one Span per exchange, sorted by start time. Events without an XID
+// (pre-v3 peers, membership gossip, decode errors) are skipped; the
+// raw event list in a trace dump still carries them.
+func StitchSpans(events []TraceEvent) []Span {
+	byXID := make(map[uint64][]TraceEvent)
+	order := make([]uint64, 0)
+	for _, ev := range events {
+		if ev.XID == 0 {
+			continue
+		}
+		if _, seen := byXID[ev.XID]; !seen {
+			order = append(order, ev.XID)
+		}
+		byXID[ev.XID] = append(byXID[ev.XID], ev)
+	}
+	spans := make([]Span, 0, len(order))
+	for _, xid := range order {
+		spans = append(spans, stitchOne(xid, byXID[xid]))
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].XID < spans[j].XID
+	})
+	return spans
+}
+
+// stitchOne builds the span for one exchange's events.
+func stitchOne(xid uint64, evs []TraceEvent) Span {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+	sp := Span{XID: xid, Events: evs, Start: evs[0].At, End: evs[len(evs)-1].At}
+	var initiate, served, absorb, timeout, declined, stale *TraceEvent
+	var refused bool
+	for i := range evs {
+		ev := &evs[i]
+		if sp.Seq == 0 {
+			sp.Seq = ev.Seq
+		}
+		if sp.Epoch == 0 {
+			sp.Epoch = ev.Epoch
+		}
+		switch ev.Kind {
+		case TraceInitiate:
+			if initiate == nil {
+				initiate = ev
+				sp.Initiator = ev.Node
+			}
+		case TraceServed:
+			if served == nil {
+				served = ev
+				sp.Responder = ev.Node
+			}
+		case TraceRefusedBusy, TraceRefusedJoining:
+			refused = true
+			if sp.Responder == "" {
+				sp.Responder = ev.Node
+			}
+		case TraceAbsorb:
+			if absorb == nil {
+				absorb = ev
+			}
+		case TraceTimeout:
+			if timeout == nil {
+				timeout = ev
+			}
+		case TraceDeclined:
+			if declined == nil {
+				declined = ev
+			}
+		case TraceStaleDrop:
+			if stale == nil {
+				stale = ev
+			}
+		}
+	}
+	responderSaw := served != nil || refused
+	switch {
+	case absorb != nil:
+		sp.Outcome = "completed"
+	case declined != nil:
+		sp.Outcome = "declined"
+	case stale != nil && initiate != nil:
+		sp.Outcome = "stale"
+	case timeout != nil && responderSaw:
+		sp.Outcome = "reply-lost"
+	case timeout != nil:
+		sp.Outcome = "request-lost"
+	case initiate == nil:
+		sp.Outcome = "orphan"
+	default:
+		sp.Outcome = "pending"
+	}
+	if initiate != nil && served != nil {
+		sp.OneWayDelaySeconds = served.At.Sub(initiate.At).Seconds()
+	}
+	if initiate != nil {
+		if absorb != nil {
+			sp.RTTSeconds = absorb.At.Sub(initiate.At).Seconds()
+		} else if declined != nil {
+			sp.RTTSeconds = declined.At.Sub(initiate.At).Seconds()
+		}
+	}
+	return sp
+}

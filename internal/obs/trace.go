@@ -64,6 +64,31 @@ func (k TraceKind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(k.String())
 }
 
+// UnmarshalJSON parses a kind from its name (or, for forward
+// compatibility, a raw number) — trace events round-trip through JSON
+// on the UDP supervisor's control channel. Unknown names decode to 0
+// rather than failing: one alien event must not poison a whole
+// control-channel sample.
+func (k *TraceKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		for i, n := range traceKindNames {
+			if n == name {
+				*k = TraceKind(i)
+				return nil
+			}
+		}
+		*k = 0
+		return nil
+	}
+	var num uint8
+	if err := json.Unmarshal(data, &num); err != nil {
+		return err
+	}
+	*k = TraceKind(num)
+	return nil
+}
+
 // TraceEvent is one structured exchange-lifecycle event.
 type TraceEvent struct {
 	// At is when the event happened.
@@ -80,6 +105,12 @@ type TraceEvent struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Epoch the event belonged to.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// XID is the fleet-wide exchange identifier stamped by the
+	// initiator and echoed on the wire (wire v3), letting the
+	// initiator's and responder's events of one exchange stitch into a
+	// causal span even across processes. Zero when the exchange ran on
+	// a pre-v3 wire or the event is not exchange-scoped.
+	XID uint64 `json:"xid,omitempty"`
 }
 
 // TraceRing is a bounded ring buffer of TraceEvents: recording is O(1),
@@ -135,6 +166,35 @@ func (t *TraceRing) Events() []TraceEvent {
 	return out
 }
 
+// EventsSince returns, oldest first, the retained events whose
+// all-time record index is >= cursor, plus the new cursor (pass 0 on
+// the first call, then the returned cursor on subsequent calls). This
+// is the incremental-pull shape the UDP supervisor uses to drain
+// worker rings over the control channel without re-shipping events:
+// each pull returns only what was recorded since the last one. Events
+// that were overwritten before being pulled are silently lost, which
+// is the ring's retention contract.
+func (t *TraceRing) EventsSince(cursor uint64) ([]TraceEvent, uint64) {
+	if t == nil {
+		return nil, cursor
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	oldest := t.total - n // all-time index of the oldest retained event
+	skip := uint64(0)
+	if cursor > oldest {
+		skip = cursor - oldest
+	}
+	if skip >= n {
+		return nil, t.total
+	}
+	out := make([]TraceEvent, 0, n-skip)
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out[skip:], t.total
+}
+
 // Total reports how many events were ever recorded (retained or
 // overwritten).
 func (t *TraceRing) Total() uint64 {
@@ -150,15 +210,22 @@ func (t *TraceRing) Total() uint64 {
 type traceDump struct {
 	Total    uint64       `json:"total"`
 	Retained int          `json:"retained"`
+	Spans    []Span       `json:"spans,omitempty"`
 	Events   []TraceEvent `json:"events"`
 }
 
 // WriteJSON dumps the ring as one JSON document: total recorded, number
-// retained, and the retained events oldest first. This is what the
-// /debug/trace endpoint and the aggscen -trace flag emit.
+// retained, the retained events stitched into causal exchange spans
+// (see StitchSpans), and the raw retained events oldest first. This is
+// what the /debug/trace endpoint and the aggscen -trace flag emit.
 func (t *TraceRing) WriteJSON(w io.Writer) error {
 	events := t.Events()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(traceDump{Total: t.Total(), Retained: len(events), Events: events})
+	return enc.Encode(traceDump{
+		Total:    t.Total(),
+		Retained: len(events),
+		Spans:    StitchSpans(events),
+		Events:   events,
+	})
 }

@@ -51,6 +51,19 @@ func Canned() []Scenario {
 			},
 		},
 		{
+			Name: "partition-stall",
+			Description: "a partition opens right after the epoch starts and lasts " +
+				"most of it: each island converges internally while the global " +
+				"estimate spread plateaus, the signature the convergence_stall " +
+				"health rule detects; the heal lets the fleet finish converging " +
+				"and the alert clear",
+			N: 1000, Cycles: 50, EpochLen: 50, Seed: 18,
+			Events: []Event{
+				{Kind: KindPartition, At: 2, Groups: []float64{1, 1}},
+				{Kind: KindHeal, At: 35},
+			},
+		},
+		{
 			Name: "loss-burst",
 			Description: "30% message loss for one full epoch (fig 7b/8b regime), " +
 				"then clean air; the restart mechanism flushes the accumulated error",

@@ -37,6 +37,11 @@ type LiveOptions struct {
 	// Trace, when set, receives exchange-lifecycle events from every node
 	// of the fleet (one shared bounded ring).
 	Trace *obs.TraceRing
+	// Timeline, when set, receives one flight-recorder snapshot per
+	// sampled cycle (see obs.Timeline). Health rules are evaluated
+	// whenever Obs or Timeline is set, logging alert transitions to
+	// Logger.
+	Timeline *obs.Timeline
 }
 
 func (o LiveOptions) withDefaults(fleet int) LiveOptions {
@@ -101,7 +106,7 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 		opts:   opts,
 		sched:  schedule,
 		ctx:    ctx,
-		sobs:   newScenarioObs(opts.Obs),
+		sobs:   newScenarioObs(opts.Obs, opts.Timeline, opts.Logger),
 	}
 	if opts.Obs != nil {
 		d.rtt = opts.Obs.Histogram("agg_exchange_rtt_seconds",
@@ -411,11 +416,11 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 	d.mu.Lock()
 	var est, truth stats.Moments
 	participating := 0
-	var messages int64
+	totals := d.retired
 	for _, slot := range d.roster.liveSlots() {
 		node := d.nodes[slot]
 		truth.Add(d.prog.Value(slot, cycle))
-		messages += node.Metrics().ExchangesInitiated
+		totals.Accumulate(node.Metrics())
 		if !node.Participating() {
 			continue
 		}
@@ -424,8 +429,8 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 			est.Add(v)
 		}
 	}
-	messages += d.retired.ExchangesInitiated
 	d.mu.Unlock()
+	messages := totals.ExchangesInitiated
 	delta := messages - d.prevMessages
 	d.prevMessages = messages
 	epoch := 0
@@ -443,7 +448,12 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 		RelError:       relError(est.Mean(), truth.Mean()),
 		Messages:       delta,
 	}
-	d.sobs.observe(row)
+	d.sobs.observe(row, protoTotals{
+		Initiated: totals.ExchangesInitiated,
+		Completed: totals.ExchangesCompleted,
+		Timeouts:  totals.Timeouts,
+		Declined:  totals.PeerDeclined,
+	})
 	return row
 }
 

@@ -1,15 +1,29 @@
 package scenario
 
 import (
+	"log/slog"
+
 	"antientropy/internal/obs"
 	"antientropy/internal/theory"
 )
 
-// scenarioObs publishes the per-cycle scenario gauges and the
-// convergence watch on a metrics registry. All three executors emit the
-// same series, so a dashboard built against one applies to them all. A
-// nil *scenarioObs ignores observations — executors thread optional
-// telemetry without branching.
+// protoTotals carries the fleet-cumulative protocol counters of one
+// cycle sample to the health rules, which difference them between
+// cycles. Each executor maps its own counter set onto this shape so
+// the rules (and their thresholds) apply unchanged across executors.
+type protoTotals struct {
+	Initiated int64
+	Completed int64
+	Timeouts  int64
+	Declined  int64
+	Drops     int64
+}
+
+// scenarioObs publishes the per-cycle scenario gauges, the convergence
+// watch, the flight-recorder timeline and the health rules. All three
+// executors emit the same series, so a dashboard built against one
+// applies to them all. A nil *scenarioObs ignores observations —
+// executors thread optional telemetry without branching.
 type scenarioObs struct {
 	cycle          *obs.Gauge
 	epoch          *obs.Gauge
@@ -24,53 +38,99 @@ type scenarioObs struct {
 	theoryRho   *obs.Gauge
 	rhoRatio    *obs.Gauge
 
-	watch convergenceWatch
+	watch    convergenceWatch
+	timeline *obs.Timeline
+	health   *obs.Health
 }
 
-// newScenarioObs registers the scenario gauge set on reg (nil reg → nil
-// observer). Registration is idempotent, so re-running a scenario on
-// the same registry rebinds nothing and keeps the series continuous.
-func newScenarioObs(reg *obs.Registry) *scenarioObs {
-	if reg == nil {
+// newScenarioObs builds the cycle observer: gauges on reg (skipped when
+// nil), snapshots on timeline (skipped when nil), and the health rules
+// evaluated every cycle, logging fire/clear transitions to logger and
+// counting them on reg. Nil reg and nil timeline → nil observer.
+// Registration is idempotent, so re-running a scenario on the same
+// registry rebinds nothing and keeps the series continuous.
+func newScenarioObs(reg *obs.Registry, timeline *obs.Timeline, logger *slog.Logger) *scenarioObs {
+	if reg == nil && timeline == nil {
 		return nil
 	}
 	s := &scenarioObs{
-		cycle:          reg.Gauge("agg_scenario_cycle", "Current scenario cycle index."),
-		epoch:          reg.Gauge("agg_scenario_epoch", "Epoch the current cycle belongs to."),
-		alive:          reg.Gauge("agg_scenario_alive", "Live nodes at the last sample."),
-		participating:  reg.Gauge("agg_scenario_participating", "Nodes participating in the current epoch."),
-		trueMean:       reg.Gauge("agg_scenario_true_mean", "Instantaneous mean of the live nodes' local values."),
-		meanEstimate:   reg.Gauge("agg_scenario_mean_estimate", "Mean of the participants' estimates."),
-		estimateStdDev: reg.Gauge("agg_scenario_estimate_stddev", "Standard deviation of the participants' estimates."),
-		relError:       reg.Gauge("agg_scenario_rel_error", "Normalized |estimate - true mean| error."),
-		observedRho: reg.Gauge("agg_convergence_observed_rho",
-			"Observed per-cycle variance reduction factor of the estimates (within the current epoch)."),
-		theoryRho: reg.Gauge("agg_convergence_theory_rho",
-			"Theoretical per-cycle variance reduction factor 1/(2*sqrt(e)) of push-pull averaging."),
-		rhoRatio: reg.Gauge("agg_convergence_rho_ratio",
-			"Observed over theoretical variance reduction; ~1 means the fleet converges at the paper's rate."),
+		timeline: timeline,
+		health:   obs.NewHealth(reg, obs.HealthConfig{Logger: logger}),
 	}
+	if reg == nil {
+		return s
+	}
+	s.cycle = reg.Gauge("agg_scenario_cycle", "Current scenario cycle index.")
+	s.epoch = reg.Gauge("agg_scenario_epoch", "Epoch the current cycle belongs to.")
+	s.alive = reg.Gauge("agg_scenario_alive", "Live nodes at the last sample.")
+	s.participating = reg.Gauge("agg_scenario_participating", "Nodes participating in the current epoch.")
+	s.trueMean = reg.Gauge("agg_scenario_true_mean", "Instantaneous mean of the live nodes' local values.")
+	s.meanEstimate = reg.Gauge("agg_scenario_mean_estimate", "Mean of the participants' estimates.")
+	s.estimateStdDev = reg.Gauge("agg_scenario_estimate_stddev", "Standard deviation of the participants' estimates.")
+	s.relError = reg.Gauge("agg_scenario_rel_error", "Normalized |estimate - true mean| error.")
+	s.observedRho = reg.Gauge("agg_convergence_observed_rho",
+		"Observed per-cycle variance reduction factor of the estimates (within the current epoch).")
+	s.theoryRho = reg.Gauge("agg_convergence_theory_rho",
+		"Theoretical per-cycle variance reduction factor 1/(2*sqrt(e)) of push-pull averaging.")
+	s.rhoRatio = reg.Gauge("agg_convergence_rho_ratio",
+		"Observed over theoretical variance reduction; ~1 means the fleet converges at the paper's rate.")
 	s.theoryRho.Set(theory.RhoPushPull)
 	return s
 }
 
-// observe publishes one cycle's metrics row.
-func (s *scenarioObs) observe(c CycleMetrics) {
+// observe publishes one cycle's metrics row: gauges, convergence watch,
+// health-rule evaluation, and the flight-recorder snapshot.
+func (s *scenarioObs) observe(c CycleMetrics, proto protoTotals) {
 	if s == nil {
 		return
 	}
-	s.cycle.Set(float64(c.Cycle))
-	s.epoch.Set(float64(c.Epoch))
-	s.alive.Set(float64(c.Alive))
-	s.participating.Set(float64(c.Participating))
-	s.trueMean.Set(c.TrueMean)
-	s.meanEstimate.Set(c.MeanEstimate)
-	s.estimateStdDev.Set(c.EstimateStdDev)
-	s.relError.Set(c.RelError)
-	if rho, ok := s.watch.observe(c); ok {
+	if s.cycle != nil {
+		s.cycle.Set(float64(c.Cycle))
+		s.epoch.Set(float64(c.Epoch))
+		s.alive.Set(float64(c.Alive))
+		s.participating.Set(float64(c.Participating))
+		s.trueMean.Set(c.TrueMean)
+		s.meanEstimate.Set(c.MeanEstimate)
+		s.estimateStdDev.Set(c.EstimateStdDev)
+		s.relError.Set(c.RelError)
+	}
+	rho, ok := s.watch.observe(c)
+	if !ok {
+		rho = 0
+	} else if s.observedRho != nil {
 		s.observedRho.Set(rho)
 		s.rhoRatio.Set(rho / theory.RhoPushPull)
 	}
+	alerts := s.health.Eval(obs.HealthSample{
+		Cycle:          c.Cycle,
+		Epoch:          uint64(c.Epoch),
+		Alive:          c.Alive,
+		Participating:  c.Participating,
+		TrueMean:       c.TrueMean,
+		MeanEstimate:   c.MeanEstimate,
+		EstimateStdDev: c.EstimateStdDev,
+		RelError:       c.RelError,
+		RhoHat:         rho,
+		TheoryRho:      theory.RhoPushPull,
+		Initiated:      proto.Initiated,
+		Completed:      proto.Completed,
+		Timeouts:       proto.Timeouts,
+		Declined:       proto.Declined,
+		Drops:          proto.Drops,
+	})
+	s.timeline.Record(obs.TimelineEntry{
+		Cycle:          c.Cycle,
+		Epoch:          uint64(c.Epoch),
+		Alive:          c.Alive,
+		Participating:  c.Participating,
+		TrueMean:       c.TrueMean,
+		MeanEstimate:   c.MeanEstimate,
+		EstimateStdDev: c.EstimateStdDev,
+		RelError:       c.RelError,
+		RhoHat:         rho,
+		Drops:          proto.Drops,
+		Alerts:         alerts,
+	})
 }
 
 // convergenceWatch derives the observed per-cycle variance reduction

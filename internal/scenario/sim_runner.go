@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"log/slog"
 
 	"antientropy/internal/core"
 	"antientropy/internal/obs"
@@ -56,6 +57,13 @@ type SimOptions struct {
 	// convergence watch (agg_scenario_* / agg_convergence_*), updated as
 	// each cycle is observed. It never affects results.
 	Obs *obs.Registry
+	// Timeline, when set, receives one flight-recorder snapshot per
+	// observed cycle (see obs.Timeline). It never affects results.
+	Timeline *obs.Timeline
+	// Logger receives the health engine's alert fire/clear events
+	// (default: discard). Health rules are evaluated whenever Obs or
+	// Timeline is set.
+	Logger *slog.Logger
 }
 
 // RunSim executes the scenario on the deterministic cycle-driven engine
@@ -113,7 +121,7 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 		overlay = sim.Newscast(30)
 	}
 	d, result := newSimDriver(sc, "sim")
-	sobs := newScenarioObs(opts.Obs)
+	sobs := newScenarioObs(opts.Obs, opts.Timeline, opts.Logger)
 	_, err := sim.Run(sim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
@@ -127,8 +135,8 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 		BeforeCycle:  func(cycle int, e *sim.Engine) { d.beforeCycle(cycle, e) },
 		Failures:     []sim.FailureModel{sim.Script(sc.Name, d.applyEvents)},
 		Observe: func(cycle int, e *sim.Engine) {
-			row := d.observe(cycle, e)
-			sobs.observe(row)
+			row, proto := d.observe(cycle, e)
+			sobs.observe(row, proto)
 			result.PerCycle = append(result.PerCycle, row)
 		},
 	})
@@ -143,7 +151,7 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 		return nil, fmt.Errorf("scenario %s: the sharded engine does not accept a serial overlay builder", sc.Name)
 	}
 	d, result := newSimDriver(sc, "sim-sharded")
-	sobs := newScenarioObs(opts.Obs)
+	sobs := newScenarioObs(opts.Obs, opts.Timeline, opts.Logger)
 	_, err := parsim.Run(parsim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
@@ -159,8 +167,8 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 		BeforeCycle:  func(cycle int, e *parsim.Engine) { d.beforeCycle(cycle, e) },
 		Script:       func(cycle int, e *parsim.Engine) { d.applyEvents(cycle, e) },
 		Observe: func(cycle int, e *parsim.Engine) {
-			row := d.observe(cycle, e)
-			sobs.observe(row)
+			row, proto := d.observe(cycle, e)
+			sobs.observe(row, proto)
 			result.PerCycle = append(result.PerCycle, row)
 		},
 	})
@@ -300,8 +308,12 @@ func (d *simDriver) heal(e sim.Core) {
 	}
 }
 
-// observe builds one cycle's metrics row.
-func (d *simDriver) observe(cycle int, e sim.Core) CycleMetrics {
+// observe builds one cycle's metrics row plus the cumulative protocol
+// totals the health rules difference. The simulator has no wall-clock
+// timeouts; every silently lost exchange (link drop, message loss,
+// partition veto) plays the timeout role for the rules, while §7.1
+// refusals map to declines.
+func (d *simDriver) observe(cycle int, e sim.Core) (CycleMetrics, protoTotals) {
 	cur := e.Metrics()
 	messages := cur.Attempts - d.prevAttempts
 	d.prevAttempts = cur.Attempts
@@ -316,15 +328,22 @@ func (d *simDriver) observe(cycle int, e sim.Core) CycleMetrics {
 	if cycle > 0 {
 		epoch = (cycle - 1) / d.sc.EpochLen
 	}
+	silent := cur.LinkDrops + cur.RequestLosses + cur.ReplyLosses + cur.PartitionDrops
 	return CycleMetrics{
-		Cycle:          cycle,
-		Epoch:          epoch,
-		Alive:          e.AliveCount(),
-		Participating:  e.ParticipantCount(),
-		TrueMean:       truth.Mean(),
-		MeanEstimate:   est.Mean(),
-		EstimateStdDev: est.StdDev(),
-		RelError:       relError(est.Mean(), truth.Mean()),
-		Messages:       messages,
-	}
+			Cycle:          cycle,
+			Epoch:          epoch,
+			Alive:          e.AliveCount(),
+			Participating:  e.ParticipantCount(),
+			TrueMean:       truth.Mean(),
+			MeanEstimate:   est.Mean(),
+			EstimateStdDev: est.StdDev(),
+			RelError:       relError(est.Mean(), truth.Mean()),
+			Messages:       messages,
+		}, protoTotals{
+			Initiated: cur.Attempts,
+			Completed: cur.Completed,
+			Timeouts:  cur.Timeouts + silent,
+			Declined:  cur.Refusals,
+			Drops:     silent,
+		}
 }

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"antientropy/internal/obs"
+)
+
+// TestSimTimelineHealthAlerts runs the partition-stall scenario with a
+// flight recorder attached and checks the health engine's story: the
+// convergence-stall alert fires while the partition holds the global
+// estimate spread flat, stays active until the heal, and never
+// reappears once the fleet finishes converging. The sim is
+// deterministic, so the alert window is stable across runs.
+func TestSimTimelineHealthAlerts(t *testing.T) {
+	sc, err := ByName("partition-stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.N = 64
+	timeline := obs.NewTimeline(128)
+	if _, err := RunSimWith(sc, SimOptions{Timeline: timeline}); err != nil {
+		t.Fatal(err)
+	}
+	entries := timeline.Entries()
+	if len(entries) != sc.Cycles+1 {
+		t.Fatalf("timeline has %d entries, want one per sampled cycle (%d)",
+			len(entries), sc.Cycles+1)
+	}
+
+	healAt := sc.Events[1].At
+	stallCycles := make(map[int]bool)
+	for _, e := range entries {
+		for _, rule := range e.Alerts {
+			if rule != obs.RuleConvergenceStall {
+				continue
+			}
+			stallCycles[e.Cycle] = true
+			if e.Cycle >= healAt {
+				t.Errorf("convergence_stall still active at cycle %d, after the heal at %d",
+					e.Cycle, healAt)
+			}
+			if e.RhoHat <= theoryRhoStallFloor {
+				t.Errorf("cycle %d: stall active with rho %.3f — below the stall threshold",
+					e.Cycle, e.RhoHat)
+			}
+		}
+	}
+	if len(stallCycles) == 0 {
+		t.Fatal("convergence_stall never fired during the partition plateau")
+	}
+	// The streak gate means the alert cannot appear before the stall
+	// condition held for the default 5 consecutive cycles.
+	for c := range stallCycles {
+		if c < sc.Events[0].At+5 {
+			t.Errorf("convergence_stall active at cycle %d, before a 5-cycle streak was possible", c)
+		}
+	}
+}
+
+// theoryRhoStallFloor is the default stall threshold: twice the
+// theoretical reduction factor (HealthConfig.StallRatio × theory).
+const theoryRhoStallFloor = 2 * 0.303
+
+// TestUDPExecutorCrossProcessTrace pins the tentpole end to end over
+// real processes: with one node per worker every exchange crosses a
+// process boundary, and the supervisor's merged trace ring must stitch
+// the initiator's and responder's events into one span via the shared
+// exchange ID.
+func TestUDPExecutorCrossProcessTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process UDP fleet test skipped in -short mode")
+	}
+	sc := Scenario{Name: "udp-xproc-trace", N: 2, Cycles: 10, EpochLen: 5, Seed: 4}.WithDefaults()
+	opts := udpTestOptions(2)
+	opts.Trace = obs.NewTraceRing(512)
+	res, err := RunUDP(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMessages() == 0 {
+		t.Fatal("no exchange attempts recorded")
+	}
+	events := opts.Trace.Events()
+	if len(events) == 0 {
+		t.Fatal("supervisor merged no trace events from the workers")
+	}
+	nodes := make(map[string]bool)
+	for _, ev := range events {
+		nodes[ev.Node] = true
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("merged trace covers nodes %v, want both workers' nodes", nodes)
+	}
+
+	stitched := 0
+	for _, sp := range obs.StitchSpans(events) {
+		if sp.Outcome != "completed" {
+			continue
+		}
+		if sp.Initiator == "" || sp.Responder == "" {
+			t.Fatalf("completed span missing a party: %+v", sp)
+		}
+		if sp.Initiator == sp.Responder {
+			t.Fatalf("span %d stitched both sides to one node %q", sp.XID, sp.Initiator)
+		}
+		stitched++
+	}
+	if stitched == 0 {
+		t.Fatal("no completed cross-process span: XIDs did not stitch across workers")
+	}
+}

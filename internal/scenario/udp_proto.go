@@ -115,6 +115,11 @@ type udpMsg struct {
 	// aggregated fleet on its /metrics endpoint.
 	AgentTotals *agent.Metrics    `json:"agentTotals,omitempty"`
 	RTTHist     *obs.HistSnapshot `json:"rttHist,omitempty"`
+	// Trace is the worker's exchange-trace increment since its previous
+	// report (metrics and bye replies): the supervisor merges the
+	// batches of all workers into one fleet-wide ring, where events
+	// sharing an exchange identifier stitch into cross-process spans.
+	Trace []obs.TraceEvent `json:"trace,omitempty"`
 
 	// fatal: the error that killed the sender.
 	Err string `json:"err,omitempty"`

@@ -52,8 +52,20 @@ type UDPOptions struct {
 	// aggregated /metrics endpoint for a multi-process run.
 	Obs *obs.Registry
 	// TraceCap > 0 makes every worker keep an exchange trace ring of
-	// that capacity and dump it to stderr at shutdown.
+	// that capacity, drained incrementally over the control channel at
+	// every sample. Defaults to Trace's capacity hint (1024) when only
+	// Trace is set.
 	TraceCap int
+	// Trace, when set, receives the merged exchange-trace events of
+	// every worker: events sharing an exchange identifier stitch into
+	// cross-process causal spans (see obs.StitchSpans), the supervisor's
+	// fleet-wide /debug/trace view of a multi-process run.
+	Trace *obs.TraceRing
+	// Timeline, when set, receives one flight-recorder snapshot per
+	// sampled cycle (see obs.Timeline). Health rules are evaluated
+	// whenever Obs or Timeline is set, logging alert transitions to
+	// Logger.
+	Timeline *obs.Timeline
 }
 
 func (o UDPOptions) withDefaults(fleet int) (UDPOptions, error) {
@@ -82,6 +94,9 @@ func (o UDPOptions) withDefaults(fleet int) (UDPOptions, error) {
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.Trace != nil && o.TraceCap <= 0 {
+		o.TraceCap = 1024
 	}
 	if len(o.WorkerCmd) == 0 {
 		self, err := os.Executable()
@@ -126,7 +141,7 @@ func RunUDP(ctx context.Context, sc Scenario, opts UDPOptions) (*RunResult, erro
 		rng:    stats.NewRNG(sc.Seed ^ 0x7564702d72756e), // "udp-run"
 		opts:   opts,
 		ctx:    ctx,
-		sobs:   newScenarioObs(opts.Obs),
+		sobs:   newScenarioObs(opts.Obs, opts.Timeline, opts.Logger),
 	}
 	d.bindObs(opts.Obs)
 	defer d.teardown()
@@ -626,6 +641,7 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 	if err != nil {
 		return CycleMetrics{}, err
 	}
+	d.mergeTraces(replies)
 	var alive, participating, estN int
 	var estSum, estSumSq float64
 	var messages, queueDrops, filterDrops int64
@@ -692,8 +708,29 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 		RelError:       relError(estMean, truth.Mean()),
 		Messages:       messages - prev,
 	}
-	d.sobs.observe(row)
+	d.sobs.observe(row, protoTotals{
+		Initiated: totals.ExchangesInitiated,
+		Completed: totals.ExchangesCompleted,
+		Timeouts:  totals.Timeouts,
+		Declined:  totals.PeerDeclined,
+		Drops:     queueDrops + filterDrops,
+	})
 	return row, nil
+}
+
+// mergeTraces folds the workers' exchange-trace increments into the
+// supervisor's fleet-wide ring. Events keep their worker-side
+// timestamps — all workers run on this machine's clock — so the merged
+// ring stitches cross-process spans exactly like a single-process one.
+func (d *udpDriver) mergeTraces(replies []udpMsg) {
+	if d.opts.Trace == nil {
+		return
+	}
+	for _, m := range replies {
+		for _, ev := range m.Trace {
+			d.opts.Trace.Record(ev)
+		}
+	}
 }
 
 // shutdownWorkers winds the fleet down cleanly: shutdown/bye handshake,
@@ -703,9 +740,11 @@ func (d *udpDriver) shutdownWorkers() error {
 	for i := range msgs {
 		msgs[i] = udpMsg{Op: udpOpShutdown}
 	}
-	if _, err := d.broadcast(msgs, udpOpBye); err != nil {
+	replies, err := d.broadcast(msgs, udpOpBye)
+	if err != nil {
 		return err
 	}
+	d.mergeTraces(replies)
 	var firstErr error
 	for _, p := range d.procs {
 		_ = p.stdin.Close()

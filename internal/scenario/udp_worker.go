@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,9 +84,11 @@ type udpWorker struct {
 
 	// rtt is the worker-wide exchange round-trip histogram every node of
 	// this slice feeds; trace is the optional shared exchange trace ring
-	// (nil unless the supervisor sent a TraceCap).
-	rtt   *obs.Histogram
-	trace *obs.TraceRing
+	// (nil unless the supervisor sent a TraceCap). traceCursor marks how
+	// far the supervisor has drained the ring (see TraceRing.EventsSince).
+	rtt         *obs.Histogram
+	trace       *obs.TraceRing
+	traceCursor uint64
 
 	nodes map[int]*udpWorkerSlot
 
@@ -115,9 +116,13 @@ func (w *udpWorker) handle(msg udpMsg) (udpMsg, error) {
 	case udpOpSample:
 		return w.handleSample(msg)
 	case udpOpShutdown:
+		// Stop the fleet slice first, then drain the trace tail: the
+		// bye reply carries every event recorded since the last sample,
+		// so the supervisor's merged ring sees the run's final cycles.
 		w.stopAll()
-		w.dumpTrace()
-		return udpMsg{Op: udpOpBye}, nil
+		bye := udpMsg{Op: udpOpBye}
+		bye.Trace, w.traceCursor = w.trace.EventsSince(w.traceCursor)
+		return bye, nil
 	default:
 		return udpMsg{}, fmt.Errorf("udp worker: unexpected op %q", msg.Op)
 	}
@@ -320,19 +325,8 @@ func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 	reply.AgentTotals = &totals
 	rttSnap := w.rtt.Snapshot()
 	reply.RTTHist = &rttSnap
+	reply.Trace, w.traceCursor = w.trace.EventsSince(w.traceCursor)
 	return reply, nil
-}
-
-// dumpTrace writes the exchange trace ring to stderr at shutdown, the
-// multi-process counterpart of aggscen's -trace dump: worker stderr is
-// inherited from the supervisor, so the rings of all workers land in
-// the run's error stream.
-func (w *udpWorker) dumpTrace() {
-	if w.trace == nil {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "udp worker %d exchange trace:\n", w.index)
-	_ = w.trace.WriteJSON(os.Stderr)
 }
 
 // stopAll terminates the fleet slice and waits for background stops.

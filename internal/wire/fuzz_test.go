@@ -16,7 +16,7 @@ func FuzzDecode(f *testing.F) {
 	deltaView := ViewFrame{Kind: ViewDelta, Gen: 6, Ack: 3, Base: 2,
 		Entries: []Descriptor{{Addr: "c:9", Stamp: 11}, {Addr: "d:1", Stamp: 12}}}
 	seeds := []Message{
-		&ExchangeRequest{From: "a:1", Payload: Payload{Seq: 1, Epoch: 2, FuncID: FuncAverage, Scalar: 1.5,
+		&ExchangeRequest{From: "a:1", Payload: Payload{Seq: 1, XID: 0xfeedface, Epoch: 2, FuncID: FuncAverage, Scalar: 1.5,
 			Entries: []MapEntry{{Leader: 3, Value: 0.5}},
 			View:    fullView}},
 		&ExchangeRequest{From: "a:2", Payload: Payload{Seq: 4, Epoch: 2, FuncID: FuncAverage,
@@ -53,7 +53,7 @@ func FuzzDecode(f *testing.F) {
 		if err != nil {
 			return // rejected input is fine; panicking is not
 		}
-		if version != Version && version != VersionLegacy {
+		if version != Version && version != VersionDelta && version != VersionLegacy {
 			t.Fatalf("decoder accepted version %d", version)
 		}
 		// Decoded messages must round-trip at the current version.
@@ -99,22 +99,23 @@ func FuzzViewCodec(f *testing.F) {
 }
 
 // TestDecodeUnknownVersionTyped pins the typed rejection: any version
-// other than the current and the legacy one must fail with
-// ErrBadVersion, for both past (0) and future (3, 99) numbers.
+// other than the supported ones must fail with ErrBadVersion, for both
+// past (0) and future (4, 99) numbers.
 func TestDecodeUnknownVersionTyped(t *testing.T) {
 	valid, err := Encode(&JoinRequest{From: "a", Seq: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, version := range []byte{0, 3, 99, 255} {
+	for _, version := range []byte{0, 4, 99, 255} {
 		data := append([]byte(nil), valid...)
 		data[4] = version
 		if _, err := Decode(data); !errors.Is(err, ErrBadVersion) {
 			t.Errorf("version %d: Decode = %v, want ErrBadVersion", version, err)
 		}
 	}
-	// Both supported versions still decode.
-	for _, enc := range []func(Message) ([]byte, error){Encode, EncodeLegacy} {
+	// All supported versions still decode.
+	encDelta := func(m Message) ([]byte, error) { return EncodeVersion(m, VersionDelta) }
+	for _, enc := range []func(Message) ([]byte, error){Encode, encDelta, EncodeLegacy} {
 		data, err := enc(&JoinRequest{From: "a", Seq: 1})
 		if err != nil {
 			t.Fatal(err)

@@ -7,10 +7,11 @@ import (
 	"testing"
 )
 
-// The golden byte sequences pin the version-2 wire layout: a change that
-// shifts a single byte breaks cross-version deployments, so these tests
-// fail on any accidental layout change. Regenerate the literals only for
-// a deliberate, version-bumped format change.
+// The golden byte sequences pin the version-2 and version-3 wire
+// layouts: a change that shifts a single byte breaks cross-version
+// deployments, so these tests fail on any accidental layout change.
+// Regenerate the literals only for a deliberate, version-bumped format
+// change.
 
 // goldenFull is a Membership carrying a full view frame:
 //
@@ -39,12 +40,28 @@ const goldenDelta = "41453034" + "02" + "01" +
 	"02" + "00000005" + "00000004" + "00000003" + "0001" +
 	"0002" + "6e39" + "0000000000000012"
 
+// goldenXID is the same ExchangeRequest at version 3: the only layout
+// change is the version byte and the 64-bit exchange ID following Seq.
+//
+//	magic "AE04" | version 3 | type 1 (exchange-request)
+//	From "n1" | Seq 2 | XID 0xCAFEF00D | Epoch 3 | FuncID 1 | Flags 0
+//	Scalar 1.5 | 0 map entries
+//	frame: kind 2 (delta) | gen 5 | ack 4 | base 3 | 1 descriptor
+//	  "n9" stamp 18
+const goldenXID = "41453034" + "03" + "01" +
+	"0002" + "6e31" +
+	"0000000000000002" + "00000000cafef00d" +
+	"0000000000000003" + "01" + "00" +
+	"3ff8000000000000" + "0000" +
+	"02" + "00000005" + "00000004" + "00000003" + "0001" +
+	"0002" + "6e39" + "0000000000000012"
+
 func TestGoldenFullFrame(t *testing.T) {
 	msg := &Membership{From: "n1", Seq: 7, View: ViewFrame{
 		Kind: ViewFull, Gen: 1, Ack: 0,
 		Entries: []Descriptor{{Addr: "n2", Stamp: 16}, {Addr: "n3", Stamp: 17}},
 	}}
-	checkGolden(t, msg, goldenFull)
+	checkGolden(t, msg, goldenFull, VersionDelta)
 }
 
 func TestGoldenDeltaFrame(t *testing.T) {
@@ -54,16 +71,26 @@ func TestGoldenDeltaFrame(t *testing.T) {
 		View: ViewFrame{Kind: ViewDelta, Gen: 5, Ack: 4, Base: 3,
 			Entries: []Descriptor{{Addr: "n9", Stamp: 18}}},
 	}}
-	checkGolden(t, msg, goldenDelta)
+	checkGolden(t, msg, goldenDelta, VersionDelta)
 }
 
-func checkGolden(t *testing.T, msg Message, golden string) {
+func TestGoldenXIDFrame(t *testing.T) {
+	msg := &ExchangeRequest{From: "n1", Payload: Payload{
+		Seq: 2, XID: 0xCAFEF00D, Epoch: 3, FuncID: FuncAverage, Scalar: 1.5,
+		Entries: []MapEntry{},
+		View: ViewFrame{Kind: ViewDelta, Gen: 5, Ack: 4, Base: 3,
+			Entries: []Descriptor{{Addr: "n9", Stamp: 18}}},
+	}}
+	checkGolden(t, msg, goldenXID, Version)
+}
+
+func checkGolden(t *testing.T, msg Message, golden string, version uint8) {
 	t.Helper()
 	want, err := hex.DecodeString(golden)
 	if err != nil {
 		t.Fatalf("bad golden literal: %v", err)
 	}
-	got, err := Encode(msg)
+	got, err := EncodeVersion(msg, version)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@
 // Layout (big endian):
 //
 //	magic   [4]byte  "AE04"
-//	version uint8    (currently 2; version 1 is decoded for compatibility)
+//	version uint8    (currently 3; versions 2 and 1 are decoded for compatibility)
 //	type    uint8    message type tag
 //	body    ...      type-specific fields
 //
@@ -32,6 +32,19 @@
 // same structures (their descriptor list becomes an un-numbered full
 // frame) and EncodeLegacy emits them, so mixed-version deployments
 // interoperate at full-view rates.
+//
+// # Exchange identifiers (version 3)
+//
+// Version 3 extends the exchange payload with a 64-bit exchange ID
+// (XID), stamped by the initiator and echoed verbatim in every reply
+// (including refusal NACKs). The ID exists purely for observability:
+// it lets the initiate, served and absorb/timeout trace events of one
+// exchange — recorded on different nodes, possibly in different
+// processes — stitch into a single causal span. The body layout is
+// otherwise identical to version 2 (the XID rides directly after Seq
+// in the payload head), membership and join messages are unchanged,
+// and version-2 peers keep interoperating: frames sent to them simply
+// omit the XID, and their traces show XID 0.
 package wire
 
 import (
@@ -44,8 +57,13 @@ import (
 // Magic identifies the protocol ("Anti-Entropy, DSN 2004").
 var Magic = [4]byte{'A', 'E', '0', '4'}
 
-// Version is the current wire version (delta-encoded membership views).
-const Version = 2
+// Version is the current wire version (delta-encoded membership views
+// plus traceable per-exchange identifiers).
+const Version = 3
+
+// VersionDelta is the delta-view wire version without exchange IDs,
+// still fully supported for mixed-version deployments.
+const VersionDelta = 2
 
 // VersionLegacy is the pre-delta wire version, still decoded (and, via
 // EncodeLegacy, encoded) for compatibility with old nodes.
@@ -170,6 +188,10 @@ type ViewFrame struct {
 type Payload struct {
 	// Seq matches replies to requests.
 	Seq uint64
+	// XID is the fleet-wide exchange identifier (wire version 3):
+	// stamped by the initiator, echoed in replies, recorded in trace
+	// events on both sides. Zero on pre-v3 wires.
+	XID uint64
 	// Epoch tags the protocol instance (§4.1).
 	Epoch uint64
 	// FuncID identifies the aggregate (see FuncID* constants).
@@ -352,8 +374,11 @@ func (a *appender) mapEntries(es []MapEntry) {
 	}
 }
 
-func (a *appender) payloadHead(p Payload) {
+func (a *appender) payloadHead(p Payload, version uint8) {
 	a.u64(p.Seq)
+	if version >= Version {
+		a.u64(p.XID)
+	}
 	a.u64(p.Epoch)
 	a.u8(p.FuncID)
 	a.u8(p.Flags)
@@ -371,7 +396,7 @@ func EncodeLegacy(m Message) ([]byte, error) { return EncodeVersion(m, VersionLe
 
 // EncodeVersion serializes a message at an explicit wire version.
 func EncodeVersion(m Message, version uint8) ([]byte, error) {
-	if version != Version && version != VersionLegacy {
+	if version != Version && version != VersionDelta && version != VersionLegacy {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	a := &appender{buf: make([]byte, 0, 256)}
@@ -393,11 +418,11 @@ func EncodeVersion(m Message, version uint8) ([]byte, error) {
 	switch v := m.(type) {
 	case *ExchangeRequest:
 		a.str(v.From)
-		a.payloadHead(v.Payload)
+		a.payloadHead(v.Payload, version)
 		view(v.View)
 	case *ExchangeReply:
 		a.str(v.From)
-		a.payloadHead(v.Payload)
+		a.payloadHead(v.Payload, version)
 		view(v.View)
 	case *JoinRequest:
 		a.str(v.From)
@@ -549,14 +574,15 @@ func (r *reader) mapEntries() []MapEntry {
 }
 
 func (r *reader) payload(version uint8) Payload {
-	p := Payload{
-		Seq:     r.u64(),
-		Epoch:   r.u64(),
-		FuncID:  r.u8(),
-		Flags:   r.u8(),
-		Scalar:  r.f64(),
-		Entries: r.mapEntries(),
+	p := Payload{Seq: r.u64()}
+	if version >= Version {
+		p.XID = r.u64()
 	}
+	p.Epoch = r.u64()
+	p.FuncID = r.u8()
+	p.Flags = r.u8()
+	p.Scalar = r.f64()
+	p.Entries = r.mapEntries()
 	if version == VersionLegacy {
 		p.View = r.legacyFrame()
 	} else {
@@ -583,7 +609,7 @@ func DecodeExt(data []byte) (Message, uint8, error) {
 		return nil, 0, ErrBadMagic
 	}
 	version := r.u8()
-	if version != Version && version != VersionLegacy {
+	if version != Version && version != VersionDelta && version != VersionLegacy {
 		if r.err != nil {
 			return nil, 0, r.err
 		}
