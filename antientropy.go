@@ -383,6 +383,13 @@ type (
 	MemNetworkConfig = transport.MemNetworkConfig
 	// UDPEndpoint is a real-network UDP endpoint.
 	UDPEndpoint = transport.UDPEndpoint
+	// UDPMux is a shared batched UDP datagram layer: many virtual
+	// endpoints on a small fixed socket set with one pooled reader set.
+	UDPMux = transport.UDPMux
+	// UDPMuxConfig tunes a UDPMux (socket count, batch size, queues).
+	UDPMuxConfig = transport.UDPMuxConfig
+	// MuxEndpoint is one virtual endpoint of a UDPMux.
+	MuxEndpoint = transport.MuxEndpoint
 )
 
 // NewMemNetwork creates an in-memory network.
@@ -412,6 +419,12 @@ func ParseAddrList(s string) []string { return overlay.SplitAddrList(s) }
 func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {
 	return transport.ListenUDP(listen, queueLen)
 }
+
+// NewUDPMux opens a shared batched UDP layer. Endpoints created from it
+// (UDPMux.Endpoint) are drop-in NodeConfig.Endpoint values: all nodes of
+// the process then share the mux's sockets and reader goroutines, with
+// recvmmsg/sendmmsg batching on Linux.
+func NewUDPMux(cfg UDPMuxConfig) (*UDPMux, error) { return transport.NewUDPMux(cfg) }
 
 // Experiment harness (reproduces every figure of the paper).
 type (

@@ -62,6 +62,7 @@ func run() error {
 		gamma       = flag.Int("gamma", 30, "cycles per epoch γ")
 		anchor      = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
 		cache       = flag.Int("cache", 30, "NEWSCAST cache size c")
+		viewCap     = flag.Int("view-cap", 0, "cap the piggybacked membership view per exchange datagram, in bytes (0 = unlimited)")
 		conc        = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace, /debug/timeline and /debug/pprof on this address (empty: off)")
 		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events (served on /debug/trace; 0: off)")
@@ -101,10 +102,11 @@ func run() error {
 			CycleLen: *cycle,
 			Gamma:    *gamma,
 		},
-		CacheSize:   *cache,
-		Concurrency: *conc,
-		Trace:       trace,
-		Logger:      logger,
+		CacheSize:    *cache,
+		Concurrency:  *conc,
+		MaxViewBytes: *viewCap,
+		Trace:        trace,
+		Logger:       logger,
 	}
 	if reg != nil {
 		cfg.RTT = reg.Histogram("agg_exchange_rtt_seconds",
@@ -149,6 +151,9 @@ func run() error {
 		reg.CounterFunc("agg_transport_filter_drops_total",
 			"Datagrams dropped by the endpoint's drop-rule filter.",
 			endpoint.FilterDrops)
+		reg.GaugeFunc("agg_transport_queue_depth",
+			"High watermark of the endpoint's inbound queue depth.",
+			func() float64 { return float64(endpoint.QueueDepthHighWatermark()) })
 		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, trace, timeline)
 		if err != nil {
 			return err

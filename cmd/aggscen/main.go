@@ -66,6 +66,8 @@ func run() error {
 		engine   = flag.String("engine", "auto", "sim executor engine: auto (by size), serial, or sharded")
 		shards   = flag.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS); results are deterministic per seed + shard count")
 		workers  = flag.Int("workers", 3, "udp executor: number of worker processes the fleet is sliced across")
+		udpTrans = flag.String("udp-transport", "", "udp executor datagram layer: mux (shared batched sockets, default) or endpoint (one socket per node)")
+		viewCap  = flag.Int("view-cap", 0, "cap the piggybacked membership view per exchange datagram, in bytes (live/udp executors; 0 = unlimited)")
 		format   = flag.String("format", "csv", "metric output format: csv or json")
 		outPath  = flag.String("out", "", "write metrics to this file instead of stdout")
 		cycleLen = flag.Duration("cycle-len", 0, "live/udp executors: wall-clock cycle length (0 = scale with fleet size and cores)")
@@ -118,7 +120,8 @@ func run() error {
 
 	simOpts := antientropy.ScenarioSimOptions{Engine: *engine, Shards: *shards, Obs: reg,
 		Timeline: timeline, Logger: logger}
-	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen, Obs: reg,
+	udpOpts := antientropy.ScenarioUDPOptions{Workers: *workers, CycleLen: *cycleLen,
+		Transport: *udpTrans, Obs: reg,
 		TraceCap: *traceCap, Trace: ring, Timeline: timeline, Logger: logger}
 	liveOpts := antientropy.ScenarioLiveOptions{CycleLen: *cycleLen, Obs: reg, Trace: ring,
 		Timeline: timeline, Logger: logger}
@@ -132,7 +135,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return compareScenarios(strings.Split(*compare, ","), *n, *seed, extras, simOpts, udpOpts, liveOpts)
+		return compareScenarios(strings.Split(*compare, ","), *n, *cycles, *viewCap, *seed, extras, simOpts, udpOpts, liveOpts)
 	case *name != "" || *file != "":
 		sc, err := loadScenario(*name, *file)
 		if err != nil {
@@ -146,6 +149,9 @@ func run() error {
 		}
 		if *seed != 0 {
 			sc.Seed = *seed
+		}
+		if *viewCap > 0 {
+			sc.ViewCapBytes = *viewCap
 		}
 		execs, err := parseExecutors(*executor, "both")
 		if err != nil {
@@ -296,7 +302,7 @@ func runScenario(sc antientropy.Scenario, executors []string, format, outPath st
 // divergence of each fleet's metric stream from the simulator's is
 // reported (they share the CSV schema and the scripted value signal, so
 // the difference isolates executor effects).
-func compareScenarios(names []string, n int, seed uint64, executors []string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
+func compareScenarios(names []string, n, cycles, viewCap int, seed uint64, executors []string, simOpts antientropy.ScenarioSimOptions, udpOpts antientropy.ScenarioUDPOptions, liveOpts antientropy.ScenarioLiveOptions) error {
 	// The simulator is the comparison baseline and always runs first.
 	fleets := make([]string, 0, len(executors))
 	for _, e := range executors {
@@ -318,8 +324,14 @@ func compareScenarios(names []string, n int, seed uint64, executors []string, si
 		if n > 0 {
 			sc.N = n
 		}
+		if cycles > 0 {
+			sc.Cycles = cycles
+		}
 		if seed != 0 {
 			sc.Seed = seed
+		}
+		if viewCap > 0 {
+			sc.ViewCapBytes = viewCap
 		}
 		simRes, err := antientropy.RunScenarioSimWith(sc, simOpts)
 		if err != nil {

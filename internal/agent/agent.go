@@ -91,6 +91,12 @@ type Config struct {
 	Logger *slog.Logger
 	// MaxOutputs bounds the retained epoch outputs (default 16).
 	MaxOutputs int
+	// MaxViewBytes caps the encoded size of the piggybacked membership
+	// view per exchange (0 = unlimited). The overlay tolerates partial
+	// views by design (§4): descriptors trimmed by the cap are resent by
+	// later frames, never starved. The cap may drop even the fresh
+	// self-descriptor from a frame — harmless for the same reason.
+	MaxViewBytes int
 	// RTT, when set, receives every measured exchange round trip in
 	// seconds. Fleets share one histogram across all their nodes, so a
 	// process exports a single agg_exchange_rtt_seconds series.
@@ -478,8 +484,22 @@ func (n *Node) Start(ctx context.Context) error {
 
 	ctx, cancel := context.WithCancel(ctx)
 	n.cancel = cancel
-	n.wg.Add(2)
-	go n.recvLoop(ctx)
+	if he, ok := n.cfg.Endpoint.(transport.HandlerEndpoint); ok {
+		// Handler-capable transports (UDPMux) invoke the passive thread
+		// directly on their shared reader goroutines: no per-node receive
+		// goroutine, no channel hop, and the pooled receive buffer is
+		// returned as soon as the datagram is handled. Stop remains safe:
+		// Endpoint.Close is the transport's barrier that waits out any
+		// in-flight handler call before returning.
+		he.SetHandler(func(p transport.Packet) {
+			n.handle(p.From, p.Data)
+			p.Release()
+		})
+		n.wg.Add(1)
+	} else {
+		n.wg.Add(2)
+		go n.recvLoop(ctx)
+	}
 	go n.tickLoop(ctx)
 	if len(n.cfg.Seeds) > 0 {
 		n.sendJoinRequest()

@@ -268,12 +268,24 @@ func (n *Node) payloadLocked(sess *peerSession, seq, xid uint64, now time.Time) 
 func (n *Node) viewDescriptorsLocked(now time.Time, version uint8) []wire.Descriptor {
 	packed := n.view.Packed()
 	out := make([]wire.Descriptor, 0, len(packed)+1)
+	// The byte cap (MaxViewBytes) applies here too; the fresh
+	// self-descriptor appended last is always included, so its wire size
+	// is reserved up front.
+	budget := n.cfg.MaxViewBytes - wire.DescriptorWireSize(n.Addr())
 	for _, e := range packed {
 		if len(out) == wire.MaxDescriptors-1 {
 			break
 		}
+		a := n.book.Addr(overlay.UnpackKey(e))
+		if n.cfg.MaxViewBytes > 0 {
+			sz := wire.DescriptorWireSize(a)
+			if sz > budget {
+				break
+			}
+			budget -= sz
+		}
 		out = append(out, wire.Descriptor{
-			Addr:  n.book.Addr(overlay.UnpackKey(e)),
+			Addr:  a,
 			Stamp: n.stampToWire(overlay.UnpackStamp(e), version),
 		})
 	}
@@ -306,7 +318,7 @@ func (n *Node) frameForLocked(sess *peerSession, now time.Time) (wire.ViewFrame,
 	buf = append(buf, self)
 	buf = append(buf, packed[at:]...)
 	n.packedScratch = buf
-	frame := sess.codec.EncodeView(buf, n.book.Addr)
+	frame := sess.codec.EncodeViewBudget(buf, n.book.Addr, n.cfg.MaxViewBytes)
 	if frame.Kind == wire.ViewDelta {
 		n.metrics.gossipFramesDelta.Add(1)
 	} else {

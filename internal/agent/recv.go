@@ -18,8 +18,8 @@ func (n *Node) recvLoop(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			// Drain until the endpoint closes its channel.
-			for range n.cfg.Endpoint.Recv() {
-				// Discard: we are shutting down.
+			for pkt := range n.cfg.Endpoint.Recv() {
+				pkt.Release() // discard: we are shutting down
 			}
 			return
 		case pkt, ok := <-n.cfg.Endpoint.Recv():
@@ -27,6 +27,7 @@ func (n *Node) recvLoop(ctx context.Context) {
 				return
 			}
 			n.handle(pkt.From, pkt.Data)
+			pkt.Release()
 		}
 	}
 }

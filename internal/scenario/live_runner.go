@@ -111,6 +111,12 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 	if opts.Obs != nil {
 		d.rtt = opts.Obs.Histogram("agg_exchange_rtt_seconds",
 			"Exchange round-trip latency, initiate to reply, in seconds.", obs.RTTBuckets)
+		opts.Obs.GaugeFunc("agg_transport_queue_depth",
+			"High watermark of the transport's internal queue depth.",
+			func() float64 { return float64(net.QueueDepthHighWatermark()) })
+		opts.Obs.HistogramFunc("agg_transport_batch_size",
+			"Datagrams moved per batched socket operation.",
+			func() obs.HistSnapshot { return net.BatchSizes() })
 	}
 	defer d.stopAll()
 
@@ -250,17 +256,18 @@ func (d *liveDriver) fleetMetrics() agent.Metrics {
 // newNode builds (but does not start) the agent for a slot.
 func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
 	node, err := agent.New(agent.Config{
-		Endpoint:  ep,
-		Schedule:  d.sched,
-		Function:  core.Average,
-		Value:     func() float64 { return d.prog.Value(slot, int(d.cycleNow.Load())) },
-		CacheSize: d.opts.CacheSize,
-		Seeds:     seeds,
-		Bootstrap: bootstrap,
-		Seed:      d.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
-		Logger:    d.opts.Logger,
-		RTT:       d.rtt,
-		Trace:     d.opts.Trace,
+		Endpoint:     ep,
+		Schedule:     d.sched,
+		Function:     core.Average,
+		Value:        func() float64 { return d.prog.Value(slot, int(d.cycleNow.Load())) },
+		CacheSize:    d.opts.CacheSize,
+		Seeds:        seeds,
+		Bootstrap:    bootstrap,
+		Seed:         d.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
+		Logger:       d.opts.Logger,
+		RTT:          d.rtt,
+		Trace:        d.opts.Trace,
+		MaxViewBytes: d.sc.ViewCapBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: building node %d: %w", d.sc.Name, slot, err)

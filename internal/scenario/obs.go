@@ -5,6 +5,7 @@ import (
 
 	"antientropy/internal/obs"
 	"antientropy/internal/theory"
+	"antientropy/internal/transport"
 )
 
 // protoTotals carries the fleet-cumulative protocol counters of one
@@ -75,6 +76,21 @@ func newScenarioObs(reg *obs.Registry, timeline *obs.Timeline, logger *slog.Logg
 	s.rhoRatio = reg.Gauge("agg_convergence_rho_ratio",
 		"Observed over theoretical variance reduction; ~1 means the fleet converges at the paper's rate.")
 	s.theoryRho.Set(theory.RhoPushPull)
+	// Every executor exports the transport series so dashboards see one
+	// schema; the live and udp executors rebind the funcs to their real
+	// transports (registry funcs are rebindable), the simulator has no
+	// wire and reports zeros.
+	reg.GaugeFunc("agg_transport_queue_depth",
+		"High watermark of the transport's internal queue depth.",
+		func() float64 { return 0 })
+	reg.HistogramFunc("agg_transport_batch_size",
+		"Datagrams moved per batched socket operation.",
+		func() obs.HistSnapshot {
+			return obs.HistSnapshot{
+				Bounds: transport.BatchSizeBuckets,
+				Counts: make([]int64, len(transport.BatchSizeBuckets)),
+			}
+		})
 	return s
 }
 

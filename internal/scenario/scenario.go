@@ -185,6 +185,11 @@ type Scenario struct {
 	// LinkFailure is the baseline per-exchange drop probability P_d
 	// (simulator executor only).
 	LinkFailure float64 `json:"linkFailure,omitempty"`
+	// ViewCapBytes caps the encoded piggybacked membership view per
+	// exchange datagram, in bytes (0 = unlimited). The overlay tolerates
+	// partial views (§4): trimmed descriptors are resent by later frames.
+	// Live executors only; the cycle-driven simulator has no wire.
+	ViewCapBytes int `json:"viewCapBytes,omitempty"`
 	// Events are the scripted interventions, applied in order each cycle.
 	Events []Event `json:"events,omitempty"`
 }
@@ -220,6 +225,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.MessageLoss < 0 || s.MessageLoss >= 1 {
 		return fmt.Errorf("scenario %s: message loss %g not in [0, 1)", s.Name, s.MessageLoss)
+	}
+	if s.ViewCapBytes < 0 {
+		return fmt.Errorf("scenario %s: view cap %d bytes is negative", s.Name, s.ViewCapBytes)
 	}
 	if s.LinkFailure < 0 || s.LinkFailure >= 1 {
 		return fmt.Errorf("scenario %s: link failure %g not in [0, 1)", s.Name, s.LinkFailure)

@@ -45,6 +45,16 @@ const (
 	udpOpFatal    = "fatal"
 )
 
+// Worker transport modes (udpMsg.Transport).
+const (
+	// udpTransportMux shares a small fixed socket set and one batched
+	// reader pool across all slots of a worker (transport.UDPMux).
+	udpTransportMux = "mux"
+	// udpTransportEndpoint binds one socket and one reader goroutine per
+	// slot — the pre-mux baseline, kept for A/B measurement.
+	udpTransportEndpoint = "endpoint"
+)
+
 // udpJoin commands one slot to come up as a brand-new identity performing
 // the §4.2 join against the given seed addresses. Group places the new
 // endpoint into an active partition component (-1: none).
@@ -77,6 +87,9 @@ type udpMsg struct {
 	// TraceCap > 0 makes the worker keep a bounded exchange trace ring
 	// of that capacity, dumped to its stderr at shutdown.
 	TraceCap int `json:"traceCap,omitempty"`
+	// Transport selects the worker's datagram layer: udpTransportMux
+	// (default when blank) or udpTransportEndpoint.
+	Transport string `json:"transport,omitempty"`
 
 	// start: the shared schedule anchor and the founding address book.
 	AnchorUnixNano int64    `json:"anchorUnixNano,omitempty"`
@@ -115,6 +128,11 @@ type udpMsg struct {
 	// aggregated fleet on its /metrics endpoint.
 	AgentTotals *agent.Metrics    `json:"agentTotals,omitempty"`
 	RTTHist     *obs.HistSnapshot `json:"rttHist,omitempty"`
+	// TransportQueueDepth is the worker mux's outbound-queue high
+	// watermark and BatchHist its datagrams-per-syscall histogram
+	// (absent in the per-socket transport mode).
+	TransportQueueDepth int64             `json:"transportQueueDepth,omitempty"`
+	BatchHist           *obs.HistSnapshot `json:"batchHist,omitempty"`
 	// Trace is the worker's exchange-trace increment since its previous
 	// report (metrics and bye replies): the supervisor merges the
 	// batches of all workers into one fleet-wide ring, where events

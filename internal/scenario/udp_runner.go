@@ -32,6 +32,10 @@ type UDPOptions struct {
 	CacheSize int
 	// QueueLen sizes each endpoint's inbound buffer (default 1024).
 	QueueLen int
+	// Transport selects the workers' datagram layer: "mux" (default)
+	// shares a small batched socket set per worker, "endpoint" binds one
+	// socket per node — the pre-mux baseline, kept for A/B measurement.
+	Transport string
 	// WorkerCmd is the argv that launches one worker process speaking the
 	// control protocol on stdin/stdout (a program calling RunUDPWorker).
 	// Default: the current executable with a single -worker argument —
@@ -88,6 +92,14 @@ func (o UDPOptions) withDefaults(fleet int) (UDPOptions, error) {
 	}
 	if o.QueueLen <= 0 {
 		o.QueueLen = 1024
+	}
+	switch o.Transport {
+	case "":
+		o.Transport = udpTransportMux
+	case udpTransportMux, udpTransportEndpoint:
+	default:
+		return o, fmt.Errorf("scenario: unknown udp transport %q (want %q or %q)",
+			o.Transport, udpTransportMux, udpTransportEndpoint)
 	}
 	if o.ControlTimeout <= 0 {
 		o.ControlTimeout = 60 * time.Second
@@ -202,8 +214,9 @@ func RunUDP(ctx context.Context, sc Scenario, opts UDPOptions) (*RunResult, erro
 		return nil, err
 	}
 	d.opts.Logger.Info("udp executor finished",
-		"scenario", sc.Name, "workers", opts.Workers,
-		"queueDrops", d.lastQueueDrops, "filterDrops", d.lastFilterDrops)
+		"scenario", sc.Name, "workers", opts.Workers, "transport", opts.Transport,
+		"queueDrops", d.lastQueueDrops, "filterDrops", d.lastFilterDrops,
+		"decodeErrors", d.lastDecodeErrors)
 	return result, nil
 }
 
@@ -258,6 +271,10 @@ type udpDriver struct {
 	telRTT         obs.HistSnapshot
 	telQueueDrops  int64
 	telFilterDrops int64
+	telQueueDepth  int64
+	telBatch       obs.HistSnapshot
+
+	lastDecodeErrors int64
 }
 
 // fleetAgentMetrics returns the last sampled fleet-wide counter totals —
@@ -296,6 +313,20 @@ func (d *udpDriver) bindObs(reg *obs.Registry) {
 			d.telMu.Lock()
 			defer d.telMu.Unlock()
 			return d.telFilterDrops
+		})
+	reg.GaugeFunc("agg_transport_queue_depth",
+		"High watermark of the transport's internal queue depth.",
+		func() float64 {
+			d.telMu.Lock()
+			defer d.telMu.Unlock()
+			return float64(d.telQueueDepth)
+		})
+	reg.HistogramFunc("agg_transport_batch_size",
+		"Datagrams moved per batched socket operation.",
+		func() obs.HistSnapshot {
+			d.telMu.Lock()
+			defer d.telMu.Unlock()
+			return d.telBatch
 		})
 }
 
@@ -415,6 +446,7 @@ func (d *udpDriver) initWorkers() error {
 			CycleLenUS: d.opts.CycleLen.Microseconds(),
 			QueueLen:   d.opts.QueueLen,
 			TraceCap:   d.opts.TraceCap,
+			Transport:  d.opts.Transport,
 		}
 	}
 	replies, err := d.broadcast(msgs, udpOpReady)
@@ -644,9 +676,9 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 	d.mergeTraces(replies)
 	var alive, participating, estN int
 	var estSum, estSumSq float64
-	var messages, queueDrops, filterDrops int64
+	var messages, queueDrops, filterDrops, queueDepth int64
 	var totals agent.Metrics
-	var rtt obs.HistSnapshot
+	var rtt, batch obs.HistSnapshot
 	for _, m := range replies {
 		alive += m.Alive
 		participating += m.Participating
@@ -656,6 +688,9 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 		messages += m.Messages
 		queueDrops += m.QueueDrops
 		filterDrops += m.FilterDrops
+		if m.TransportQueueDepth > queueDepth {
+			queueDepth = m.TransportQueueDepth
+		}
 		if m.AgentTotals != nil {
 			totals.Accumulate(*m.AgentTotals)
 		}
@@ -666,11 +701,20 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 				rtt = rtt.Merge(*m.RTTHist)
 			}
 		}
+		if m.BatchHist != nil {
+			if batch.Counts == nil {
+				batch = *m.BatchHist
+			} else {
+				batch = batch.Merge(*m.BatchHist)
+			}
+		}
 	}
 	d.lastQueueDrops, d.lastFilterDrops = queueDrops, filterDrops
+	d.lastDecodeErrors = totals.DecodeErrors
 	d.telMu.Lock()
 	d.telTotals, d.telRTT = totals, rtt
 	d.telQueueDrops, d.telFilterDrops = queueDrops, filterDrops
+	d.telQueueDepth, d.telBatch = queueDepth, batch
 	d.telMu.Unlock()
 	if alive != d.roster.aliveCount() {
 		d.opts.Logger.Warn("udp executor: worker fleet drifted from script state",

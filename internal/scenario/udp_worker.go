@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,10 +56,19 @@ func RunUDPWorker(in io.Reader, out io.Writer) error {
 	}
 }
 
+// nodeEndpoint is the transport attachment a worker slot runs on: either
+// a dedicated UDP socket (*transport.UDPEndpoint, the legacy baseline) or
+// a virtual endpoint of the worker's shared mux (*transport.MuxEndpoint).
+type nodeEndpoint interface {
+	transport.Endpoint
+	QueueDrops() int64
+	FilterDrops() int64
+}
+
 // udpWorkerSlot is one live node of this worker's fleet slice.
 type udpWorkerSlot struct {
 	node *agent.Node
-	ep   *transport.UDPEndpoint
+	ep   nodeEndpoint
 	addr string
 }
 
@@ -72,6 +83,7 @@ type udpWorker struct {
 	queueLen  int
 	cycleLen  time.Duration
 	sched     core.Schedule
+	transport string
 
 	// cycleNow is the supervisor's cycle clock, advanced by every cycle
 	// message; node Value suppliers read it so epoch restarts sample the
@@ -81,6 +93,12 @@ type udpWorker struct {
 	// filter carries the supervisor's scripted drop rules; every endpoint
 	// of this worker shares it.
 	filter *transport.UDPFilter
+
+	// mux is the worker's shared batched datagram layer: all slots of the
+	// slice attach as virtual endpoints on a small fixed socket set (see
+	// transport.UDPMux). Nil in the legacy per-socket transport mode,
+	// where every slot binds its own UDP socket.
+	mux *transport.UDPMux
 
 	// rtt is the worker-wide exchange round-trip histogram every node of
 	// this slice feeds; trace is the optional shared exchange trace ring
@@ -155,17 +173,55 @@ func (w *udpWorker) handleInit(msg udpMsg) (udpMsg, error) {
 	w.filter.SetLoss(w.sc.MessageLoss)
 	w.ctx, w.cancel = context.WithCancel(context.Background())
 
+	w.transport = msg.Transport
+	if w.transport == "" {
+		w.transport = udpTransportMux
+	}
+	if w.transport == udpTransportMux {
+		mux, err := transport.NewUDPMux(transport.UDPMuxConfig{QueueLen: w.queueLen})
+		if err != nil {
+			return udpMsg{}, fmt.Errorf("udp worker %d: mux: %w", w.index, err)
+		}
+		mux.SetFilter(w.filter)
+		w.mux = mux
+	}
+
 	addrs := make(map[int]string, len(msg.Slots))
 	for _, slot := range msg.Slots {
-		ep, err := transport.ListenUDP("127.0.0.1:0", w.queueLen)
+		ep, err := w.newEndpoint()
 		if err != nil {
 			return udpMsg{}, fmt.Errorf("udp worker %d: slot %d: %w", w.index, slot, err)
 		}
-		ep.SetFilter(w.filter)
 		w.nodes[slot] = &udpWorkerSlot{ep: ep, addr: ep.Addr()}
 		addrs[slot] = ep.Addr()
 	}
 	return udpMsg{Op: udpOpReady, Addrs: addrs}, nil
+}
+
+// newEndpoint attaches one slot to the network in the worker's transport
+// mode: a virtual endpoint on the shared mux, or a dedicated socket.
+func (w *udpWorker) newEndpoint() (nodeEndpoint, error) {
+	if w.mux != nil {
+		return w.mux.Endpoint()
+	}
+	ep, err := transport.ListenUDP("127.0.0.1:0", w.queueLen)
+	if err != nil {
+		return nil, err
+	}
+	ep.SetFilter(w.filter)
+	return ep, nil
+}
+
+// sortedSlots returns the live slot indices in ascending order, so every
+// iteration-order-dependent path (metric merge, node start) is
+// deterministic and -compare runs are byte-stable.
+func (w *udpWorker) sortedSlots() []int {
+	slots := make([]int, 0, len(w.nodes))
+	for slot := range w.nodes {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	return slots
 }
 
 // handleStart builds and starts the founding nodes on the shared
@@ -177,36 +233,65 @@ func (w *udpWorker) handleStart(msg udpMsg) (udpMsg, error) {
 		CycleLen: w.cycleLen,
 		Gamma:    w.sc.EpochLen,
 	}
-	for slot, s := range w.nodes {
-		node, err := w.newNode(slot, s.ep, nil, msg.Bootstrap)
+	slots := w.sortedSlots()
+	for _, slot := range slots {
+		s := w.nodes[slot]
+		node, err := w.newNode(slot, s.ep, nil, bootstrapSubset(msg.Bootstrap, w.sc.Seed, slot, w.cacheSize))
 		if err != nil {
 			return udpMsg{}, err
 		}
 		s.node = node
 	}
-	for slot, s := range w.nodes {
-		if err := s.node.Start(w.ctx); err != nil {
+	for _, slot := range slots {
+		if err := w.nodes[slot].node.Start(w.ctx); err != nil {
 			return udpMsg{}, fmt.Errorf("udp worker %d: starting node %d: %w", w.index, slot, err)
 		}
 	}
 	return udpMsg{Op: udpOpStarted}, nil
 }
 
+// bootstrapSubset deterministically samples one node's founding contacts
+// from the fleet address list. Seeding every node with the whole fleet is
+// quadratic in fleet size — each node interns every address only to keep
+// cache-size descriptors — and at 10⁴ nodes that alone blows the start
+// barrier. A random subset a few times the cache size produces the same
+// random out-degree-c overlay the paper assumes (§4). Small fleets pass
+// through unchanged, so CI-scale divergence comparisons are unaffected.
+func bootstrapSubset(all []string, seed uint64, slot, cacheSize int) []string {
+	want := 4 * cacheSize
+	if len(all) <= want+1 {
+		return all
+	}
+	rng := rand.New(rand.NewPCG(seed, uint64(slot)*0x9e3779b97f4a7c15+0x6c62272e07bb0142))
+	out := make([]string, 0, want)
+	seen := make(map[int]struct{}, want)
+	for len(out) < want {
+		i := rng.IntN(len(all))
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		out = append(out, all[i])
+	}
+	return out
+}
+
 // newNode builds (but does not start) the agent for a slot, mirroring the
 // live-mem executor's construction so the two fleets are comparable.
 func (w *udpWorker) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
 	node, err := agent.New(agent.Config{
-		Endpoint:  ep,
-		Schedule:  w.sched,
-		Function:  core.Average,
-		Value:     func() float64 { return w.prog.Value(slot, int(w.cycleNow.Load())) },
-		CacheSize: w.cacheSize,
-		Seeds:     seeds,
-		Bootstrap: bootstrap,
-		Seed:      w.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
-		Logger:    slog.New(slog.DiscardHandler),
-		RTT:       w.rtt,
-		Trace:     w.trace,
+		Endpoint:     ep,
+		Schedule:     w.sched,
+		Function:     core.Average,
+		Value:        func() float64 { return w.prog.Value(slot, int(w.cycleNow.Load())) },
+		CacheSize:    w.cacheSize,
+		Seeds:        seeds,
+		Bootstrap:    bootstrap,
+		Seed:         w.sc.Seed + uint64(slot)*0x9e3779b97f4a7c15 + 1,
+		Logger:       slog.New(slog.DiscardHandler),
+		RTT:          w.rtt,
+		Trace:        w.trace,
+		MaxViewBytes: w.sc.ViewCapBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("udp worker %d: building node %d: %w", w.index, slot, err)
@@ -274,11 +359,10 @@ func (w *udpWorker) crash(slot int) {
 // fresh endpoint (new port), seed contacts, participation from the next
 // epoch on. A positive group places it into the active partition.
 func (w *udpWorker) join(j udpJoin) (string, error) {
-	ep, err := transport.ListenUDP("127.0.0.1:0", w.queueLen)
+	ep, err := w.newEndpoint()
 	if err != nil {
 		return "", fmt.Errorf("udp worker %d: joiner %d: %w", w.index, j.Slot, err)
 	}
-	ep.SetFilter(w.filter)
 	if j.Group >= 0 {
 		w.filter.AssignGroup(ep.Addr(), j.Group)
 	}
@@ -307,7 +391,8 @@ func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 		FilterDrops: w.retiredFilterDrops,
 	}
 	totals := w.retiredAgent
-	for _, s := range w.nodes {
+	for _, slot := range w.sortedSlots() {
+		s := w.nodes[slot]
 		totals.Accumulate(s.node.Metrics())
 		reply.QueueDrops += s.ep.QueueDrops()
 		reply.FilterDrops += s.ep.FilterDrops()
@@ -325,6 +410,11 @@ func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 	reply.AgentTotals = &totals
 	rttSnap := w.rtt.Snapshot()
 	reply.RTTHist = &rttSnap
+	if w.mux != nil {
+		reply.TransportQueueDepth = w.mux.QueueDepthHighWatermark()
+		batch := w.mux.BatchSizes()
+		reply.BatchHist = &batch
+	}
 	reply.Trace, w.traceCursor = w.trace.EventsSince(w.traceCursor)
 	return reply, nil
 }
@@ -345,6 +435,9 @@ func (w *udpWorker) stopAll() {
 		} else {
 			_ = s.ep.Close()
 		}
+	}
+	if w.mux != nil {
+		_ = w.mux.Close()
 	}
 	w.stopping.Wait()
 }

@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"antientropy/internal/obs"
 )
 
 // MemNetworkConfig tunes the simulated network conditions.
@@ -42,6 +45,12 @@ type MemNetwork struct {
 	nextAddr int
 	wg       sync.WaitGroup
 	closed   bool
+
+	// queueDepth is the high watermark across all endpoints' inbound
+	// buffers; delivered counts datagrams enqueued network-wide. Both
+	// feed the same transport telemetry series the UDP executors export.
+	queueDepth atomic.Int64
+	delivered  atomic.Int64
 }
 
 // NewMemNetwork creates an empty in-memory network.
@@ -323,7 +332,30 @@ func (e *MemEndpoint) deliver(p Packet) {
 	}
 	select {
 	case e.in <- p:
+		e.net.delivered.Add(1)
+		maxInt64(&e.net.queueDepth, int64(len(e.in)))
 	default:
 		e.dropped++
+	}
+}
+
+// QueueDepthHighWatermark reports the deepest any endpoint's inbound
+// buffer has been across the network's lifetime.
+func (n *MemNetwork) QueueDepthHighWatermark() int64 { return n.queueDepth.Load() }
+
+// BatchSizes reports the network's datagram deliveries in the shape of
+// the UDP transports' batch-size histogram: in-memory delivery moves one
+// datagram at a time, so all mass sits in the first bucket. Keeping the
+// series shape identical across executors lets dashboards compare them
+// directly.
+func (n *MemNetwork) BatchSizes() obs.HistSnapshot {
+	d := n.delivered.Load()
+	counts := make([]int64, len(BatchSizeBuckets)+1)
+	counts[0] = d
+	return obs.HistSnapshot{
+		Bounds: BatchSizeBuckets,
+		Counts: counts,
+		Count:  d,
+		Sum:    float64(d),
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// newBatchConn selects the portable single-datagram backend on
+// platforms without the raw recvmmsg/sendmmsg wrappers.
+func newBatchConn(c *net.UDPConn) batchConn { return newSingleConn(c) }

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// The frozen syscall package predates sendmmsg on amd64 (recvmmsg made
+// the table, sendmmsg did not), so both numbers are pinned here per
+// arch. They are ABI constants and cannot change.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

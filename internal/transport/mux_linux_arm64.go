@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for the batched datagram path; see the amd64 twin for
+// why they are pinned here.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

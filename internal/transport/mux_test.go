@@ -1,0 +1,563 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestMux(t *testing.T, cfg UDPMuxConfig) *UDPMux {
+	t.Helper()
+	m, err := NewUDPMux(cfg)
+	if err != nil {
+		t.Fatalf("NewUDPMux: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func muxEndpoint(t *testing.T, m *UDPMux) *MuxEndpoint {
+	t.Helper()
+	ep, err := m.Endpoint()
+	if err != nil {
+		t.Fatalf("mux.Endpoint: %v", err)
+	}
+	return ep
+}
+
+func muxRecvOne(t *testing.T, e Endpoint) Packet {
+	t.Helper()
+	select {
+	case p, ok := <-e.Recv():
+		if !ok {
+			t.Fatalf("recv channel closed while waiting for a packet")
+		}
+		return p
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for a packet on %s", e.Addr())
+	}
+	panic("unreachable")
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 2})
+	a, b := muxEndpoint(t, m), muxEndpoint(t, m)
+
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatalf("send a->b: %v", err)
+	}
+	p := muxRecvOne(t, b)
+	if string(p.Data) != "ping" {
+		t.Fatalf("payload = %q, want %q", p.Data, "ping")
+	}
+	// From must equal the sender's advertised address so replies and
+	// filter rules route symmetrically.
+	if p.From != a.Addr() {
+		t.Fatalf("From = %q, want sender addr %q", p.From, a.Addr())
+	}
+	if err := b.Send(p.From, []byte("pong")); err != nil {
+		t.Fatalf("send b->a: %v", err)
+	}
+	q := muxRecvOne(t, a)
+	if string(q.Data) != "pong" || q.From != b.Addr() {
+		t.Fatalf("reply = %q from %q, want %q from %q", q.Data, q.From, "pong", b.Addr())
+	}
+	p.Release()
+	q.Release()
+}
+
+func TestMuxDistinctAddresses(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	seen := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		ep := muxEndpoint(t, m)
+		if seen[ep.Addr()] {
+			t.Fatalf("duplicate endpoint address %q", ep.Addr())
+		}
+		seen[ep.Addr()] = true
+	}
+}
+
+func TestMuxHandlerMode(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	a, b := muxEndpoint(t, m), muxEndpoint(t, m)
+
+	// Datagrams arriving before SetHandler buffer on the channel and
+	// must be drained into the handler, not lost.
+	if err := a.Send(b.Addr(), []byte("early")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(b.in) == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("early datagram never buffered")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	got := make(chan string, 16)
+	b.SetHandler(func(p Packet) {
+		got <- string(p.Data)
+		p.Release()
+	})
+	if err := a.Send(b.Addr(), []byte("late")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	want := map[string]bool{"early": true, "late": true}
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-got:
+			if !want[s] {
+				t.Fatalf("unexpected payload %q", s)
+			}
+			delete(want, s)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing handler deliveries, still waiting for %v", want)
+		}
+	}
+}
+
+func TestMuxEndpointClose(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	a, b := muxEndpoint(t, m), muxEndpoint(t, m)
+
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Fatalf("recv channel still open after Close")
+	}
+	if err := b.Send(a.Addr(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed endpoint = %v, want ErrClosed", err)
+	}
+	// Traffic for the closed id is dropped, not misdelivered; the next
+	// endpoint gets a fresh id.
+	if err := a.Send(b.Addr(), []byte("stale")); err != nil {
+		t.Fatalf("send to closed endpoint: %v", err)
+	}
+	c := muxEndpoint(t, m)
+	if c.Addr() == b.Addr() {
+		t.Fatalf("endpoint id reused: %q", c.Addr())
+	}
+	deadline := time.After(5 * time.Second)
+	for m.Unrouted() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("datagram for closed endpoint not counted as unrouted")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestMuxCloseAll(t *testing.T) {
+	m, err := NewUDPMux(UDPMuxConfig{Sockets: 2})
+	if err != nil {
+		t.Fatalf("NewUDPMux: %v", err)
+	}
+	ep, err := m.Endpoint()
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := ep.Send("127.0.0.1:9", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after mux close = %v, want ErrClosed", err)
+	}
+	if _, err := m.Endpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Endpoint after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMuxTooLarge(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	a, b := muxEndpoint(t, m), muxEndpoint(t, m)
+	// Framed sends lose muxHeaderLen bytes of payload budget.
+	big := make([]byte, MaxDatagram-muxHeaderLen+1)
+	if err := a.Send(b.Addr(), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("framed oversized send = %v, want ErrTooLarge", err)
+	}
+	if err := a.Send(b.Addr(), big[:MaxDatagram-muxHeaderLen]); err != nil {
+		t.Fatalf("framed max-size send: %v", err)
+	}
+}
+
+func TestMuxFilterPartition(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	a, b, c := muxEndpoint(t, m), muxEndpoint(t, m), muxEndpoint(t, m)
+
+	f := NewUDPFilter(1)
+	f.PartitionGroups(map[string]int{a.Addr(): 0, b.Addr(): 1, c.Addr(): 0})
+	m.SetFilter(f)
+
+	if err := a.Send(b.Addr(), []byte("cut")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := a.Send(c.Addr(), []byte("same-group")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	p := muxRecvOne(t, c)
+	if string(p.Data) != "same-group" {
+		t.Fatalf("payload = %q", p.Data)
+	}
+	p.Release()
+	select {
+	case q := <-b.Recv():
+		t.Fatalf("partitioned datagram delivered: %q from %q", q.Data, q.From)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if a.FilterDrops() == 0 {
+		t.Fatalf("filter drop not counted on sending endpoint")
+	}
+}
+
+func TestMuxPlainSendToLegacyEndpoint(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1})
+	a := muxEndpoint(t, m)
+	legacy, err := ListenUDP("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer legacy.Close()
+
+	// A plain "host:port" target goes out unframed so legacy endpoints
+	// (aggnode deployments) read the raw payload.
+	if err := a.Send(legacy.Addr(), []byte("raw")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	p := muxRecvOne(t, legacy)
+	if string(p.Data) != "raw" {
+		t.Fatalf("legacy endpoint got %q, want %q", p.Data, "raw")
+	}
+	// The legacy endpoint sees the socket address, not the "#id" form.
+	if p.From != a.sock.addr {
+		t.Fatalf("legacy From = %q, want mux socket addr %q", p.From, a.sock.addr)
+	}
+	p.Release()
+}
+
+// TestMuxSharedReaderRace hammers one mux from many goroutines — mixed
+// handler and channel endpoints, filter churn, mid-run endpoint closes —
+// so the race job exercises the shared reader/flusher pool.
+func TestMuxSharedReaderRace(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 2, Batch: 8, QueueLen: 64})
+	const nEps = 16
+	eps := make([]*MuxEndpoint, nEps)
+	var received atomic.Int64
+	for i := range eps {
+		eps[i] = muxEndpoint(t, m)
+		if i%2 == 0 {
+			eps[i].SetHandler(func(p Packet) {
+				received.Add(1)
+				p.Release()
+			})
+		}
+	}
+	// Channel endpoints need consumers or their buffers just fill up.
+	var consumers sync.WaitGroup
+	for i := 1; i < nEps; i += 2 {
+		consumers.Add(1)
+		go func(ep *MuxEndpoint) {
+			defer consumers.Done()
+			for p := range ep.Recv() {
+				received.Add(1)
+				p.Release()
+			}
+		}(eps[i])
+	}
+
+	var senders sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		senders.Add(1)
+		go func(seed int64) {
+			defer senders.Done()
+			rng := rand.New(rand.NewSource(seed))
+			payload := []byte("race-payload")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dst := eps[rng.Intn(nEps)]
+				src := eps[rng.Intn(nEps)]
+				_ = src.Send(dst.Addr(), payload)
+				if i%64 == 0 {
+					// Yield so single-CPU runners schedule the shared
+					// reader goroutines under the send storm.
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(int64(g))
+	}
+	// Filter churn while traffic flows.
+	senders.Add(1)
+	go func() {
+		defer senders.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				f := NewUDPFilter(int64(i))
+				f.SetLoss(0.1)
+				m.SetFilter(f)
+			} else {
+				m.SetFilter(nil)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Wait for traffic to actually flow before injecting the closes, so
+	// slow single-CPU runners still exercise delivery.
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Close a handler endpoint and a channel endpoint mid-traffic.
+	eps[0].Close()
+	eps[1].Close()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	senders.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatalf("mux close: %v", err)
+	}
+	consumers.Wait()
+	if received.Load() == 0 {
+		t.Fatalf("no datagrams delivered during the race run")
+	}
+	if m.BatchSizes().Count == 0 {
+		t.Fatalf("batch-size histogram never observed a batch")
+	}
+}
+
+func TestMuxQueueDepthWatermark(t *testing.T) {
+	m := newTestMux(t, UDPMuxConfig{Sockets: 1, QueueLen: 8})
+	a, b := muxEndpoint(t, m), muxEndpoint(t, m)
+	for i := 0; i < 4; i++ {
+		if err := a.Send(b.Addr(), []byte("fill")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for m.QueueDepthHighWatermark() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("queue depth watermark never rose")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestUDPEndpointRecvAllocs guards the pooled receive path of the legacy
+// per-node endpoint: once caches are warm, a send+recv+release round
+// must not allocate per datagram (the old path copied every datagram).
+func TestUDPEndpointRecvAllocs(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer b.Close()
+
+	payload := []byte("steady-state datagram")
+	// Warm the resolve and From-string caches.
+	for i := 0; i < 3; i++ {
+		if err := a.Send(b.Addr(), payload); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		p := muxRecvOne(t, b)
+		p.Release()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := a.Send(b.Addr(), payload); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		p := <-b.Recv()
+		p.Release()
+	})
+	// Zero in the steady state; tolerate a stray pool refill after a GC.
+	if avg > 2 {
+		t.Fatalf("send+recv+release allocates %.1f times per datagram, want ~0", avg)
+	}
+}
+
+// BenchmarkUDPMuxRoundTrip measures one framed request/reply pair
+// between two handler-mode endpoints sharing a mux.
+func BenchmarkUDPMuxRoundTrip(b *testing.B) {
+	m, err := NewUDPMux(UDPMuxConfig{Sockets: 2, ReadBuffer: 1 << 20})
+	if err != nil {
+		b.Fatalf("NewUDPMux: %v", err)
+	}
+	defer m.Close()
+	cli, err := m.Endpoint()
+	if err != nil {
+		b.Fatalf("endpoint: %v", err)
+	}
+	srv, err := m.Endpoint()
+	if err != nil {
+		b.Fatalf("endpoint: %v", err)
+	}
+	srv.SetHandler(func(p Packet) {
+		_ = srv.Send(p.From, p.Data)
+		p.Release()
+	})
+	done := make(chan struct{}, 1)
+	cli.SetHandler(func(p Packet) {
+		p.Release()
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	})
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Send(srv.Addr(), payload); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			// UDP: a lost datagram must not hang the benchmark.
+			i--
+		}
+	}
+}
+
+// BenchmarkUDPWorkerCycle is the tentpole gate: one "cycle" has every
+// node of a worker-sized slice fire one request at a fixed peer and the
+// peer answer, i.e. 2·nodes datagrams through the transport. The mux
+// sub-benchmark shares a handful of sockets and reader goroutines; the
+// endpoint sub-benchmark is the old architecture — one socket, one
+// reader goroutine and one consumer goroutine per node.
+func BenchmarkUDPWorkerCycle(b *testing.B) {
+	const nodes = 3000
+	b.Run("mux", func(b *testing.B) {
+		m, err := NewUDPMux(UDPMuxConfig{ReadBuffer: 1 << 22})
+		if err != nil {
+			b.Fatalf("NewUDPMux: %v", err)
+		}
+		defer m.Close()
+		eps := make([]*MuxEndpoint, nodes)
+		for i := range eps {
+			if eps[i], err = m.Endpoint(); err != nil {
+				b.Fatalf("endpoint %d: %v", i, err)
+			}
+		}
+		var completed atomic.Int64
+		for i := range eps {
+			ep := eps[i]
+			ep.SetHandler(func(p Packet) {
+				if len(p.Data) > 0 && p.Data[0] == 0 {
+					reply := []byte{1}
+					_ = ep.Send(p.From, reply)
+				} else {
+					completed.Add(1)
+				}
+				p.Release()
+			})
+		}
+		addrs := make([]string, nodes)
+		for i, ep := range eps {
+			addrs[i] = ep.Addr()
+		}
+		benchWorkerCycles(b, nodes, &completed, func(i int) {
+			_ = eps[i].Send(addrs[(i+1)%nodes], []byte{0})
+		})
+	})
+	b.Run("endpoint", func(b *testing.B) {
+		eps := make([]*UDPEndpoint, nodes)
+		var wg sync.WaitGroup
+		defer func() {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Close()
+				}
+			}
+			wg.Wait()
+		}()
+		var completed atomic.Int64
+		for i := range eps {
+			ep, err := ListenUDP("127.0.0.1:0", 0)
+			if err != nil {
+				// Per-node sockets need nodes+ file descriptors; skip
+				// (rather than fail) on fd-limited machines.
+				b.Skipf("per-node sockets unavailable at %d nodes: %v", nodes, err)
+			}
+			eps[i] = ep
+			wg.Add(1)
+			go func(ep *UDPEndpoint) {
+				defer wg.Done()
+				for p := range ep.Recv() {
+					if len(p.Data) > 0 && p.Data[0] == 0 {
+						_ = ep.Send(p.From, []byte{1})
+					} else {
+						completed.Add(1)
+					}
+					p.Release()
+				}
+			}(ep)
+		}
+		addrs := make([]string, nodes)
+		for i, ep := range eps {
+			addrs[i] = ep.Addr()
+		}
+		benchWorkerCycles(b, nodes, &completed, func(i int) {
+			_ = eps[i].Send(addrs[(i+1)%nodes], []byte{0})
+		})
+	})
+}
+
+// benchWorkerCycles drives b.N cycles: fan the per-node sends across
+// GOMAXPROCS goroutines, then wait for ≥95% of round trips (UDP loss
+// must not hang the run) or a timeout.
+func benchWorkerCycles(b *testing.B, nodes int, completed *atomic.Int64, send func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		completed.Store(0)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < nodes; i += workers {
+					send(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		want := int64(nodes) * 95 / 100
+		deadline := time.Now().Add(5 * time.Second)
+		for completed.Load() < want {
+			if time.Now().After(deadline) {
+				b.Fatalf("cycle %d: only %d/%d round trips completed", iter, completed.Load(), nodes)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

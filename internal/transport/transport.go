@@ -7,14 +7,73 @@
 // deployments), and a UDP transport for real networks.
 package transport
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // Packet is one received datagram.
 type Packet struct {
 	// From is the sender's address.
 	From string
-	// Data is the raw datagram content.
+	// Data is the raw datagram content. It may alias a pooled receive
+	// buffer: the consumer owns it until Release.
 	Data []byte
+
+	// buf is the pooled backing buffer, nil for packets whose Data was
+	// heap-allocated (in-memory transport, hand-built test packets).
+	buf *[]byte
+}
+
+// Release returns the packet's backing buffer to the receive pool.
+// Optional: an unreleased buffer is simply collected by the GC, but the
+// steady-state receive path stays allocation-free only when consumers
+// release. Call at most once, and never touch Data afterwards.
+func (p *Packet) Release() {
+	if p.buf != nil {
+		putBuf(p.buf)
+		p.buf = nil
+		p.Data = nil
+	}
+}
+
+// bufPool recycles MaxDatagram-sized receive buffers across all UDP
+// endpoints and muxes of the process: one Get per datagram in flight,
+// zero allocations in the steady state.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, MaxDatagram)
+	return &b
+}}
+
+// sendBufSize is the small size class backing coalesced sends: gossip
+// frames are a few hundred bytes, and thousands of them can sit in the
+// outbound queues at once — parking MaxDatagram buffers there would
+// balloon the heap and defeat the pools through GC churn.
+const sendBufSize = 2048
+
+var sendPool = sync.Pool{New: func() any {
+	b := make([]byte, sendBufSize)
+	return &b
+}}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// getSendBuf returns a pooled buffer with capacity for n bytes, from
+// the small class when the payload fits.
+func getSendBuf(n int) *[]byte {
+	if n <= sendBufSize {
+		return sendPool.Get().(*[]byte)
+	}
+	return getBuf()
+}
+
+// putBuf returns a pooled buffer to its size class.
+func putBuf(b *[]byte) {
+	if cap(*b) >= MaxDatagram {
+		bufPool.Put(b)
+	} else {
+		sendPool.Put(b)
+	}
 }
 
 // Endpoint is one node's attachment to a network. Implementations must be
@@ -31,6 +90,18 @@ type Endpoint interface {
 	Recv() <-chan Packet
 	// Close releases the endpoint. Safe to call more than once.
 	Close() error
+}
+
+// HandlerEndpoint is implemented by endpoints that can deliver inbound
+// packets by calling a handler on the transport's own reader goroutines
+// instead of through the Recv channel — the shared receive pipeline of
+// UDPMux. Once a handler is set the Recv channel stays silent; anything
+// buffered there before the handler existed is drained into it. The
+// handler must be safe for concurrent calls and should Release the
+// packet when done.
+type HandlerEndpoint interface {
+	Endpoint
+	SetHandler(fn func(Packet))
 }
 
 // Errors shared by implementations.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 )
@@ -11,6 +12,10 @@ import (
 // UDPEndpoint is a real-network datagram endpoint. Aggregation state fits
 // in single datagrams, and the protocol tolerates loss by design (§6, §7),
 // which makes UDP the natural transport.
+//
+// One endpoint owns one socket and one reader goroutine; fleets packing
+// thousands of nodes into a process should share sockets through UDPMux
+// instead.
 type UDPEndpoint struct {
 	conn *net.UDPConn
 	addr string
@@ -26,13 +31,18 @@ type UDPEndpoint struct {
 
 	// queueDrops counts inbound datagrams discarded because the buffer
 	// was full; filterDrops counts datagrams (either direction) consumed
-	// by the drop-rule filter.
+	// by the drop-rule filter; queueDepth is the high watermark of the
+	// inbound buffer, the early-warning signal before drops start.
 	queueDrops  atomic.Int64
 	filterDrops atomic.Int64
+	queueDepth  atomic.Int64
 
-	// resolve caches peer address resolution.
+	// resolve caches peer address resolution; froms interns sender
+	// address strings so the steady-state receive path allocates nothing.
 	resolveMu sync.Mutex
-	resolved  map[string]*net.UDPAddr
+	resolved  map[string]netip.AddrPort
+	fromMu    sync.Mutex
+	froms     map[netip.AddrPort]string
 }
 
 var _ Endpoint = (*UDPEndpoint)(nil)
@@ -56,7 +66,8 @@ func ListenUDP(listen string, queueLen int) (*UDPEndpoint, error) {
 		conn:     conn,
 		addr:     conn.LocalAddr().String(),
 		in:       make(chan Packet, queueLen),
-		resolved: make(map[string]*net.UDPAddr),
+		resolved: make(map[string]netip.AddrPort),
+		froms:    make(map[netip.AddrPort]string),
 	}
 	e.wg.Add(1)
 	go e.readLoop()
@@ -80,6 +91,10 @@ func (e *UDPEndpoint) QueueDrops() int64 { return e.queueDrops.Load() }
 // outbound and inbound combined.
 func (e *UDPEndpoint) FilterDrops() int64 { return e.filterDrops.Load() }
 
+// QueueDepthHighWatermark reports the deepest the inbound buffer has
+// been: congestion becomes visible here before it becomes QueueDrops.
+func (e *UDPEndpoint) QueueDepthHighWatermark() int64 { return e.queueDepth.Load() }
+
 // Send transmits one datagram to a "host:port" peer.
 func (e *UDPEndpoint) Send(to string, data []byte) error {
 	if len(data) > MaxDatagram {
@@ -100,7 +115,7 @@ func (e *UDPEndpoint) Send(to string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if _, err := e.conn.WriteToUDP(data, raddr); err != nil {
+	if _, err := e.conn.WriteToUDPAddrPort(data, raddr); err != nil {
 		// Close may race an in-flight Send; report the endpoint state
 		// rather than a raw "use of closed network connection".
 		if errors.Is(err, net.ErrClosed) {
@@ -111,15 +126,15 @@ func (e *UDPEndpoint) Send(to string, data []byte) error {
 	return nil
 }
 
-func (e *UDPEndpoint) resolve(to string) (*net.UDPAddr, error) {
+func (e *UDPEndpoint) resolve(to string) (netip.AddrPort, error) {
 	e.resolveMu.Lock()
 	defer e.resolveMu.Unlock()
 	if a, ok := e.resolved[to]; ok {
 		return a, nil
 	}
-	a, err := net.ResolveUDPAddr("udp", to)
+	a, err := resolveAddrPort(to)
 	if err != nil {
-		return nil, fmt.Errorf("transport: resolving peer %q: %w", to, err)
+		return netip.AddrPort{}, err
 	}
 	// Bound the cache so a hostile peer list cannot grow it without
 	// limit.
@@ -127,6 +142,48 @@ func (e *UDPEndpoint) resolve(to string) (*net.UDPAddr, error) {
 		e.resolved[to] = a
 	}
 	return a, nil
+}
+
+// resolveAddrPort turns a "host:port" peer string into a sendable
+// netip.AddrPort, going through the resolver only for non-literal hosts.
+func resolveAddrPort(to string) (netip.AddrPort, error) {
+	if ap, err := netip.ParseAddrPort(to); err == nil {
+		return unmapAddrPort(ap), nil
+	}
+	a, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("transport: resolving peer %q: %w", to, err)
+	}
+	return unmapAddrPort(a.AddrPort()), nil
+}
+
+// unmapAddrPort strips an IPv4-mapped IPv6 wrapper so equal peers
+// compare equal as map keys regardless of which API produced them.
+func unmapAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// fromString interns the sender's "host:port" string for a source
+// address, so receiving from a known peer does not allocate.
+func (e *UDPEndpoint) fromString(ap netip.AddrPort) string {
+	e.fromMu.Lock()
+	defer e.fromMu.Unlock()
+	if s, ok := e.froms[ap]; ok {
+		return s
+	}
+	s := addrPortString(ap)
+	if len(e.froms) < 65536 {
+		e.froms[ap] = s
+	}
+	return s
+}
+
+// addrPortString renders an AddrPort the way net.UDPAddr.String renders
+// the same peer, with IPv4-mapped IPv6 addresses unmapped first — Send
+// targets and Packet.From values must agree for filter rules keyed on
+// address strings.
+func addrPortString(ap netip.AddrPort) string {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()).String()
 }
 
 // Recv returns the inbound channel; closed when the endpoint closes.
@@ -151,11 +208,12 @@ func (e *UDPEndpoint) Close() error {
 
 func (e *UDPEndpoint) readLoop() {
 	defer e.wg.Done()
-	buf := make([]byte, MaxDatagram)
+	buf := getBuf()
 	for {
-		n, raddr, err := e.conn.ReadFromUDP(buf)
+		n, raddr, err := e.conn.ReadFromUDPAddrPort(*buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
+				putBuf(buf)
 				return
 			}
 			// Transient read errors (e.g. ICMP unreachable surfacing) are
@@ -164,22 +222,37 @@ func (e *UDPEndpoint) readLoop() {
 			closed := e.closed
 			e.mu.Unlock()
 			if closed {
+				putBuf(buf)
 				return
 			}
 			continue
 		}
-		from := raddr.String()
+		from := e.fromString(raddr)
 		if f := e.filter.Load(); f != nil && f.DropInbound(e.addr, from) {
 			e.filterDrops.Add(1)
 			continue
 		}
-		data := append([]byte(nil), buf[:n]...)
 		select {
-		case e.in <- Packet{From: from, Data: data}:
+		case e.in <- Packet{From: from, Data: (*buf)[:n], buf: buf}:
+			// Ownership of buf moved to the consumer (released via
+			// Packet.Release or collected by the GC); grab a fresh one.
+			maxInt64(&e.queueDepth, int64(len(e.in)))
+			buf = getBuf()
 		default:
 			// Full buffer: drop, as a kernel socket would — but account
-			// for it so deployments can see the congestion.
+			// for it so deployments can see the congestion. buf is reused
+			// for the next datagram.
 			e.queueDrops.Add(1)
+		}
+	}
+}
+
+// maxInt64 raises *w to at least v (atomic high-watermark update).
+func maxInt64(w *atomic.Int64, v int64) {
+	for {
+		cur := w.Load()
+		if v <= cur || w.CompareAndSwap(cur, v) {
+			return
 		}
 	}
 }

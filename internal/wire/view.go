@@ -56,6 +56,11 @@ type ViewCodec struct {
 // small; the cap only guards against pathological accumulation.
 const ackedSnapshotCap = 4 * MaxDescriptors
 
+// DescriptorWireSize is the encoded size of one descriptor: a uint16
+// length prefix, the address bytes and the int64 stamp. View-byte
+// budgets are accounted in these units.
+func DescriptorWireSize(addr string) int { return 2 + len(addr) + 8 }
+
 // EncodeView builds the next outgoing frame for this peer from our
 // current packed view, sorted ascending (cache content plus fresh
 // self-descriptor; see overlay.Membership), resolving keys to wire
@@ -65,6 +70,18 @@ const ackedSnapshotCap = 4 * MaxDescriptors
 // otherwise. An unsorted view degrades gracefully: entries the peer has
 // seen may be resent, never lost.
 func (c *ViewCodec) EncodeView(packed []uint64, addr func(int32) string) ViewFrame {
+	return c.EncodeViewBudget(packed, addr, 0)
+}
+
+// EncodeViewBudget is EncodeView under a piggyback budget: when
+// maxBytes > 0, the frame carries only the longest prefix of the
+// would-be entries whose descriptors fit in maxBytes encoded bytes
+// (DescriptorWireSize each). The overlay tolerates partial views by
+// design (§4) — a trimmed entry is simply not recorded as pending, so
+// it stays outside the acked snapshot and is resent by a later frame
+// instead of being lost. Under fast peer rotation, where the delta
+// codec degrades to full frames, the budget is the bandwidth backstop.
+func (c *ViewCodec) EncodeViewBudget(packed []uint64, addr func(int32) string, maxBytes int) ViewFrame {
 	c.nextGen++
 	frame := ViewFrame{Kind: ViewFull, Gen: c.nextGen, Ack: c.recvGen}
 	send := packed
@@ -89,13 +106,24 @@ func (c *ViewCodec) EncodeView(packed []uint64, addr func(int32) string) ViewFra
 			send = delta
 		}
 	}
-	frame.Entries = make([]Descriptor, len(send))
-	for i, e := range send {
-		frame.Entries[i] = Descriptor{
-			Addr:  addr(overlay.UnpackKey(e)),
-			Stamp: int64(overlay.UnpackStamp(e)),
+	entries := make([]Descriptor, 0, len(send))
+	budget := maxBytes
+	for _, e := range send {
+		a := addr(overlay.UnpackKey(e))
+		if maxBytes > 0 {
+			sz := DescriptorWireSize(a)
+			if sz > budget {
+				break
+			}
+			budget -= sz
 		}
+		entries = append(entries, Descriptor{Addr: a, Stamp: int64(overlay.UnpackStamp(e))})
 	}
+	// pendingPacked must mirror what was actually sent: entries trimmed
+	// by the budget may never enter the acked snapshot, or delta
+	// suppression would starve the peer of them permanently.
+	send = send[:len(entries)]
+	frame.Entries = entries
 	c.pendingGen = frame.Gen
 	c.pendingFull = frame.Kind == ViewFull
 	c.pendingPacked = append(c.pendingPacked[:0], send...)

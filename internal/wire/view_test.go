@@ -172,3 +172,73 @@ func TestViewCodecPeerRestart(t *testing.T) {
 		t.Fatalf("legacy frame touched recvGen: %d", a.recvGen)
 	}
 }
+
+// TestViewCodecBudgetTrimsPrefix verifies the byte budget: the frame
+// carries the longest entry prefix whose encoded descriptors fit, and a
+// zero budget means unlimited.
+func TestViewCodecBudgetTrimsPrefix(t *testing.T) {
+	view := pview(1, 5, 2, 6, 3, 7, 0, 10)
+	per := DescriptorWireSize("n1") // all test addrs encode to 12 bytes
+
+	var unlimited ViewCodec
+	if f := unlimited.EncodeViewBudget(view, addrOf, 0); len(f.Entries) != 4 {
+		t.Fatalf("zero budget trimmed to %d entries, want 4", len(f.Entries))
+	}
+
+	var a ViewCodec
+	f := a.EncodeViewBudget(view, addrOf, 2*per+1)
+	if len(f.Entries) != 2 {
+		t.Fatalf("budget for 2 descriptors sent %d entries", len(f.Entries))
+	}
+	var total int
+	for _, d := range f.Entries {
+		total += DescriptorWireSize(d.Addr)
+	}
+	if total > 2*per+1 {
+		t.Fatalf("encoded %d descriptor bytes over budget %d", total, 2*per+1)
+	}
+	// A budget too small for even one descriptor yields an empty frame —
+	// still a valid generation carrying the Ack.
+	if f := a.EncodeViewBudget(view, addrOf, per-1); len(f.Entries) != 0 {
+		t.Fatalf("sub-descriptor budget sent %d entries", len(f.Entries))
+	}
+}
+
+// TestViewCodecBudgetResendsTrimmed verifies the safety property of the
+// budget: a trimmed entry never enters the acked snapshot, so once the
+// budget allows it the entry is resent rather than silently starved.
+func TestViewCodecBudgetResendsTrimmed(t *testing.T) {
+	var a ViewCodec
+	view := pview(1, 5, 2, 6, 3, 7, 0, 10)
+	per := DescriptorWireSize("n1")
+
+	// Gen 1: budget admits only two of four descriptors; the peer acks.
+	f1 := a.EncodeViewBudget(view, addrOf, 2*per)
+	if len(f1.Entries) != 2 {
+		t.Fatalf("first frame sent %d entries, want 2", len(f1.Entries))
+	}
+	a.Observe(ViewFrame{Kind: ViewFull, Gen: 1, Ack: f1.Gen})
+
+	// Gen 2, unlimited: the trimmed descriptors must reappear in the
+	// delta — they were sent to nobody and may not be suppressed.
+	f2 := a.EncodeViewBudget(view, addrOf, 0)
+	if f2.Kind != ViewDelta {
+		t.Fatalf("second frame = %+v, want delta", f2)
+	}
+	got := map[string]bool{}
+	for _, d := range f2.Entries {
+		got[d.Addr] = true
+	}
+	sent := map[string]bool{}
+	for _, d := range f1.Entries {
+		sent[d.Addr] = true
+	}
+	for _, addr := range []string{"n0", "n1", "n2", "n3"} {
+		if sent[addr] && got[addr] {
+			t.Fatalf("acked descriptor %s resent in delta %v", addr, f2.Entries)
+		}
+		if !sent[addr] && !got[addr] {
+			t.Fatalf("trimmed descriptor %s starved: delta %v", addr, f2.Entries)
+		}
+	}
+}
