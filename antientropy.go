@@ -44,6 +44,7 @@ package antientropy
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"antientropy/internal/agent"
 	"antientropy/internal/core"
@@ -52,6 +53,7 @@ import (
 	"antientropy/internal/overlay"
 	"antientropy/internal/parsim"
 	"antientropy/internal/scenario"
+	"antientropy/internal/serve"
 	"antientropy/internal/sim"
 	"antientropy/internal/stats"
 	"antientropy/internal/topology"
@@ -363,6 +365,83 @@ func StitchTraceSpans(events []TraceEvent) []TraceSpan { return obs.StitchSpans(
 // Close the returned server to stop it.
 func ServeTelemetry(addr string, reg *MetricsRegistry, trace *TraceRing, timeline *Timeline) (*TelemetryServer, error) {
 	return obs.Serve(addr, reg, trace, timeline)
+}
+
+// Aggregation-as-a-service layer (cmd/aggd): a registry of named
+// aggregation instances — each an embedded fleet of live nodes — served
+// over a versioned HTTP JSON API with per-tenant token-bucket admission
+// control.
+type (
+	// ServeRegistry owns a daemon's live aggregation instances.
+	ServeRegistry = serve.Registry
+	// ServeRegistryConfig tunes a ServeRegistry.
+	ServeRegistryConfig = serve.RegistryConfig
+	// ServeInstance is one named, long-running hosted aggregate.
+	ServeInstance = serve.Instance
+	// ServeInstanceConfig describes one instance (mirrors the POST
+	// /v1/instances body).
+	ServeInstanceConfig = serve.InstanceConfig
+	// ServeEstimate is the serving snapshot of one instance: estimate,
+	// epoch, generation and the spread-derived confidence.
+	ServeEstimate = serve.Estimate
+	// ServeLimits are the static creation bounds (instance and fleet caps).
+	ServeLimits = serve.Limits
+	// ServeTransport selects the embedded fleets' wire.
+	ServeTransport = serve.Transport
+	// ServeAPI is the versioned /v1 HTTP JSON handler.
+	ServeAPI = serve.API
+	// ServeAPIConfig wires a ServeAPI.
+	ServeAPIConfig = serve.APIConfig
+	// ServeTenant is one API client population: name, key, limit.
+	ServeTenant = serve.Tenant
+	// ServeTenants resolves API keys to tenants.
+	ServeTenants = serve.Tenants
+	// ServeLimiter is per-tenant token-bucket admission control.
+	ServeLimiter = serve.Limiter
+	// ServeLimit is one tenant's token-bucket parameters.
+	ServeLimit = serve.Limit
+	// ServeMetrics is the agg_serve_* instrument set.
+	ServeMetrics = serve.Metrics
+)
+
+// Fleet transports for ServeRegistryConfig.Transport.
+const (
+	// ServeTransportMem runs each instance fleet on its own in-memory
+	// datagram network (the default).
+	ServeTransportMem = serve.TransportMem
+	// ServeTransportUDP runs each instance fleet on a shared batched UDP
+	// mux over loopback sockets.
+	ServeTransportUDP = serve.TransportUDP
+)
+
+// ServeFunctions lists the aggregation functions an instance can host
+// ("average", "count", "sum", "variance").
+func ServeFunctions() []string { return serve.Functions() }
+
+// NewServeRegistry builds an empty instance registry.
+func NewServeRegistry(cfg ServeRegistryConfig) *ServeRegistry { return serve.NewRegistry(cfg) }
+
+// NewServeAPI builds the /v1 HTTP handler over a registry.
+func NewServeAPI(cfg ServeAPIConfig) *ServeAPI { return serve.NewAPI(cfg) }
+
+// NewServeTenants builds an API-key resolver. An empty list yields open
+// single-user mode (every request admitted as the tenant "default").
+func NewServeTenants(list []ServeTenant) (*ServeTenants, error) { return serve.NewTenants(list) }
+
+// NewServeLimiter builds an empty admission limiter; seed it with
+// ServeLimiter.SetLimit per tenant.
+func NewServeLimiter() *ServeLimiter { return serve.NewLimiter() }
+
+// NewServeMetrics registers the agg_serve_* families on reg (nil reg
+// returns a no-op recorder).
+func NewServeMetrics(reg *MetricsRegistry) *ServeMetrics { return serve.NewMetrics(reg) }
+
+// ServeTelemetryWith starts the telemetry HTTP server with extra routes
+// mounted on the same mux — how cmd/aggd serves its /v1 API next to
+// /metrics and the /debug endpoints on one listener. mount (may be nil)
+// runs before the server starts.
+func ServeTelemetryWith(addr string, reg *MetricsRegistry, trace *TraceRing, timeline *Timeline, mount func(mux *http.ServeMux)) (*TelemetryServer, error) {
+	return obs.ServeWith(addr, reg, trace, timeline, mount)
 }
 
 // RegisterNodeMetrics exposes aggregated node protocol counters on reg

@@ -29,16 +29,15 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"math"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"antientropy"
+	"antientropy/internal/cliutil"
 )
 
 func main() {
@@ -50,50 +49,35 @@ func main() {
 
 func run() error {
 	var (
-		listen      = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		value       = flag.Float64("value", 1, "this node's local value (scalar modes)")
-		stdinVals   = flag.Bool("stdin", false, "read value updates (one float per line) from stdin; each epoch restart picks up the latest")
-		function    = flag.String("function", "average", "aggregate: average, min, max, geometric-mean")
-		mode        = flag.String("mode", "scalar", "scalar or count (network-size estimation)")
-		bootstrap   = flag.String("bootstrap", "", "comma-separated founding-member addresses")
-		join        = flag.String("join", "", "comma-separated seed addresses of a running deployment")
-		delta       = flag.Duration("delta", 30*time.Second, "epoch length Δ")
-		cycle       = flag.Duration("cycle", time.Second, "cycle length δ")
-		gamma       = flag.Int("gamma", 30, "cycles per epoch γ")
-		anchor      = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
-		cache       = flag.Int("cache", 30, "NEWSCAST cache size c")
-		viewCap     = flag.Int("view-cap", 0, "cap the piggybacked membership view per exchange datagram, in bytes (0 = unlimited)")
-		conc        = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/trace, /debug/timeline and /debug/pprof on this address (empty: off)")
-		traceCap    = flag.Int("trace", 0, "retain the newest N exchange trace events (served on /debug/trace; 0: off)")
-		timelineCap = flag.Int("timeline", 256, "retain the newest N status-tick flight-recorder snapshots (served on /debug/timeline; 0: off)")
-		logLevel    = flag.String("log", "info", "stderr log level: debug, info, warn or error")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		value     = flag.Float64("value", 1, "this node's local value (scalar modes)")
+		stdinVals = flag.Bool("stdin", false, "read value updates (one float per line) from stdin; each epoch restart picks up the latest")
+		function  = flag.String("function", "average", "aggregate: average, min, max, geometric-mean")
+		mode      = flag.String("mode", "scalar", "scalar or count (network-size estimation)")
+		bootstrap = flag.String("bootstrap", "", "comma-separated founding-member addresses")
+		join      = flag.String("join", "", "comma-separated seed addresses of a running deployment")
+		delta     = flag.Duration("delta", 30*time.Second, "epoch length Δ")
+		cycle     = flag.Duration("cycle", time.Second, "cycle length δ")
+		gamma     = flag.Int("gamma", 30, "cycles per epoch γ")
+		anchor    = flag.Int64("anchor", 0, "epoch schedule anchor (unix seconds)")
+		cache     = flag.Int("cache", 30, "NEWSCAST cache size c")
+		viewCap   = flag.Int("view-cap", 0, "cap the piggybacked membership view per exchange datagram, in bytes (0 = unlimited)")
+		conc      = flag.Float64("concurrency", 8, "COUNT: desired concurrent instances C")
 	)
+	tf := cliutil.RegisterTelemetry(flag.CommandLine, 256)
 	flag.Parse()
 
-	logger, err := newLogger(*logLevel)
+	tel, err := tf.Build(false)
 	if err != nil {
 		return err
 	}
+	logger := tel.Logger
 
 	endpoint, err := antientropy.ListenUDP(*listen, 0)
 	if err != nil {
 		return err
 	}
-	var (
-		reg      *antientropy.MetricsRegistry
-		trace    *antientropy.TraceRing
-		timeline *antientropy.Timeline
-	)
-	if *traceCap > 0 {
-		trace = antientropy.NewTraceRing(*traceCap)
-	}
-	if *timelineCap > 0 {
-		timeline = antientropy.NewTimeline(*timelineCap)
-	}
-	if *metricsAddr != "" {
-		reg = antientropy.NewMetricsRegistry()
-	}
+	reg, trace, timeline := tel.Registry, tel.Trace, tel.Timeline
 	cfg := antientropy.NodeConfig{
 		Endpoint: endpoint,
 		Schedule: antientropy.Schedule{
@@ -121,12 +105,8 @@ func run() error {
 		}
 		cfg.Mode = antientropy.ModeScalar
 		cfg.Function = fn
-		var live atomicFloat
-		live.store(*value)
-		if *stdinVals {
-			go readValues(os.Stdin, &live, logger)
-		}
-		cfg.Value = live.load
+		initial := *value
+		cfg.Value = func() float64 { return initial }
 	case "count":
 		cfg.Mode = antientropy.ModeCount
 	default:
@@ -143,6 +123,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *stdinVals && cfg.Mode == antientropy.ModeScalar {
+		go readValues(os.Stdin, node.SetValue, logger)
+	}
 	if reg != nil {
 		antientropy.RegisterNodeMetrics(reg, node.Metrics)
 		reg.CounterFunc("agg_transport_queue_drops_total",
@@ -154,7 +137,7 @@ func run() error {
 		reg.GaugeFunc("agg_transport_queue_depth",
 			"High watermark of the endpoint's inbound queue depth.",
 			func() float64 { return float64(endpoint.QueueDepthHighWatermark()) })
-		srv, err := antientropy.ServeTelemetry(*metricsAddr, reg, trace, timeline)
+		srv, err := tel.Serve()
 		if err != nil {
 			return err
 		}
@@ -166,10 +149,15 @@ func run() error {
 	if err := node.Start(ctx); err != nil {
 		return err
 	}
+	// Context-based drain: the signal cancels ctx, the status loop
+	// returns, and the deferred stop ends both protocol goroutines and
+	// closes the endpoint before the deferred telemetry close runs.
 	defer func() {
+		logger.Info("draining", "addr", node.Addr())
 		if err := node.Stop(); err != nil {
 			logger.Error("node stop", "err", err)
 		}
+		logger.Info("drained")
 	}()
 	fmt.Printf("node %s up: mode=%s function=%s epoch=%d\n",
 		node.Addr(), *mode, *function, node.Epoch())
@@ -230,37 +218,10 @@ func run() error {
 	}
 }
 
-// newLogger builds the stderr structured logger node debug events and
-// health-alert transitions share, replacing ad-hoc stderr prints.
-func newLogger(level string) (*slog.Logger, error) {
-	var lvl slog.Level
-	switch strings.ToLower(level) {
-	case "debug":
-		lvl = slog.LevelDebug
-	case "info", "":
-		lvl = slog.LevelInfo
-	case "warn":
-		lvl = slog.LevelWarn
-	case "error":
-		lvl = slog.LevelError
-	default:
-		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
-	}
-	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
-}
-
-// atomicFloat stores a float64 behind an atomic uint64, letting the
-// stdin reader update the local value while the protocol samples it at
-// every epoch restart (§4.1 adaptivity in a live deployment).
-type atomicFloat struct {
-	bits atomic.Uint64
-}
-
-func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
-func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
-
-// readValues feeds stdin lines into the live value.
-func readValues(r io.Reader, dst *atomicFloat, logger *slog.Logger) {
+// readValues feeds stdin lines into the node's live value via set
+// (Node.SetValue): each epoch restart samples the latest (§4.1
+// adaptivity in a live deployment).
+func readValues(r io.Reader, set func(float64), logger *slog.Logger) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -272,7 +233,7 @@ func readValues(r io.Reader, dst *atomicFloat, logger *slog.Logger) {
 			logger.Warn("ignoring stdin value", "line", line, "err", err)
 			continue
 		}
-		dst.store(v)
+		set(v)
 		fmt.Printf(">> local value set to %g (takes effect next epoch)\n", v)
 	}
 }

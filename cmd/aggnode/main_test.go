@@ -34,26 +34,11 @@ func TestParseAddrList(t *testing.T) {
 	}
 }
 
-func TestAtomicFloat(t *testing.T) {
-	var f atomicFloat
-	if f.load() != 0 {
-		t.Fatalf("zero value = %g", f.load())
-	}
-	f.store(3.25)
-	if f.load() != 3.25 {
-		t.Fatalf("load = %g", f.load())
-	}
-	f.store(-1e300)
-	if f.load() != -1e300 {
-		t.Fatalf("load = %g", f.load())
-	}
-}
-
 func TestReadValues(t *testing.T) {
-	var f atomicFloat
+	var got []float64
 	input := "10.5\n\nnot-a-number\n  42 \n"
-	readValues(strings.NewReader(input), &f, slog.New(slog.DiscardHandler))
-	if f.load() != 42 {
-		t.Fatalf("final value = %g, want 42 (last valid line)", f.load())
+	readValues(strings.NewReader(input), func(v float64) { got = append(got, v) }, slog.New(slog.DiscardHandler))
+	if len(got) != 2 || got[0] != 10.5 || got[1] != 42 {
+		t.Fatalf("applied values = %v, want [10.5 42] (blank and invalid lines skipped)", got)
 	}
 }

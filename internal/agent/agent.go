@@ -256,13 +256,18 @@ type Node struct {
 	// encode path (guarded by mu like the view it snapshots).
 	packedScratch []uint64
 	pending       map[uint64]chan wire.Payload
-	busy          bool
-	seq           uint64
-	xidBase       uint64
-	rng           *stats.RNG
-	outputs       []Output
-	started       bool
-	stopped       bool
+	// pendingValue overrides cfg.Value once SetValue has been called:
+	// the serving layer feeds value updates through it without holding a
+	// reference into its own store.
+	pendingValue float64
+	hasPending   bool
+	busy         bool
+	seq          uint64
+	xidBase      uint64
+	rng          *stats.RNG
+	outputs      []Output
+	started      bool
+	stopped      bool
 
 	// metrics is deliberately outside the mu regime: its fields are
 	// atomics, incremented on the hot paths and snapshot lock-free.
@@ -547,6 +552,59 @@ func (n *Node) estimateLocked() (float64, bool) {
 		return 0, false
 	}
 	return v, true
+}
+
+// SetValue updates the node's local value (ModeScalar). Exactly like a
+// change observed through Config.Value, the new value is sampled at the
+// next epoch restart (§4.1) — mid-epoch mass is never disturbed, so the
+// running instance keeps conserving its invariant. Once called, the
+// stored value supersedes Config.Value for every later restart; the
+// latest call wins. This is the value-update hook of the serving layer:
+// clients feed values over an API and the fleet picks them up at the
+// next restart.
+func (n *Node) SetValue(v float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pendingValue, n.hasPending = v, true
+}
+
+// Snapshot is one consistent read of a node's serving-relevant state:
+// epoch, current estimate and the most recent sealed epoch output, all
+// observed under one acquisition of the node lock. Serving layers use
+// it instead of separate Epoch/Estimate/LastOutput calls, whose values
+// could straddle an epoch restart.
+type Snapshot struct {
+	// Epoch is the node's current epoch identifier.
+	Epoch uint64
+	// Estimate is the current (converging) estimate; OK is false while
+	// the node holds no usable estimate (joining, or a COUNT node
+	// without mass).
+	Estimate float64
+	OK       bool
+	// Participating reports whether the node takes part in this epoch.
+	Participating bool
+	// LastOutput is the most recent completed epoch's output; HasOutput
+	// is false until a first epoch has been sealed.
+	LastOutput Output
+	HasOutput  bool
+}
+
+// Snapshot atomically reads the node's serving-relevant state.
+func (n *Node) Snapshot() Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.estimateLocked()
+	s := Snapshot{
+		Epoch:         n.epoch,
+		Estimate:      v,
+		OK:            ok,
+		Participating: n.participating,
+	}
+	if len(n.outputs) > 0 {
+		s.LastOutput = n.outputs[len(n.outputs)-1]
+		s.HasOutput = true
+	}
+	return s
 }
 
 // Epoch returns the node's current epoch identifier.

@@ -1,0 +1,86 @@
+package agent
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSetValueTakesEffectNextEpoch: a SetValue call mid-epoch must not
+// disturb the running instance, and the fleet must converge to the new
+// mean once the next epoch has sampled the updated value.
+func TestSetValueTakesEffectNextEpoch(t *testing.T) {
+	nodes, _ := launchCluster(t, 8, testSchedule(), func(i int) float64 { return 10 })
+	// Wait for the first sealed output at the old value.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if out, ok := nodes[0].LastOutput(); ok && out.OK {
+			if out.Value < 9.9 || out.Value > 10.1 {
+				t.Fatalf("pre-update output %g, want ≈ 10", out.Value)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no epoch output before update")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		n.SetValue(40)
+	}
+	// Within a few epochs every node must seal an output at the new mean.
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if out, ok := nodes[0].LastOutput(); ok && out.OK && out.Value > 39 && out.Value < 41 {
+			return
+		}
+		if time.Now().After(deadline) {
+			out, _ := nodes[0].LastOutput()
+			t.Fatalf("fleet never converged to updated value; last output %+v", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSetValueOverridesConfigValue: once SetValue has been called, later
+// restarts must sample the stored value, not Config.Value.
+func TestSetValueOverridesConfigValue(t *testing.T) {
+	nodes, _ := launchCluster(t, 3, testSchedule(), func(i int) float64 { return 5 })
+	nodes[0].SetValue(7)
+	nodes[0].mu.Lock()
+	nodes[0].resetStateLocked()
+	got := nodes[0].scalar
+	nodes[0].mu.Unlock()
+	if got != 7 {
+		t.Fatalf("restart sampled %g, want the SetValue override 7", got)
+	}
+}
+
+// TestSnapshotConsistency: Snapshot must agree with the individual
+// accessors and carry the newest sealed output.
+func TestSnapshotConsistency(t *testing.T) {
+	nodes, _ := launchCluster(t, 4, testSchedule(), func(i int) float64 { return 3 })
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		s := nodes[0].Snapshot()
+		if s.HasOutput {
+			if !s.Participating {
+				t.Fatal("founding node not participating in snapshot")
+			}
+			if !s.OK {
+				t.Fatal("snapshot has output but no usable estimate")
+			}
+			if s.LastOutput.Epoch >= s.Epoch {
+				t.Fatalf("sealed output epoch %d not before current epoch %d",
+					s.LastOutput.Epoch, s.Epoch)
+			}
+			if s.LastOutput.Value < 2.9 || s.LastOutput.Value > 3.1 {
+				t.Fatalf("sealed output %g, want ≈ 3", s.LastOutput.Value)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never reported a sealed output")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -85,7 +85,11 @@ func (n *Node) startEpochLocked() {
 // resetStateLocked loads fresh initial values (§4.1 restart).
 func (n *Node) resetStateLocked() {
 	if n.cfg.Mode == ModeScalar {
-		n.scalar = n.cfg.Value()
+		if n.hasPending {
+			n.scalar = n.pendingValue
+		} else {
+			n.scalar = n.cfg.Value()
+		}
 		return
 	}
 	// ModeCount: flip the P_lead coin using the previous epoch's size

@@ -78,6 +78,16 @@ const closeDrain = 2 * time.Second
 // trace and timeline may be nil; the corresponding endpoint then
 // reports itself disabled with a 404.
 func Serve(addr string, reg *Registry, trace *TraceRing, timeline *Timeline) (*Server, error) {
+	return ServeWith(addr, reg, trace, timeline, nil)
+}
+
+// ServeWith is Serve with extra routes: mount (may be nil) registers
+// additional handlers on the server's mux before it starts listening —
+// how the serving daemon exposes its /v1 API alongside /metrics,
+// /debug/trace and /debug/timeline on one listener. Mounted handlers
+// do their own method gating; only the telemetry surfaces are
+// restricted to GET/HEAD.
+func ServeWith(addr string, reg *Registry, trace *TraceRing, timeline *Timeline, mount func(*http.ServeMux)) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %q: %w", addr, err)
@@ -94,6 +104,9 @@ func Serve(addr string, reg *Registry, trace *TraceRing, timeline *Timeline) (*S
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if mount != nil {
+		mount(mux)
+	}
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"antientropy/internal/obs"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestAPI builds an API over a fresh registry. tenants may be nil
+// (open mode).
+func newTestAPI(t *testing.T, tenants []Tenant, limiter *Limiter) (*API, *Registry, *obs.Registry) {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	t.Cleanup(reg.Close)
+	resolved, err := NewTenants(tenants)
+	if err != nil {
+		t.Fatalf("NewTenants: %v", err)
+	}
+	metricsReg := obs.NewRegistry()
+	api := NewAPI(APIConfig{
+		Registry: reg,
+		Tenants:  resolved,
+		Limiter:  limiter,
+		Metrics:  NewMetrics(metricsReg),
+		Logger:   quietLogger(),
+	})
+	return api, reg, metricsReg
+}
+
+func doJSON(t *testing.T, api *API, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	api.ServeHTTP(w, req)
+	return w
+}
+
+func TestAPITable(t *testing.T) {
+	api, _, _ := newTestAPI(t, nil, nil)
+
+	// Fast schedule so the feed/query steps below don't wait on defaults.
+	create := `{"name":"temps","function":"average","fleet_size":4,"epoch_ms":100}`
+
+	steps := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"create", "POST", "/v1/instances", create, http.StatusCreated},
+		{"duplicate name", "POST", "/v1/instances", create, http.StatusConflict},
+		{"bad function", "POST", "/v1/instances", `{"name":"x","function":"median"}`, http.StatusBadRequest},
+		{"bad name", "POST", "/v1/instances", `{"name":"No Spaces!"}`, http.StatusBadRequest},
+		{"bad json", "POST", "/v1/instances", `{"name":`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/instances", `{"name":"y","bogus":1}`, http.StatusBadRequest},
+		{"oversized fleet", "POST", "/v1/instances", `{"name":"big","fleet_size":100000}`, http.StatusTooManyRequests},
+		{"list", "GET", "/v1/instances", "", http.StatusOK},
+		{"get", "GET", "/v1/instances/temps", "", http.StatusOK},
+		{"get unknown", "GET", "/v1/instances/nope", "", http.StatusNotFound},
+		{"feed", "POST", "/v1/instances/temps/values", `{"values":[1,2,3]}`, http.StatusOK},
+		{"feed unknown", "POST", "/v1/instances/nope/values", `{"values":[1]}`, http.StatusNotFound},
+		{"feed empty", "POST", "/v1/instances/temps/values", `{}`, http.StatusBadRequest},
+		{"feed non-finite", "POST", "/v1/instances/temps/values", `{"values":[1e999]}`, http.StatusBadRequest},
+		{"estimate", "GET", "/v1/instances/temps/estimate", "", http.StatusOK},
+		{"estimate unknown", "GET", "/v1/instances/nope/estimate", "", http.StatusNotFound},
+		{"delete", "DELETE", "/v1/instances/temps", "", http.StatusNoContent},
+		{"delete again", "DELETE", "/v1/instances/temps", "", http.StatusNotFound},
+		{"estimate after delete", "GET", "/v1/instances/temps/estimate", "", http.StatusNotFound},
+	}
+	for _, step := range steps {
+		w := doJSON(t, api, step.method, step.path, step.body, nil)
+		if w.Code != step.wantStatus {
+			t.Fatalf("%s: %s %s = %d, want %d (body %s)",
+				step.name, step.method, step.path, w.Code, step.wantStatus, w.Body.String())
+		}
+	}
+}
+
+func TestAPIFeedReportsGenerations(t *testing.T) {
+	api, _, _ := newTestAPI(t, nil, nil)
+	w := doJSON(t, api, "POST", "/v1/instances",
+		`{"name":"g","fleet_size":2,"epoch_ms":200}`, nil)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", w.Code, w.Body.String())
+	}
+	w = doJSON(t, api, "POST", "/v1/instances/g/values", `{"values":[5,7]}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("feed = %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Slots             int    `json:"slots"`
+		Generation        uint64 `json:"generation"`
+		VisibleGeneration uint64 `json:"visible_generation"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("feed response: %v", err)
+	}
+	if resp.Slots != 2 {
+		t.Fatalf("slots = %d, want 2", resp.Slots)
+	}
+	if resp.VisibleGeneration != resp.Generation+1 {
+		t.Fatalf("visible_generation = %d, want generation %d + 1",
+			resp.VisibleGeneration, resp.Generation)
+	}
+}
+
+func TestAPITenantAuth(t *testing.T) {
+	tenants := []Tenant{
+		{Name: "alpha", Key: "key-a"},
+		{Name: "beta", Key: "key-b"},
+	}
+	api, _, _ := newTestAPI(t, tenants, nil)
+
+	// No open tenant configured: keyless and wrong-key requests get 401.
+	if w := doJSON(t, api, "GET", "/v1/instances", "", nil); w.Code != http.StatusUnauthorized {
+		t.Fatalf("keyless request = %d, want 401", w.Code)
+	}
+	wrong := map[string]string{"X-API-Key": "nope"}
+	if w := doJSON(t, api, "GET", "/v1/instances", "", wrong); w.Code != http.StatusUnauthorized {
+		t.Fatalf("wrong key = %d, want 401", w.Code)
+	}
+	bearer := map[string]string{"Authorization": "Bearer key-a"}
+	if w := doJSON(t, api, "GET", "/v1/instances", "", bearer); w.Code != http.StatusOK {
+		t.Fatalf("bearer key = %d, want 200", w.Code)
+	}
+	header := map[string]string{"X-API-Key": "key-b"}
+	if w := doJSON(t, api, "GET", "/v1/instances", "", header); w.Code != http.StatusOK {
+		t.Fatalf("X-API-Key = %d, want 200", w.Code)
+	}
+	// A client must not be able to spoof the resolved-tenant header.
+	spoof := map[string]string{"X-Resolved-Tenant": "alpha"}
+	if w := doJSON(t, api, "GET", "/v1/instances", "", spoof); w.Code != http.StatusUnauthorized {
+		t.Fatalf("spoofed tenant header = %d, want 401", w.Code)
+	}
+}
+
+func TestAPIAdmissionControl(t *testing.T) {
+	tenants := []Tenant{
+		{Name: "paid", Key: "key-paid", Limit: Limit{}},
+		{Name: "free", Key: "key-free", Limit: Limit{Rate: 0.001, Burst: 2}},
+	}
+	limiter := NewLimiter()
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	limiter.now = clk.now
+	for _, ten := range tenants {
+		limiter.SetLimit(ten.Name, ten.Limit)
+	}
+	api, _, metricsReg := newTestAPI(t, tenants, limiter)
+
+	paid := map[string]string{"X-API-Key": "key-paid"}
+	free := map[string]string{"X-API-Key": "key-free"}
+
+	// The free tenant burns its burst, then gets 429 with Retry-After.
+	for i := 0; i < 2; i++ {
+		if w := doJSON(t, api, "GET", "/v1/instances", "", free); w.Code != http.StatusOK {
+			t.Fatalf("free burst request %d = %d", i, w.Code)
+		}
+	}
+	w := doJSON(t, api, "GET", "/v1/instances", "", free)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("free over-rate = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+
+	// The paid tenant is unaffected by the free tenant's rejection.
+	for i := 0; i < 20; i++ {
+		if w := doJSON(t, api, "GET", "/v1/instances", "", paid); w.Code != http.StatusOK {
+			t.Fatalf("paid request %d = %d after free tenant throttled", i, w.Code)
+		}
+	}
+
+	// Both the received and the rejected request land in the metrics.
+	var export strings.Builder
+	metricsReg.WritePrometheus(&export)
+	text := export.String()
+	for _, want := range []string{
+		`agg_serve_requests_total{tenant="free"} 3`,
+		`agg_serve_rejected_total{tenant="free"} 1`,
+		`agg_serve_requests_total{tenant="paid"} 20`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+}
+
+func TestAPIInstanceCapReturns429(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{
+		Limits: Limits{MaxInstances: 1},
+		Logger: quietLogger(),
+	})
+	t.Cleanup(reg.Close)
+	resolved, err := NewTenants(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewAPI(APIConfig{Registry: reg, Tenants: resolved, Logger: quietLogger()})
+	body := func(name string) string {
+		return fmt.Sprintf(`{"name":%q,"fleet_size":2,"epoch_ms":100}`, name)
+	}
+	if w := doJSON(t, api, "POST", "/v1/instances", body("one"), nil); w.Code != http.StatusCreated {
+		t.Fatalf("first create = %d", w.Code)
+	}
+	if w := doJSON(t, api, "POST", "/v1/instances", body("two"), nil); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("create beyond cap = %d, want 429", w.Code)
+	}
+}

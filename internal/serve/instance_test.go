@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastConfig is the test schedule: 200ms epochs of 10ms cycles — γ=20
+// gossip rounds per epoch, plenty for an 8-node fleet to converge.
+func fastConfig(name, function string) InstanceConfig {
+	return InstanceConfig{
+		Name:      name,
+		Function:  function,
+		FleetSize: 8,
+		EpochMS:   200,
+		CycleMS:   10,
+	}
+}
+
+// waitEstimate polls the instance until cond accepts an estimate or the
+// deadline passes, returning the last estimate either way.
+func waitEstimate(t *testing.T, inst *Instance, timeout time.Duration, cond func(Estimate) bool) Estimate {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var est Estimate
+	for time.Now().Before(deadline) {
+		est = inst.Estimate()
+		if cond(est) {
+			return est
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return est
+}
+
+func TestInstanceAverageConvergesToFedMean(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+	inst, err := reg.Create(fastConfig("avg", FuncAverage), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed := []float64{20.5, 21.0, 19.5, 23.0, 18.0}
+	want := 0.0
+	for _, v := range fed {
+		want += v
+	}
+	want /= float64(len(fed))
+	inst.Feed(fed, nil, false)
+
+	est := waitEstimate(t, inst, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && math.Abs(e.Estimate-want)/want <= 0.05
+	})
+	if !est.OK || !est.Converged {
+		t.Fatalf("no converged estimate: %+v", est)
+	}
+	if rel := math.Abs(est.Estimate-want) / want; rel > 0.05 {
+		t.Fatalf("estimate %g vs fed mean %g: rel error %g > 0.05", est.Estimate, want, rel)
+	}
+	if est.Reporting == 0 || est.Slots != len(fed) {
+		t.Fatalf("reporting=%d slots=%d, want >0 and %d", est.Reporting, est.Slots, len(fed))
+	}
+}
+
+func TestInstanceFeedUpdateReconverges(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+	inst, err := reg.Create(fastConfig("upd", FuncAverage), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Feed([]float64{10, 10, 10}, nil, false)
+	first := waitEstimate(t, inst, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && math.Abs(e.Estimate-10) <= 0.5
+	})
+	if !first.Converged {
+		t.Fatalf("first value set never converged: %+v", first)
+	}
+
+	// Update the values; the fleet re-samples at the next restart and
+	// the generation counter advances past the feed's.
+	_, gen := inst.Feed([]float64{40, 40, 40}, nil, false)
+	second := waitEstimate(t, inst, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && e.Generation > gen && math.Abs(e.Estimate-40) <= 2
+	})
+	if !second.Converged || math.Abs(second.Estimate-40) > 2 {
+		t.Fatalf("updated value set never re-converged: %+v", second)
+	}
+}
+
+func TestInstanceCountTracksFleetSize(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+	cfg := fastConfig("size", FuncCount)
+	inst, err := reg.Create(cfg, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := waitEstimate(t, inst, 15*time.Second, func(e Estimate) bool {
+		return e.OK && math.Abs(e.Estimate-float64(cfg.FleetSize))/float64(cfg.FleetSize) <= 0.3
+	})
+	if !est.OK {
+		t.Fatalf("COUNT instance produced no estimate: %+v", est)
+	}
+	if rel := math.Abs(est.Estimate-float64(cfg.FleetSize)) / float64(cfg.FleetSize); rel > 0.3 {
+		t.Fatalf("COUNT estimate %g vs fleet size %d: rel error %g", est.Estimate, cfg.FleetSize, rel)
+	}
+}
+
+func TestInstanceSumAndVariance(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+	fed := []float64{2, 4, 6, 8}
+
+	sum, err := reg.Create(fastConfig("sum", FuncSum), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum.Feed(fed, nil, false)
+	est := waitEstimate(t, sum, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && math.Abs(e.Estimate-20) <= 1
+	})
+	if math.Abs(est.Estimate-20) > 1 {
+		t.Fatalf("SUM estimate %g, want ≈ 20 (%+v)", est.Estimate, est)
+	}
+
+	vr, err := reg.Create(fastConfig("var", FuncVariance), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr.Feed(fed, nil, false)
+	// Var({2,4,6,8}) = E[x²] − E[x]² = 30 − 25 = 5.
+	est = waitEstimate(t, vr, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && math.Abs(e.Estimate-5) <= 0.5
+	})
+	if math.Abs(est.Estimate-5) > 0.5 {
+		t.Fatalf("VARIANCE estimate %g, want ≈ 5 (%+v)", est.Estimate, est)
+	}
+}
+
+func TestInstanceNamedSlots(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+	inst, err := reg.Create(fastConfig("named", FuncAverage), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Named slots upsert: re-feeding "web1" replaces its value rather
+	// than appending a new slot.
+	inst.Feed(nil, map[string]float64{"web1": 10, "web2": 20}, false)
+	slots, _ := inst.Feed(nil, map[string]float64{"web1": 30}, false)
+	if slots != 2 {
+		t.Fatalf("slots = %d after named upsert, want 2", slots)
+	}
+	est := waitEstimate(t, inst, 10*time.Second, func(e Estimate) bool {
+		return e.OK && e.Converged && math.Abs(e.Estimate-25) <= 1
+	})
+	if math.Abs(est.Estimate-25) > 1 {
+		t.Fatalf("estimate %g after upsert, want ≈ 25 (%+v)", est.Estimate, est)
+	}
+}
+
+// TestDeleteReleasesGoroutines is the leak check of ISSUE satellite 6:
+// create-and-delete cycles must return the process to its baseline
+// goroutine count — every node loop, transport reader and timer freed.
+func TestDeleteReleasesGoroutines(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{Logger: quietLogger()})
+	defer reg.Close()
+
+	// Warm up: one instance's lifetime populates any lazy global state.
+	warm, err := reg.Create(fastConfig("warm", FuncAverage), "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Feed([]float64{1, 2}, nil, false)
+	if err := reg.Delete("warm"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("leak-%d", i)
+		inst, err := reg.Create(fastConfig(name, FuncVariance), "default")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Feed([]float64{1, 2, 3}, nil, false)
+		inst.Estimate()
+		if err := reg.Delete(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Goroutine teardown is asynchronous after Stop returns only for the
+	// runtime's bookkeeping; poll briefly rather than sleeping long.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestConcurrentFeedAndQuery hammers one instance from many goroutines
+// through the full HTTP handler — the -race exercise for the serving
+// path (ISSUE satellite 3).
+func TestConcurrentFeedAndQuery(t *testing.T) {
+	api, _, _ := newTestAPI(t, nil, nil)
+	w := doJSON(t, api, "POST", "/v1/instances",
+		`{"name":"hammer","fleet_size":4,"epoch_ms":100}`, nil)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", w.Code, w.Body.String())
+	}
+
+	const workers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var req *http.Request
+				switch i % 3 {
+				case 0:
+					body := fmt.Sprintf(`{"values":[%d,%d]}`, g, i)
+					req = httptest.NewRequest("POST", "/v1/instances/hammer/values", strings.NewReader(body))
+				case 1:
+					req = httptest.NewRequest("GET", "/v1/instances/hammer/estimate", nil)
+				default:
+					req = httptest.NewRequest("GET", "/v1/instances", nil)
+				}
+				rec := httptest.NewRecorder()
+				api.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d round %d: %s = %d", g, i, req.URL.Path, rec.Code)
+					return
+				}
+				if req.Method == "GET" && strings.HasSuffix(req.URL.Path, "estimate") {
+					var est Estimate
+					if err := json.Unmarshal(rec.Body.Bytes(), &est); err != nil {
+						errs <- fmt.Errorf("worker %d round %d: bad estimate body: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Limit is one tenant's token-bucket parameters.
+type Limit struct {
+	// Rate is the sustained request rate in tokens per second. Zero or
+	// negative means unlimited.
+	Rate float64
+	// Burst is the bucket capacity: how many requests may arrive back to
+	// back before the rate applies (minimum 1 when Rate > 0).
+	Burst float64
+}
+
+// limited reports whether the limit actually constrains anything.
+func (l Limit) limited() bool { return l.Rate > 0 }
+
+// Limiter is per-tenant token-bucket admission control: each tenant
+// owns an independent bucket of Burst tokens refilled at Rate per
+// second; a request takes one token or is rejected with the wait until
+// the next token. Buckets are isolated — one tenant exhausting its
+// budget never delays another. Safe for concurrent use.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// now is the clock, swappable by tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	limit  Limit
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds an empty limiter. Tenants without a configured
+// limit are admitted unconditionally.
+func NewLimiter() *Limiter {
+	return &Limiter{buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// SetLimit installs (or replaces) a tenant's limit. The bucket starts
+// full: a freshly configured tenant gets its whole burst immediately.
+func (l *Limiter) SetLimit(tenant string, limit Limit) {
+	if limit.limited() && limit.Burst < 1 {
+		limit.Burst = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buckets[tenant] = &bucket{limit: limit, tokens: limit.Burst, last: l.now()}
+}
+
+// Allow admits or rejects one request for tenant. On rejection,
+// retryAfter is how long until a token will be available — the
+// Retry-After the API layer serves with the 429.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[tenant]
+	if !found || !b.limit.limited() {
+		return true, 0
+	}
+	now := l.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.limit.Rate
+		if b.tokens > b.limit.Burst {
+			b.tokens = b.limit.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.limit.Rate * float64(time.Second))
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeLimiter() (*Limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewLimiter()
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterUnconfiguredTenantAdmitted(t *testing.T) {
+	l, _ := newFakeLimiter()
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone"); !ok {
+			t.Fatalf("request %d rejected for unconfigured tenant", i)
+		}
+	}
+}
+
+func TestLimiterZeroRateUnlimited(t *testing.T) {
+	l, _ := newFakeLimiter()
+	l.SetLimit("t", Limit{Rate: 0, Burst: 5})
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("request %d rejected despite zero rate", i)
+		}
+	}
+}
+
+func TestLimiterBurstThenReject(t *testing.T) {
+	l, _ := newFakeLimiter()
+	l.SetLimit("t", Limit{Rate: 1, Burst: 3})
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("t")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// The bucket is exactly empty: the next token is one full period away.
+	if want := time.Second; retry != want {
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+}
+
+func TestLimiterRefillMath(t *testing.T) {
+	l, clk := newFakeLimiter()
+	l.SetLimit("t", Limit{Rate: 2, Burst: 2}) // 2 tokens/s, capacity 2
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("initial request %d rejected", i)
+		}
+	}
+	if ok, retry := l.Allow("t"); ok || retry != 500*time.Millisecond {
+		t.Fatalf("empty bucket: ok=%v retry=%v, want rejected with 500ms", ok, retry)
+	}
+
+	// 250ms refills half a token — still not enough for a request.
+	clk.advance(250 * time.Millisecond)
+	if ok, retry := l.Allow("t"); ok || retry != 250*time.Millisecond {
+		t.Fatalf("half token: ok=%v retry=%v, want rejected with 250ms", ok, retry)
+	}
+
+	// Another 250ms completes the token.
+	clk.advance(250 * time.Millisecond)
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("full token rejected")
+	}
+
+	// A long idle stretch refills only to Burst, never beyond.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("t"); !ok {
+			t.Fatalf("post-idle request %d rejected", i)
+		}
+	}
+	if ok, _ := l.Allow("t"); ok {
+		t.Fatal("refill exceeded burst capacity")
+	}
+}
+
+func TestLimiterTenantsIsolated(t *testing.T) {
+	l, _ := newFakeLimiter()
+	l.SetLimit("a", Limit{Rate: 1, Burst: 1})
+	l.SetLimit("b", Limit{Rate: 1, Burst: 1})
+
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("tenant a's first request rejected")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a admitted beyond its budget")
+	}
+	// Tenant a draining its bucket must not touch tenant b's.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b rejected after tenant a drained its own bucket")
+	}
+}
+
+func TestLimiterMinimumBurst(t *testing.T) {
+	l, _ := newFakeLimiter()
+	l.SetLimit("t", Limit{Rate: 5, Burst: 0}) // burst clamped up to 1
+	if ok, _ := l.Allow("t"); !ok {
+		t.Fatal("first request rejected despite minimum burst of 1")
+	}
+	if ok, _ := l.Allow("t"); ok {
+		t.Fatal("second immediate request admitted with burst 1")
+	}
+}

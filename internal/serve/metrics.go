@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"time"
+
+	"antientropy/internal/obs"
+)
+
+// requestSecondsBuckets bound the API request-latency histogram:
+// in-process handlers sit well under a millisecond, estimate reads over
+// large fleets in the low milliseconds.
+var requestSecondsBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+
+// Metrics is the agg_serve_* instrument set, registered on the shared
+// obs registry so the serving series export next to the protocol's
+// agg_* counters on the same /metrics. Per-tenant families are labeled
+// by tenant name (operator-configured, bounded); per-instance families
+// by instance name (operator-created, bounded by Limits.MaxInstances).
+// A nil *Metrics is valid and records nothing.
+type Metrics struct {
+	requests   *obs.CounterVec // agg_serve_requests_total{tenant}
+	rejected   *obs.CounterVec // agg_serve_rejected_total{tenant}
+	instanceRq *obs.CounterVec // agg_serve_instance_requests_total{instance}
+	feedLag    *obs.GaugeVec   // agg_serve_feed_lag_seconds{instance}
+	staleness  *obs.GaugeVec   // agg_serve_estimate_staleness_seconds{instance}
+	generation *obs.GaugeVec   // agg_serve_instance_generation{instance}
+	instances  *obs.Gauge      // agg_serve_instances
+	latency    *obs.Histogram  // agg_serve_request_seconds
+}
+
+// NewMetrics registers the agg_serve_* families on reg (nil reg returns
+// a nil, no-op Metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		requests: reg.CounterVec("agg_serve_requests_total",
+			"API requests received, by tenant (including rejected ones).", "tenant"),
+		rejected: reg.CounterVec("agg_serve_rejected_total",
+			"API requests rejected by admission control (429), by tenant.", "tenant"),
+		instanceRq: reg.CounterVec("agg_serve_instance_requests_total",
+			"Admitted API requests addressing a named instance.", "instance"),
+		feedLag: reg.GaugeVec("agg_serve_feed_lag_seconds",
+			"Seconds the newest feed waited (or is waiting) for an epoch restart to sample it.", "instance"),
+		staleness: reg.GaugeVec("agg_serve_estimate_staleness_seconds",
+			"Age of the newest sealed epoch output at the last estimate read.", "instance"),
+		generation: reg.GaugeVec("agg_serve_instance_generation",
+			"Epoch restarts since instance creation (the API generation number).", "instance"),
+		instances: reg.Gauge("agg_serve_instances",
+			"Live aggregation instances hosted by this daemon."),
+		latency: reg.Histogram("agg_serve_request_seconds",
+			"API request handling latency in seconds.", requestSecondsBuckets),
+	}
+}
+
+// Request counts one received request for tenant.
+func (m *Metrics) Request(tenant string) {
+	if m == nil {
+		return
+	}
+	m.requests.With(tenant).Inc()
+}
+
+// Reject counts one admission-control rejection for tenant.
+func (m *Metrics) Reject(tenant string) {
+	if m == nil {
+		return
+	}
+	m.rejected.With(tenant).Inc()
+}
+
+// InstanceRequest counts one admitted request addressing an instance.
+func (m *Metrics) InstanceRequest(instance string) {
+	if m == nil {
+		return
+	}
+	m.instanceRq.With(instance).Inc()
+}
+
+// ObserveEstimate records the freshness gauges of one estimate read.
+func (m *Metrics) ObserveEstimate(est Estimate) {
+	if m == nil {
+		return
+	}
+	m.feedLag.With(est.Name).Set(est.FeedLagSeconds)
+	m.staleness.With(est.Name).Set(est.StalenessSeconds)
+	m.generation.With(est.Name).Set(float64(est.Generation))
+}
+
+// SetInstances records the live instance count.
+func (m *Metrics) SetInstances(n int) {
+	if m == nil {
+		return
+	}
+	m.instances.Set(float64(n))
+}
+
+// ObserveLatency records one request's handling time.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(d.Seconds())
+}
