@@ -103,6 +103,35 @@ var (
 	Combine = core.Combine
 )
 
+// Pluggable combiners — the merge-policy half of the defense API.
+type (
+	// Combiner reduces a set of estimate samples to one value: the
+	// pluggable merge policy shared by the §7.3 multi-instance
+	// combination and the per-exchange defended merge (MergeGuard).
+	Combiner = core.Combiner
+	// CombinerMean is the undefended arithmetic-mean combiner.
+	CombinerMean = core.Mean
+	// CombinerClampedMean clamps samples into [Min, Max] then averages.
+	CombinerClampedMean = core.ClampedMean
+	// CombinerMedianOfK is the outlier-rejecting median combiner.
+	CombinerMedianOfK = core.MedianOfK
+	// CombinerTrimmedMean is the paper's §7.3 trimmed mean.
+	CombinerTrimmedMean = core.TrimmedMean
+	// MergeGuard applies a Combiner to the pairwise push-pull merge over
+	// a window of recent peer samples.
+	MergeGuard = core.MergeGuard
+)
+
+// CombinerByName resolves a combiner name ("mean", "clamped-mean",
+// "median-of-k", "trimmed-mean"); clamp bounds apply to "clamped-mean".
+func CombinerByName(name string, clampMin, clampMax float64) (Combiner, error) {
+	return core.CombinerByName(name, clampMin, clampMax)
+}
+
+// NewMergeGuard builds a defended-merge guard over n node slots with a
+// per-merge sample budget of k (k < 2 selects core.DefaultMergeK).
+func NewMergeGuard(c Combiner, k, n int) *MergeGuard { return core.NewMergeGuard(c, k, n) }
+
 // Simulation API (the paper's PeerSim-equivalent substrate).
 type (
 	// SimConfig configures one simulated epoch.
@@ -612,6 +641,68 @@ func RunScenarioUDP(ctx context.Context, sc Scenario, opts ScenarioUDPOptions) (
 // program calling this.
 func RunScenarioUDPWorker(in io.Reader, out io.Writer) error {
 	return scenario.RunUDPWorker(in, out)
+}
+
+// ScenarioSchemaVersion is the current scenario JSON schema version.
+// Version 2 added the adversary/defense section; version-1 documents
+// still load but may not declare adversaries.
+const ScenarioSchemaVersion = scenario.SchemaVersion
+
+// Adversary model: scripted Byzantine behaviors, the defense
+// configuration countering them, and the honest-twin bias report
+// quantifying an attack's impact.
+type (
+	// ScenarioAdversary is one scripted Byzantine behavior of a
+	// scenario (inject-extreme, lie-estimate, replay-stale,
+	// sybil-flood).
+	ScenarioAdversary = scenario.Adversary
+	// ScenarioAdversaryBehavior names an adversary behavior.
+	ScenarioAdversaryBehavior = scenario.Behavior
+	// ScenarioDefense configures the countermeasures of a scenario:
+	// the merge combiner (with clamp bounds and sample window) and the
+	// epoch-scoped join cap.
+	ScenarioDefense = scenario.Defense
+	// ScenarioDecodeError is the typed error strict scenario decoding
+	// returns on unknown fields or malformed JSON.
+	ScenarioDecodeError = scenario.DecodeError
+	// ScenarioBiasReport quantifies an attack's impact as the
+	// per-cycle estimate bias of an attacked run against its honest
+	// twin (same seed, adversaries stripped).
+	ScenarioBiasReport = scenario.BiasReport
+	// ScenarioTwinResult bundles an attacked run, its honest twin and
+	// the bias report between them.
+	ScenarioTwinResult = scenario.TwinResult
+)
+
+// Adversary behaviors for ScenarioAdversary.Behavior.
+const (
+	// ScenarioBehaviorInjectExtreme makes Byzantine nodes restart each
+	// epoch with a huge local value.
+	ScenarioBehaviorInjectExtreme = scenario.BehaviorInjectExtreme
+	// ScenarioBehaviorLieEstimate makes Byzantine nodes lie about
+	// their estimate on the wire (fixed value or amplified).
+	ScenarioBehaviorLieEstimate = scenario.BehaviorLieEstimate
+	// ScenarioBehaviorReplayStale makes Byzantine nodes replay a prior
+	// epoch's estimate and epoch tag.
+	ScenarioBehaviorReplayStale = scenario.BehaviorReplayStale
+	// ScenarioBehaviorSybilFlood joins waves of attacker-controlled
+	// identities each cycle.
+	ScenarioBehaviorSybilFlood = scenario.BehaviorSybilFlood
+)
+
+// ScenarioBias compares an attacked run against its honest twin cycle by
+// cycle. Both runs must cover the same cycle count (same scenario shape,
+// same seed).
+func ScenarioBias(attacked, honest *ScenarioRun) ScenarioBiasReport {
+	return scenario.Bias(attacked, honest)
+}
+
+// RunScenarioSimWithTwin executes the scenario twice on the selected
+// simulation engine — once with adversaries stripped (the honest twin),
+// once as scripted — and reports the induced estimate bias. The twin
+// shares the seed, so the bias isolates the attack's effect.
+func RunScenarioSimWithTwin(sc Scenario, opts ScenarioSimOptions) (*ScenarioTwinResult, error) {
+	return scenario.RunSimWithTwin(sc, opts)
 }
 
 // RunExperiment regenerates one figure by id.

@@ -214,6 +214,8 @@ func showScenario(name string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "aggscen: scenario %s, schema version %d (current: %d)\n",
+		sc.Name, sc.Version, antientropy.ScenarioSchemaVersion)
 	fmt.Println(string(data))
 	return nil
 }
@@ -262,9 +264,23 @@ func runScenario(sc antientropy.Scenario, executors []string, format, outPath st
 	var runs []*antientropy.ScenarioRun
 	for _, executor := range executors {
 		start := time.Now()
-		res, err := runExecutor(sc, executor, simOpts, udpOpts, liveOpts)
-		if err != nil {
-			return err
+		var res *antientropy.ScenarioRun
+		// Attacked scenarios run against their honest twin on the
+		// simulator, so the induced estimate bias is reported alongside
+		// the usual summary (the twin shares the seed and defense).
+		if executor == "sim" && sc.HasAdversary() {
+			twin, err := antientropy.RunScenarioSimWithTwin(sc, simOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "aggscen: %s\n", twin.Bias)
+			res = twin.Attacked
+		} else {
+			var err error
+			res, err = runExecutor(sc, executor, simOpts, udpOpts, liveOpts)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(os.Stderr, "aggscen: %s (%v)\n", res.String(), time.Since(start).Round(time.Millisecond))
 		runs = append(runs, res)

@@ -97,6 +97,23 @@ type Config struct {
 	// later frames, never starved. The cap may drop even the fresh
 	// self-descriptor from a frame — harmless for the same reason.
 	MaxViewBytes int
+	// Adversary, when non-nil, corrupts the scalar estimate this node
+	// reports on the wire — the Byzantine hook the scenario executor's
+	// adversary schedules drive. Local state stays honest; only the
+	// outgoing payload (request and reply alike) is rewritten, and the
+	// exchange identifier is untouched so traces still stitch. The hook
+	// receives the node's epoch and honest scalar and returns the
+	// reported value, the epoch tag to stamp it with (replay-stale lies
+	// about the epoch too; honest behaviors echo the input epoch), and
+	// whether the node lied. ModeScalar only.
+	Adversary func(epoch uint64, local float64) (value float64, epochTag uint64, lied bool)
+	// Combiner, when non-nil, replaces the hardcoded push-pull merge of
+	// scalar exchanges with the pluggable defense (clamped-mean,
+	// median-of-k, ...) over a window of CombinerK samples (0 =
+	// core.DefaultMergeK). The window resets at every epoch restart.
+	// ModeScalar only.
+	Combiner  core.Combiner
+	CombinerK int
 	// RTT, when set, receives every measured exchange round trip in
 	// seconds. Fleets share one histogram across all their nodes, so a
 	// process exports a single agg_exchange_rtt_seconds series.
@@ -162,6 +179,12 @@ type Metrics struct {
 	RTTSamples int64
 	// RTTTotal is the summed round-trip latency of RTTSamples replies.
 	RTTTotal time.Duration
+	// AdversaryLies counts outgoing payloads the Config.Adversary hook
+	// corrupted.
+	AdversaryLies int64
+	// DefenseRejected counts peer-reported samples the Config.Combiner
+	// defense rejected or clamped.
+	DefenseRejected int64
 }
 
 // Accumulate adds o's counts into m — the fleet-aggregation and
@@ -183,6 +206,8 @@ func (m *Metrics) Accumulate(o Metrics) {
 	m.GossipEntriesSent += o.GossipEntriesSent
 	m.RTTSamples += o.RTTSamples
 	m.RTTTotal += o.RTTTotal
+	m.AdversaryLies += o.AdversaryLies
+	m.DefenseRejected += o.DefenseRejected
 }
 
 // counters is the node's live counter set: plain atomics, so the
@@ -205,6 +230,7 @@ type counters struct {
 	gossipEntriesSent  atomic.Int64
 	rttSamples         atomic.Int64
 	rttTotalNanos      atomic.Int64
+	adversaryLies      atomic.Int64
 }
 
 // snapshot reads every counter. Loads are individually atomic; a
@@ -227,6 +253,7 @@ func (c *counters) snapshot() Metrics {
 		GossipEntriesSent:  c.gossipEntriesSent.Load(),
 		RTTSamples:         c.rttSamples.Load(),
 		RTTTotal:           time.Duration(c.rttTotalNanos.Load()),
+		AdversaryLies:      c.adversaryLies.Load(),
 	}
 }
 
@@ -236,6 +263,10 @@ type Node struct {
 	cfg    Config
 	log    *slog.Logger
 	funcID uint8
+	// guard is the merge-side combiner defense (nil without one). Its
+	// internal counters are atomics; the sample window is guarded by mu
+	// like the scalar state it defends.
+	guard *core.MergeGuard
 
 	mu            sync.Mutex
 	epoch         uint64
@@ -352,6 +383,9 @@ func New(cfg Config) (*Node, error) {
 		peers:   transport.NewSessions(0, func(string) *peerSession { return &peerSession{} }),
 		pending: make(map[uint64]chan wire.Payload),
 		rng:     stats.NewRNG(cfg.Seed),
+	}
+	if cfg.Combiner != nil && cfg.Mode == ModeScalar {
+		n.guard = core.NewMergeGuard(cfg.Combiner, cfg.CombinerK, 1)
 	}
 	n.leaderID = leaderIDFor(addr)
 	// The exchange-ID stream mixes the address into the seed so two
@@ -642,7 +676,11 @@ func (n *Node) LastOutput() (Output, bool) {
 // no lock: the counters are atomics, so scraping a running fleet never
 // contends with the exchange path.
 func (n *Node) Metrics() Metrics {
-	return n.metrics.snapshot()
+	m := n.metrics.snapshot()
+	if n.guard != nil {
+		m.DefenseRejected = n.guard.Rejected()
+	}
+	return m
 }
 
 // Subscribe returns a channel that receives every completed epoch's

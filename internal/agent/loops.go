@@ -84,6 +84,11 @@ func (n *Node) startEpochLocked() {
 
 // resetStateLocked loads fresh initial values (§4.1 restart).
 func (n *Node) resetStateLocked() {
+	if n.guard != nil {
+		// Peer samples gathered under the previous epoch's value
+		// assignment must not vote in the next.
+		n.guard.ResetAll()
+	}
 	if n.cfg.Mode == ModeScalar {
 		if n.hasPending {
 			n.scalar = n.pendingValue
@@ -224,6 +229,12 @@ func (n *Node) trace(kind obs.TraceKind, peer string, seq, epoch, xid uint64, at
 // applyLocked merges a remote state into ours.
 func (n *Node) applyLocked(remote wire.Payload) {
 	if n.cfg.Mode == ModeScalar {
+		if n.guard != nil {
+			// The combiner defense decides what the peer's reported
+			// estimate is worth before it enters the local state.
+			n.scalar = n.guard.Merge(0, n.scalar, remote.Scalar)
+			return
+		}
 		next, _ := n.cfg.Function.Update(n.scalar, remote.Scalar)
 		n.scalar = next
 		return
@@ -252,6 +263,16 @@ func (n *Node) payloadLocked(sess *peerSession, seq, xid uint64, now time.Time) 
 	}
 	if n.cfg.Mode == ModeScalar {
 		p.Scalar = n.scalar
+		if adv := n.cfg.Adversary; adv != nil {
+			// The single wire-level injection point: requests and replies
+			// alike report the corrupted value (and, for replay-stale, a
+			// past epoch tag), while XID/Seq stay honest so the exchange
+			// still stitches into one trace span.
+			if v, epochTag, lied := adv(n.epoch, n.scalar); lied {
+				p.Scalar, p.Epoch = v, epochTag
+				n.metrics.adversaryLies.Add(1)
+			}
+		}
 		return p, version
 	}
 	entries := make([]wire.MapEntry, 0, len(n.mapState))

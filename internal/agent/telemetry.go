@@ -56,4 +56,10 @@ func RegisterMetrics(reg *obs.Registry, snap func() Metrics) {
 	counter("agg_gossip_entries_sent_total",
 		"Descriptors sent across all outgoing membership frames.",
 		func(m Metrics) int64 { return m.GossipEntriesSent })
+	counter("agg_adversary_lies_total",
+		"Corrupted wire reports emitted by Byzantine nodes.",
+		func(m Metrics) int64 { return m.AdversaryLies })
+	counter("agg_adversary_rejected_total",
+		"Peer-reported samples the merge-guard defense rejected or clamped.",
+		func(m Metrics) int64 { return m.DefenseRejected })
 }

@@ -13,6 +13,9 @@ const TrimDivisor = 3
 // aggregation protocol into a single robust output, exactly as §7.3
 // prescribes: order the estimates, discard the ⌊t/3⌋ lowest and ⌊t/3⌋
 // highest, and return the mean of the rest.
+//
+// Deprecated: use the pluggable Combiner interface —
+// TrimmedMean{Divisor: TrimDivisor}.Combine — which this wraps.
 func Combine(estimates []float64) (float64, error) {
 	return stats.TrimmedMean(estimates, TrimDivisor)
 }
@@ -20,6 +23,8 @@ func Combine(estimates []float64) (float64, error) {
 // CombinePlain is the ablation baseline: the plain mean with no trimming.
 // Benchmark AblationCombiner contrasts it with Combine under message
 // loss.
+//
+// Deprecated: use Mean{}.Combine from the Combiner interface.
 func CombinePlain(estimates []float64) (float64, error) {
 	return stats.Mean(estimates)
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"antientropy/internal/scenario"
+	"antientropy/internal/sim"
+)
+
+// AdvBiasConfig parameterizes the adversary-bias figure: an attacked
+// canned scenario executed against its honest twin, once with its
+// defense section stripped and once as configured, so the two |bias|
+// trajectories show what the defense buys.
+type AdvBiasConfig struct {
+	// Scenario is the canned scenario name; it must declare adversaries.
+	Scenario string
+	// N overrides the scenario's network size (0 keeps it).
+	N int
+	// Reps is the number of independent repetitions.
+	Reps int
+	// Seed is the master seed.
+	Seed uint64
+	// EngineSel selects the simulation engine.
+	EngineSel
+}
+
+// DefaultAdvBias returns laptop-scale defaults for the given attacked
+// scenario.
+func DefaultAdvBias(name string) AdvBiasConfig {
+	return AdvBiasConfig{Scenario: name, Reps: 3, Seed: 29}
+}
+
+// RunAdvBias executes the attacked scenario Reps times in two variants —
+// defense stripped and defense as declared — each against its honest
+// twin on the same seed, and plots the per-cycle |estimate bias| of
+// both. The gap between the two series is the defense's effect under
+// identical attack schedules.
+func RunAdvBias(cfg AdvBiasConfig) (*Result, error) {
+	if cfg.Reps < 1 {
+		return nil, fmt.Errorf("experiments: invalid adversary-bias config %+v", cfg)
+	}
+	sc, err := scenario.ByName(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.HasAdversary() {
+		return nil, fmt.Errorf("experiments: scenario %s declares no adversaries", cfg.Scenario)
+	}
+	if cfg.N > 0 {
+		sc.N = cfg.N
+	}
+	eng, err := cfg.EngineSel.resolve(sc.N, cfg.Reps)
+	if err != nil {
+		return nil, err
+	}
+	opts := scenario.SimOptions{Engine: eng.name, Shards: eng.shards, Workers: eng.workers}
+	type pair struct{ undefended, defended scenario.BiasReport }
+	reports := make([]pair, cfg.Reps)
+	err = sim.ParallelReps(cfg.Reps, cfg.Seed, func(rep int, seed uint64) error {
+		attacked := sc
+		attacked.Seed = seed
+		bare := attacked
+		bare.Defense = scenario.Defense{}
+		undef, err := scenario.RunSimWithTwin(bare, opts)
+		if err != nil {
+			return err
+		}
+		def, err := scenario.RunSimWithTwin(attacked, opts)
+		if err != nil {
+			return err
+		}
+		reports[rep] = pair{undefended: undef.Bias, defended: def.Bias}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adversary bias %s: %w", cfg.Scenario, err)
+	}
+	cycles := len(reports[0].undefended.PerCycle)
+	if c := len(reports[0].defended.PerCycle); c < cycles {
+		cycles = c
+	}
+	undefended := Series{Label: "undefended |bias|"}
+	defended := Series{Label: "defended |bias|"}
+	for c := 0; c < cycles; c++ {
+		var us, ds []float64
+		for _, p := range reports {
+			us = append(us, math.Abs(p.undefended.PerCycle[c]))
+			ds = append(ds, math.Abs(p.defended.PerCycle[c]))
+		}
+		x := float64(c)
+		undefended.Points = append(undefended.Points, summarize(x, us))
+		defended.Points = append(defended.Points, summarize(x, ds))
+	}
+	return &Result{
+		ID:     "advbias-" + cfg.Scenario,
+		Title:  fmt.Sprintf("Attack bias vs honest twin, %q, defense off/on", cfg.Scenario),
+		XLabel: "cycle",
+		YLabel: "|attacked mean estimate - honest mean estimate|",
+		Engine: eng.name,
+		Series: []Series{undefended, defended},
+	}, nil
+}

@@ -407,6 +407,7 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	wantIDs := []string{
 		"ablation-combiner", "ablation-peer-selection", "ablation-pushpull",
+		"advbias-inject-extreme", "advbias-sybil-flood",
 		"extension-adaptivity", "extension-countchain", "extension-minmax",
 		"fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig5",
 		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b",

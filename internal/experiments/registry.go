@@ -229,6 +229,24 @@ func Registry() []Runner {
 			},
 		},
 		{
+			ID:          "advbias-inject-extreme",
+			Description: "Byzantine value injection: |bias| vs honest twin, defense off/on",
+			Run: func(o Options) (*Result, error) {
+				cfg := DefaultAdvBias("inject-extreme")
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
+				return RunAdvBias(cfg)
+			},
+		},
+		{
+			ID:          "advbias-sybil-flood",
+			Description: "sybil join flood: |bias| vs honest twin, defense off/on",
+			Run: func(o Options) (*Result, error) {
+				cfg := DefaultAdvBias("sybil-flood")
+				cfg.N, cfg.Reps, cfg.Seed, cfg.EngineSel = o.N, o.reps(cfg.Reps), o.seed(cfg.Seed), o.sel()
+				return RunAdvBias(cfg)
+			},
+		},
+		{
 			ID:          "ablation-pushpull",
 			Description: "A1: push-pull vs push-sum vs push-only under loss",
 			Run: func(o Options) (*Result, error) {

@@ -295,7 +295,37 @@ func (e *Engine) applyExchange(i, j int, replyLost bool) {
 		}
 		return
 	}
-	ni, nj := e.cfg.Fn.Update(e.scalar[i], e.scalar[j])
+	si, sj := e.scalar[i], e.scalar[j]
+	if e.cfg.Adversary == nil && e.cfg.Guard == nil {
+		ni, nj := e.cfg.Fn.Update(si, sj)
+		e.scalar[j] = nj
+		if !replyLost {
+			e.scalar[i] = ni
+		}
+		return
+	}
+	// Byzantine path: each side merges the peer's *reported* value —
+	// possibly corrupted by the adversary hook — while local state stays
+	// honest; the guard, when set, screens the report through the
+	// pluggable Combiner defense (see sim.Config.Guard).
+	ri, rj := si, sj
+	if adv := e.cfg.Adversary; adv != nil {
+		if v, lied := adv(e.cycle, i, si); lied {
+			ri = v
+		}
+		if v, lied := adv(e.cycle, j, sj); lied {
+			rj = v
+		}
+	}
+	if g := e.cfg.Guard; g != nil {
+		e.scalar[j] = g.Merge(j, sj, ri)
+		if !replyLost {
+			e.scalar[i] = g.Merge(i, si, rj)
+		}
+		return
+	}
+	ni, _ := e.cfg.Fn.Update(si, rj)
+	_, nj := e.cfg.Fn.Update(ri, sj)
 	e.scalar[j] = nj
 	if !replyLost {
 		e.scalar[i] = ni
@@ -456,6 +486,9 @@ func (e *Engine) Replace(node int) {
 	} else {
 		e.scalar[node] = 0
 	}
+	if e.cfg.Guard != nil {
+		e.cfg.Guard.ResetNode(node)
+	}
 	e.overlay.onJoin(node, e.cycle, e.ctl)
 }
 
@@ -463,6 +496,11 @@ func (e *Engine) Replace(node int) {
 // participant and, in scalar mode, reloads a fresh local value from init
 // when given.
 func (e *Engine) Restart(init func(node int) float64) {
+	if e.cfg.Guard != nil {
+		// Peer samples gathered under the previous epoch's value
+		// assignment must not vote in the next.
+		e.cfg.Guard.ResetAll()
+	}
 	for _, id := range e.alive.Items() {
 		i := int(id)
 		e.participating[i] = true

@@ -113,6 +113,21 @@ type Config struct {
 	// models, with the same semantics, as the serial engine's.
 	Failures []sim.FailureModel
 
+	// Adversary, when non-nil, rewrites the scalar estimate a node
+	// reports to its exchange peer — the Byzantine wire-lying hook, with
+	// the same contract as sim.Config.Adversary. It must be a pure
+	// function of (cycle, node, local): shards call it concurrently.
+	// Scalar mode only.
+	Adversary func(cycle, node int, local float64) (float64, bool)
+
+	// Guard, when non-nil, replaces the hardcoded push-pull average
+	// merge of scalar exchanges with the pluggable Combiner defense,
+	// with the same contract as sim.Config.Guard. Node sample windows
+	// are only touched by the owning shard (intra-shard exchanges) or
+	// the serial merge (cross-shard), so the guard needs no locking.
+	// Scalar mode only.
+	Guard *core.MergeGuard
+
 	// BeforeCycle, when non-nil, runs serially at the start of every
 	// cycle — the scenario engine's epoch-restart hook.
 	BeforeCycle func(cycle int, e *Engine)

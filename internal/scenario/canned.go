@@ -84,6 +84,33 @@ func Canned() []Scenario {
 			},
 		},
 		{
+			Name: "inject-extreme",
+			Description: "5% of the nodes are Byzantine and restart every epoch with a " +
+				"huge local value; the defended run takes the median-of-k per merge, " +
+				"so a single extreme peer sample is outvoted instead of averaged in " +
+				"(compare against the honest twin for the induced bias)",
+			N: 1000, Cycles: 90, Seed: 19,
+			Adversaries: []Adversary{
+				{Behavior: BehaviorInjectExtreme, Fraction: 0.05, Value: 1e12},
+			},
+			Defense: Defense{Combiner: "median-of-k", Samples: 5},
+		},
+		{
+			Name: "sybil-flood",
+			Description: "an attacker joins 20 fake identities per cycle for two epochs, " +
+				"each reporting an inflated value; the epoch-scoped join cap admits at " +
+				"most 30 joins per epoch and the clamped mean bounds what each admitted " +
+				"sybil can inject",
+			N: 1000, Cycles: 90, Seed: 20,
+			Adversaries: []Adversary{
+				{Behavior: BehaviorSybilFlood, At: 31, Until: 60, Rate: 20, Value: 1e9},
+			},
+			Defense: Defense{
+				Combiner: "clamped-mean", ClampMin: -1e6, ClampMax: 1e6,
+				JoinCap: 30,
+			},
+		},
+		{
 			Name: "rolling-restart",
 			Description: "a deployment-style rolling restart: 10% of the nodes crash " +
 				"in waves every 10 cycles and are restarted 5 cycles later, under " +

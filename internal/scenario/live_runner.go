@@ -106,7 +106,30 @@ func RunLive(ctx context.Context, sc Scenario, opts LiveOptions) (*RunResult, er
 		opts:   opts,
 		sched:  schedule,
 		ctx:    ctx,
+		adv:    newAdvSchedule(sc, slots),
 		sobs:   newScenarioObs(opts.Obs, opts.Timeline, opts.Logger),
+	}
+	if d.adv != nil {
+		d.advStale = make([]liveStaleState, slots)
+	}
+	if c, err := sc.Defense.combiner(); err == nil {
+		d.combiner = c // err pre-screened by Validate
+	}
+	if opts.Obs != nil && (d.adv != nil || sc.Defense.JoinCap > 0) {
+		// Rebind the zero-valued adversary series newScenarioObs just
+		// registered to this run's schedule. The lie and rejection counters
+		// live in the per-node agent metrics; RegisterMetrics below rebinds
+		// those to the fleet aggregation.
+		adv := d.adv
+		opts.Obs.GaugeFunc("agg_adversary_nodes", advNodesHelp, func() float64 {
+			if adv == nil {
+				return 0
+			}
+			return float64(adv.HostileCount())
+		})
+		opts.Obs.CounterFunc("agg_adversary_joins_refused_total", advRefusedHelp, func() int64 {
+			return d.joinsRefused.Load()
+		})
 	}
 	if opts.Obs != nil {
 		d.rtt = opts.Obs.Histogram("agg_exchange_rtt_seconds",
@@ -238,6 +261,22 @@ type liveDriver struct {
 	rtt  *obs.Histogram
 	sobs *scenarioObs
 
+	// adv is the run's Byzantine plan (nil for honest scenarios) — the
+	// same seed-derived schedule the simulator executors materialize, so
+	// the executors attack identical slots. advStale carries the
+	// replay-stale attackers' lagged snapshots from the per-node output
+	// subscriptions to the wire hooks; combiner is the defense's merge
+	// policy handed to every node.
+	adv      *advSchedule
+	advStale []liveStaleState
+	combiner core.Combiner
+
+	// Epoch-scoped join-cap bookkeeping (the sybil-flood defense).
+	// Honest script joins and sybil joins consume the same budget.
+	joinEpoch      int
+	joinsThisEpoch int
+	joinsRefused   atomic.Int64
+
 	stopping sync.WaitGroup
 }
 
@@ -253,13 +292,19 @@ func (d *liveDriver) fleetMetrics() agent.Metrics {
 	return total
 }
 
-// newNode builds (but does not start) the agent for a slot.
+// newNode builds (but does not start) the agent for a slot. Slot-based
+// adversary wiring happens here so a Byzantine slot that churns stays
+// Byzantine, mirroring the simulator's slot-indexed schedule.
 func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
+	var hook func(uint64, float64) (float64, uint64, bool)
+	if d.adv != nil {
+		hook = d.adv.wireHook(slot, &d.advStale[slot], &d.cycleNow)
+	}
 	node, err := agent.New(agent.Config{
 		Endpoint:     ep,
 		Schedule:     d.sched,
 		Function:     core.Average,
-		Value:        func() float64 { return d.prog.Value(slot, int(d.cycleNow.Load())) },
+		Value:        liveValueSupplier(d.adv, d.prog, slot, &d.cycleNow),
 		CacheSize:    d.opts.CacheSize,
 		Seeds:        seeds,
 		Bootstrap:    bootstrap,
@@ -268,15 +313,66 @@ func (d *liveDriver) newNode(slot int, ep transport.Endpoint, seeds, bootstrap [
 		RTT:          d.rtt,
 		Trace:        d.opts.Trace,
 		MaxViewBytes: d.sc.ViewCapBytes,
+		Adversary:    hook,
+		Combiner:     d.combiner,
+		CombinerK:    d.sc.Defense.Samples,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: building node %d: %w", d.sc.Name, slot, err)
 	}
+	if d.adv != nil {
+		if lag := d.adv.replayLag(slot); lag > 0 {
+			replayWatch(node, &d.advStale[slot], lag, &d.stopping)
+		}
+	}
 	return node, nil
+}
+
+// admitJoin applies the defense's epoch-scoped join cap. The cap cannot
+// tell an honest joiner from an attacker: both draw from one budget.
+func (d *liveDriver) admitJoin() bool {
+	if cap := d.sc.Defense.JoinCap; cap > 0 && d.joinsThisEpoch >= cap {
+		d.joinsRefused.Add(1)
+		return false
+	}
+	d.joinsThisEpoch++
+	return true
+}
+
+// sybilJoins lands the active sybil-flood attackers' joiners for the
+// cycle. Each lands as a real joining node whose value supplier reports
+// the configured sybil value; marking the slot before the node starts
+// makes the supplier see it from the first restart.
+func (d *liveDriver) sybilJoins(cycle int) error {
+	if d.adv == nil {
+		return nil
+	}
+	for ai, a := range d.sc.Adversaries {
+		if a.Behavior != BehaviorSybilFlood || !a.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		for k := 0; k < a.Rate; k++ {
+			if !d.admitJoin() {
+				continue
+			}
+			slot, ok := d.roster.takeJoinSlot()
+			if !ok {
+				return nil
+			}
+			d.adv.markSybil(slot, ai)
+			if err := d.startJoiner(slot); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // applyEvents runs the script for one wall-clock cycle.
 func (d *liveDriver) applyEvents(cycle int) error {
+	if epoch := (cycle - 1) / d.sc.EpochLen; epoch != d.joinEpoch {
+		d.joinEpoch, d.joinsThisEpoch = epoch, 0
+	}
 	if d.part.expired(cycle) {
 		d.heal()
 	}
@@ -305,6 +401,9 @@ func (d *liveDriver) applyEvents(cycle int) error {
 		case KindJoin:
 			count := ev.resolveCount(d.sc.N)
 			for k := 0; k < count; k++ {
+				if !d.admitJoin() {
+					continue
+				}
 				slot, ok := d.roster.takeJoinSlot()
 				if !ok {
 					break
@@ -335,7 +434,7 @@ func (d *liveDriver) applyEvents(cycle int) error {
 			d.heal()
 		}
 	}
-	return nil
+	return d.sybilJoins(cycle)
 }
 
 // crash stops a node ungracefully (its endpoint vanishes; peers time
@@ -422,16 +521,28 @@ func (d *liveDriver) heal() {
 func (d *liveDriver) sample(cycle int) CycleMetrics {
 	d.mu.Lock()
 	var est, truth stats.Moments
-	participating := 0
+	alive, participating := 0, 0
 	totals := d.retired
+	// Under an adversary the estimate and truth moments cover the honest
+	// population only (matching the simulator executors): the attack's
+	// impact is what leaks into honest estimates, and the value signal
+	// attacker-controlled slots would contribute is fake. Alive and
+	// participating still count everyone — hostile nodes are real nodes.
 	for _, slot := range d.roster.liveSlots() {
 		node := d.nodes[slot]
-		truth.Add(d.prog.Value(slot, cycle))
+		alive++
 		totals.Accumulate(node.Metrics())
+		hostile := d.adv != nil && d.adv.hostile(slot)
+		if !hostile {
+			truth.Add(d.prog.Value(slot, cycle))
+		}
 		if !node.Participating() {
 			continue
 		}
 		participating++
+		if hostile {
+			continue
+		}
 		if v, ok := node.Estimate(); ok {
 			est.Add(v)
 		}
@@ -447,7 +558,7 @@ func (d *liveDriver) sample(cycle int) CycleMetrics {
 	row := CycleMetrics{
 		Cycle:          cycle,
 		Epoch:          epoch,
-		Alive:          truth.N(),
+		Alive:          alive,
 		Participating:  participating,
 		TrueMean:       truth.Mean(),
 		MeanEstimate:   est.Mean(),

@@ -39,10 +39,29 @@ type scenarioObs struct {
 	theoryRho   *obs.Gauge
 	rhoRatio    *obs.Gauge
 
+	// advBias publishes the attacked run's per-cycle estimate bias
+	// against the honest-twin baseline (see SimOptions.BiasBaseline);
+	// reg is retained so bindAdversary can hook the agg_adversary_*
+	// counters to a run's adversary schedule at scrape time.
+	advBias  *obs.Gauge
+	baseline []CycleMetrics
+	reg      *obs.Registry
+
 	watch    convergenceWatch
 	timeline *obs.Timeline
 	health   *obs.Health
 }
+
+// Help strings of the adversary instruments, shared between the
+// zero-valued registration of newScenarioObs and the live rebinding of
+// bindAdversary so the registry sees one consistent schema.
+const (
+	advNodesHelp   = "Attacker-controlled nodes scheduled so far (Byzantine picks plus landed sybil joiners)."
+	advLiesHelp    = "Corrupted wire reports emitted by Byzantine nodes."
+	advRejectHelp  = "Peer-reported samples the merge-guard defense rejected or clamped."
+	advRefusedHelp = "Joins refused by the defense's epoch-scoped join cap."
+	advBiasHelp    = "Mean-estimate bias of the attacked run against its honest twin at the same cycle."
+)
 
 // newScenarioObs builds the cycle observer: gauges on reg (skipped when
 // nil), snapshots on timeline (skipped when nil), and the health rules
@@ -57,6 +76,7 @@ func newScenarioObs(reg *obs.Registry, timeline *obs.Timeline, logger *slog.Logg
 	s := &scenarioObs{
 		timeline: timeline,
 		health:   obs.NewHealth(reg, obs.HealthConfig{Logger: logger}),
+		reg:      reg,
 	}
 	if reg == nil {
 		return s
@@ -76,6 +96,14 @@ func newScenarioObs(reg *obs.Registry, timeline *obs.Timeline, logger *slog.Logg
 	s.rhoRatio = reg.Gauge("agg_convergence_rho_ratio",
 		"Observed over theoretical variance reduction; ~1 means the fleet converges at the paper's rate.")
 	s.theoryRho.Set(theory.RhoPushPull)
+	// Adversary series exist for every run — zero on honest scenarios —
+	// so dashboards keep one schema; bindAdversary rebinds them to a
+	// run's live schedule.
+	reg.GaugeFunc("agg_adversary_nodes", advNodesHelp, func() float64 { return 0 })
+	reg.CounterFunc("agg_adversary_lies_total", advLiesHelp, func() int64 { return 0 })
+	reg.CounterFunc("agg_adversary_rejected_total", advRejectHelp, func() int64 { return 0 })
+	reg.CounterFunc("agg_adversary_joins_refused_total", advRefusedHelp, func() int64 { return 0 })
+	s.advBias = reg.Gauge("agg_adversary_bias", advBiasHelp)
 	// Every executor exports the transport series so dashboards see one
 	// schema; the live and udp executors rebind the funcs to their real
 	// transports (registry funcs are rebindable), the simulator has no
@@ -94,6 +122,42 @@ func newScenarioObs(reg *obs.Registry, timeline *obs.Timeline, logger *slog.Logg
 	return s
 }
 
+// bindAdversary hooks the adversary instruments to one simulation run:
+// the agg_adversary_* counters read the run's schedule, guard and join
+// bookkeeping at scrape time, and observe() publishes the bias gauge
+// against the honest-twin baseline (nil baseline = no bias series).
+func (s *scenarioObs) bindAdversary(d *simDriver, baseline []CycleMetrics) {
+	if s == nil {
+		return
+	}
+	s.baseline = baseline
+	if s.reg == nil || (d.adv == nil && d.guard == nil && d.sc.Defense.JoinCap == 0) {
+		return
+	}
+	adv, guard := d.adv, d.guard
+	s.reg.GaugeFunc("agg_adversary_nodes", advNodesHelp, func() float64 {
+		if adv == nil {
+			return 0
+		}
+		return float64(adv.HostileCount())
+	})
+	s.reg.CounterFunc("agg_adversary_lies_total", advLiesHelp, func() int64 {
+		if adv == nil {
+			return 0
+		}
+		return adv.Lies()
+	})
+	s.reg.CounterFunc("agg_adversary_rejected_total", advRejectHelp, func() int64 {
+		if guard == nil {
+			return 0
+		}
+		return guard.Rejected()
+	})
+	s.reg.CounterFunc("agg_adversary_joins_refused_total", advRefusedHelp, func() int64 {
+		return d.joinsRefused.Load()
+	})
+}
+
 // observe publishes one cycle's metrics row: gauges, convergence watch,
 // health-rule evaluation, and the flight-recorder snapshot.
 func (s *scenarioObs) observe(c CycleMetrics, proto protoTotals) {
@@ -109,6 +173,9 @@ func (s *scenarioObs) observe(c CycleMetrics, proto protoTotals) {
 		s.meanEstimate.Set(c.MeanEstimate)
 		s.estimateStdDev.Set(c.EstimateStdDev)
 		s.relError.Set(c.RelError)
+		if s.baseline != nil && c.Cycle < len(s.baseline) {
+			s.advBias.Set(c.MeanEstimate - s.baseline[c.Cycle].MeanEstimate)
+		}
 	}
 	rho, ok := s.watch.observe(c)
 	if !ok {

@@ -21,12 +21,43 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+
+	"antientropy/internal/core"
 )
+
+// SchemaVersion is the current scenario JSON schema version. Version 1
+// is the original DSL (events only); version 2 adds the adversary and
+// defense sections. Files without a version field decode as the current
+// version; files declaring a newer version are rejected.
+const SchemaVersion = 2
+
+// DecodeError is the typed error strict scenario decoding returns: an
+// unknown field (a typo that would otherwise silently no-op), malformed
+// JSON, or an unsupported schema version.
+type DecodeError struct {
+	// Reason classifies the failure: "unknown-field", "syntax" or
+	// "version".
+	Reason string
+	// Err is the underlying decoder error, when any.
+	Err error
+}
+
+// Error describes the decode failure.
+func (e *DecodeError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("scenario: strict decode (%s)", e.Reason)
+	}
+	return fmt.Sprintf("scenario: strict decode (%s): %v", e.Reason, e.Err)
+}
+
+// Unwrap exposes the underlying decoder error.
+func (e *DecodeError) Unwrap() error { return e.Err }
 
 // Kind names a scenario event type.
 type Kind string
@@ -160,8 +191,125 @@ type ValueSpec struct {
 	Hi float64 `json:"hi,omitempty"`
 }
 
+// Behavior names a typed Byzantine behavior of the adversary section.
+type Behavior string
+
+// Adversary behaviors (schema version 2).
+const (
+	// BehaviorInjectExtreme makes Byzantine nodes report huge local
+	// values (Value; NaN/Inf are screened to a huge finite default), the
+	// value-poisoning attack on AVERAGE: the extreme mass diffuses into
+	// every honest estimate.
+	BehaviorInjectExtreme Behavior = "inject-extreme"
+	// BehaviorLieEstimate makes Byzantine nodes answer exchanges with a
+	// fixed (Value) or amplified (Amplify × honest) estimate while their
+	// local state stays honest — wire-level lying, invisible to the
+	// liar's own trajectory.
+	BehaviorLieEstimate Behavior = "lie-estimate"
+	// BehaviorReplayStale makes Byzantine nodes answer with the estimate
+	// (and, on the live executors, the epoch tag) they held Lag epochs
+	// ago — a replay attack the epoch-synchronization rules (§4.3)
+	// already blunt on the live path.
+	BehaviorReplayStale Behavior = "replay-stale"
+	// BehaviorSybilFlood joins Rate attacker-controlled nodes per active
+	// cycle, each reporting Value — mass dilution through fake
+	// identities, countered by the defense section's epoch-scoped join
+	// cap.
+	BehaviorSybilFlood Behavior = "sybil-flood"
+)
+
+// Adversary is one scheduled Byzantine condition: during [At, Until] a
+// deterministic set of nodes (Count, or Fraction of the initial
+// population, chosen once per run from the scenario seed) exhibits the
+// typed Behavior. Which fields are meaningful depends on Behavior;
+// Validate rejects nonsensical combinations. Requires schema version 2.
+type Adversary struct {
+	// Behavior selects the attack.
+	Behavior Behavior `json:"behavior"`
+	// At is the first cycle (1-based) the attack is active; 0 means 1.
+	At int `json:"at,omitempty"`
+	// Until is the last active cycle (inclusive); 0 means the end of the
+	// run.
+	Until int `json:"until,omitempty"`
+	// Count is the absolute number of Byzantine nodes; Fraction
+	// expresses it relative to the initial population when Count is 0.
+	// Not used by sybil-flood (which creates its own nodes).
+	Count    int     `json:"count,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+	// Value is the reported scalar: the injected local value
+	// (inject-extreme, default 1e12), the fixed lie (lie-estimate, when
+	// Amplify is 0) or the sybil nodes' local value (sybil-flood,
+	// default 0).
+	Value float64 `json:"value,omitempty"`
+	// Amplify, when non-zero, makes lie-estimate report Amplify × the
+	// honest estimate instead of the fixed Value.
+	Amplify float64 `json:"amplify,omitempty"`
+	// Lag is how many epochs back replay-stale answers from (default 1).
+	Lag int `json:"lag,omitempty"`
+	// Rate is the sybil-flood join rate in attacker nodes per active
+	// cycle.
+	Rate int `json:"rate,omitempty"`
+}
+
+// window resolves the adversary's active cycle range within a run of
+// the given total length.
+func (a Adversary) window(total int) (from, to int) {
+	from, to = a.At, a.Until
+	if from < 1 {
+		from = 1
+	}
+	if to == 0 {
+		to = total
+	}
+	return from, to
+}
+
+// activeAt reports whether the adversary is active at the given cycle.
+func (a Adversary) activeAt(cycle, total int) bool {
+	from, to := a.window(total)
+	return cycle >= from && cycle <= to
+}
+
+// Defense configures the cheap countermeasures paired with the
+// adversary section: a pluggable merge combiner (value clamping,
+// outlier rejection by median vote) and an epoch-scoped join cap.
+// Requires schema version 2.
+type Defense struct {
+	// Combiner selects the merge policy: "mean" (undefended baseline),
+	// "clamped-mean" (requires ClampMin < ClampMax), "median-of-k" or
+	// "trimmed-mean". Empty keeps the classical hardcoded push-pull
+	// merge.
+	Combiner string `json:"combiner,omitempty"`
+	// ClampMin and ClampMax bound admissible peer-reported estimates for
+	// the clamped-mean combiner.
+	ClampMin float64 `json:"clampMin,omitempty"`
+	ClampMax float64 `json:"clampMax,omitempty"`
+	// Samples is k, the per-merge sample budget of the combiner window
+	// (local + current peer + k−2 recent peers). 0 selects
+	// core.DefaultMergeK.
+	Samples int `json:"samples,omitempty"`
+	// JoinCap caps accepted joins per epoch (0 = unlimited) — the
+	// sybil-flood countermeasure. Honest and attacker joins count
+	// alike; over-cap joins are refused and counted.
+	JoinCap int `json:"joinCap,omitempty"`
+}
+
+// Enabled reports whether the defense changes anything.
+func (d Defense) Enabled() bool { return d.Combiner != "" || d.JoinCap > 0 }
+
+// combiner resolves the configured core.Combiner (nil when Combiner is
+// empty). Call on a validated scenario.
+func (d Defense) combiner() (core.Combiner, error) {
+	if d.Combiner == "" {
+		return nil, nil
+	}
+	return core.CombinerByName(d.Combiner, d.ClampMin, d.ClampMax)
+}
+
 // Scenario is one declarative run description, loadable from JSON.
 type Scenario struct {
+	// Version is the schema version (0 = current; see SchemaVersion).
+	Version int `json:"version,omitempty"`
 	// Name identifies the scenario (aggscen -run NAME).
 	Name string `json:"name"`
 	// Description summarizes what the scenario exercises.
@@ -192,10 +340,17 @@ type Scenario struct {
 	ViewCapBytes int `json:"viewCapBytes,omitempty"`
 	// Events are the scripted interventions, applied in order each cycle.
 	Events []Event `json:"events,omitempty"`
+	// Adversaries are the scheduled Byzantine conditions (version 2).
+	Adversaries []Adversary `json:"adversaries,omitempty"`
+	// Defense configures the countermeasures (version 2).
+	Defense Defense `json:"defense,omitempty"`
 }
 
 // WithDefaults returns a copy with unset optional fields filled in.
 func (s Scenario) WithDefaults() Scenario {
+	if s.Version == 0 {
+		s.Version = SchemaVersion
+	}
 	if s.EpochLen <= 0 {
 		s.EpochLen = 30
 	}
@@ -205,6 +360,36 @@ func (s Scenario) WithDefaults() Scenario {
 	if s.Values.Kind == "" {
 		s.Values = ValueSpec{Kind: "uniform", Lo: 0, Hi: 100}
 	}
+	for i := range s.Adversaries {
+		a := &s.Adversaries[i]
+		if a.At < 1 {
+			a.At = 1
+		}
+		switch a.Behavior {
+		case BehaviorInjectExtreme:
+			if a.Value == 0 || math.IsNaN(a.Value) || math.IsInf(a.Value, 0) {
+				// "NaN-adjacent": huge but finite, so the undefended merge
+				// arithmetic stays well-defined while the bias is massive.
+				a.Value = 1e12
+			}
+		case BehaviorReplayStale:
+			if a.Lag < 1 {
+				a.Lag = 1
+			}
+		}
+	}
+	return s
+}
+
+// HasAdversary reports whether any adversary is configured.
+func (s Scenario) HasAdversary() bool { return len(s.Adversaries) > 0 }
+
+// HonestTwin returns the adversary-stripped copy of the scenario: same
+// name, seed, events and defense, no Byzantine behavior. Running both
+// with the same seed and engine isolates the attack's estimate bias
+// (see Bias).
+func (s Scenario) HonestTwin() Scenario {
+	s.Adversaries = nil
 	return s
 }
 
@@ -245,6 +430,65 @@ func (s Scenario) Validate() error {
 		if err := s.validateEvent(ev); err != nil {
 			return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
 		}
+	}
+	if s.Version < 1 || s.Version > SchemaVersion {
+		return fmt.Errorf("scenario %s: schema version %d not in [1, %d]", s.Name, s.Version, SchemaVersion)
+	}
+	if s.Version < 2 && (len(s.Adversaries) > 0 || s.Defense.Enabled()) {
+		return fmt.Errorf("scenario %s: adversary and defense sections require schema version 2", s.Name)
+	}
+	for i, a := range s.Adversaries {
+		if err := s.validateAdversary(a); err != nil {
+			return fmt.Errorf("scenario %s: adversary %d: %w", s.Name, i, err)
+		}
+	}
+	if err := s.validateDefense(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+func (s Scenario) validateAdversary(a Adversary) error {
+	if a.At > s.Cycles {
+		return fmt.Errorf("%s at cycle %d outside run of %d cycles", a.Behavior, a.At, s.Cycles)
+	}
+	if a.Until != 0 && a.Until < a.At {
+		return fmt.Errorf("%s until %d before at %d", a.Behavior, a.Until, a.At)
+	}
+	if a.Count < 0 || a.Fraction < 0 || a.Fraction > 1 {
+		return fmt.Errorf("%s needs count >= 0 and fraction in [0, 1]", a.Behavior)
+	}
+	switch a.Behavior {
+	case BehaviorInjectExtreme, BehaviorLieEstimate, BehaviorReplayStale:
+		if a.Count == 0 && a.Fraction <= 0 {
+			return fmt.Errorf("%s needs count or fraction", a.Behavior)
+		}
+		if a.Behavior == BehaviorLieEstimate && a.Value == 0 && a.Amplify == 0 {
+			return errors.New("lie-estimate needs value or amplify")
+		}
+		if a.Behavior == BehaviorReplayStale && a.Lag < 1 {
+			return errors.New("replay-stale needs lag >= 1")
+		}
+	case BehaviorSybilFlood:
+		if a.Rate < 1 {
+			return errors.New("sybil-flood needs rate >= 1")
+		}
+	default:
+		return fmt.Errorf("unknown adversary behavior %q", a.Behavior)
+	}
+	return nil
+}
+
+func (s Scenario) validateDefense() error {
+	d := s.Defense
+	if d.Samples < 0 {
+		return fmt.Errorf("defense samples %d is negative", d.Samples)
+	}
+	if d.JoinCap < 0 {
+		return fmt.Errorf("defense join cap %d is negative", d.JoinCap)
+	}
+	if _, err := d.combiner(); err != nil {
+		return fmt.Errorf("defense: %w", err)
 	}
 	return nil
 }
@@ -322,6 +566,13 @@ func (s Scenario) MaxSlots() int {
 		}
 		slots += count * firings
 	}
+	for _, a := range s.Adversaries {
+		if a.Behavior != BehaviorSybilFlood {
+			continue
+		}
+		from, to := a.window(s.Cycles)
+		slots += a.Rate * (to - from + 1)
+	}
 	return slots
 }
 
@@ -337,13 +588,15 @@ func (ev Event) resolveCount(base int) int {
 	return int(math.Round(ev.Fraction * float64(base)))
 }
 
-// Load reads one JSON scenario.
+// Load reads one JSON scenario with strict (version 2) decoding:
+// unknown fields anywhere in the document are a *DecodeError, not a
+// silent no-op.
 func Load(r io.Reader) (Scenario, error) {
 	var s Scenario
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
-		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+		return Scenario{}, decodeError(err)
 	}
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {
@@ -352,17 +605,30 @@ func Load(r io.Reader) (Scenario, error) {
 	return s, nil
 }
 
-// LoadJSON parses one JSON scenario from a byte slice.
+// LoadJSON parses one JSON scenario from a byte slice with the same
+// strict decoding as Load. (Before schema version 2 this path used a
+// plain json.Unmarshal, so a typoed field name silently no-oped.)
 func LoadJSON(data []byte) (Scenario, error) {
-	var s Scenario
-	if err := json.Unmarshal(data, &s); err != nil {
-		return Scenario{}, fmt.Errorf("scenario: decoding: %w", err)
+	return Load(bytes.NewReader(data))
+}
+
+// decodeError classifies a json decoder failure into the typed
+// DecodeError strict loading returns.
+func decodeError(err error) error {
+	reason := "syntax"
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn), errors.As(err, &typ):
+	default:
+		// encoding/json reports unknown fields as a plain errorString
+		// ("json: unknown field ..."), so everything that is not a syntax
+		// or type error is classified by its message.
+		if s := err.Error(); len(s) >= 19 && s[:19] == "json: unknown field" {
+			reason = "unknown-field"
+		}
 	}
-	s = s.WithDefaults()
-	if err := s.Validate(); err != nil {
-		return Scenario{}, err
-	}
-	return s, nil
+	return &DecodeError{Reason: reason, Err: err}
 }
 
 // JSON renders the scenario as indented JSON.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -327,5 +328,46 @@ func TestRunResultCSVAndJSON(t *testing.T) {
 func TestRunSimRejectsInvalidScenario(t *testing.T) {
 	if _, err := RunSim(Scenario{Name: "bad", N: 1, Cycles: 1}); err == nil {
 		t.Fatal("RunSim must validate the scenario")
+	}
+}
+
+// TestLoadSchemaVersionGating pins the v2 strict-decode contract: the
+// adversary/defense section requires schema version 2, future versions
+// are rejected, and malformed documents surface the typed *DecodeError.
+func TestLoadSchemaVersionGating(t *testing.T) {
+	rejected := map[string]string{
+		"adversaries under v1": `{"version":1,"name":"x","n":10,"cycles":5,
+			"adversaries":[{"behavior":"inject-extreme","count":1,"value":1e9}]}`,
+		"defense under v1": `{"version":1,"name":"x","n":10,"cycles":5,
+			"defense":{"combiner":"median-of-k"}}`,
+		"future version": `{"version":3,"name":"x","n":10,"cycles":5}`,
+		"unknown behavior": `{"name":"x","n":10,"cycles":5,
+			"adversaries":[{"behavior":"gaslight","count":1}]}`,
+		"lie without value or amplify": `{"name":"x","n":10,"cycles":5,
+			"adversaries":[{"behavior":"lie-estimate","count":1}]}`,
+		"unknown adversary field": `{"name":"x","n":10,"cycles":5,
+			"adversaries":[{"behavior":"inject-extreme","count":1,"value":1,"sneaky":true}]}`,
+	}
+	for name, raw := range rejected {
+		if _, err := Load(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: Load accepted invalid input", name)
+		}
+	}
+	// Unknown fields surface as the typed *DecodeError.
+	_, err := Load(strings.NewReader(`{"name":"x","n":10,"cycles":5,"bogus":1}`))
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("unknown field error is %T, want *DecodeError", err)
+	}
+	// A version-0 document is filled to the current schema and a v2
+	// adversary document loads.
+	sc, err := Load(strings.NewReader(`{"version":2,"name":"ok","n":10,"cycles":5,
+		"adversaries":[{"behavior":"inject-extreme","count":1,"value":1e9}],
+		"defense":{"combiner":"median-of-k","samples":5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Version != SchemaVersion || !sc.HasAdversary() {
+		t.Fatalf("v2 adversary document mangled: %+v", sc)
 	}
 }

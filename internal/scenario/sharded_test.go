@@ -62,11 +62,13 @@ func TestShardedRunsAllCannedScenarios(t *testing.T) {
 				t.Fatal("no exchange attempts recorded")
 			}
 			// Transient error is expected while crashes, joins or value
-			// dynamics move the truth mid-epoch, but every script ends in
-			// (or tracks) a converged regime: the final estimate must be
-			// close to the final truth. Strict per-cycle conservation is
-			// covered by the partition test below.
-			if f.RelError > 0.05 {
+			// dynamics move the truth mid-epoch, but every honest script
+			// ends in (or tracks) a converged regime: the final estimate
+			// must be close to the final truth. Attacked scenarios keep a
+			// residual bias by design even when defended — their tracking
+			// quality is asserted against the honest twin in the adversary
+			// tests — so the tight gate covers honest scenarios only.
+			if !sc.HasAdversary() && f.RelError > 0.05 {
 				t.Fatalf("final rel error %g — sharded engine failed to track the aggregate", f.RelError)
 			}
 		})

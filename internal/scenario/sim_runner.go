@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"log/slog"
+	"sync/atomic"
 
 	"antientropy/internal/core"
 	"antientropy/internal/obs"
@@ -60,6 +61,11 @@ type SimOptions struct {
 	// Timeline, when set, receives one flight-recorder snapshot per
 	// observed cycle (see obs.Timeline). It never affects results.
 	Timeline *obs.Timeline
+	// BiasBaseline, when set, is an honest twin's per-cycle metrics; the
+	// run then publishes the agg_adversary_bias gauge as its own mean
+	// estimate minus the baseline's at the same cycle. RunSimWithTwin
+	// sets it automatically. It never affects results.
+	BiasBaseline []CycleMetrics
 	// Logger receives the health engine's alert fire/clear events
 	// (default: discard). Health rules are evaluated whenever Obs or
 	// Timeline is set.
@@ -106,6 +112,11 @@ func newSimDriver(sc Scenario, executor string) (*simDriver, *RunResult) {
 		slots: slots,
 		rng:   stats.NewRNG(sc.Seed ^ 0x7363656e6172696f),
 		alloc: newSlotAllocator(slots, sc.N),
+		adv:   newAdvSchedule(sc, slots),
+	}
+	// The combiner error was already screened by Validate.
+	if c, _ := sc.Defense.combiner(); c != nil {
+		d.guard = core.NewMergeGuard(c, sc.Defense.Samples, slots)
 	}
 	result := &RunResult{
 		Scenario: sc.Name, Executor: executor,
@@ -122,13 +133,16 @@ func runSimSerial(sc Scenario, opts SimOptions) (*RunResult, error) {
 	}
 	d, result := newSimDriver(sc, "sim")
 	sobs := newScenarioObs(opts.Obs, opts.Timeline, opts.Logger)
+	sobs.bindAdversary(d, opts.BiasBaseline)
 	_, err := sim.Run(sim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
 		Cycles:       sc.Cycles,
 		Seed:         sc.Seed,
 		Fn:           core.Average,
-		Init:         func(node int) float64 { return d.prog.Value(node, 0) },
+		Init:         func(node int) float64 { return d.initValue(node, 0) },
+		Adversary:    d.advHook(),
+		Guard:        d.guard,
 		Overlay:      overlay,
 		MessageLoss:  sc.MessageLoss,
 		LinkFailure:  sc.LinkFailure,
@@ -152,6 +166,7 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 	}
 	d, result := newSimDriver(sc, "sim-sharded")
 	sobs := newScenarioObs(opts.Obs, opts.Timeline, opts.Logger)
+	sobs.bindAdversary(d, opts.BiasBaseline)
 	_, err := parsim.Run(parsim.Config{
 		N:            d.slots,
 		InitialAlive: sc.N,
@@ -160,7 +175,9 @@ func runSimSharded(sc Scenario, opts SimOptions) (*RunResult, error) {
 		Shards:       opts.Shards,
 		Workers:      opts.Workers,
 		Fn:           core.Average,
-		Init:         func(node int) float64 { return d.prog.Value(node, 0) },
+		Init:         func(node int) float64 { return d.initValue(node, 0) },
+		Adversary:    d.advHook(),
+		Guard:        d.guard,
 		Overlay:      parsim.Newscast(30),
 		MessageLoss:  sc.MessageLoss,
 		LinkFailure:  sc.LinkFailure,
@@ -193,15 +210,70 @@ type simDriver struct {
 
 	part partitionState
 
+	// adv is the Byzantine plan (nil for honest scenarios — the nil
+	// schedule keeps the honest paths bit-identical to the legacy
+	// engine); guard is the combiner defense (nil without one).
+	adv   *advSchedule
+	guard *core.MergeGuard
+
+	// joinsThisEpoch enforces the defense's epoch-scoped join cap;
+	// joinsRefused counts over-cap joins (atomic: telemetry scrapes read
+	// it concurrently).
+	joinsThisEpoch int
+	joinsRefused   atomic.Int64
+
 	prevAttempts int64
+}
+
+// initValue resolves a node's (re)start value: the honest scripted value
+// unless the adversary schedule overrides it (inject-extreme poisoning,
+// sybil slots). Cycle 0 is the initial state; its adversary window is
+// evaluated as cycle 1, the first cycle the run executes.
+func (d *simDriver) initValue(node, cycle int) float64 {
+	honest := d.prog.Value(node, cycle)
+	if d.adv == nil {
+		return honest
+	}
+	wcycle := cycle
+	if wcycle < 1 {
+		wcycle = 1
+	}
+	return d.adv.initValue(node, wcycle, honest)
+}
+
+// advHook exposes the wire-lying hook for the engine configs (nil for
+// honest scenarios).
+func (d *simDriver) advHook() func(cycle, node int, local float64) (float64, bool) {
+	if d.adv == nil {
+		return nil
+	}
+	return d.adv.engineHook()
+}
+
+// admitJoin applies the defense's epoch-scoped join cap to flash-crowd
+// and sybil joins alike (the cap cannot tell an honest joiner from an
+// attacker — that is the point of the sybil attack).
+func (d *simDriver) admitJoin() bool {
+	if cap := d.sc.Defense.JoinCap; cap > 0 && d.joinsThisEpoch >= cap {
+		d.joinsRefused.Add(1)
+		return false
+	}
+	d.joinsThisEpoch++
+	return true
 }
 
 // beforeCycle implements §4.1/§4.2 at epoch boundaries: the protocol
 // restarts from the current scripted values and waiting joiners become
-// participants.
+// participants. Replay-stale attackers snapshot the estimates they will
+// replay just before the restart wipes them, and the join-cap budget
+// renews with the epoch.
 func (d *simDriver) beforeCycle(cycle int, e sim.Core) {
 	if cycle > 1 && (cycle-1)%d.sc.EpochLen == 0 {
-		e.Restart(func(node int) float64 { return d.prog.Value(node, cycle) })
+		if d.adv != nil {
+			d.adv.snapshotEpoch(func(node int) float64 { return e.Value(node) })
+		}
+		d.joinsThisEpoch = 0
+		e.Restart(func(node int) float64 { return d.initValue(node, cycle) })
 	}
 }
 
@@ -233,6 +305,9 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 		case KindJoin:
 			count := ev.resolveCount(d.sc.N)
 			for k := 0; k < count; k++ {
+				if !d.admitJoin() {
+					continue
+				}
 				slot, ok := d.alloc.takeJoinSlot()
 				if !ok {
 					break
@@ -258,6 +333,34 @@ func (d *simDriver) applyEvents(cycle int, e sim.Core) {
 			}
 		case KindHeal:
 			d.heal(e)
+		}
+	}
+	d.sybilJoins(cycle, e)
+}
+
+// sybilJoins lands the active sybil-flood adversaries' attacker nodes —
+// ordinary joins as far as the protocol can tell, except that the slots
+// are marked hostile (their restart value is the attacker's, and the
+// honest metrics exclude them). The defense's join cap throttles them
+// exactly as it throttles flash crowds.
+func (d *simDriver) sybilJoins(cycle int, e sim.Core) {
+	if d.adv == nil {
+		return
+	}
+	for ai, a := range d.sc.Adversaries {
+		if a.Behavior != BehaviorSybilFlood || !a.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		for k := 0; k < a.Rate; k++ {
+			if !d.admitJoin() {
+				continue
+			}
+			slot, ok := d.alloc.takeJoinSlot()
+			if !ok {
+				break
+			}
+			d.adv.markSybil(slot, ai)
+			e.Replace(slot)
 		}
 	}
 }
@@ -317,10 +420,22 @@ func (d *simDriver) observe(cycle int, e sim.Core) (CycleMetrics, protoTotals) {
 	cur := e.Metrics()
 	messages := cur.Attempts - d.prevAttempts
 	d.prevAttempts = cur.Attempts
-	est := e.ParticipantMoments()
+	// Under an adversary the metrics cover the honest population only:
+	// the attack's impact is what leaks into honest estimates, and the
+	// truth signal attacker-controlled slots would contribute is fake.
+	var est stats.Moments
+	if d.adv == nil {
+		est = e.ParticipantMoments()
+	} else {
+		e.ForEachParticipant(func(node int, v float64) {
+			if !d.adv.hostile(node) {
+				est.Add(v)
+			}
+		})
+	}
 	var truth stats.Moments
 	for i := 0; i < d.slots; i++ {
-		if e.Alive(i) {
+		if e.Alive(i) && (d.adv == nil || !d.adv.hostile(i)) {
 			truth.Add(d.prog.Value(i, cycle))
 		}
 	}

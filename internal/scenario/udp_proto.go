@@ -62,6 +62,11 @@ type udpJoin struct {
 	Slot  int      `json:"slot"`
 	Seeds []string `json:"seeds,omitempty"`
 	Group int      `json:"group"`
+	// Sybil marks an attacker join: the controlling adversary's index
+	// plus one (0 = honest joiner). Sybil slot assignment is runtime
+	// state only the supervisor knows, so it rides the join command;
+	// the worker's own schedule covers the static Byzantine picks.
+	Sybil int `json:"sybil,omitempty"`
 }
 
 // udpContacts hands one slot out-of-band contact addresses (the post-heal

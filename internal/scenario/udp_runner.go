@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"antientropy/internal/agent"
@@ -153,6 +154,7 @@ func RunUDP(ctx context.Context, sc Scenario, opts UDPOptions) (*RunResult, erro
 		rng:    stats.NewRNG(sc.Seed ^ 0x7564702d72756e), // "udp-run"
 		opts:   opts,
 		ctx:    ctx,
+		adv:    newAdvSchedule(sc, slots),
 		sobs:   newScenarioObs(opts.Obs, opts.Timeline, opts.Logger),
 	}
 	d.bindObs(opts.Obs)
@@ -246,6 +248,15 @@ type udpDriver struct {
 
 	procs []*udpWorkerProc
 
+	// adv is the run's Byzantine plan (nil for honest scenarios). The
+	// workers rebuild the identical static schedule from the scenario in
+	// their init message; sybil slot assignment happens here and rides
+	// the join commands. The join-cap fields mirror liveDriver's.
+	adv            *advSchedule
+	joinEpoch      int
+	joinsThisEpoch int
+	joinsRefused   atomic.Int64
+
 	part partitionState
 	// pendingJoin tracks joins commanded this cycle whose addresses are
 	// still unknown (the worker acks them at the barrier); a crash of
@@ -291,6 +302,21 @@ func (d *udpDriver) fleetAgentMetrics() agent.Metrics {
 func (d *udpDriver) bindObs(reg *obs.Registry) {
 	if reg == nil {
 		return
+	}
+	if d.adv != nil || d.sc.Defense.JoinCap > 0 {
+		// Rebind the zero-valued adversary series newScenarioObs just
+		// registered. Lie and rejection counters ride the workers' merged
+		// agent totals, exported by RegisterMetrics below.
+		adv := d.adv
+		reg.GaugeFunc("agg_adversary_nodes", advNodesHelp, func() float64 {
+			if adv == nil {
+				return 0
+			}
+			return float64(adv.HostileCount())
+		})
+		reg.CounterFunc("agg_adversary_joins_refused_total", advRefusedHelp, func() int64 {
+			return d.joinsRefused.Load()
+		})
 	}
 	agent.RegisterMetrics(reg, d.fleetAgentMetrics)
 	reg.HistogramFunc("agg_exchange_rtt_seconds",
@@ -500,6 +526,9 @@ func (d *udpDriver) runCycle(cycle int) error {
 	d.pendingAssign = nil
 	d.pendingJoin = nil
 
+	if epoch := (cycle - 1) / d.sc.EpochLen; epoch != d.joinEpoch {
+		d.joinEpoch, d.joinsThisEpoch = epoch, 0
+	}
 	if d.part.expired(cycle) {
 		d.heal(msgs)
 	}
@@ -524,6 +553,9 @@ func (d *udpDriver) runCycle(cycle int) error {
 		case KindJoin:
 			count := ev.resolveCount(d.sc.N)
 			for k := 0; k < count; k++ {
+				if !d.admitJoin() {
+					continue
+				}
 				slot, ok := d.roster.takeJoinSlot()
 				if !ok {
 					break
@@ -555,6 +587,7 @@ func (d *udpDriver) runCycle(cycle int) error {
 			}
 		}
 	}
+	d.sybilJoins(cycle, msgs)
 
 	acks, err := d.broadcast(msgs, udpOpAck)
 	if err != nil {
@@ -610,14 +643,19 @@ func (d *udpDriver) crash(msgs []udpMsg, slot int) {
 // join routes a fresh-identity start command to the slot's worker. The
 // new node performs the §4.2 join against live seed contacts; while a
 // partition is active it lands in the slot's component.
-func (d *udpDriver) join(msgs []udpMsg, slot int) {
+func (d *udpDriver) join(msgs []udpMsg, slot int) { d.joinAs(msgs, slot, -1) }
+
+// joinAs is join with an optional controlling adversary: sybil >= 0
+// marks the joiner attacker-controlled on both the supervisor's
+// schedule and, via the join command, the owning worker's.
+func (d *udpDriver) joinAs(msgs []udpMsg, slot, sybil int) {
 	group := -1
 	if d.part.on {
 		group = d.part.groupOf[slot]
 	}
 	w := d.owner(slot)
 	msgs[w].Joins = append(msgs[w].Joins, udpJoin{
-		Slot: slot, Seeds: d.roster.seedAddrs(d.rng, 3), Group: group,
+		Slot: slot, Seeds: d.roster.seedAddrs(d.rng, 3), Group: group, Sybil: sybil + 1,
 	})
 	if d.pendingJoin == nil {
 		d.pendingJoin = make(map[int]bool)
@@ -627,6 +665,42 @@ func (d *udpDriver) join(msgs []udpMsg, slot int) {
 	// The joiner's address is known only after the worker acks; blank it
 	// so seed sampling cannot hand out the stale address meanwhile.
 	d.roster.addr[slot] = ""
+}
+
+// admitJoin applies the defense's epoch-scoped join cap. The cap cannot
+// tell an honest joiner from an attacker: both draw from one budget.
+func (d *udpDriver) admitJoin() bool {
+	if cap := d.sc.Defense.JoinCap; cap > 0 && d.joinsThisEpoch >= cap {
+		d.joinsRefused.Add(1)
+		return false
+	}
+	d.joinsThisEpoch++
+	return true
+}
+
+// sybilJoins routes the active sybil-flood attackers' joiners for the
+// cycle to their owning workers, subject to the same epoch join cap as
+// honest joins.
+func (d *udpDriver) sybilJoins(cycle int, msgs []udpMsg) {
+	if d.adv == nil {
+		return
+	}
+	for ai, a := range d.sc.Adversaries {
+		if a.Behavior != BehaviorSybilFlood || !a.activeAt(cycle, d.sc.Cycles) {
+			continue
+		}
+		for k := 0; k < a.Rate; k++ {
+			if !d.admitJoin() {
+				continue
+			}
+			slot, ok := d.roster.takeJoinSlot()
+			if !ok {
+				return
+			}
+			d.adv.markSybil(slot, ai)
+			d.joinAs(msgs, slot, ai)
+		}
+	}
 }
 
 // partition splits the fleet: every slot gets a component, and the
@@ -721,8 +795,14 @@ func (d *udpDriver) sample(cycle int) (CycleMetrics, error) {
 			"cycle", cycle, "workersAlive", alive, "scriptAlive", d.roster.aliveCount())
 	}
 
+	// Under an adversary the truth covers the honest population only,
+	// matching the other executors (the workers filter the estimate
+	// moments the same way); hostile slots still count as alive.
 	var truth stats.Moments
 	for _, slot := range d.roster.liveSlots() {
+		if d.adv != nil && d.adv.hostile(slot) {
+			continue
+		}
 		truth.Add(d.prog.Value(slot, cycle))
 	}
 	var estMean, estStd float64

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"testing"
 	"time"
+
+	"antientropy/internal/obs"
 )
 
 // udpWorkerEnv gates the re-exec helper: the supervisor tests relaunch
@@ -209,5 +212,57 @@ func TestUDPExecutorChurnJoinCrash(t *testing.T) {
 	// 11) restores a close estimate.
 	if f := res.Final(); f.RelError > 0.1 {
 		t.Fatalf("final rel error %g after churn/join/crash/loss", f.RelError)
+	}
+}
+
+// TestUDPExecutorLieEstimateTraceStitches is the multi-process half of
+// the wire-lying acceptance: Byzantine workers corrupt their replies at
+// the wire layer without touching the exchange ID, so the supervisor's
+// merged fleet trace still stitches cross-process spans to completion,
+// and the merged worker metrics surface the lie count.
+func TestUDPExecutorLieEstimateTraceStitches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process UDP fleet test skipped in -short mode")
+	}
+	sc := Scenario{
+		Name: "udp-lie", N: 20, Cycles: 16, EpochLen: 8, Seed: 7,
+		Adversaries: []Adversary{{Behavior: BehaviorLieEstimate, Fraction: 0.2, Value: 1e6}},
+	}.WithDefaults()
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(8192)
+	opts := udpTestOptions(2)
+	opts.Obs = reg
+	opts.Trace = ring
+	res, err := RunUDP(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final().Alive; got != sc.N {
+		t.Fatalf("final alive = %d, want %d (lying must not change membership)", got, sc.N)
+	}
+	spans := obs.StitchSpans(ring.Events())
+	completed := 0
+	for _, sp := range spans {
+		if sp.Outcome == "completed" {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatalf("no completed spans stitched from %d merged events — lying broke exchange identity",
+			len(ring.Events()))
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "agg_adversary_lies_total") {
+		t.Fatal("lie counter missing from the supervisor export")
+	}
+	if strings.Contains(out, "agg_adversary_lies_total 0\n") {
+		t.Error("Byzantine workers reported no lies")
+	}
+	if !strings.Contains(out, "agg_adversary_nodes 4") { // round(0.2 * 20)
+		t.Error("hostile population gauge missing or wrong in supervisor export")
 	}
 }

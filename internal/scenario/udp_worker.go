@@ -90,6 +90,15 @@ type udpWorker struct {
 	// scripted signal at the current cycle.
 	cycleNow atomic.Int64
 
+	// adv is the worker's copy of the run's Byzantine plan, rebuilt from
+	// the scenario in the init message — a pure function of the seed, so
+	// it matches the supervisor's and the other executors' schedules.
+	// Sybil slot assignment arrives on the join commands. advStale and
+	// combiner mirror liveDriver's.
+	adv      *advSchedule
+	advStale []liveStaleState
+	combiner core.Combiner
+
 	// filter carries the supervisor's scripted drop rules; every endpoint
 	// of this worker shares it.
 	filter *transport.UDPFilter
@@ -163,6 +172,13 @@ func (w *udpWorker) handleInit(msg udpMsg) (udpMsg, error) {
 		return udpMsg{}, fmt.Errorf("udp worker: non-positive cycle length")
 	}
 	w.prog = NewValueProgram(w.sc, w.sc.MaxSlots())
+	w.adv = newAdvSchedule(w.sc, w.sc.MaxSlots())
+	if w.adv != nil {
+		w.advStale = make([]liveStaleState, w.sc.MaxSlots())
+	}
+	if c, err := w.sc.Defense.combiner(); err == nil {
+		w.combiner = c // err pre-screened by Validate
+	}
 	w.rtt = obs.NewHistogram(obs.RTTBuckets)
 	if msg.TraceCap > 0 {
 		w.trace = obs.NewTraceRing(msg.TraceCap)
@@ -279,11 +295,15 @@ func bootstrapSubset(all []string, seed uint64, slot, cacheSize int) []string {
 // newNode builds (but does not start) the agent for a slot, mirroring the
 // live-mem executor's construction so the two fleets are comparable.
 func (w *udpWorker) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []string) (*agent.Node, error) {
+	var hook func(uint64, float64) (float64, uint64, bool)
+	if w.adv != nil {
+		hook = w.adv.wireHook(slot, &w.advStale[slot], &w.cycleNow)
+	}
 	node, err := agent.New(agent.Config{
 		Endpoint:     ep,
 		Schedule:     w.sched,
 		Function:     core.Average,
-		Value:        func() float64 { return w.prog.Value(slot, int(w.cycleNow.Load())) },
+		Value:        liveValueSupplier(w.adv, w.prog, slot, &w.cycleNow),
 		CacheSize:    w.cacheSize,
 		Seeds:        seeds,
 		Bootstrap:    bootstrap,
@@ -292,9 +312,17 @@ func (w *udpWorker) newNode(slot int, ep transport.Endpoint, seeds, bootstrap []
 		RTT:          w.rtt,
 		Trace:        w.trace,
 		MaxViewBytes: w.sc.ViewCapBytes,
+		Adversary:    hook,
+		Combiner:     w.combiner,
+		CombinerK:    w.sc.Defense.Samples,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("udp worker %d: building node %d: %w", w.index, slot, err)
+	}
+	if w.adv != nil {
+		if lag := w.adv.replayLag(slot); lag > 0 {
+			replayWatch(node, &w.advStale[slot], lag, &w.stopping)
+		}
 	}
 	return node, nil
 }
@@ -366,6 +394,11 @@ func (w *udpWorker) join(j udpJoin) (string, error) {
 	if j.Group >= 0 {
 		w.filter.AssignGroup(ep.Addr(), j.Group)
 	}
+	if j.Sybil > 0 && w.adv != nil {
+		// Mark before the node is built so its value supplier reports the
+		// sybil value from the first epoch restart on.
+		w.adv.markSybil(j.Slot, j.Sybil-1)
+	}
 	node, err := w.newNode(j.Slot, ep, j.Seeds, nil)
 	if err != nil {
 		_ = ep.Close()
@@ -400,6 +433,12 @@ func (w *udpWorker) handleSample(msg udpMsg) (udpMsg, error) {
 			continue
 		}
 		reply.Participating++
+		// Under an adversary the estimate moments cover the honest
+		// population only (matching the other executors); hostile nodes
+		// still count as alive and participating.
+		if w.adv != nil && w.adv.hostile(slot) {
+			continue
+		}
 		if v, ok := s.node.Estimate(); ok {
 			reply.EstN++
 			reply.EstSum += v

@@ -227,3 +227,90 @@ func TestAPIInstanceCapReturns429(t *testing.T) {
 		t.Fatalf("create beyond cap = %d, want 429", w.Code)
 	}
 }
+
+// TestAPICombinerConfig covers the defense half of the instance config:
+// a combiner (with clamp bounds where required) is accepted, echoed back
+// in GET and list responses, and invalid combinations answer 400.
+func TestAPICombinerConfig(t *testing.T) {
+	api, _, _ := newTestAPI(t, nil, nil)
+
+	steps := []struct {
+		name       string
+		body       string
+		wantStatus int
+	}{
+		{"median-of-k", `{"name":"med","fleet_size":4,"epoch_ms":100,"combiner":"median-of-k"}`, http.StatusCreated},
+		{"clamped-mean", `{"name":"clamp","fleet_size":4,"epoch_ms":100,"combiner":"clamped-mean","clamp_min":-10,"clamp_max":10}`, http.StatusCreated},
+		{"trimmed-mean", `{"name":"trim","fleet_size":4,"epoch_ms":100,"combiner":"trimmed-mean"}`, http.StatusCreated},
+		{"unknown combiner", `{"name":"x1","combiner":"vibes"}`, http.StatusBadRequest},
+		{"clamp without clamped-mean", `{"name":"x2","combiner":"median-of-k","clamp_min":0,"clamp_max":1}`, http.StatusBadRequest},
+		{"clamped-mean missing bounds", `{"name":"x3","combiner":"clamped-mean"}`, http.StatusBadRequest},
+		{"clamped-mean inverted range", `{"name":"x4","combiner":"clamped-mean","clamp_min":5,"clamp_max":-5}`, http.StatusBadRequest},
+		{"clamp on default combiner", `{"name":"x5","clamp_min":0,"clamp_max":1}`, http.StatusBadRequest},
+	}
+	for _, step := range steps {
+		w := doJSON(t, api, "POST", "/v1/instances", step.body, nil)
+		if w.Code != step.wantStatus {
+			t.Fatalf("%s: %d, want %d (body %s)", step.name, w.Code, step.wantStatus, w.Body.String())
+		}
+	}
+
+	// The accepted config is echoed back verbatim on GET.
+	w := doJSON(t, api, "GET", "/v1/instances/clamp", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET clamp: %d (body %s)", w.Code, w.Body.String())
+	}
+	var got struct {
+		Combiner string   `json:"combiner"`
+		ClampMin *float64 `json:"clamp_min"`
+		ClampMax *float64 `json:"clamp_max"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Combiner != "clamped-mean" || got.ClampMin == nil || got.ClampMax == nil ||
+		*got.ClampMin != -10 || *got.ClampMax != 10 {
+		t.Fatalf("GET did not echo the combiner config: %s", w.Body.String())
+	}
+	// An instance created without a combiner omits the fields.
+	doJSON(t, api, "POST", "/v1/instances", `{"name":"plain","fleet_size":4,"epoch_ms":100}`, nil)
+	w = doJSON(t, api, "GET", "/v1/instances/plain", "", nil)
+	if strings.Contains(w.Body.String(), "combiner") {
+		t.Fatalf("plain instance leaked combiner fields: %s", w.Body.String())
+	}
+}
+
+// TestAPICombinerInstanceConverges: a defended instance still serves the
+// correct aggregate — the combiner changes the merge policy, not the
+// fixed point.
+func TestAPICombinerInstanceConverges(t *testing.T) {
+	api, _, _ := newTestAPI(t, nil, nil)
+	create := `{"name":"defended","function":"average","fleet_size":6,"epoch_ms":80,"combiner":"median-of-k"}`
+	if w := doJSON(t, api, "POST", "/v1/instances", create, nil); w.Code != http.StatusCreated {
+		t.Fatalf("create: %d (body %s)", w.Code, w.Body.String())
+	}
+	if w := doJSON(t, api, "POST", "/v1/instances/defended/values", `{"values":[2,4,6,8,10,12]}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("feed: %d (body %s)", w.Code, w.Body.String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := doJSON(t, api, "GET", "/v1/instances/defended/estimate", "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("estimate: %d (body %s)", w.Code, w.Body.String())
+		}
+		var est struct {
+			Estimate  float64 `json:"estimate"`
+			Converged bool    `json:"converged"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &est); err != nil {
+			t.Fatal(err)
+		}
+		if est.Converged && est.Estimate > 6.9 && est.Estimate < 7.1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("defended instance never converged near 7: %s", w.Body.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -81,6 +81,17 @@ type InstanceConfig struct {
 	CycleMS int `json:"cycle_ms,omitempty"`
 	// CacheSize is the NEWSCAST cache capacity (default 30).
 	CacheSize int `json:"cache_size,omitempty"`
+	// Combiner selects the fleet's per-exchange merge policy (one of
+	// core.CombinerNames; empty keeps the classical push-pull mean) —
+	// the defense API for untrusted feeders: "median-of-k" outvotes a
+	// single outlier per merge, "clamped-mean" bounds every peer report.
+	Combiner string `json:"combiner,omitempty"`
+	// ClampMin/ClampMax bound admissible peer reports; both are required
+	// by (and only valid with) the "clamped-mean" combiner, and must
+	// satisfy clamp_min < clamp_max. Pointers distinguish "unset" from a
+	// legitimate zero bound.
+	ClampMin *float64 `json:"clamp_min,omitempty"`
+	ClampMax *float64 `json:"clamp_max,omitempty"`
 }
 
 // Limits bound what the registry accepts — the static half of
@@ -203,7 +214,42 @@ func (r *Registry) normalize(cfg *InstanceConfig) error {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 30
 	}
+	switch cfg.Combiner {
+	case "", core.CombinerMean, core.CombinerMedianOfK, core.CombinerTrimmedMean:
+		if cfg.ClampMin != nil || cfg.ClampMax != nil {
+			return fmt.Errorf("serve: clamp_min/clamp_max require combiner %q", core.CombinerClampedMean)
+		}
+	case core.CombinerClampedMean:
+		if cfg.ClampMin == nil || cfg.ClampMax == nil {
+			return fmt.Errorf("serve: combiner %q needs both clamp_min and clamp_max", core.CombinerClampedMean)
+		}
+		if _, err := core.CombinerByName(cfg.Combiner, *cfg.ClampMin, *cfg.ClampMax); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("serve: unknown combiner %q (want one of %v)", cfg.Combiner, core.CombinerNames())
+	}
 	return nil
+}
+
+// combiner resolves the instance's configured merge policy (nil = the
+// classical push-pull mean). Call on a normalized config.
+func (cfg *InstanceConfig) combiner() core.Combiner {
+	if cfg.Combiner == "" {
+		return nil
+	}
+	var lo, hi float64
+	if cfg.ClampMin != nil {
+		lo = *cfg.ClampMin
+	}
+	if cfg.ClampMax != nil {
+		hi = *cfg.ClampMax
+	}
+	c, err := core.CombinerByName(cfg.Combiner, lo, hi)
+	if err != nil {
+		return nil // unreachable on a normalized config
+	}
+	return c
 }
 
 // Create builds, starts and registers a new instance owned by tenant.
@@ -464,6 +510,7 @@ func (in *Instance) launchFleet(ctx context.Context, tr Transport, logger *slog.
 			cfg.Mode = agent.ModeScalar
 			cfg.Function = core.Average
 			cfg.Value = v
+			cfg.Combiner = in.cfg.combiner()
 		} else {
 			cfg.Mode = agent.ModeCount
 			cfg.Concurrency = 4

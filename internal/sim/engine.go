@@ -68,6 +68,22 @@ type Config struct {
 	// TrackExchanges enables per-node exchange counting (§4.5 validation).
 	TrackExchanges bool
 
+	// Adversary, when non-nil, rewrites the scalar estimate a node
+	// reports to its exchange peer — the Byzantine wire-lying hook the
+	// scenario engine's adversary schedules drive. Local state stays
+	// honest; only the transmitted sample is corrupted. The hook returns
+	// the reported value and whether the node lied this time. Scalar
+	// mode only.
+	Adversary func(cycle, node int, local float64) (float64, bool)
+
+	// Guard, when non-nil, replaces the hardcoded push-pull average
+	// merge of scalar exchanges with the pluggable Combiner defense:
+	// each side's new estimate is Guard.Merge(node, local, reportedPeer)
+	// instead of Fn.Update. With the Mean combiner and no sample window
+	// this reproduces the classical (a+b)/2 step; clamped-mean and
+	// median-of-k reject or outvote Byzantine samples. Scalar mode only.
+	Guard *core.MergeGuard
+
 	// BeforeCycle, when non-nil, runs at the start of every cycle, before
 	// the Failures are applied and before the overlay evolves. It is the
 	// scenario engine's hook point: epoch restarts, scripted churn waves,
@@ -350,9 +366,37 @@ func (e *Engine) initiateExchange(i int) {
 }
 
 func (e *Engine) exchangeScalar(i, j int, replyLost bool) {
-	ni, nj := e.cfg.Fn.Update(e.scalar[i], e.scalar[j])
-	// The responder received the request and always updates; the
-	// initiator updates only if the reply arrives.
+	si, sj := e.scalar[i], e.scalar[j]
+	if e.cfg.Adversary == nil && e.cfg.Guard == nil {
+		ni, nj := e.cfg.Fn.Update(si, sj)
+		// The responder received the request and always updates; the
+		// initiator updates only if the reply arrives.
+		e.scalar[j] = nj
+		if !replyLost {
+			e.scalar[i] = ni
+		}
+		return
+	}
+	// Byzantine path: each side sees the peer's *reported* value, which
+	// the adversary hook may have corrupted; local state stays honest.
+	ri, rj := si, sj
+	if adv := e.cfg.Adversary; adv != nil {
+		if v, lied := adv(e.cycle, i, si); lied {
+			ri = v
+		}
+		if v, lied := adv(e.cycle, j, sj); lied {
+			rj = v
+		}
+	}
+	if g := e.cfg.Guard; g != nil {
+		e.scalar[j] = g.Merge(j, sj, ri)
+		if !replyLost {
+			e.scalar[i] = g.Merge(i, si, rj)
+		}
+		return
+	}
+	ni, _ := e.cfg.Fn.Update(si, rj)
+	_, nj := e.cfg.Fn.Update(ri, sj)
 	e.scalar[j] = nj
 	if !replyLost {
 		e.scalar[i] = ni
@@ -443,6 +487,9 @@ func (e *Engine) Replace(node int) {
 	} else {
 		e.scalar[node] = 0
 	}
+	if e.cfg.Guard != nil {
+		e.cfg.Guard.ResetNode(node)
+	}
 	e.overlay.OnJoin(node, e.cycle)
 }
 
@@ -452,6 +499,11 @@ func (e *Engine) Replace(node int) {
 // from init. The scenario engine calls this at epoch boundaries so the
 // tracked aggregate follows the scripted value dynamics.
 func (e *Engine) Restart(init func(node int) float64) {
+	if e.cfg.Guard != nil {
+		// Peer samples gathered under the previous epoch's value
+		// assignment must not vote in the next.
+		e.cfg.Guard.ResetAll()
+	}
 	for _, id := range e.alive.Items() {
 		i := int(id)
 		e.participating[i] = true
